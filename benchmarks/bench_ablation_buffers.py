@@ -1,0 +1,14 @@
+"""Benchmark A1: transaction-buffer depth vs retry rate under bursts."""
+
+from conftest import run_once
+
+from repro.experiments.ablations import AblationSettings, buffer_depth_ablation
+
+
+def test_bench_ablation_buffers(benchmark):
+    result = run_once(
+        benchmark, lambda: buffer_depth_ablation(AblationSettings.quick())
+    )
+    print()
+    print(result)
+    benchmark.extra_info["retry_rate_512_at_42pct"] = result.data["depth512_util0.42"]

@@ -1,0 +1,12 @@
+"""Benchmark A4: passive (non-inclusive) emulation error."""
+
+from conftest import run_once
+
+from repro.experiments.ablations import AblationSettings, inclusion_ablation
+
+
+def test_bench_ablation_inclusion(benchmark):
+    result = run_once(benchmark, lambda: inclusion_ablation(AblationSettings.quick()))
+    print()
+    print(result)
+    benchmark.extra_info["error_share_64MB"] = result.data["64MB"]

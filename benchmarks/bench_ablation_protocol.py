@@ -1,0 +1,12 @@
+"""Benchmark A2: coherence protocol tables (MSI/MESI/MOESI)."""
+
+from conftest import run_once
+
+from repro.experiments.ablations import AblationSettings, protocol_ablation
+
+
+def test_bench_ablation_protocol(benchmark):
+    result = run_once(benchmark, lambda: protocol_ablation(AblationSettings.quick()))
+    print()
+    print(result)
+    benchmark.extra_info["moesi_supplies"] = result.data["moesi"]["dirty_supplied"]

@@ -1,0 +1,14 @@
+"""Benchmark A3: replacement policies on TPC-C."""
+
+from conftest import run_once
+
+from repro.experiments.ablations import AblationSettings, replacement_ablation
+
+
+def test_bench_ablation_replacement(benchmark):
+    result = run_once(
+        benchmark, lambda: replacement_ablation(AblationSettings.quick())
+    )
+    print()
+    print(result)
+    benchmark.extra_info["lru_miss_ratio"] = result.data["lru"]

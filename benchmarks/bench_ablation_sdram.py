@@ -1,0 +1,18 @@
+"""Benchmark A5: constant-rate vs banked SDRAM directory timing.
+
+The paper's 42%-of-bus-bandwidth figure is a single constant; this ablation
+replays the same TPC-C trace through a node with the constant service time
+and one with the bank-level SDRAM model, comparing buffer occupancy and the
+observed mean service time.
+"""
+
+from conftest import run_once
+
+from repro.experiments.ablations import AblationSettings, sdram_ablation
+
+
+def test_bench_ablation_sdram(benchmark):
+    result = run_once(benchmark, lambda: sdram_ablation(AblationSettings.quick()))
+    print()
+    print(result)
+    benchmark.extra_info["mean_service_cycles"] = result.data["banked_mean_cycles"]

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Figure 1 (cache size growth and projection)."""
+
+from conftest import run_once
+
+from repro.experiments.figure1_growth import run
+
+
+def test_bench_figure1(benchmark):
+    result = run_once(benchmark, run)
+    print()
+    print(result)
+    min_rate, max_rate = result.data["growth_rates"]
+    benchmark.extra_info["growth_min"] = min_rate
+    benchmark.extra_info["growth_max"] = max_rate

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Figure 10 (periodic miss-ratio spikes)."""
+
+from conftest import run_once
+
+from repro.experiments.figure10_profile import Figure10Settings, run
+
+
+def test_bench_figure10(benchmark):
+    settings = Figure10Settings(total_records=120_000, spike_periods=6)
+    result = run_once(benchmark, lambda: run(settings))
+    print()
+    print(result)
+    profile = result.data["profiles"][1]
+    benchmark.extra_info["spikes_1gb"] = len(
+        profile.spike_indices(rel_delta=0.25, skip=8)
+    )

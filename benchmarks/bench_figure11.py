@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Figure 11 (SPLASH2 L3 size sweep)."""
+
+from conftest import run_once
+
+from repro.experiments.figure11_l3sweep import Figure11Settings, run
+from repro.experiments.params import ExperimentScale
+
+SETTINGS = Figure11Settings(
+    scale=ExperimentScale(scale=4096),
+    l3_sizes=("32MB", "128MB", "512MB", "1GB"),
+    records_per_kernel=60_000,
+)
+
+
+def test_bench_figure11(benchmark):
+    result = run_once(benchmark, lambda: run(SETTINGS))
+    print()
+    print(result)
+    benchmark.extra_info["all_monotone"] = all(result.data["monotone"].values())

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Figure 12 (where an L2 miss is satisfied)."""
+
+from conftest import run_once
+
+from repro.experiments.figure12_breakdown import Figure12Settings, run
+from repro.experiments.params import ExperimentScale
+
+
+def test_bench_figure12(benchmark):
+    settings = Figure12Settings(
+        scale=ExperimentScale(scale=4096), records_per_kernel=60_000
+    )
+    result = run_once(benchmark, lambda: run(settings))
+    print()
+    print(result)
+    fmm = result.data["FMM"]["2x4"]
+    benchmark.extra_info["fmm_intervention_share"] = fmm["mod_int"] + fmm["shr_int"]

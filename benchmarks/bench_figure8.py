@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Figure 8 (miss ratio vs cache size, trace lengths)."""
+
+from conftest import run_once
+
+from repro.experiments.figure8_tracelen import Figure8Settings, run
+from repro.experiments.params import ExperimentScale
+
+SETTINGS = Figure8Settings(
+    scale=ExperimentScale(scale=8192),
+    l3_sizes=("16MB", "64MB", "256MB", "1GB"),
+    tpcc_long_records=120_000,
+    tpcc_short_records=2_400,
+    tpch_long_records=120_000,
+    tpch_mid_records=70_000,
+    tpch_short_records=4_000,
+)
+
+
+def test_bench_figure8(benchmark):
+    result = run_once(benchmark, lambda: run(SETTINGS))
+    print()
+    print(result)
+    long_curve, short_curve = result.data["tpcc"]
+    benchmark.extra_info["tpcc_long_at_1GB"] = long_curve.ys()[-1]
+    benchmark.extra_info["tpcc_short_at_1GB"] = short_curve.ys()[-1]

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Figure 9 (sharing crossover, short vs long traces)."""
+
+from conftest import run_once
+
+from repro.experiments.figure9_sharing import Figure9Settings, run
+
+
+def test_bench_figure9(benchmark):
+    result = run_once(benchmark, lambda: run(Figure9Settings.quick()))
+    print()
+    print(result)
+    benchmark.extra_info["crossover"] = bool(result.data["crossover"])

@@ -1,0 +1,39 @@
+"""Benchmarks (extensions): the four Section 2.3 firmware studies."""
+
+from conftest import run_once
+
+from repro.experiments.firmware_studies import (
+    FirmwareStudySettings,
+    hotspot_study,
+    numa_directory_study,
+    remote_cache_study,
+    tracer_continuity_study,
+)
+
+SETTINGS = FirmwareStudySettings.quick()
+
+
+def test_bench_hotspot_study(benchmark):
+    result = run_once(benchmark, lambda: hotspot_study(SETTINGS))
+    print()
+    print(result)
+    benchmark.extra_info["writes_private"] = result.data["writes_private"]
+
+
+def test_bench_tracer_continuity(benchmark):
+    result = run_once(benchmark, lambda: tracer_continuity_study(SETTINGS))
+    print()
+    print(result)
+    benchmark.extra_info["analyzer_coverage"] = result.data["coverage"]
+
+
+def test_bench_numa_directory_study(benchmark):
+    result = run_once(benchmark, lambda: numa_directory_study(SETTINGS))
+    print()
+    print(result)
+
+
+def test_bench_remote_cache_study(benchmark):
+    result = run_once(benchmark, lambda: remote_cache_study(SETTINGS))
+    print()
+    print(result)

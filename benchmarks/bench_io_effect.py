@@ -1,0 +1,13 @@
+"""Benchmark (extension): effect of DMA I/O on the emulated hit ratio."""
+
+from conftest import run_once
+
+from repro.experiments.io_effect import IoEffectSettings, run
+
+
+def test_bench_io_effect(benchmark):
+    result = run_once(benchmark, lambda: run(IoEffectSettings.quick()))
+    print()
+    print(result)
+    ys = result.data["curve"].ys()
+    benchmark.extra_info["miss_ratio_rise"] = ys[-1] - ys[0]

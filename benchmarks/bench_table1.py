@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Table 1 (simulated vs actual cache sizes)."""
+
+from conftest import run_once
+
+from repro.experiments.table1_survey import run
+
+
+def test_bench_table1(benchmark):
+    result = run_once(benchmark, run)
+    print()
+    print(result)
+    benchmark.extra_info["gap_1999"] = result.data["gaps"][1999]

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Table 2 (emulation parameter envelope sweep)."""
+
+from conftest import run_once
+
+from repro.experiments.table2_params import run
+
+
+def test_bench_table2(benchmark):
+    result = run_once(benchmark, run)
+    print()
+    print(result)
+    benchmark.extra_info["accepted"] = result.data["accepted"]
+    benchmark.extra_info["rejected"] = result.data["rejected"]

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Table 3 (C simulator vs MemorIES runtimes)."""
+
+from conftest import run_once
+
+from repro.experiments.table3_tracesim import Table3Settings, run
+
+
+def test_bench_table3(benchmark):
+    result = run_once(benchmark, lambda: run(Table3Settings.quick()))
+    print()
+    print(result)
+    benchmark.extra_info["csim_measured_rps"] = result.data["csim_measured_rps"]
+    benchmark.extra_info["board_measured_rps"] = result.data["board_measured_rps"]

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Table 4 (Augmint vs MemorIES, SPLASH2 FFT)."""
+
+from conftest import run_once
+
+from repro.experiments.table4_augmint import Table4Settings, run
+
+
+def test_bench_table4(benchmark):
+    result = run_once(benchmark, lambda: run(Table4Settings.quick()))
+    print()
+    print(result)
+    benchmark.extra_info["modeled_augmint_m20_minutes"] = (
+        result.data["modeled_augmint_seconds"][0] / 60
+    )

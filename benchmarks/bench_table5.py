@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Table 5 (SPLASH2 application characteristics)."""
+
+from conftest import run_once
+
+from repro.experiments.table5_splash_char import Table5Settings, run
+
+
+def test_bench_table5(benchmark):
+    result = run_once(benchmark, lambda: run(Table5Settings.quick()))
+    print()
+    print(result)
+    fft = result.data["FFT -m28 -l7"]
+    benchmark.extra_info["fft_footprint_gb"] = fft["footprint_gb"]

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Table 6 (SPLASH2 miss rates, small vs realistic)."""
+
+from conftest import run_once
+
+from repro.experiments.table6_missrates import Table6Settings, run
+
+
+def test_bench_table6(benchmark):
+    result = run_once(benchmark, lambda: run(Table6Settings.quick()))
+    print()
+    print(result)
+    benchmark.extra_info["fmm_large"] = result.data["FMM"]["measured_large"]

@@ -1,0 +1,12 @@
+"""Benchmark (extension): web-server scaling study and projection error."""
+
+from conftest import run_once
+
+from repro.experiments.webserver_scaling import WebScalingSettings, run
+
+
+def test_bench_webserver_scaling(benchmark):
+    result = run_once(benchmark, lambda: run(WebScalingSettings.quick()))
+    print()
+    print(result)
+    benchmark.extra_info["projection_error_at_max"] = result.data["errors"][-1]

@@ -1,0 +1,13 @@
+"""Shared configuration for the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper at benchmark
+scale (smaller than the experiment defaults, same geometry) and prints the
+regenerated artefact; run with ``pytest benchmarks/ --benchmark-only -s`` to
+see the tables.  Key shape metrics land in ``benchmark.extra_info`` so the
+saved benchmark JSON doubles as an experiment record.
+"""
+
+
+def run_once(benchmark, func):
+    """Run an expensive experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(func, rounds=1, iterations=1, warmup_rounds=0)

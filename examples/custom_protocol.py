@@ -1,0 +1,111 @@
+"""Authoring and measuring a custom coherence protocol (MOSI).
+
+Section 3.2's programmable-table design exists so designers can try
+protocols the firmware does not ship.  This example authors MOSI (MESI
+without Exclusive, with Owned), saves it as a map file, uploads it to the
+node controllers through the console, and compares its intervention traffic
+against the built-in MSI / MESI / MOESI on the same captured trace.
+
+See docs/protocols.md for the table vocabulary.
+
+Run:  python examples/custom_protocol.py
+"""
+
+from repro.experiments.params import ExperimentScale
+from repro.experiments.pipeline import capture_records
+from repro.memories.console import MemoriesConsole
+from repro.memories.protocol_table import (
+    CacheOp as Op,
+    FillRules,
+    LineState as S,
+    ProtocolTable,
+    Transition as T,
+    load_protocol,
+)
+from repro.target.configs import split_smp_machine
+from repro.workloads.tpcc import TpccWorkload
+
+SCALE = ExperimentScale(scale=2048)
+RECORDS = 80_000
+
+
+def author_mosi() -> ProtocolTable:
+    """MESI minus Exclusive, plus Owned (dirty sharing without write-back)."""
+    transitions = {
+        (Op.LOCAL_READ, S.SHARED): T(S.SHARED, True),
+        (Op.LOCAL_READ, S.MODIFIED): T(S.MODIFIED, True),
+        (Op.LOCAL_READ, S.OWNED): T(S.OWNED, True),
+        (Op.LOCAL_WRITE, S.SHARED): T(S.MODIFIED, True),
+        (Op.LOCAL_WRITE, S.MODIFIED): T(S.MODIFIED, True),
+        (Op.LOCAL_WRITE, S.OWNED): T(S.MODIFIED, True),
+        (Op.LOCAL_CASTOUT, S.SHARED): T(S.MODIFIED, True),
+        (Op.LOCAL_CASTOUT, S.MODIFIED): T(S.MODIFIED, True),
+        (Op.LOCAL_CASTOUT, S.OWNED): T(S.MODIFIED, True),
+        (Op.REMOTE_READ, S.SHARED): T(S.SHARED, False),
+        (Op.REMOTE_READ, S.MODIFIED): T(S.OWNED, True),
+        (Op.REMOTE_READ, S.OWNED): T(S.OWNED, True),
+        (Op.REMOTE_WRITE, S.SHARED): T(S.INVALID, False),
+        (Op.REMOTE_WRITE, S.MODIFIED): T(S.INVALID, True),
+        (Op.REMOTE_WRITE, S.OWNED): T(S.INVALID, True),
+    }
+    fill = FillRules(read_shared=S.SHARED, read_alone=S.SHARED, write=S.MODIFIED)
+    return ProtocolTable("mosi", (S.SHARED, S.MODIFIED, S.OWNED), transitions, fill)
+
+
+def measure(table: ProtocolTable, trace) -> dict:
+    console = MemoriesConsole()
+    machine = split_smp_machine(
+        SCALE.cache("64MB"), n_cpus=8, procs_per_node=4
+    )
+    board = console.power_up(machine, enforce_envelope=False)
+    for node_index in range(len(machine.nodes)):
+        console.load_protocol_map(node_index, table)
+    board.replay(trace)
+    nodes = board.firmware.nodes
+    refs = sum(node.references() for node in nodes)
+    return {
+        "miss_ratio": sum(node.misses() for node in nodes) / refs,
+        "dirty_supplied": sum(
+            node.counters.read("remote.supplied_dirty") for node in nodes
+        ),
+        "invalidations": sum(
+            node.counters.read("remote.invalidated") for node in nodes
+        ),
+    }
+
+
+def main() -> None:
+    mosi = author_mosi()
+    mosi.save("/tmp/mosi.map.json")
+    reloaded = ProtocolTable.load("/tmp/mosi.map.json")
+    print(f"authored {reloaded.name!r}: {len(reloaded.raw_table())} transitions, "
+          f"states {[s.name for s in reloaded.states]}")
+
+    workload = TpccWorkload(
+        db_bytes=SCALE.scaled_bytes("150GB"),
+        n_cpus=8,
+        private_bytes=SCALE.scaled_bytes("8MB"),
+        p_private=0.05,
+        zipf_exponent=1.3,
+        seed=2,
+    )
+    trace = capture_records(workload, RECORDS, SCALE.host())
+
+    print(f"\n{'protocol':8s} {'miss ratio':>10s} {'dirty supplied':>15s} "
+          f"{'invalidations':>14s}")
+    for table in (load_protocol("msi"), load_protocol("mesi"),
+                  load_protocol("moesi"), reloaded):
+        metrics = measure(table, trace)
+        print(
+            f"{table.name:8s} {metrics['miss_ratio']:>10.4f} "
+            f"{metrics['dirty_supplied']:>15d} {metrics['invalidations']:>14d}"
+        )
+    print(
+        "\nMOSI behaves like MOESI for dirty sharing (Owned keeps supplying)"
+        "\nwhile filling reads Shared like MSI — exactly the kind of design-"
+        "\nspace point the programmable tables were built to measure."
+    )
+
+
+if __name__ == "__main__":
+    main()

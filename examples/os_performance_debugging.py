@@ -1,0 +1,74 @@
+"""Case Study 2: finding an OS bug in a long miss-ratio profile.
+
+The paper's TPC-C runs showed miss-ratio spikes every ~5 minutes at *every*
+cache size — a signature no conventional-length trace would reveal, later
+traced to a file-system journaling bug.  This example injects that bug with
+the fault overlay, profiles a long run against two very different cache
+configurations at once, and detects the periodicity.
+
+Run:  python examples/os_performance_debugging.py
+"""
+
+from repro import board_for_machine, multi_config_machine
+from repro.analysis.profiles import profile_replay
+from repro.experiments.params import ExperimentScale
+from repro.experiments.pipeline import capture_records
+from repro.workloads.osjournal import JournalBugOverlay
+from repro.workloads.tpcc import TpccWorkload
+
+SCALE = ExperimentScale(scale=1024)
+TOTAL_RECORDS = 200_000
+PERIOD_REFS = 30_000      # the "5 minutes" of the scaled run
+BURST_REFS = 1_200        # journal writes per flush
+
+
+def main() -> None:
+    base = TpccWorkload(
+        db_bytes=SCALE.scaled_bytes("150GB"),
+        n_cpus=8,
+        private_bytes=SCALE.scaled_bytes("8MB"),
+        p_private=0.05,
+        p_common=0.4,
+        common_region_bytes=SCALE.scaled_bytes("48MB"),
+        common_write_fraction=0.02,
+        affine_region_bytes=SCALE.scaled_bytes("2GB"),
+        zipf_exponent=1.5,
+    )
+    buggy = JournalBugOverlay(base, period_refs=PERIOD_REFS, burst_refs=BURST_REFS)
+    print(f"capturing {TOTAL_RECORDS:,} bus records with the buggy OS...")
+    trace = capture_records(buggy, TOTAL_RECORDS, SCALE.host())
+
+    machine = multi_config_machine(
+        [
+            SCALE.cache("16MB", assoc=1, name="16MB direct-mapped"),
+            SCALE.cache("1GB", assoc=8, name="1GB 8-way"),
+        ],
+        n_cpus=8,
+    )
+    board = board_for_machine(machine)
+    profiles = profile_replay(board, trace, interval_records=2_500)
+
+    print()
+    for spec, profile in zip(machine.nodes, profiles):
+        values = profile.miss_ratios
+        peak = max(values)
+        sketch = "".join(
+            " .:-=+*#%@"[min(9, int(10 * v / peak))] for v in values
+        )
+        spikes = profile.spike_indices(rel_delta=0.25, skip=8)
+        period = profile.spike_period(rel_delta=0.25, skip=8)
+        print(f"{spec.config.name:>20s} |{sketch}|")
+        print(
+            f"{'':>20s}  {len(spikes)} spikes, period "
+            f"{period:.1f} intervals" if period else "no periodic spikes"
+        )
+    print()
+    print(
+        "the spikes appear at the same period in BOTH cache designs — "
+        "that cache-size independence is what told the authors the problem "
+        "was software (OS journaling), not the memory system."
+    )
+
+
+if __name__ == "__main__":
+    main()

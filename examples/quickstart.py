@@ -1,0 +1,62 @@
+"""Quickstart: plug a MemorIES board into a host SMP and read statistics.
+
+This is the paper's Figure 2 in five steps: build the host machine, program
+a board through the console, plug it into the 6xx bus, run a workload in
+"real time", and extract the cache statistics — all without slowing the
+(modeled) host down, because the board is a passive monitor.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    CacheNodeConfig,
+    HostConfig,
+    HostSMP,
+    MemoriesConsole,
+    single_node_machine,
+)
+from repro.workloads.tpcc import TpccWorkload
+
+# Scale: everything (database, caches) divided by 1024 versus the paper.
+SCALE = 1024
+
+
+def main() -> None:
+    # 1. The host: an S7A-class SMP with 8 CPUs and scaled 8 MB 4-way L2s.
+    host = HostSMP(
+        HostConfig(n_cpus=8, l2_size=8 * 2**20 // SCALE, l2_assoc=4)
+    )
+
+    # 2. Program a board: one emulated 64 MB L3 shared by all 8 CPUs.
+    console = MemoriesConsole()
+    l3 = CacheNodeConfig(
+        size=64 * 2**20 // SCALE, assoc=4, line_size=128, name="64MB L3"
+    )
+    # enforce_envelope=False because the scaled 64 KB cache sits below the
+    # real board's 2 MB minimum on purpose.
+    board = console.power_up(
+        single_node_machine(l3, n_cpus=8), enforce_envelope=False
+    )
+
+    # 3. Run the power-on diagnostic, then plug the board into the bus.
+    print(console.execute("self-test"))
+    print()
+    host.plug_in(board)
+
+    # 4. Run a scaled TPC-C workload.
+    workload = TpccWorkload(
+        db_bytes=150 * 2**30 // SCALE, n_cpus=8, private_bytes=8 * 2**20 // SCALE
+    )
+    host.run(workload.chunks(300_000), max_references=300_000)
+
+    # 5. Read the statistics off the board.
+    print(console.report())
+    print()
+    print(f"host L2 miss ratio : {host.aggregate_miss_ratio():.3f}")
+    print(f"emulated L3 miss ratio : {console.miss_ratios()[0]:.3f}")
+    print(f"bus utilization : {host.bus.stats.utilization:.1%}")
+    print(f"board posted retries : {board.retries_posted} (passive, as designed)")
+
+
+if __name__ == "__main__":
+    main()

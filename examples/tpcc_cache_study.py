@@ -1,0 +1,70 @@
+"""Case Study 1 workflow: one captured trace, many cache designs.
+
+Reproduces the paper's trace-length methodology end to end:
+
+1. run scaled TPC-C on the host with a board in trace-collection firmware;
+2. replay the captured trace through *four cache configurations at once*
+   (the board's multi-configuration mode, Figure 4);
+3. replay a short prefix of the same trace and watch it mispredict the
+   value of large caches — the paper's headline warning about small traces.
+
+Run:  python examples/tpcc_cache_study.py
+"""
+
+from repro import CacheNodeConfig, board_for_machine, multi_config_machine
+from repro.analysis.report import render_series
+from repro.analysis.stats import MissCurve
+from repro.experiments.params import ExperimentScale
+from repro.experiments.pipeline import capture_records
+from repro.workloads.tpcc import TpccWorkload
+
+SCALE = ExperimentScale(scale=8192)
+L3_SIZES = ["16MB", "64MB", "256MB", "1GB"]
+LONG_RECORDS = 150_000
+SHORT_RECORDS = 2_500
+
+
+def sweep(trace, label) -> MissCurve:
+    configs = [SCALE.cache(size) for size in L3_SIZES]
+    board = board_for_machine(multi_config_machine(configs, n_cpus=8))
+    board.replay(trace)
+    curve = MissCurve(name=label)
+    for size, node in zip(L3_SIZES, board.firmware.nodes):
+        curve.add(node.config.size, node.miss_ratio(), label=size)
+    return curve
+
+
+def main() -> None:
+    workload = TpccWorkload(
+        db_bytes=SCALE.scaled_bytes("150GB"),
+        n_cpus=8,
+        private_bytes=SCALE.scaled_bytes("64MB"),
+        zipf_exponent=1.05,
+    )
+    print(f"capturing {LONG_RECORDS:,} bus records (scaled TPC-C)...")
+    long_trace = capture_records(workload, LONG_RECORDS, SCALE.host())
+    short_trace = long_trace.head(SHORT_RECORDS)
+
+    curves = [
+        sweep(long_trace, f"long trace ({LONG_RECORDS // 1000}k records)"),
+        sweep(short_trace, f"short trace ({SHORT_RECORDS / 1000:.1f}k records)"),
+    ]
+    print()
+    print(
+        render_series(
+            curves,
+            title="TPC-C L3 miss ratio vs cache size (sizes at paper scale)",
+            x_header="L3 size",
+        )
+    )
+    long_ys, short_ys = curves[0].ys(), curves[1].ys()
+    print()
+    print(
+        "at the largest cache the short trace overestimates the miss ratio "
+        f"by {(short_ys[-1] - long_ys[-1]) * 100:.1f} points — "
+        "the Section 5.1 effect: short traces are cold-miss dominated."
+    )
+
+
+if __name__ == "__main__":
+    main()

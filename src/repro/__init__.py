@@ -1,0 +1,83 @@
+"""MemorIES reproduction: programmable bus-snooping cache emulation.
+
+A software reproduction of *MemorIES: A Programmable, Real-Time Hardware
+Emulation Tool for Multiprocessor Server Design* (Nanda et al., IBM T.J.
+Watson / ASPLOS 2000).  The package models the full stack the paper
+describes: an S7A-class host SMP with snooping L2 caches on a 6xx bus
+(:mod:`repro.host`, :mod:`repro.bus`), the MemorIES board itself — address
+filter, counter FPGAs, four programmable cache-node controllers, SDRAM
+directory with realistic buffering, console software and alternate firmware
+images (:mod:`repro.memories`) — plus the synthetic workloads, baseline
+simulators and experiment harness needed to regenerate every table and
+figure of the paper's evaluation (:mod:`repro.workloads`, :mod:`repro.sim`,
+:mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro import (CacheNodeConfig, MemoriesConsole, HostSMP,
+                       single_node_machine, paper_tpcc)
+
+    console = MemoriesConsole()
+    board = console.power_up(
+        single_node_machine(CacheNodeConfig.create("64MB"), n_cpus=8))
+    host = HostSMP()
+    host.plug_in(board)
+    workload = paper_tpcc(scale=1024)
+    host.run(workload.chunks(500_000))
+    print(console.report())
+"""
+
+from repro.bus import BusTrace, SystemBus, TraceReader, TraceWriter
+from repro.host import HostConfig, HostSMP, S7A_HOST
+from repro.memories import (
+    CacheNodeConfig,
+    MemoriesBoard,
+    MemoriesConsole,
+    ProtocolTable,
+    board_for_machine,
+    load_protocol,
+)
+from repro.sim import AugmintModel, TraceSimulator
+from repro.target import (
+    multi_config_machine,
+    single_node_machine,
+    split_smp_machine,
+)
+from repro.workloads import (
+    JournalBugOverlay,
+    TpccWorkload,
+    TpchWorkload,
+    capture_bus_trace,
+    paper_tpcc,
+    paper_tpch,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AugmintModel",
+    "BusTrace",
+    "CacheNodeConfig",
+    "HostConfig",
+    "HostSMP",
+    "JournalBugOverlay",
+    "MemoriesBoard",
+    "MemoriesConsole",
+    "ProtocolTable",
+    "S7A_HOST",
+    "SystemBus",
+    "TpccWorkload",
+    "TpchWorkload",
+    "TraceReader",
+    "TraceSimulator",
+    "TraceWriter",
+    "board_for_machine",
+    "capture_bus_trace",
+    "load_protocol",
+    "multi_config_machine",
+    "paper_tpcc",
+    "paper_tpch",
+    "single_node_machine",
+    "split_smp_machine",
+    "__version__",
+]

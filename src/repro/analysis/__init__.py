@@ -1,0 +1,31 @@
+"""Statistics, interval profiling and report rendering.
+
+* :mod:`repro.analysis.stats` — miss-ratio/miss-rate helpers and sweep
+  containers.
+* :mod:`repro.analysis.profiles` — interval (time-series) miss-ratio
+  profiling over trace replays, used by the Figure 10 case study.
+* :mod:`repro.analysis.report` — plain-text table and series rendering so
+  the experiment harness prints the same rows/curves the paper's tables and
+  figures show.
+"""
+
+from repro.analysis.performance_model import (
+    PerformanceProjection,
+    average_miss_latency,
+    project_performance,
+)
+from repro.analysis.profiles import IntervalProfile, profile_replay
+from repro.analysis.report import render_series, render_table
+from repro.analysis.stats import MissCurve, SweepPoint
+
+__all__ = [
+    "IntervalProfile",
+    "MissCurve",
+    "PerformanceProjection",
+    "SweepPoint",
+    "average_miss_latency",
+    "profile_replay",
+    "project_performance",
+    "render_series",
+    "render_table",
+]

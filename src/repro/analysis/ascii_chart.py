@@ -1,0 +1,124 @@
+"""Plain-text line charts for the regenerated figures.
+
+The experiment harness prints each figure as a numeric series table (exact
+values) *and* as an ASCII chart (shape at a glance).  The chart is plotted
+on a fixed character grid: x positions are the sweep points, evenly spaced
+(cache-size sweeps are logarithmic in nature, so even categorical spacing
+matches the paper's axes); each curve gets a marker and a legend row.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.analysis.stats import MissCurve
+
+MARKERS = "o*x+#@%&"
+
+
+def render_chart(
+    curves: Sequence[MissCurve],
+    width: int = 64,
+    height: int = 14,
+    title: str = "",
+    percent: bool = True,
+) -> str:
+    """Render a family of curves as an ASCII line chart.
+
+    All curves must share the same sweep points.  The y-axis spans
+    [0, max] (miss ratios live in [0, 1]); markers from :data:`MARKERS`
+    identify curves, with linear interpolation between sweep points.
+    """
+    if not curves:
+        return title
+    n_points = len(curves[0].points)
+    for curve in curves[1:]:
+        if len(curve.points) != n_points:
+            raise ValueError("curves sweep different numbers of points")
+    if n_points == 0:
+        return title
+    if len(curves) > len(MARKERS):
+        raise ValueError(f"at most {len(MARKERS)} curves per chart")
+
+    y_max = max(max(curve.ys()) for curve in curves) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+
+    def column_of(index: int) -> int:
+        if n_points == 1:
+            return width // 2
+        return round(index * (width - 1) / (n_points - 1))
+
+    def row_of(value: float) -> int:
+        scaled = value / y_max
+        return (height - 1) - round(scaled * (height - 1))
+
+    for curve_index, curve in enumerate(curves):
+        marker = MARKERS[curve_index]
+        ys = curve.ys()
+        # Interpolated polyline drawn with '.', data points with markers.
+        for index in range(n_points - 1):
+            col_a, col_b = column_of(index), column_of(index + 1)
+            for col in range(col_a, col_b + 1):
+                if col_b == col_a:
+                    fraction = 0.0
+                else:
+                    fraction = (col - col_a) / (col_b - col_a)
+                value = ys[index] + fraction * (ys[index + 1] - ys[index])
+                row = row_of(value)
+                if grid[row][col] == " ":
+                    grid[row][col] = "."
+        for index, value in enumerate(ys):
+            grid[row_of(value)][column_of(index)] = marker
+
+    def y_label(row: int) -> str:
+        value = y_max * (height - 1 - row) / (height - 1)
+        return f"{value * 100:5.1f}%" if percent else f"{value:6.3f}"
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for row in range(height):
+        label = y_label(row) if row % max(1, height // 4) == 0 or row == height - 1 else " " * 6
+        lines.append(f"{label} |{''.join(grid[row])}")
+    lines.append(" " * 6 + "+" + "-" * width)
+
+    # X tick labels, spread under their columns.
+    tick_line = [" "] * (width + 8)
+    for index, point in enumerate(curves[0].points):
+        label = point.display_label()
+        start = 7 + max(0, min(column_of(index) - len(label) // 2, width - len(label)))
+        for offset, char in enumerate(label):
+            if start + offset < len(tick_line):
+                tick_line[start + offset] = char
+    lines.append("".join(tick_line).rstrip())
+
+    for curve_index, curve in enumerate(curves):
+        lines.append(f"  {MARKERS[curve_index]} = {curve.name}")
+    return "\n".join(lines)
+
+
+def render_sparkline(
+    values: Sequence[float],
+    width: Optional[int] = None,
+    ramp: str = " .:-=+*#%@",
+) -> str:
+    """One-line intensity sketch of a series (used for Figure 10 profiles).
+
+    Values are scaled to the series' own peak; ``width`` (when given)
+    downsamples by averaging buckets.
+    """
+    if not values:
+        return ""
+    series = list(values)
+    if width is not None and width > 0 and len(series) > width:
+        bucket = len(series) / width
+        series = [
+            sum(series[int(i * bucket) : max(int(i * bucket) + 1, int((i + 1) * bucket))])
+            / max(1, len(series[int(i * bucket) : max(int(i * bucket) + 1, int((i + 1) * bucket))]))
+            for i in range(width)
+        ]
+    peak = max(series)
+    if peak <= 0:
+        return ramp[0] * len(series)
+    top = len(ramp) - 1
+    return "".join(ramp[min(top, int(top * value / peak + 0.5))] for value in series)

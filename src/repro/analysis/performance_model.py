@@ -1,0 +1,127 @@
+"""Latency-weighted performance projection from emulated-cache statistics.
+
+Section 5.3: "preliminary calculations based on latencies and miss ratios
+suggest that performance improves from 2-25% for these applications, and
+for no L3 cache size do we see performance degradation."  This module is
+that calculation: given where each L2 miss was satisfied (the Figure 12
+breakdown) and a latency for each source, it computes the average L2-miss
+service time, folds it into a CPI model, and projects the speedup of adding
+an L3 against a no-L3 baseline.
+
+Latency defaults are S7A-era bus-clock cycles (100 MHz): an L3 hit saves a
+memory round trip but costs more than a cache-to-cache transfer on the same
+bus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.common.errors import ConfigurationError
+
+#: Default service latencies per data source, in 100 MHz bus cycles.
+DEFAULT_LATENCIES = {
+    "l3": 18.0,        # emulated L3 hit
+    "memory": 40.0,    # DRAM round trip
+    "mod_int": 26.0,   # dirty cache-to-cache intervention
+    "shr_int": 22.0,   # shared intervention
+}
+
+#: CPI model shared with the Table 5 experiment: base CPI, line-granular
+#: references per instruction, and the CPU:bus clock ratio (262:100).
+CPI_BASE = 1.2
+LINE_REFS_PER_INSTRUCTION = 0.33 / 16.0
+CPU_CYCLES_PER_BUS_CYCLE = 2.62
+
+
+@dataclass(frozen=True)
+class PerformanceProjection:
+    """Outcome of one latency-weighted projection.
+
+    Attributes:
+        miss_service_bus_cycles: average L2-miss service time with the L3.
+        baseline_bus_cycles: the same quantity with no L3 (every would-be
+            L3 hit goes to memory instead).
+        cpi: projected cycles per instruction with the L3.
+        baseline_cpi: projected CPI without it.
+    """
+
+    miss_service_bus_cycles: float
+    baseline_bus_cycles: float
+    cpi: float
+    baseline_cpi: float
+
+    @property
+    def speedup(self) -> float:
+        """Runtime(no L3) / runtime(L3); > 1 means the L3 helps."""
+        if self.cpi == 0:
+            return 1.0
+        return self.baseline_cpi / self.cpi
+
+    @property
+    def improvement_percent(self) -> float:
+        """Runtime reduction from adding the L3, in percent."""
+        return (1.0 - self.cpi / self.baseline_cpi) * 100.0
+
+
+def average_miss_latency(
+    breakdown: Mapping[str, float],
+    latencies: Mapping[str, float] = DEFAULT_LATENCIES,
+) -> float:
+    """Latency-weighted mean over a where-satisfied breakdown.
+
+    Args:
+        breakdown: fractions per source (must cover the latency keys it
+            uses; fractions should sum to ~1).
+        latencies: bus-cycle cost per source.
+    """
+    total = sum(breakdown.values())
+    if total <= 0:
+        raise ConfigurationError("breakdown has no mass")
+    mean = 0.0
+    for source, fraction in breakdown.items():
+        if source not in latencies:
+            raise ConfigurationError(f"no latency defined for source {source!r}")
+        mean += fraction * latencies[source]
+    return mean / total
+
+
+def project_performance(
+    breakdown: Mapping[str, float],
+    l2_miss_ratio: float,
+    latencies: Mapping[str, float] = DEFAULT_LATENCIES,
+) -> PerformanceProjection:
+    """Project the runtime effect of the emulated L3.
+
+    The baseline redirects the L3-hit fraction to memory (no L3 in the
+    machine); interventions are unaffected (they come from other L2s
+    either way).
+
+    Args:
+        breakdown: Figure 12-style fractions over
+            ``l3 / memory / mod_int / shr_int``.
+        l2_miss_ratio: fraction of processor references missing the L2
+            (converts miss service time into CPI impact).
+    """
+    if not 0.0 <= l2_miss_ratio <= 1.0:
+        raise ConfigurationError(f"miss ratio {l2_miss_ratio} outside [0, 1]")
+    with_l3 = average_miss_latency(breakdown, latencies)
+    baseline_breakdown = dict(breakdown)
+    baseline_breakdown["memory"] = baseline_breakdown.get("memory", 0.0) + (
+        baseline_breakdown.pop("l3", 0.0)
+    )
+    without_l3 = average_miss_latency(baseline_breakdown, latencies)
+
+    def cpi_of(miss_bus_cycles: float) -> float:
+        miss_cpu_cycles = miss_bus_cycles * CPU_CYCLES_PER_BUS_CYCLE
+        return CPI_BASE + (
+            LINE_REFS_PER_INSTRUCTION * l2_miss_ratio * miss_cpu_cycles
+        )
+
+    return PerformanceProjection(
+        miss_service_bus_cycles=with_l3,
+        baseline_bus_cycles=without_l3,
+        cpi=cpi_of(with_l3),
+        baseline_cpi=cpi_of(without_l3),
+    )

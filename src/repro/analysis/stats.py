@@ -1,0 +1,101 @@
+"""Miss statistics containers used by the experiment harness.
+
+The paper reports results as *curves* — miss ratio against cache size
+(Figures 8 and 11), against processors per cache (Figure 9) — and this
+module provides the small value types those curves are made of, plus
+shape predicates (monotonicity, crossover) that the test suite uses to
+verify each reproduced figure qualitatively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.common.units import format_size
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One point of a parameter sweep.
+
+    Attributes:
+        x: the swept parameter value (cache bytes, processors per node...).
+        miss_ratio: observed miss ratio at that point.
+        label: optional display label (defaults to a formatted size).
+    """
+
+    x: float
+    miss_ratio: float
+    label: str = ""
+
+    def display_label(self) -> str:
+        """Label for tables; falls back to formatting ``x`` as a size."""
+        if self.label:
+            return self.label
+        return format_size(int(self.x))
+
+
+@dataclass
+class MissCurve:
+    """A named series of sweep points (one curve of a figure)."""
+
+    name: str
+    points: List[SweepPoint] = field(default_factory=list)
+
+    def add(self, x: float, miss_ratio: float, label: str = "") -> None:
+        """Append one point."""
+        self.points.append(SweepPoint(x=x, miss_ratio=miss_ratio, label=label))
+
+    def xs(self) -> List[float]:
+        """Sweep values in insertion order."""
+        return [p.x for p in self.points]
+
+    def ys(self) -> List[float]:
+        """Miss ratios in insertion order."""
+        return [p.miss_ratio for p in self.points]
+
+    def is_monotone_decreasing(self, tolerance: float = 0.0) -> bool:
+        """True when miss ratio never rises by more than ``tolerance``."""
+        ys = self.ys()
+        return all(b <= a + tolerance for a, b in zip(ys, ys[1:]))
+
+    def is_monotone_increasing(self, tolerance: float = 0.0) -> bool:
+        """True when miss ratio never falls by more than ``tolerance``."""
+        ys = self.ys()
+        return all(b >= a - tolerance for a, b in zip(ys, ys[1:]))
+
+    def total_drop(self) -> float:
+        """Miss-ratio reduction from first to last point."""
+        ys = self.ys()
+        if not ys:
+            return 0.0
+        return ys[0] - ys[-1]
+
+
+def relative_flattening(curve: MissCurve, knee_index: int) -> float:
+    """How flat a curve is beyond an index, relative to its drop before it.
+
+    Figure 8's 'too small a trace suggests larger caches have no impact':
+    a cold-dominated curve has nearly all of its drop before the knee.
+    Returns drop_after / drop_before (0 = perfectly flat tail).
+    """
+    ys = curve.ys()
+    if not 0 < knee_index < len(ys):
+        raise ValueError(f"knee index {knee_index} out of range")
+    drop_before = ys[0] - ys[knee_index]
+    drop_after = ys[knee_index] - ys[-1]
+    if drop_before <= 0:
+        return float("inf") if drop_after > 0 else 0.0
+    return drop_after / drop_before
+
+
+def crossover_exists(short: Sequence[float], long: Sequence[float]) -> bool:
+    """Figure 9's signature: the two curves trend in opposite directions.
+
+    ``short`` should (per the paper) decrease with sharing while ``long``
+    increases.
+    """
+    if len(short) < 2 or len(long) < 2:
+        return False
+    return short[-1] < short[0] and long[-1] > long[0]

@@ -1,0 +1,49 @@
+"""Software model of the 6xx SMP memory bus.
+
+The real MemorIES board plugs into the 6xx bus of an IBM S7A-class server and
+passively observes every address tenure.  This package models the pieces of
+that bus the board can see: the command set (:mod:`repro.bus.transaction`),
+snoop-response combining, the bus itself with utilization accounting
+(:mod:`repro.bus.bus`), and the 8-byte packed trace-record format used both
+by the board's trace-collection firmware and by offline replay
+(:mod:`repro.bus.trace`).
+"""
+
+from repro.bus.transaction import (
+    BusCommand,
+    BusTransaction,
+    SnoopResponse,
+    combine_snoop_responses,
+)
+from repro.bus.bus import BusStats, SystemBus
+from repro.bus.interposer import (
+    CommandMap,
+    ForeignCommand,
+    InterposerCard,
+    x86_command_map,
+)
+from repro.bus.trace import (
+    BusTrace,
+    TraceReader,
+    TraceWriter,
+    decode_record,
+    encode_record,
+)
+
+__all__ = [
+    "BusCommand",
+    "BusStats",
+    "BusTrace",
+    "BusTransaction",
+    "CommandMap",
+    "ForeignCommand",
+    "InterposerCard",
+    "SnoopResponse",
+    "SystemBus",
+    "TraceReader",
+    "TraceWriter",
+    "combine_snoop_responses",
+    "decode_record",
+    "encode_record",
+    "x86_command_map",
+]

@@ -1,0 +1,171 @@
+"""The 6xx system bus: snoop combining, ordering and utilization accounting.
+
+The bus connects *active* devices (host L2 caches and the memory controller,
+which respond to tenures) and *passive* monitors (the MemorIES board), which
+observe tenures but, per Section 3.4 of the paper, normally cannot stop or
+inject them.  The one exception the paper allows — the address filter posting
+a retry when its transaction buffers are completely full — is modeled via the
+monitor's ``observe`` return value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Protocol
+
+from repro.bus.transaction import (
+    BusCommand,
+    BusTransaction,
+    SnoopResponse,
+    combine_snoop_responses,
+)
+
+#: Address-tenure occupancy in bus cycles.  The 6xx bus is split-transaction;
+#: an address tenure occupies the address bus for a small fixed number of
+#: cycles regardless of the data transfer size.
+ADDRESS_TENURE_CYCLES = 2
+
+#: Idle cycles charged between tenures when the bus is otherwise unoccupied.
+#: Together with the observed tenure count this produces the 2–20% bus
+#: utilization regime reported in Section 3.3.
+DEFAULT_IDLE_CYCLES_PER_TENURE = 8
+
+
+class Snooper(Protocol):
+    """An active bus device that participates in the snoop phase."""
+
+    def snoop(self, txn: BusTransaction) -> SnoopResponse:
+        """React to an address tenure issued by another master."""
+        ...
+
+
+class Monitor(Protocol):
+    """A passive device (the MemorIES board) observing completed tenures."""
+
+    def observe(self, txn: BusTransaction) -> SnoopResponse:
+        """Observe a tenure; may return RETRY only when buffers are full."""
+        ...
+
+
+@dataclass
+class BusStats:
+    """Running statistics of bus activity, as a logic analyser would see.
+
+    Attributes:
+        tenures: total address tenures issued.
+        memory_tenures: tenures carrying coherent-memory commands.
+        reads / rwitms / dclaims / castouts: per-command counts.
+        io_ops: I/O register tenures.
+        retries: tenures that received a combined RETRY response.
+        busy_cycles: cycles the address bus was occupied.
+        total_cycles: total elapsed bus cycles (busy + idle).
+    """
+
+    tenures: int = 0
+    memory_tenures: int = 0
+    reads: int = 0
+    rwitms: int = 0
+    dclaims: int = 0
+    castouts: int = 0
+    io_ops: int = 0
+    retries: int = 0
+    busy_cycles: int = 0
+    total_cycles: int = 0
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of cycles the address bus was occupied (0.0–1.0)."""
+        if self.total_cycles == 0:
+            return 0.0
+        return self.busy_cycles / self.total_cycles
+
+
+@dataclass
+class SystemBus:
+    """A split-transaction snooping bus.
+
+    Active snoopers are registered with :meth:`attach_snooper`; passive
+    monitors with :meth:`attach_monitor`.  :meth:`issue` runs one address
+    tenure end-to-end: snoop phase, response combining, monitor observation
+    and statistics update, and returns the completed transaction (with
+    ``seq`` and ``snoop_response`` filled in).
+
+    Args:
+        clock_hz: bus clock frequency; the S7A's 6xx bus runs at 100 MHz.
+        idle_cycles_per_tenure: idle gap modeled between tenures, which sets
+            the synthetic bus utilization level.
+    """
+
+    clock_hz: int = 100_000_000
+    idle_cycles_per_tenure: int = DEFAULT_IDLE_CYCLES_PER_TENURE
+    stats: BusStats = field(default_factory=BusStats)
+
+    def __post_init__(self) -> None:
+        self._snoopers: List[Snooper] = []
+        self._monitors: List[Monitor] = []
+        self._seq = 0
+
+    def attach_snooper(self, snooper: Snooper) -> None:
+        """Register an active device (host L2, memory controller)."""
+        self._snoopers.append(snooper)
+
+    def attach_monitor(self, monitor: Monitor) -> None:
+        """Register a passive monitor (a MemorIES board)."""
+        self._monitors.append(monitor)
+
+    def detach_monitor(self, monitor: Monitor) -> None:
+        """Unplug a passive monitor."""
+        self._monitors.remove(monitor)
+
+    def issue(
+        self,
+        txn: BusTransaction,
+        issuer: Optional[Snooper] = None,
+    ) -> BusTransaction:
+        """Run one address tenure and return the completed transaction.
+
+        Every snooper other than ``issuer`` sees the tenure and contributes
+        a snoop response.  Monitors then observe the *completed* tenure
+        (command, address, requester and combined response) exactly as the
+        MemorIES board does from the bus pins.
+        """
+        self._seq += 1
+        responses = [
+            snooper.snoop(txn) for snooper in self._snoopers if snooper is not issuer
+        ]
+        combined = combine_snoop_responses(responses)
+        completed = txn.with_response(self._seq, combined)
+
+        for monitor in self._monitors:
+            monitor_response = monitor.observe(completed)
+            if monitor_response is SnoopResponse.RETRY and combined is not SnoopResponse.RETRY:
+                combined = SnoopResponse.RETRY
+                completed = txn.with_response(self._seq, combined)
+
+        self._account(completed)
+        return completed
+
+    def _account(self, txn: BusTransaction) -> None:
+        stats = self.stats
+        stats.tenures += 1
+        stats.busy_cycles += ADDRESS_TENURE_CYCLES
+        stats.total_cycles += ADDRESS_TENURE_CYCLES + self.idle_cycles_per_tenure
+        if txn.command.is_memory:
+            stats.memory_tenures += 1
+        if txn.command is BusCommand.READ:
+            stats.reads += 1
+        elif txn.command is BusCommand.RWITM:
+            stats.rwitms += 1
+        elif txn.command is BusCommand.DCLAIM:
+            stats.dclaims += 1
+        elif txn.command is BusCommand.CASTOUT:
+            stats.castouts += 1
+        elif txn.command in (BusCommand.IO_READ, BusCommand.IO_WRITE):
+            stats.io_ops += 1
+        if txn.snoop_response is SnoopResponse.RETRY:
+            stats.retries += 1
+
+    @property
+    def elapsed_seconds(self) -> float:
+        """Wall-clock time represented by the cycles elapsed so far."""
+        return self.stats.total_cycles / self.clock_hz

@@ -1,0 +1,308 @@
+"""8-byte packed bus-trace records.
+
+The MemorIES trace-collection firmware stores each observed tenure as one
+8-byte word in on-board SDRAM (Section 2.3: "up to 1 billion 8-byte wide bus
+references at a time").  This module defines that record layout, a vectorised
+numpy codec, and file-backed reader/writer objects used for offline replay
+into the trace-driven simulator and into re-configured emulator boards.
+
+Record layout (64 bits)::
+
+    bits 63..56   cpu_id           (8 bits)
+    bits 55..54   snoop response   (2 bits)
+    bits 53..50   command          (4 bits)
+    bits 49..0    physical address (50 bits; 1 PB of physical address space)
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, List, Union
+
+import numpy as np
+
+from repro.bus.transaction import BusCommand, BusTransaction, SnoopResponse
+from repro.common.errors import TraceFormatError
+
+ADDRESS_BITS = 50
+_ADDRESS_MASK = (1 << ADDRESS_BITS) - 1
+_CMD_SHIFT = 50
+_RESP_SHIFT = 54
+_CPU_SHIFT = 56
+_CMD_MASK = 0xF
+_RESP_MASK = 0x3
+_CPU_MASK = 0xFF
+
+#: Magic + version header for trace files.  Version 1 stores raw packed
+#: records; version 2 stores a zlib-compressed payload — the console-side
+#: disk format for the multi-gigabyte traces the board collects (addresses
+#: are highly regular, so compression routinely reaches 3-6x).
+FILE_MAGIC = b"MIES"
+FILE_VERSION = 1
+FILE_VERSION_COMPRESSED = 2
+_HEADER = struct.Struct("<4sHHQ")  # magic, version, reserved, record count
+
+#: On-board SDRAM capacity of the current board revision, in records.
+BOARD_TRACE_CAPACITY = 1_000_000_000
+
+
+def encode_record(txn: BusTransaction) -> int:
+    """Pack one transaction into its 64-bit record."""
+    address = txn.address & _ADDRESS_MASK
+    if txn.address != address:
+        raise TraceFormatError(
+            f"address {txn.address:#x} exceeds the {ADDRESS_BITS}-bit record field"
+        )
+    if not 0 <= txn.cpu_id <= _CPU_MASK:
+        raise TraceFormatError(f"cpu_id {txn.cpu_id} does not fit in 8 bits")
+    return (
+        (txn.cpu_id << _CPU_SHIFT)
+        | (int(txn.snoop_response) << _RESP_SHIFT)
+        | (int(txn.command) << _CMD_SHIFT)
+        | address
+    )
+
+
+def decode_record(word: int, seq: int = 0) -> BusTransaction:
+    """Unpack one 64-bit record into a transaction."""
+    return BusTransaction(
+        cpu_id=(word >> _CPU_SHIFT) & _CPU_MASK,
+        command=BusCommand((word >> _CMD_SHIFT) & _CMD_MASK),
+        address=word & _ADDRESS_MASK,
+        seq=seq,
+        snoop_response=SnoopResponse((word >> _RESP_SHIFT) & _RESP_MASK),
+    )
+
+
+def encode_arrays(
+    cpu_ids: np.ndarray,
+    commands: np.ndarray,
+    addresses: np.ndarray,
+    responses: np.ndarray | None = None,
+) -> np.ndarray:
+    """Vectorised record packing; all inputs broadcast to a common length."""
+    cpu_ids = np.asarray(cpu_ids, dtype=np.uint64)
+    commands = np.asarray(commands, dtype=np.uint64)
+    addresses = np.asarray(addresses, dtype=np.uint64)
+    if np.any(addresses > _ADDRESS_MASK):
+        raise TraceFormatError(f"an address exceeds the {ADDRESS_BITS}-bit field")
+    words = (
+        (cpu_ids << np.uint64(_CPU_SHIFT))
+        | (commands << np.uint64(_CMD_SHIFT))
+        | addresses
+    )
+    if responses is not None:
+        words |= np.asarray(responses, dtype=np.uint64) << np.uint64(_RESP_SHIFT)
+    return words
+
+
+def decode_arrays(words: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorised unpack: returns (cpu_ids, commands, addresses, responses)."""
+    words = np.asarray(words, dtype=np.uint64)
+    cpu_ids = (words >> np.uint64(_CPU_SHIFT)) & np.uint64(_CPU_MASK)
+    commands = (words >> np.uint64(_CMD_SHIFT)) & np.uint64(_CMD_MASK)
+    addresses = words & np.uint64(_ADDRESS_MASK)
+    responses = (words >> np.uint64(_RESP_SHIFT)) & np.uint64(_RESP_MASK)
+    return cpu_ids, commands, addresses, responses
+
+
+@dataclass
+class BusTrace:
+    """An in-memory bus trace: a numpy array of packed 64-bit records.
+
+    This is the currency of the offline pipeline: the trace-collection
+    firmware produces one, and the trace-driven simulator and re-configured
+    emulator boards consume it.
+    """
+
+    words: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.uint64)
+    )
+
+    def __post_init__(self) -> None:
+        self.words = np.ascontiguousarray(self.words, dtype=np.uint64)
+
+    def __len__(self) -> int:
+        return int(self.words.shape[0])
+
+    def __iter__(self) -> Iterator[BusTransaction]:
+        for seq, word in enumerate(self.words, start=1):
+            yield decode_record(int(word), seq=seq)
+
+    def __getitem__(self, index: int) -> BusTransaction:
+        return decode_record(int(self.words[index]), seq=index + 1)
+
+    def head(self, n: int) -> "BusTrace":
+        """The first ``n`` records — how 'short trace' variants are derived."""
+        return BusTrace(self.words[:n].copy())
+
+    def arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Decoded (cpu_ids, commands, addresses, responses) arrays."""
+        return decode_arrays(self.words)
+
+    @classmethod
+    def from_transactions(cls, txns: Iterable[BusTransaction]) -> "BusTrace":
+        """Build a trace from transaction objects (slow path; tests/tools)."""
+        return cls(np.fromiter((encode_record(t) for t in txns), dtype=np.uint64))
+
+    def concat(self, other: "BusTrace") -> "BusTrace":
+        """Concatenate two traces."""
+        return BusTrace(np.concatenate([self.words, other.words]))
+
+
+class TraceWriter:
+    """Accumulates records and writes the MemorIES trace file format.
+
+    Mirrors the board's trace buffer: records accumulate in memory (chunked)
+    up to ``capacity`` and are dumped to the console machine's disk with
+    :meth:`save`.
+    """
+
+    def __init__(self, capacity: int = BOARD_TRACE_CAPACITY) -> None:
+        self._chunks: List[np.ndarray] = []
+        self._pending: List[int] = []
+        self._count = 0
+        self._capacity = capacity
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of records this writer will hold."""
+        return self._capacity
+
+    @property
+    def full(self) -> bool:
+        """True once the on-board buffer capacity is exhausted."""
+        return self._count >= self._capacity
+
+    def append(self, txn: BusTransaction) -> bool:
+        """Record one transaction; returns False if the buffer is full."""
+        if self.full:
+            return False
+        self._pending.append(encode_record(txn))
+        self._count += 1
+        return True
+
+    def append_raw(
+        self, cpu_id: int, command: int, address: int, response: int
+    ) -> bool:
+        """Record one tenure from raw fields (the live-capture hot path)."""
+        if self.full:
+            return False
+        self._pending.append(
+            (cpu_id << _CPU_SHIFT)
+            | (response << _RESP_SHIFT)
+            | (command << _CMD_SHIFT)
+            | (address & _ADDRESS_MASK)
+        )
+        self._count += 1
+        return True
+
+    def _flush_pending(self) -> None:
+        if self._pending:
+            self._chunks.append(np.array(self._pending, dtype=np.uint64))
+            self._pending = []
+
+    def extend_words(self, words: np.ndarray) -> int:
+        """Bulk-append packed records; returns how many were accepted."""
+        self._flush_pending()
+        room = self._capacity - self._count
+        accepted = words[:room]
+        if accepted.size:
+            self._chunks.append(np.ascontiguousarray(accepted, dtype=np.uint64))
+            self._count += int(accepted.size)
+        return int(accepted.size)
+
+    def to_trace(self) -> BusTrace:
+        """Snapshot the buffered records as an in-memory trace."""
+        self._flush_pending()
+        if not self._chunks:
+            return BusTrace()
+        if len(self._chunks) == 1:
+            return BusTrace(self._chunks[0].copy())
+        return BusTrace(np.concatenate(self._chunks))
+
+    def save(self, path: Union[str, Path], compress: bool = False) -> None:
+        """Write the trace file (header + packed records, little-endian).
+
+        Args:
+            compress: write the version-2 zlib-compressed payload; readers
+                detect the version automatically.
+        """
+        import zlib
+
+        trace = self.to_trace()
+        payload = trace.words.astype("<u8").tobytes()
+        version = FILE_VERSION
+        if compress:
+            payload = zlib.compress(payload, level=6)
+            version = FILE_VERSION_COMPRESSED
+        with open(path, "wb") as f:
+            f.write(_HEADER.pack(FILE_MAGIC, version, 0, len(trace)))
+            f.write(payload)
+
+
+class TraceReader:
+    """Reads trace files written by :class:`TraceWriter`."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self._path = Path(path)
+
+    def load(self) -> BusTrace:
+        """Load the whole file into memory as a :class:`BusTrace`.
+
+        Detects and decompresses version-2 (zlib) files transparently.
+        """
+        with open(self._path, "rb") as f:
+            header = f.read(_HEADER.size)
+            if len(header) < _HEADER.size:
+                raise TraceFormatError(f"{self._path}: truncated header")
+            magic, version, _reserved, count = _HEADER.unpack(header)
+            if magic != FILE_MAGIC:
+                raise TraceFormatError(f"{self._path}: bad magic {magic!r}")
+            if version not in (FILE_VERSION, FILE_VERSION_COMPRESSED):
+                raise TraceFormatError(f"{self._path}: unsupported version {version}")
+            payload = f.read()
+        if version == FILE_VERSION_COMPRESSED:
+            import zlib
+
+            try:
+                payload = zlib.decompress(payload)
+            except zlib.error as exc:
+                raise TraceFormatError(
+                    f"{self._path}: corrupt compressed payload: {exc}"
+                ) from exc
+        if len(payload) != count * 8:
+            raise TraceFormatError(
+                f"{self._path}: expected {count} records, file is truncated"
+            )
+        words = np.frombuffer(payload, dtype="<u8").astype(np.uint64)
+        return BusTrace(words)
+
+    def iter_chunks(self, chunk_records: int = 1 << 20) -> Iterator[np.ndarray]:
+        """Stream the file in chunks of packed records (replay path)."""
+        with open(self._path, "rb") as f:
+            header = f.read(_HEADER.size)
+            if len(header) < _HEADER.size:
+                raise TraceFormatError(f"{self._path}: truncated header")
+            magic, version, _reserved, count = _HEADER.unpack(header)
+            if magic != FILE_MAGIC:
+                raise TraceFormatError(f"{self._path}: bad header")
+            if version != FILE_VERSION:
+                raise TraceFormatError(
+                    f"{self._path}: chunked reads need the raw (v1) format; "
+                    "use load() for compressed files"
+                )
+            remaining = count
+            while remaining > 0:
+                take = min(chunk_records, remaining)
+                payload = f.read(take * 8)
+                if len(payload) != take * 8:
+                    raise TraceFormatError(f"{self._path}: truncated payload")
+                yield np.frombuffer(payload, dtype="<u8").astype(np.uint64)
+                remaining -= take

@@ -1,0 +1,317 @@
+"""Command-line console for driving a MemorIES lab session.
+
+The paper's console is an interactive program on a PC.  This module gives
+the reproduction the same feel::
+
+    python -m repro.cli            # interactive prompt
+    python -m repro.cli session.txt   # scripted session
+
+Commands (also shown by ``help``)::
+
+    host <n_cpus> <l2_size> <l2_assoc> [scale]   build the host machine
+    program single <size> [assoc]                one node, all CPUs
+    program split <size> <procs_per_node>        coherent split target
+    program multi <size> [size ...]              one config per group
+    program file <path>                          load a saved programming
+    save-machine <path>                          save the current programming
+    workload tpcc|tpch|web [footprint]           choose the workload
+    run <n_refs>                                 drive references live
+    sweep <n_records> <size> [size ...]          capture once, sweep caches
+    stats | report | describe | reset            console operations
+    miss-ratios                                  per-node miss ratios
+    save-trace <path> <n_records>                capture and dump a trace
+    help | quit
+
+Sizes accept the paper's notation (``64MB``, ``1GB``); everything the CLI
+builds is scaled by the session's scale factor (default 1024) so runs
+complete interactively.
+"""
+
+from __future__ import annotations
+
+import shlex
+import sys
+from typing import Callable, Dict, List, Optional
+
+from repro.common.errors import ReproError
+from repro.common.units import format_size, parse_size
+from repro.experiments.params import ExperimentScale
+from repro.experiments.pipeline import capture_records
+from repro.host.smp import HostConfig, HostSMP
+from repro.memories.config import CacheNodeConfig
+from repro.memories.console import MemoriesConsole
+from repro.target.configs import (
+    multi_config_machine,
+    single_node_machine,
+    split_smp_machine,
+)
+from repro.workloads.base import Workload
+from repro.workloads.tpcc import TpccWorkload
+from repro.workloads.tpch import TpchWorkload
+from repro.workloads.web import WebWorkload
+
+
+class CliError(ReproError):
+    """A command was malformed or issued out of order."""
+
+
+class ConsoleSession:
+    """State of one console session: host, board, workload."""
+
+    def __init__(self, scale: int = 1024, seed: int = 0) -> None:
+        self.scale = ExperimentScale(scale=scale)
+        self.seed = seed
+        self.host: Optional[HostSMP] = None
+        self.console = MemoriesConsole()
+        self.workload: Optional[Workload] = None
+        self._commands: Dict[str, Callable[[List[str]], str]] = {
+            "host": self._cmd_host,
+            "program": self._cmd_program,
+            "workload": self._cmd_workload,
+            "run": self._cmd_run,
+            "stats": self._cmd_console_passthrough,
+            "report": self._cmd_console_passthrough,
+            "reset": self._cmd_console_passthrough,
+            "describe": self._cmd_console_passthrough,
+            "miss-ratios": self._cmd_miss_ratios,
+            "save-trace": self._cmd_save_trace,
+            "save-machine": self._cmd_save_machine,
+            "sweep": self._cmd_sweep,
+            "help": self._cmd_help,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Dispatch
+    # ------------------------------------------------------------------ #
+
+    def execute(self, line: str) -> str:
+        """Run one command line; returns its output text."""
+        parts = shlex.split(line, comments=True)
+        if not parts:
+            return ""
+        command, args = parts[0].lower(), parts[1:]
+        handler = self._commands.get(command)
+        if handler is None:
+            raise CliError(f"unknown command {command!r}; try 'help'")
+        if handler.__func__ is ConsoleSession._cmd_console_passthrough:
+            return self.console.execute(command)
+        return handler(args)
+
+    # ------------------------------------------------------------------ #
+    # Commands
+    # ------------------------------------------------------------------ #
+
+    def _cmd_host(self, args: List[str]) -> str:
+        if len(args) < 3:
+            raise CliError("usage: host <n_cpus> <l2_size> <l2_assoc> [scale]")
+        n_cpus = int(args[0])
+        if len(args) >= 4:
+            self.scale = ExperimentScale(scale=int(args[3]), n_cpus=n_cpus)
+        else:
+            self.scale = ExperimentScale(scale=self.scale.scale, n_cpus=n_cpus)
+        config = HostConfig(
+            n_cpus=n_cpus,
+            l2_size=self.scale.scaled_bytes(args[1]),
+            l2_assoc=int(args[2]),
+        )
+        self.host = HostSMP(config)
+        if self.console.board is not None:
+            self.host.plug_in(self.console.board)
+        return (
+            f"host: {n_cpus} CPUs, {format_size(config.l2_size)} "
+            f"{config.l2_assoc}-way L2 (scale 1/{self.scale.scale})"
+        )
+
+    def _require_host(self) -> HostSMP:
+        if self.host is None:
+            raise CliError("no host machine; run 'host ...' first")
+        return self.host
+
+    def _cmd_program(self, args: List[str]) -> str:
+        if not args:
+            raise CliError("usage: program single|split|multi ...")
+        mode = args[0].lower()
+        n_cpus = self.scale.n_cpus
+        if mode == "single":
+            if len(args) < 2:
+                raise CliError("usage: program single <size> [assoc]")
+            assoc = int(args[2]) if len(args) > 2 else 4
+            machine = single_node_machine(
+                self.scale.cache(args[1], assoc=assoc), n_cpus=n_cpus
+            )
+        elif mode == "split":
+            if len(args) < 3:
+                raise CliError("usage: program split <size> <procs_per_node>")
+            machine = split_smp_machine(
+                self.scale.cache(args[1]),
+                n_cpus=n_cpus,
+                procs_per_node=int(args[2]),
+                truncate=True,
+            )
+        elif mode == "multi":
+            if len(args) < 2:
+                raise CliError("usage: program multi <size> [size ...]")
+            machine = multi_config_machine(
+                [self.scale.cache(size) for size in args[1:]], n_cpus=n_cpus
+            )
+        elif mode == "file":
+            if len(args) < 2:
+                raise CliError("usage: program file <path>")
+            from repro.target.mapping import TargetMachine
+
+            machine = TargetMachine.load(args[1])
+        else:
+            raise CliError(f"unknown programming mode {mode!r}")
+        board = self.console.power_up(
+            machine, seed=self.seed, enforce_envelope=False
+        )
+        if self.host is not None:
+            self.host.plug_in(board)
+        return machine.describe()
+
+    def _cmd_workload(self, args: List[str]) -> str:
+        if not args:
+            raise CliError("usage: workload tpcc|tpch|web [footprint]")
+        kind = args[0].lower()
+        n_cpus = self.scale.n_cpus
+        if kind == "tpcc":
+            footprint = args[1] if len(args) > 1 else "150GB"
+            self.workload = TpccWorkload(
+                db_bytes=self.scale.scaled_bytes(footprint),
+                n_cpus=n_cpus,
+                private_bytes=self.scale.scaled_bytes("8MB"),
+                seed=self.seed,
+            )
+        elif kind == "tpch":
+            footprint = args[1] if len(args) > 1 else "100GB"
+            total = self.scale.scaled_bytes(footprint)
+            self.workload = TpchWorkload(
+                fact_bytes=int(total * 0.85),
+                dim_bytes=total - int(total * 0.85),
+                n_cpus=n_cpus,
+                seed=self.seed,
+            )
+        elif kind == "web":
+            footprint = args[1] if len(args) > 1 else "16GB"
+            self.workload = WebWorkload(
+                fileset_bytes=self.scale.scaled_bytes(footprint),
+                n_cpus=n_cpus,
+                seed=self.seed,
+            )
+        else:
+            raise CliError(f"unknown workload {kind!r}")
+        return f"workload: {kind} ({footprint} at paper scale)"
+
+    def _cmd_run(self, args: List[str]) -> str:
+        if not args:
+            raise CliError("usage: run <n_refs>")
+        if self.workload is None:
+            raise CliError("no workload selected; run 'workload ...' first")
+        host = self._require_host()
+        n_refs = int(args[0].replace("_", ""))
+        executed = host.run(self.workload.chunks(n_refs), max_references=n_refs)
+        return (
+            f"ran {executed:,} references; bus utilization "
+            f"{host.bus.stats.utilization:.1%}, host L2 miss ratio "
+            f"{host.aggregate_miss_ratio():.3f}"
+        )
+
+    def _cmd_console_passthrough(self, args: List[str]) -> str:
+        raise CliError("internal dispatch error")  # pragma: no cover
+
+    def _cmd_miss_ratios(self, args: List[str]) -> str:
+        ratios = self.console.miss_ratios()
+        return "\n".join(
+            f"node {index}: {ratio:.4f}" for index, ratio in enumerate(ratios)
+        )
+
+    def _cmd_save_trace(self, args: List[str]) -> str:
+        if len(args) < 2:
+            raise CliError("usage: save-trace <path> <n_records>")
+        if self.workload is None:
+            raise CliError("no workload selected; run 'workload ...' first")
+        host = self._require_host()
+        n_records = int(args[1].replace("_", ""))
+        self.workload.reset()
+        trace = capture_records(self.workload, n_records, host.config)
+        from repro.bus.trace import TraceWriter
+
+        writer = TraceWriter()
+        writer.extend_words(trace.words)
+        writer.save(args[0])
+        return f"saved {len(trace):,} records to {args[0]}"
+
+    def _cmd_save_machine(self, args: List[str]) -> str:
+        """Write the current board programming to a file."""
+        if not args:
+            raise CliError("usage: save-machine <path>")
+        from repro.memories.board import CacheEmulationFirmware
+
+        board = self.console.board
+        if board is None or not isinstance(board.firmware, CacheEmulationFirmware):
+            raise CliError("no cache-emulation programming to save")
+        board.firmware.machine.save(args[0])
+        return f"saved programming to {args[0]}"
+
+    def _cmd_sweep(self, args: List[str]) -> str:
+        """Capture one trace and evaluate several cache sizes against it."""
+        if len(args) < 2:
+            raise CliError("usage: sweep <n_records> <size> [size ...]")
+        if self.workload is None:
+            raise CliError("no workload selected; run 'workload ...' first")
+        host = self._require_host()
+        from repro.experiments.pipeline import l3_size_sweep
+
+        n_records = int(args[0].replace("_", ""))
+        sizes = args[1:]
+        self.workload.reset()
+        trace = capture_records(self.workload, n_records, host.config)
+        configs = [self.scale.cache(size) for size in sizes]
+        ratios = l3_size_sweep(
+            trace, configs, n_cpus=self.scale.n_cpus, seed=self.seed
+        )
+        lines = [f"swept {len(trace):,} records:"]
+        lines.extend(
+            f"  {size:>8s}  miss ratio {ratio:.4f}"
+            for size, ratio in zip(sizes, ratios)
+        )
+        return "\n".join(lines)
+
+    def _cmd_help(self, args: List[str]) -> str:
+        return __doc__.split("Commands", 1)[1]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point: interactive prompt, or a scripted session file."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    session = ConsoleSession()
+    if argv:
+        source = open(argv[0])
+        interactive = False
+    else:
+        source = sys.stdin
+        interactive = True
+        print("MemorIES console (reproduction). 'help' lists commands.")
+    status = 0
+    with source:
+        for line in source:
+            if interactive:
+                pass
+            stripped = line.strip()
+            if not stripped:
+                continue
+            if stripped.lower() in ("quit", "exit"):
+                break
+            try:
+                output = session.execute(stripped)
+            except ReproError as error:
+                print(f"error: {error}")
+                status = 1
+                continue
+            if output:
+                print(output)
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,37 @@
+"""Shared primitives used by every subsystem of the MemorIES reproduction.
+
+This package holds the pieces that are not specific to any one simulated
+component: byte-size units and parsing (:mod:`repro.common.units`), physical
+address arithmetic (:mod:`repro.common.addr`), the exception hierarchy
+(:mod:`repro.common.errors`) and deterministic named random streams
+(:mod:`repro.common.rng`).
+"""
+
+from repro.common.addr import AddressMap, is_power_of_two, log2_int
+from repro.common.errors import (
+    ConfigurationError,
+    EmulationError,
+    ProtocolError,
+    ReproError,
+    TraceFormatError,
+)
+from repro.common.units import GB, KB, MB, TB, format_size, parse_size
+from repro.common.rng import RngStreams
+
+__all__ = [
+    "AddressMap",
+    "ConfigurationError",
+    "EmulationError",
+    "GB",
+    "KB",
+    "MB",
+    "ProtocolError",
+    "ReproError",
+    "RngStreams",
+    "TB",
+    "TraceFormatError",
+    "format_size",
+    "is_power_of_two",
+    "log2_int",
+    "parse_size",
+]

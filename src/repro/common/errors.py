@@ -1,0 +1,39 @@
+"""Exception hierarchy for the MemorIES reproduction.
+
+All library-raised exceptions derive from :class:`ReproError`, so callers can
+catch one type at an API boundary.  Subclasses mirror the major failure
+domains: configuration validation, trace encoding, coherence-protocol table
+lookups, and runtime emulation faults.
+"""
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """A component was configured outside its supported parameter range.
+
+    Raised, for example, when a cache configuration violates the hardware
+    envelope of Table 2 of the paper (size, associativity, line size or
+    processors-per-node out of range), or when a target-machine mapping
+    assigns a CPU to two emulated nodes.
+    """
+
+
+class TraceFormatError(ReproError):
+    """A bus-trace record or file could not be encoded or decoded."""
+
+
+class ProtocolError(ReproError):
+    """A coherence-protocol state table is malformed or was consulted with
+    an (operation, state, snoop-response) triple it does not define."""
+
+
+class EmulationError(ReproError):
+    """The emulated hardware reached a state the real board could not.
+
+    This signals a bug in the model rather than in user input — e.g. a
+    counter bank asked to decrement, or a transaction routed to a node
+    controller that does not own the requesting CPU.
+    """

@@ -1,0 +1,73 @@
+"""Byte-size units, parsing and formatting.
+
+The paper speaks exclusively in binary units (a "64MB L3" is 2**26 bytes), so
+``KB``/``MB``/``GB``/``TB`` here are binary multiples.  :func:`parse_size`
+accepts the informal strings used throughout the paper and the console
+software ("64MB", "1 GB", "128B", "8-way" is *not* a size) and
+:func:`format_size` renders sizes the way the paper's tables do.
+"""
+
+from __future__ import annotations
+
+import re
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+TB = 1024 * GB
+
+_SUFFIXES = {
+    "B": 1,
+    "KB": KB,
+    "K": KB,
+    "MB": MB,
+    "M": MB,
+    "GB": GB,
+    "G": GB,
+    "TB": TB,
+    "T": TB,
+}
+
+_SIZE_RE = re.compile(r"^\s*(\d+(?:\.\d+)?)\s*([KMGT]?B?)\s*$", re.IGNORECASE)
+
+
+def parse_size(text: str | int) -> int:
+    """Parse a human-readable byte size into an integer byte count.
+
+    Accepts an ``int`` (returned unchanged), or strings such as ``"64MB"``,
+    ``"1 GB"``, ``"128B"``, ``"512"`` (bare bytes) and ``"2M"``.  Fractional
+    values are allowed when they resolve to a whole number of bytes
+    (``"1.5MB"``).
+
+    Raises:
+        ValueError: if the string is not a recognisable size or a fractional
+            value does not resolve to whole bytes.
+    """
+    if isinstance(text, int):
+        return text
+    match = _SIZE_RE.match(text)
+    if match is None:
+        raise ValueError(f"unparseable size: {text!r}")
+    value = float(match.group(1))
+    suffix = match.group(2).upper() or "B"
+    multiplier = _SUFFIXES[suffix]
+    size = value * multiplier
+    if size != int(size):
+        raise ValueError(f"size {text!r} is not a whole number of bytes")
+    return int(size)
+
+
+def format_size(nbytes: int) -> str:
+    """Format a byte count the way the paper's tables do (``64MB``, ``1GB``).
+
+    Uses the largest binary unit that divides the size exactly; falls back to
+    one decimal place otherwise.
+    """
+    if nbytes < 0:
+        raise ValueError("size must be non-negative")
+    for suffix, multiplier in (("TB", TB), ("GB", GB), ("MB", MB), ("KB", KB)):
+        if nbytes >= multiplier:
+            if nbytes % multiplier == 0:
+                return f"{nbytes // multiplier}{suffix}"
+            return f"{nbytes / multiplier:.1f}{suffix}"
+    return f"{nbytes}B"

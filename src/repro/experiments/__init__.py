@@ -1,0 +1,35 @@
+"""Experiment harness: one module per table and figure of the paper.
+
+Every module exposes ``run(settings=None) -> ExperimentResult`` returning
+structured data plus a rendered text report, and the registry below maps
+paper artefact ids to the modules.  Benchmarks under ``benchmarks/`` invoke
+these with quick settings; EXPERIMENTS.md records full-scale outcomes.
+"""
+
+from repro.experiments.params import ExperimentResult, ExperimentScale
+
+ARTEFACTS = {
+    "table1": "repro.experiments.table1_survey",
+    "figure1": "repro.experiments.figure1_growth",
+    "table2": "repro.experiments.table2_params",
+    "table3": "repro.experiments.table3_tracesim",
+    "table4": "repro.experiments.table4_augmint",
+    "figure8": "repro.experiments.figure8_tracelen",
+    "figure9": "repro.experiments.figure9_sharing",
+    "figure10": "repro.experiments.figure10_profile",
+    "table5": "repro.experiments.table5_splash_char",
+    "table6": "repro.experiments.table6_missrates",
+    "figure11": "repro.experiments.figure11_l3sweep",
+    "figure12": "repro.experiments.figure12_breakdown",
+}
+
+#: Studies the paper names but does not tabulate: the I/O-on-hit-ratio
+#: statistic (Section 2) and the web-server scaling study (Section 5.3),
+#: including Section 1's projection-accuracy warning.
+EXTENSIONS = {
+    "io_effect": "repro.experiments.io_effect",
+    "webserver_scaling": "repro.experiments.webserver_scaling",
+    "firmware_studies": "repro.experiments.firmware_studies",
+}
+
+__all__ = ["ARTEFACTS", "EXTENSIONS", "ExperimentResult", "ExperimentScale"]

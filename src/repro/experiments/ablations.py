@@ -1,0 +1,316 @@
+"""Ablation studies for the design choices the paper calls out.
+
+* **A1 — transaction-buffer depth** (Section 3.3): the board never posted a
+  retry with 512-entry buffers below 42% sustained utilization; sweep the
+  depth and utilization to find where retries start.
+* **A2 — protocol table** (Section 3.2): MSI vs MESI vs MOESI on the same
+  trace; the programmable-table design exists precisely to measure this.
+* **A3 — replacement policy**: LRU vs FIFO vs random vs PLRU on TPC-C.
+* **A4 — passive-emulation inclusion error** (Section 3.4): the board
+  cannot invalidate host L2 lines when the emulated L3 evicts, so it
+  emulates a *non-inclusive* L3; quantify the gap against an inclusive
+  oracle (which also counts L2-held lines as L3-resident misses avoided).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional
+
+from repro.analysis.report import render_table
+from repro.bus.trace import BusTrace
+from repro.experiments.params import ExperimentResult, ExperimentScale
+from repro.experiments.pipeline import capture_records
+from repro.memories.board import board_for_machine
+from repro.memories.tx_buffer import TransactionBuffer, service_cycles_per_op
+from repro.target.configs import single_node_machine
+from repro.workloads.tpcc import TpccWorkload
+
+
+@dataclass(frozen=True)
+class AblationSettings:
+    """Shared knobs for the ablation studies."""
+
+    scale: ExperimentScale = ExperimentScale(scale=2048)
+    records: int = 200_000
+    seed: int = 29
+
+    @classmethod
+    def quick(cls) -> "AblationSettings":
+        return cls(records=60_000)
+
+
+def _tpcc_trace(settings: AblationSettings) -> BusTrace:
+    workload = TpccWorkload(
+        db_bytes=settings.scale.scaled_bytes("150GB"),
+        n_cpus=settings.scale.n_cpus,
+        private_bytes=settings.scale.scaled_bytes("8MB"),
+        p_private=0.05,
+        zipf_exponent=1.05,
+        seed=settings.seed,
+    )
+    return capture_records(workload, settings.records, settings.scale.host())
+
+
+# ---------------------------------------------------------------------- #
+# A1: buffer depth vs retry rate
+# ---------------------------------------------------------------------- #
+
+def buffer_depth_ablation(settings: Optional[AblationSettings] = None) -> ExperimentResult:
+    """Sweep buffer depth x mean utilization under *bursty* arrivals.
+
+    Section 3.3's buffers exist "to handle occasional bursts exceeding 42%
+    bus utilization": traffic arrives in full-rate bursts (one tenure every
+    2 cycles) separated by idle gaps that set the mean utilization.  A
+    steady stream below 42% never needs buffering at all; depth only
+    matters while a burst outruns the SDRAM.
+    """
+    settings = settings or AblationSettings()
+    n = settings.records
+    burst_len = 256  # tenures per burst, back to back at full bus rate
+    rows: List[List[object]] = []
+    data: Dict[str, float] = {}
+    for depth in (8, 64, 512):
+        for utilization in (0.2, 0.42, 0.6):
+            buffer = TransactionBuffer(capacity=depth)
+            # A burst occupies burst_len * 2 cycles; the following gap
+            # stretches the period so the mean utilization comes out right.
+            period_cycles = burst_len * 2.0 / utilization
+            now = 0.0
+            rejected = 0
+            issued = 0
+            while issued < n:
+                burst_start = now
+                for i in range(burst_len):
+                    if not buffer.offer(burst_start + 2.0 * i):
+                        rejected += 1
+                    issued += 1
+                now = burst_start + period_cycles
+            rate = rejected / issued
+            rows.append([depth, f"{utilization:.0%}", f"{rate * 100:.3f}%"])
+            data[f"depth{depth}_util{utilization}"] = rate
+    table = render_table(
+        ["buffer depth", "mean utilization", "retry rate"],
+        rows,
+        title="A1: transaction-buffer depth vs forced retries under bursts "
+        f"(SDRAM at {service_cycles_per_op():.2f} cycles/op, "
+        f"{burst_len}-tenure bursts)",
+    )
+    notes = [
+        "512 entries absorb full-rate bursts and never retry at or below "
+        "42% mean utilization — Section 3.3's design point; shallow buffers "
+        "retry during bursts even at nominal load",
+    ]
+    return ExperimentResult("ablation_buffers", table, data, notes)
+
+
+# ---------------------------------------------------------------------- #
+# A2: protocol table choice
+# ---------------------------------------------------------------------- #
+
+def protocol_ablation(settings: Optional[AblationSettings] = None) -> ExperimentResult:
+    """MSI vs MESI vs MOESI on a 2-node split of the same TPC-C trace."""
+    settings = settings or AblationSettings()
+    trace = _tpcc_trace(settings)
+    from repro.target.configs import split_smp_machine
+
+    rows = []
+    data: Dict[str, dict] = {}
+    for protocol in ("msi", "mesi", "moesi"):
+        config = replace(
+            settings.scale.cache("64MB"), protocol=protocol, procs_per_node=4
+        )
+        machine = split_smp_machine(config, n_cpus=8, procs_per_node=4)
+        board = board_for_machine(machine, seed=settings.seed)
+        board.replay(trace)
+        nodes = board.firmware.nodes
+        refs = sum(node.references() for node in nodes)
+        misses = sum(node.misses() for node in nodes)
+        supplied = sum(
+            node.counters.read("remote.supplied_dirty") for node in nodes
+        )
+        invalidated = sum(
+            node.counters.read("remote.invalidated") for node in nodes
+        )
+        rows.append(
+            [
+                protocol.upper(),
+                f"{misses / refs * 100:.2f}%" if refs else "n/a",
+                supplied,
+                invalidated,
+            ]
+        )
+        data[protocol] = {
+            "miss_ratio": misses / refs if refs else 0.0,
+            "dirty_supplied": supplied,
+            "invalidated": invalidated,
+        }
+    table = render_table(
+        ["protocol", "miss ratio", "dirty lines supplied", "remote invalidations"],
+        rows,
+        title="A2: coherence protocol tables on TPC-C (2 nodes x 4 CPUs)",
+    )
+    notes = [
+        "MOESI keeps ownership on remote reads (more supplies, no write-back "
+        "round trips); MSI forfeits exclusivity (extra upgrade traffic)",
+    ]
+    return ExperimentResult("ablation_protocol", table, data, notes)
+
+
+# ---------------------------------------------------------------------- #
+# A3: replacement policy
+# ---------------------------------------------------------------------- #
+
+def replacement_ablation(settings: Optional[AblationSettings] = None) -> ExperimentResult:
+    """LRU / FIFO / random / PLRU on the same TPC-C trace."""
+    settings = settings or AblationSettings()
+    trace = _tpcc_trace(settings)
+    rows = []
+    data: Dict[str, float] = {}
+    for policy in ("lru", "plru", "fifo", "random"):
+        config = replace(settings.scale.cache("64MB"), replacement=policy)
+        machine = single_node_machine(config, n_cpus=8)
+        board = board_for_machine(machine, seed=settings.seed)
+        board.replay(trace)
+        miss_ratio = board.firmware.nodes[0].miss_ratio()
+        rows.append([policy, f"{miss_ratio * 100:.2f}%"])
+        data[policy] = miss_ratio
+    table = render_table(
+        ["replacement policy", "miss ratio"],
+        rows,
+        title="A3: replacement policy on TPC-C (single 64MB node)",
+    )
+    notes = ["LRU/PLRU should lead; random/FIFO trail on a skewed workload"]
+    return ExperimentResult("ablation_replacement", table, data, notes)
+
+
+# ---------------------------------------------------------------------- #
+# A4: passive-emulation inclusion error
+# ---------------------------------------------------------------------- #
+
+def inclusion_ablation(settings: Optional[AblationSettings] = None) -> ExperimentResult:
+    """Quantify the non-inclusive-L3 approximation of Section 3.4.
+
+    Rather than subclass trickery, this measures the observable symptom:
+    the fraction of L2 castouts that miss the emulated L3
+    (``inclusion.castout_miss``) — every one of them is a line the L3
+    evicted (or never held) while the L2 still cached it, which a
+    fully-inclusive L3 would have invalidated out of the L2 first.
+    """
+    settings = settings or AblationSettings()
+    trace = _tpcc_trace(settings)
+    rows = []
+    data: Dict[str, float] = {}
+    for size in ("16MB", "64MB", "256MB"):
+        machine = single_node_machine(settings.scale.cache(size), n_cpus=8)
+        board = board_for_machine(machine, seed=settings.seed)
+        board.replay(trace)
+        node = board.firmware.nodes[0]
+        castouts = node.counters.read("local.castout")
+        violations = node.counters.read("inclusion.castout_miss")
+        share = violations / castouts if castouts else 0.0
+        rows.append([size, castouts, violations, f"{share * 100:.2f}%"])
+        data[size] = share
+    table = render_table(
+        ["L3 size", "L2 castouts", "castouts missing L3", "inclusion-error share"],
+        rows,
+        title="A4: passive (non-inclusive) emulation error",
+    )
+    notes = [
+        "castouts that miss the L3 mark lines an inclusive L3 would have "
+        "invalidated from the L2; the share shrinks as the L3 grows "
+        "(fewer L3 evictions of L2-resident lines)",
+    ]
+    return ExperimentResult("ablation_inclusion", table, data, notes)
+
+
+# ---------------------------------------------------------------------- #
+# A5: constant-rate vs banked SDRAM directory timing
+# ---------------------------------------------------------------------- #
+
+def sdram_ablation(settings: Optional[AblationSettings] = None) -> ExperimentResult:
+    """Replace the 42%-bandwidth constant with the bank-level SDRAM model.
+
+    Replays one TPC-C trace through two otherwise identical single-node
+    boards — one whose node controller charges the constant service time,
+    one charging bank/row/refresh-accurate costs — and compares the buffer
+    behaviour and the banked model's observed mean against the constant.
+    """
+    settings = settings or AblationSettings()
+    trace = _tpcc_trace(settings)
+    from repro.memories.board import CacheEmulationFirmware, MemoriesBoard
+    from repro.memories.config import CacheNodeConfig
+    from repro.memories.sdram import SdramModel
+    from repro.memories.tx_buffer import service_cycles_per_op
+
+    # Use the board's real 64 MB geometry: its 4 MB directory spans many
+    # SDRAM rows and banks, which is what the timing model is about (a
+    # scaled-down directory would fit inside a single open row).
+    config = CacheNodeConfig.create("64MB")
+
+    def run_board(sdram):
+        firmware = CacheEmulationFirmware(
+            single_node_machine(config, n_cpus=8), seed=settings.seed
+        )
+        if sdram is not None:
+            firmware.nodes[0].sdram = sdram
+        board = MemoriesBoard(firmware)
+        board.replay(trace)
+        return board
+
+    constant_board = run_board(None)
+    sdram = SdramModel()
+    banked_board = run_board(sdram)
+
+    constant_node = constant_board.firmware.nodes[0]
+    banked_node = banked_board.firmware.nodes[0]
+    rows = [
+        [
+            "constant (42% of bus bandwidth)",
+            f"{service_cycles_per_op():.2f}",
+            constant_node.buffer.stats.high_water,
+            constant_node.buffer.stats.rejected,
+        ],
+        [
+            "banked SDRAM (rows + refresh)",
+            f"{sdram.average_service_cycles():.2f}",
+            banked_node.buffer.stats.high_water,
+            banked_node.buffer.stats.rejected,
+        ],
+    ]
+    table = render_table(
+        ["directory timing model", "mean cycles/op", "buffer high water", "retries"],
+        rows,
+        title="A5: SDRAM directory timing — constant vs bank-level model",
+    )
+    notes = [
+        f"row-buffer hit ratio on directory traffic: "
+        f"{sdram.stats.row_hit_ratio:.1%}; refreshes: {sdram.stats.refreshes}",
+        "miss counts are identical by construction — timing only affects "
+        "buffering, which is why the paper's single 42% constant sufficed",
+    ]
+    assert constant_node.miss_ratio() == banked_node.miss_ratio()
+    return ExperimentResult(
+        "ablation_sdram",
+        table,
+        {
+            "constant_cycles": service_cycles_per_op(),
+            "banked_mean_cycles": sdram.average_service_cycles(),
+            "constant_high_water": constant_node.buffer.stats.high_water,
+            "banked_high_water": banked_node.buffer.stats.high_water,
+        },
+        notes,
+    )
+
+
+if __name__ == "__main__":
+    quick = AblationSettings.quick()
+    for runner in (
+        buffer_depth_ablation,
+        protocol_ablation,
+        replacement_ablation,
+        inclusion_ablation,
+        sdram_ablation,
+    ):
+        print(runner(quick))
+        print()

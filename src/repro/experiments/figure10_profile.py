@@ -1,0 +1,152 @@
+"""Figure 10: TPC-C miss-ratio profile over time with OS-journaling spikes.
+
+Case Study 2: a multi-hour MemorIES profile of TPC-C showed "periodic
+spikes in the miss ratio around every 5 minutes, no matter what cache size
+is being modeled", later traced to a file-system journaling bug.  Two
+properties make the figure: the spikes' *periodicity* (only visible in a
+profile far longer than conventional traces) and their *cache-size
+independence* (journal writes are cold traffic no cache absorbs) — the
+paper plots a 16 MB direct-mapped and a 1 GB 8-way cache to make the point.
+
+The reproduction injects the fault with
+:class:`~repro.workloads.osjournal.JournalBugOverlay`, captures a long
+trace, replays it through both cache configurations on one board, and
+detects the spikes and their period in each node's interval profile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.analysis.profiles import IntervalProfile, profile_replay
+from repro.analysis.report import render_table
+from repro.experiments.params import ExperimentResult, ExperimentScale
+from repro.experiments.pipeline import capture_records
+from repro.memories.board import board_for_machine
+from repro.target.configs import multi_config_machine
+from repro.workloads.osjournal import JOURNAL_BASE, JournalBugOverlay
+from repro.workloads.tpcc import TpccWorkload
+
+
+@dataclass(frozen=True)
+class Figure10Settings:
+    """Scales, fault-injection period and profiling interval."""
+
+    scale: ExperimentScale = ExperimentScale(scale=1024)
+    total_records: int = 600_000
+    # The paper's spikes recur every ~5 minutes ~= 2 billion bus references;
+    # scaled, one period is total/periods references.
+    spike_periods: int = 10
+    burst_fraction: float = 0.04
+    intervals_per_period: int = 8
+    seed: int = 9
+
+    @classmethod
+    def quick(cls) -> "Figure10Settings":
+        return cls(total_records=200_000, spike_periods=8)
+
+
+def run(settings: Optional[Figure10Settings] = None) -> ExperimentResult:
+    """Regenerate Figure 10 and verify spike periodicity on both caches."""
+    settings = settings or Figure10Settings()
+    scale = settings.scale
+
+    base = TpccWorkload(
+        db_bytes=scale.scaled_bytes("150GB"),
+        n_cpus=scale.n_cpus,
+        private_bytes=scale.scaled_bytes("8MB"),
+        p_private=0.05,
+        p_common=0.4,
+        common_region_bytes=scale.scaled_bytes("48MB"),
+        common_write_fraction=0.02,
+        affine_region_bytes=scale.scaled_bytes("2GB"),
+        zipf_exponent=1.5,
+        seed=settings.seed,
+    )
+    # Reference-domain period chosen so the requested number of spike
+    # periods lands inside the captured trace.
+    period_refs = max(1000, settings.total_records // settings.spike_periods)
+    burst_refs = max(100, int(period_refs * settings.burst_fraction))
+    workload = JournalBugOverlay(
+        base, period_refs=period_refs, burst_refs=burst_refs
+    )
+    capture_stats: dict = {}
+    trace = capture_records(
+        workload, settings.total_records, scale.host(), stats_out=capture_stats
+    )
+
+    machine = multi_config_machine(
+        [
+            scale.cache("16MB", assoc=1, name="16MB direct-mapped"),
+            scale.cache("1GB", assoc=8, name="1GB 8-way"),
+        ],
+        n_cpus=scale.n_cpus,
+        name="figure10",
+    )
+    board = board_for_machine(machine, seed=settings.seed)
+    interval_records = max(
+        500, settings.total_records // (settings.spike_periods * settings.intervals_per_period)
+    )
+    profiles: List[IntervalProfile] = profile_replay(board, trace, interval_records)
+
+    # The injection period is set in the reference domain; bursts are
+    # denser on the bus than base traffic (every journal write misses and
+    # later casts out), so locate the ground-truth period in the record
+    # domain by counting journal records in the captured trace.
+    _cpu, _cmd, trace_addresses, _resp = trace.arrays()
+    journal_records = int((trace_addresses >= JOURNAL_BASE).sum())
+    bursts_in_trace = max(1.0, journal_records / (2.0 * burst_refs))
+    expected_period_intervals = len(trace) / bursts_in_trace / interval_records
+    warmup = settings.intervals_per_period  # skip the cold-start period
+    rows = []
+    for spec, profile in zip(machine.nodes, profiles):
+        period = profile.spike_period(rel_delta=0.25, skip=warmup)
+        rows.append(
+            [
+                spec.config.name,
+                len(profile.miss_ratios),
+                len(profile.spike_indices(rel_delta=0.25, skip=warmup)),
+                f"{period:.1f}" if period else "n/a",
+                f"{expected_period_intervals:.1f}",
+            ]
+        )
+    summary = render_table(
+        ["Cache", "intervals", "spikes", "measured period", "injected period"],
+        rows,
+        title="Figure 10: periodic miss-ratio spikes (intervals)",
+    )
+
+    # A text sketch of the profile itself, one char per interval.
+    sketches = []
+    for spec, profile in zip(machine.nodes, profiles):
+        values = profile.miss_ratios
+        peak = max(values) if values else 1.0
+        sketch = "".join(
+            " .:-=+*#%@"[min(9, int(10 * value / peak))] if peak else " "
+            for value in values
+        )
+        sketches.append(f"{spec.config.name:>20s} |{sketch}|")
+    report = summary + "\n\nminiature profile (miss ratio per interval):\n" + "\n".join(
+        sketches
+    )
+
+    notes = [
+        "spikes appear at the injected period in BOTH cache sizes — the "
+        "signature that told the authors the problem was software, not "
+        "cache design",
+    ]
+    return ExperimentResult(
+        name="figure10",
+        report=report,
+        data={
+            "profiles": profiles,
+            "expected_period_intervals": expected_period_intervals,
+            "configs": [spec.config for spec in machine.nodes],
+        },
+        notes=notes,
+    )
+
+
+if __name__ == "__main__":
+    print(run(Figure10Settings.quick()))

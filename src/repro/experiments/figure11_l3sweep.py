@@ -1,0 +1,161 @@
+"""Figure 11: SPLASH2 L3 miss ratio vs. L3 size (8 MB 4-way L2 in front).
+
+Section 5.3: with realistic problem sizes, "the miss ratios and miss rates
+are monotonically decreasing [with L3 size], further suggesting an incentive
+for large L3 caches" — i.e. even behind an 8 MB L2, large L3s keep absorbing
+misses.  Eight processors share a single emulated L3; the L2 and L3 line
+sizes are both 128 B (the figure's caption).
+
+The reproduction runs each kernel through the scaled host, captures the bus
+trace once per kernel, and replays it against the L3 size sweep four
+configurations at a time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.ascii_chart import render_chart
+from repro.analysis.performance_model import project_performance
+from repro.analysis.report import render_series, render_table
+from repro.analysis.stats import MissCurve
+from repro.common.units import parse_size
+from repro.experiments.params import ExperimentResult, ExperimentScale
+from repro.experiments.pipeline import capture_records, l3_size_sweep_nodes
+from repro.workloads.base import Workload
+from repro.workloads.splash import (
+    BarnesWorkload,
+    FftWorkload,
+    FmmWorkload,
+    OceanWorkload,
+    WaterWorkload,
+)
+
+#: L3 sizes swept (paper scale); Figure 11's axis spans up to multi-GB.
+PAPER_L3_SIZES = ("32MB", "64MB", "128MB", "256MB", "512MB", "1GB")
+
+
+@dataclass(frozen=True)
+class Figure11Settings:
+    """Scale, sweep and capture length for the Figure 11 reproduction."""
+
+    scale: ExperimentScale = ExperimentScale(scale=1024)
+    l3_sizes: Sequence[str] = PAPER_L3_SIZES
+    records_per_kernel: int = 500_000
+    seed: int = 19
+
+    @classmethod
+    def quick(cls) -> "Figure11Settings":
+        return cls(
+            scale=ExperimentScale(scale=2048),
+            l3_sizes=("32MB", "128MB", "512MB", "1GB"),
+            records_per_kernel=150_000,
+        )
+
+
+def _kernels(settings: Figure11Settings) -> Dict[str, Workload]:
+    s = settings.scale.scale
+    seed = settings.seed
+    return {
+        "FMM": FmmWorkload.paper_scale(s, seed=seed),
+        "FFT": FftWorkload(
+            n_points=max(1024, (1 << 28) // s),
+            row_bytes=settings.scale.scaled_bytes("768KB"),
+            row_passes=14,
+            local_fraction=0.93,
+            seed=seed,
+        ),
+        "Ocean": OceanWorkload.paper_scale(s, seed=seed),
+        "Water": WaterWorkload.paper_scale(s, seed=seed),
+        "Barnes": BarnesWorkload.paper_scale(s, seed=seed),
+    }
+
+
+def run(settings: Optional[Figure11Settings] = None) -> ExperimentResult:
+    """Regenerate Figure 11."""
+    settings = settings or Figure11Settings()
+    scale = settings.scale
+    host_config = scale.host()  # 8 MB 4-way L2
+    configs = [scale.cache(size) for size in settings.l3_sizes]
+
+    curves: List[MissCurve] = []
+    improvements: Dict[str, List[float]] = {}
+    # The host L2 miss ratio feeds the CPI weighting of the projection.
+    l2_miss_ratio_by_kernel: Dict[str, float] = {}
+    for name, workload in _kernels(settings).items():
+        stats: dict = {}
+        trace = capture_records(
+            workload, settings.records_per_kernel, host_config, stats_out=stats
+        )
+        nodes = l3_size_sweep_nodes(
+            trace, configs, n_cpus=scale.n_cpus, seed=settings.seed
+        )
+        curve = MissCurve(name=name)
+        kernel_improvements = []
+        for size, node in zip(settings.l3_sizes, nodes):
+            curve.add(parse_size(size), node.miss_ratio(), label=size)
+            # Section 5.3's "preliminary calculations based on latencies
+            # and miss ratios": project the L3's runtime effect.
+            projection = project_performance(
+                node.satisfied_breakdown(),
+                l2_miss_ratio=stats.get("records_per_reference", 0.5),
+            )
+            kernel_improvements.append(projection.improvement_percent)
+        curves.append(curve)
+        improvements[name] = kernel_improvements
+
+    report_parts = [
+        render_series(
+            curves,
+            title=(
+                "Figure 11: L3 miss ratio with 8MB 4-way L2, 8 processors per L3 "
+                f"(scale 1/{scale.scale})"
+            ),
+            x_header="L3 size (paper scale)",
+        )
+    ]
+    report_parts.append(render_chart(curves))
+    perf_rows = []
+    for name, values in improvements.items():
+        perf_rows.append(
+            [name] + [f"{value:+.1f}%" for value in values]
+        )
+    report_parts.append(
+        render_table(
+            ["Application"] + list(settings.l3_sizes),
+            perf_rows,
+            title=(
+                "Projected runtime improvement from the L3 "
+                "(latency-weighted, Section 5.3)"
+            ),
+        )
+    )
+    report = "\n\n".join(report_parts)
+    monotone = {
+        curve.name: curve.is_monotone_decreasing(tolerance=0.01) for curve in curves
+    }
+    all_improvements = [v for values in improvements.values() for v in values]
+    notes = [
+        "monotonically decreasing: "
+        + ", ".join(f"{k}={'yes' if v else 'NO'}" for k, v in monotone.items()),
+        (
+            f"projected improvements span {min(all_improvements):+.1f}% to "
+            f"{max(all_improvements):+.1f}% — the paper reports 2-25% with "
+            "no degradation at any L3 size"
+        ),
+    ]
+    return ExperimentResult(
+        name="figure11",
+        report=report,
+        data={
+            "curves": curves,
+            "monotone": monotone,
+            "improvements": improvements,
+        },
+        notes=notes,
+    )
+
+
+if __name__ == "__main__":
+    print(run(Figure11Settings.quick()))

@@ -1,0 +1,152 @@
+"""Figure 12: where an L2 miss is satisfied — FFT, Ocean and FMM.
+
+Section 5.3's NUMA study: the host is partitioned into 2 nodes of 4
+processors and 4 nodes of 2 processors, each node with its own L3, all
+coherent.  For every L2 miss the board attributes the data source: main
+memory, the node's L3, a modified intervention or a shared intervention
+(another L2 supplying the line).  The paper's key observations:
+
+* FFT and Ocean have relatively small intervention traffic (little
+  sharing) — memory placement and tertiary caches matter for them;
+* FMM shows significant modified and shared intervention traffic (heavy
+  sharing) — it rewards fast cache-to-cache transfer instead.
+
+The L3s are 4-way; the paper uses 1 KB L3 lines (the 256 MB SDRAM per node
+cannot hold a 128 B-line directory for large caches — see Table 2's
+envelope).  At the reproduction's scale a 1 KB line would leave too few
+lines, so a 256 B line keeps the line-size ratio's spirit; the deviation is
+recorded in the result notes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.analysis.report import render_breakdown
+from repro.experiments.params import ExperimentResult, ExperimentScale
+from repro.experiments.pipeline import capture_records, replay_machine
+from repro.memories.config import CacheNodeConfig
+from repro.target.configs import split_smp_machine
+from repro.workloads.base import Workload
+from repro.workloads.splash import FftWorkload, FmmWorkload, OceanWorkload
+
+CATEGORIES = ("memory", "l3", "mod_int", "shr_int")
+
+
+@dataclass(frozen=True)
+class Figure12Settings:
+    """Scale, node configurations and capture length."""
+
+    scale: ExperimentScale = ExperimentScale(scale=1024)
+    l3_size: str = "64MB"
+    l3_line: str = "256B"
+    records_per_kernel: int = 400_000
+    seed: int = 23
+
+    @classmethod
+    def quick(cls) -> "Figure12Settings":
+        return cls(
+            scale=ExperimentScale(scale=2048), records_per_kernel=120_000
+        )
+
+
+def _kernels(settings: Figure12Settings) -> Dict[str, Workload]:
+    s = settings.scale.scale
+    seed = settings.seed
+    return {
+        "FFT": FftWorkload(
+            n_points=max(1024, (1 << 28) // s),
+            row_bytes=settings.scale.scaled_bytes("768KB"),
+            row_passes=14,
+            local_fraction=0.93,
+            seed=seed,
+        ),
+        "Ocean": OceanWorkload.paper_scale(s, seed=seed),
+        "FMM": FmmWorkload.paper_scale(s, seed=seed),
+    }
+
+
+def _l3_config(settings: Figure12Settings) -> CacheNodeConfig:
+    scale = settings.scale
+    return CacheNodeConfig(
+        size=scale.scaled_bytes(settings.l3_size),
+        assoc=4,
+        line_size=256,
+        procs_per_node=4,
+        name=settings.l3_size,
+    )
+
+
+def run(settings: Optional[Figure12Settings] = None) -> ExperimentResult:
+    """Regenerate Figure 12 (both node configurations, three kernels)."""
+    settings = settings or Figure12Settings()
+    scale = settings.scale
+    host_config = scale.host()  # 8 MB 4-way L2, 128 B lines
+    config = _l3_config(settings)
+
+    panels: List[str] = []
+    data: Dict[str, dict] = {}
+    for name, workload in _kernels(settings).items():
+        trace = capture_records(workload, settings.records_per_kernel, host_config)
+        columns = []
+        values = []
+        per_config = {}
+        for procs_per_node in (4, 2):  # 2x4 nodes, then 4x2 nodes
+            machine = split_smp_machine(
+                config,
+                n_cpus=scale.n_cpus,
+                procs_per_node=procs_per_node,
+                name=f"{8 // procs_per_node}x{procs_per_node}",
+            )
+            board = replay_machine(trace, machine, seed=settings.seed)
+            totals = {category: 0 for category in CATEGORIES}
+            for node in board.firmware.nodes:
+                for category in CATEGORIES:
+                    totals[category] += node.counters.read(f"satisfied.{category}")
+            total = sum(totals.values()) or 1
+            fractions = [totals[c] / total for c in CATEGORIES]
+            columns.append(machine.name)
+            values.append(fractions)
+            per_config[machine.name] = dict(zip(CATEGORIES, fractions))
+        panels.append(
+            render_breakdown(
+                CATEGORIES,
+                columns,
+                values,
+                title=f"Figure 12 ({name}): where an L2 miss is satisfied",
+            )
+        )
+        data[name] = per_config
+
+    def intervention_share(kernel: str) -> float:
+        shares = [
+            config_data["mod_int"] + config_data["shr_int"]
+            for config_data in data[kernel].values()
+        ]
+        return sum(shares) / len(shares)
+
+    fmm_share = intervention_share("FMM")
+    fft_share = intervention_share("FFT")
+    ocean_share = intervention_share("Ocean")
+    notes = [
+        f"intervention share: FMM {fmm_share * 100:.1f}% vs "
+        f"FFT {fft_share * 100:.1f}%, Ocean {ocean_share * 100:.1f}% — "
+        + (
+            "FMM shares most, as the paper observes"
+            if fmm_share > max(fft_share, ocean_share)
+            else "ORDERING NOT REPRODUCED"
+        ),
+        "L3 lines are 256B instead of the paper's 1KB (scaled geometry; "
+        "see module docstring)",
+    ]
+    return ExperimentResult(
+        name="figure12",
+        report="\n\n".join(panels),
+        data=data,
+        notes=notes,
+    )
+
+
+if __name__ == "__main__":
+    print(run(Figure12Settings.quick()))

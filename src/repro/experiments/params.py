@@ -1,0 +1,106 @@
+"""Shared scaling machinery for the experiment harness.
+
+DESIGN.md's substitution rule in code: every experiment divides the paper's
+footprints, cache sizes and trace lengths by one common ``scale`` factor, so
+the *geometry* of each case study (working set : cache size : trace length)
+matches the paper while the absolute work fits a laptop-scale Python run.
+
+``ExperimentScale`` carries that factor plus helpers to build scaled host
+and cache configurations; each experiment module defines default and quick
+presets on top of it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.common.errors import ConfigurationError
+from repro.common.units import MB, parse_size
+from repro.host.smp import HostConfig
+from repro.memories.config import CacheNodeConfig
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Common scaling factor and derived configuration builders.
+
+    Attributes:
+        scale: divisor applied to every footprint and cache size.
+        n_cpus: host processors (the paper's case studies use 8).
+        line_size: cache line size used for scaled caches.  Kept at the
+            host's 128 B rather than scaled — scaling it below the bus
+            transfer unit would be meaningless.
+    """
+
+    scale: int = 1024
+    n_cpus: int = 8
+    line_size: int = 128
+
+    def scaled_bytes(self, paper_size: int | str) -> int:
+        """A paper-scale byte size divided by the scale factor."""
+        size = parse_size(paper_size) // self.scale
+        if size < self.line_size:
+            raise ConfigurationError(
+                f"{paper_size} scaled by {self.scale} drops below one line"
+            )
+        return size
+
+    def cache(
+        self,
+        paper_size: int | str,
+        assoc: int = 4,
+        replacement: str = "lru",
+        protocol: str = "mesi",
+        name: str = "",
+    ) -> CacheNodeConfig:
+        """A scaled cache config (geometry-validated; Table 2 min size
+        deliberately waived for scaled-down experiments)."""
+        config = CacheNodeConfig(
+            size=self.scaled_bytes(paper_size),
+            assoc=assoc,
+            line_size=self.line_size,
+            procs_per_node=self.n_cpus,
+            replacement=replacement,
+            protocol=protocol,
+            name=name or str(paper_size),
+        )
+        config.validate_geometry()
+        return config
+
+    def host(self, l2_size: int | str = 8 * MB, l2_assoc: int = 4) -> HostConfig:
+        """The S7A host with its L2 scaled by the common factor.
+
+        The paper reconfigures the host L2 at boot between 8 MB 4-way and
+        1 MB direct-mapped (Section 5); pass those here.
+        """
+        return HostConfig(
+            n_cpus=self.n_cpus,
+            l2_size=self.scaled_bytes(l2_size),
+            l2_assoc=l2_assoc,
+            line_size=self.line_size,
+        )
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one experiment run.
+
+    Attributes:
+        name: artefact id ("figure8", "table3", ...).
+        report: rendered text (the regenerated table/figure).
+        data: structured results for tests and EXPERIMENTS.md.
+        notes: caveats recorded during the run (scaling, deviations).
+    """
+
+    name: str
+    report: str
+    data: Dict[str, object] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+
+    def __str__(self) -> str:
+        parts = [self.report]
+        if self.notes:
+            parts.append("")
+            parts.extend(f"note: {note}" for note in self.notes)
+        return "\n".join(parts)

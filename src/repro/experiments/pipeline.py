@@ -1,0 +1,112 @@
+"""Reusable experiment pipeline: capture a trace once, sweep many caches.
+
+The paper's case studies all share one methodology: run the workload on the
+host (with MemorIES collecting the bus trace in real time), then evaluate
+many cache configurations against the *same* reference stream — up to four
+at a time on one board (Figure 4's multi-configuration mode).  These helpers
+encode that pipeline so each experiment module stays declarative.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.bus.trace import BusTrace
+from repro.host.smp import HostConfig, HostSMP
+from repro.memories.board import MemoriesBoard, board_for_machine
+from repro.memories.config import CacheNodeConfig
+from repro.memories.firmware.tracer import TraceCollectorFirmware
+from repro.target.configs import multi_config_machine
+from repro.target.mapping import MAX_EMULATED_NODES
+from repro.workloads.base import Workload
+
+
+def capture_records(
+    workload: Workload,
+    n_records: int,
+    host_config: HostConfig,
+    chunk_size: int = 65536,
+    max_references: Optional[int] = None,
+    stats_out: Optional[dict] = None,
+) -> BusTrace:
+    """Run ``workload`` on the host until ``n_records`` bus records exist.
+
+    Unlike :func:`repro.workloads.capture.capture_bus_trace` (which runs a
+    fixed number of processor references), this drives the host until the
+    board's trace buffer holds the requested number of *bus* records — the
+    unit the paper's trace-length case study is denominated in.
+
+    Args:
+        stats_out: optional dict that receives ``references`` (processor
+            references executed) and ``records_per_reference`` — needed when
+            an experiment must convert between the reference and bus-record
+            domains (e.g. Figure 10's injection period).
+    """
+    host = HostSMP(host_config)
+    tracer = TraceCollectorFirmware(capacity=n_records)
+    board = MemoriesBoard(tracer, name="capture")
+    host.plug_in(board)
+    references = 0
+    limit = max_references if max_references is not None else n_records * 100
+    chunks = workload.chunks(limit, chunk_size)
+    for cpu_ids, addresses, is_writes in chunks:
+        host.run_chunk(cpu_ids, addresses, is_writes)
+        references += len(cpu_ids)
+        if tracer.writer.full:
+            break
+    trace = tracer.to_trace()
+    if stats_out is not None:
+        stats_out["references"] = references
+        stats_out["records_per_reference"] = (
+            len(trace) / references if references else 0.0
+        )
+    return trace
+
+
+def l3_size_sweep_nodes(
+    trace: BusTrace,
+    configs: Sequence[CacheNodeConfig],
+    n_cpus: int = 8,
+    seed: int = 0,
+) -> List:
+    """Replay one trace against many single-node cache configs.
+
+    Configurations are grouped four at a time onto multi-configuration
+    boards (one coherence group each), exactly as the real board evaluates
+    "multiple cache structures for the same workload in parallel".
+
+    Returns the node controllers, one per configuration in input order, so
+    callers can read any counter (miss ratios, satisfied breakdowns, ...).
+    """
+    nodes: List = []
+    for start in range(0, len(configs), MAX_EMULATED_NODES):
+        batch = list(configs[start : start + MAX_EMULATED_NODES])
+        machine = multi_config_machine(batch, n_cpus=n_cpus)
+        board = board_for_machine(machine, seed=seed)
+        board.replay(trace)
+        nodes.extend(board.firmware.nodes)
+    return nodes
+
+
+def l3_size_sweep(
+    trace: BusTrace,
+    configs: Sequence[CacheNodeConfig],
+    n_cpus: int = 8,
+    seed: int = 0,
+) -> List[float]:
+    """Like :func:`l3_size_sweep_nodes`, returning just the miss ratios."""
+    return [
+        node.miss_ratio()
+        for node in l3_size_sweep_nodes(trace, configs, n_cpus, seed)
+    ]
+
+
+def replay_machine(
+    trace: BusTrace,
+    machine,
+    seed: int = 0,
+) -> MemoriesBoard:
+    """Replay a trace through a board programmed with ``machine``."""
+    board = board_for_machine(machine, seed=seed)
+    board.replay(trace)
+    return board

@@ -1,0 +1,114 @@
+"""Run every experiment and print the regenerated tables and figures.
+
+Usage::
+
+    python -m repro.experiments.run_all            # full (default) settings
+    python -m repro.experiments.run_all --quick    # quick presets
+
+The output of the full run is the source of EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import (
+    ablations,
+    figure1_growth,
+    firmware_studies,
+    figure8_tracelen,
+    figure9_sharing,
+    figure10_profile,
+    figure11_l3sweep,
+    figure12_breakdown,
+    io_effect,
+    table1_survey,
+    table2_params,
+    table3_tracesim,
+    table4_augmint,
+    table5_splash_char,
+    table6_missrates,
+    webserver_scaling,
+)
+
+
+def _runners(quick: bool):
+    def settings_of(module):
+        names = [name for name in dir(module) if name.endswith("Settings")]
+        if not names or not quick:
+            return None
+        cls = getattr(module, names[0])
+        return cls.quick() if hasattr(cls, "quick") else None
+
+    modules = [
+        table1_survey,
+        figure1_growth,
+        table2_params,
+        table3_tracesim,
+        table4_augmint,
+        figure8_tracelen,
+        figure9_sharing,
+        figure10_profile,
+        table5_splash_char,
+        table6_missrates,
+        figure11_l3sweep,
+        figure12_breakdown,
+        io_effect,
+        webserver_scaling,
+    ]
+    for module in modules:
+        yield module.__name__.rsplit(".", 1)[-1], lambda m=module: m.run(
+            settings_of(m)
+        )
+    firmware_settings = (
+        firmware_studies.FirmwareStudySettings.quick() if quick else None
+    )
+    for runner in (
+        firmware_studies.hotspot_study,
+        firmware_studies.tracer_continuity_study,
+        firmware_studies.numa_directory_study,
+        firmware_studies.remote_cache_study,
+    ):
+        yield runner.__name__, lambda r=runner: r(firmware_settings)
+    ablation_settings = (
+        ablations.AblationSettings.quick() if quick else None
+    )
+    for runner in (
+        ablations.buffer_depth_ablation,
+        ablations.protocol_ablation,
+        ablations.replacement_ablation,
+        ablations.inclusion_ablation,
+        ablations.sdram_ablation,
+    ):
+        yield runner.__name__, lambda r=runner: r(ablation_settings)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="use quick presets")
+    parser.add_argument(
+        "--only", nargs="*", default=None, help="run only the named experiments"
+    )
+    args = parser.parse_args(argv)
+
+    total_started = time.perf_counter()
+    for name, runner in _runners(args.quick):
+        if args.only and not any(key in name for key in args.only):
+            continue
+        started = time.perf_counter()
+        print(f"##### {name} " + "#" * max(1, 60 - len(name)))
+        sys.stdout.flush()
+        result = runner()
+        elapsed = time.perf_counter() - started
+        print(result)
+        print(f"[{name}: {elapsed:.1f}s]")
+        print()
+        sys.stdout.flush()
+    print(f"total: {time.perf_counter() - total_started:.0f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,144 @@
+"""Table 3: execution times, trace-driven C simulator vs. MemorIES.
+
+Two columns per trace size:
+
+* **modeled** — the paper's own arithmetic.  The board is real-time (N refs
+  at 100 MHz / 20% utilization), the C simulator costs ~30.5 us/reference on
+  its 133 MHz host; both models are calibrated in :mod:`repro.sim.timing`
+  and reproduce the paper's entries to within rounding.
+* **measured** — this repository's trace-driven simulator actually runs a
+  trace and its measured throughput is extrapolated to each row, making the
+  "software simulation becomes prohibitive" trend a measured fact rather
+  than a citation.  (Our *board* is also software, so real time is
+  unattainable here — that is the reproduction's fundamental substitution;
+  the measured board-replay throughput is reported alongside for honesty.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.analysis.report import render_table
+from repro.bus.trace import BusTrace, encode_arrays
+from repro.experiments.params import ExperimentResult, ExperimentScale
+from repro.memories.board import board_for_machine
+from repro.sim.timing import csim_runtime_seconds, memories_runtime_seconds
+from repro.sim.trace_sim import TraceSimulator
+from repro.target.configs import single_node_machine
+
+#: The paper's Table 3 rows: (trace vectors, paper C-sim time, paper board time).
+PAPER_ROWS = [
+    (32_768, "1 second", "3.28 milliseconds"),
+    (262_144, "8 seconds", "26.21 milliseconds"),
+    (10_000_000, "5 minutes", "1 second"),
+    (10_000_000_000, "approx 3 days", "16.67 minutes"),
+]
+
+
+@dataclass(frozen=True)
+class Table3Settings:
+    """Knobs for the measured part of the experiment."""
+
+    scale: ExperimentScale = ExperimentScale()
+    measure_records: int = 400_000
+    seed: int = 7
+
+    @classmethod
+    def quick(cls) -> "Table3Settings":
+        return cls(measure_records=60_000)
+
+
+def _synthetic_trace(n_records: int, seed: int) -> BusTrace:
+    """A bus-plausible synthetic trace for throughput measurement."""
+    rng = np.random.default_rng(seed)
+    cpu_ids = rng.integers(0, 8, n_records).astype(np.uint64)
+    commands = np.where(rng.random(n_records) < 0.3, 1, 0).astype(np.uint64)
+    addresses = (rng.integers(0, 1 << 22, n_records) << 7).astype(np.uint64)
+    return BusTrace(encode_arrays(cpu_ids, commands, addresses))
+
+
+def _format_seconds(seconds: float) -> str:
+    if seconds < 1:
+        return f"{seconds * 1000:.2f} ms"
+    if seconds < 120:
+        return f"{seconds:.2f} s"
+    if seconds < 7200:
+        return f"{seconds / 60:.1f} min"
+    if seconds < 2 * 86400:
+        return f"{seconds / 3600:.1f} h"
+    return f"{seconds / 86400:.1f} days"
+
+
+def run(settings: Optional[Table3Settings] = None) -> ExperimentResult:
+    """Regenerate Table 3 with modeled and measured columns."""
+    settings = settings or Table3Settings()
+    trace = _synthetic_trace(settings.measure_records, settings.seed)
+
+    simulator = TraceSimulator(settings.scale.cache("64MB"))
+    result = simulator.simulate(trace)
+    csim_measured_rps = simulator.throughput_refs_per_second(result)
+
+    board = board_for_machine(
+        single_node_machine(settings.scale.cache("64MB"), n_cpus=8)
+    )
+    import time
+
+    started = time.perf_counter()
+    board.replay(trace)
+    board_measured_rps = settings.measure_records / (time.perf_counter() - started)
+
+    rows: List[List[object]] = []
+    for n_refs, paper_csim, paper_board in PAPER_ROWS:
+        rows.append(
+            [
+                f"{n_refs:,}",
+                paper_csim,
+                _format_seconds(csim_runtime_seconds(n_refs)),
+                _format_seconds(n_refs / csim_measured_rps),
+                paper_board,
+                _format_seconds(memories_runtime_seconds(n_refs)),
+            ]
+        )
+    table = render_table(
+        [
+            "Trace size",
+            "C sim (paper)",
+            "C sim (modeled)",
+            "C sim (measured, this repo)",
+            "MemorIES (paper)",
+            "MemorIES (modeled)",
+        ],
+        rows,
+        title="Table 3: Execution times of C simulator vs. MemorIES",
+    )
+    notes = [
+        f"measured trace-driven simulator throughput: {csim_measured_rps / 1e6:.2f}M refs/s",
+        (
+            f"measured Python board-replay throughput: {board_measured_rps / 1e3:.0f}k refs/s "
+            "— the software board is NOT real time; real-time operation is a "
+            "hardware property reproduced only by the timing model"
+        ),
+    ]
+    return ExperimentResult(
+        name="table3",
+        report=table,
+        data={
+            "paper_rows": PAPER_ROWS,
+            "csim_measured_rps": csim_measured_rps,
+            "board_measured_rps": board_measured_rps,
+            "modeled_board_seconds": [
+                memories_runtime_seconds(n) for n, _a, _b in PAPER_ROWS
+            ],
+            "modeled_csim_seconds": [
+                csim_runtime_seconds(n) for n, _a, _b in PAPER_ROWS
+            ],
+        },
+        notes=notes,
+    )
+
+
+if __name__ == "__main__":
+    print(run())

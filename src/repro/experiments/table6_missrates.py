@@ -1,0 +1,190 @@
+"""Table 6: SPLASH2 miss rates — previous-study sizes vs. realistic sizes.
+
+The paper compares misses per thousand instructions for the original
+SPLASH2 characterisation sizes (measured there against a 1 MB 4-way cache)
+with its own realistic sizes on the S7A's 8 MB 2-way L2, and finds the two
+"vastly different" — notably FFT's miss rate *drops* 18x at realistic sizes
+(the six-step row working set fits the big L2) while the other codes rise.
+
+The reproduction runs each kernel at both problem scales against the
+correspondingly scaled cache (each size/cache pair keeps the paper's
+footprint:cache ratio) and reports misses per thousand instructions using
+the host's instruction model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.analysis.report import render_table
+from repro.experiments.params import ExperimentResult, ExperimentScale
+from repro.host.smp import HostSMP
+from repro.workloads.base import Workload
+from repro.workloads.splash import (
+    BarnesWorkload,
+    FftWorkload,
+    FmmWorkload,
+    OceanWorkload,
+    WaterWorkload,
+)
+
+#: Paper values: misses per 1000 instructions (small size @1MB 4-way,
+#: realistic size @8MB 2-way).
+PAPER_TABLE6: Dict[str, Tuple[float, float]] = {
+    "FMM": (0.33, 0.7),
+    "FFT": (5.5, 0.3),
+    "Ocean": (3.7, 8.2),
+    "Water": (0.073, 0.2),
+    "Barnes": (0.11, 0.3),
+}
+
+#: Our generators emit one reference per distinct line touch; real code
+#: touches a 128 B line ~16 times at ~330 references per 1000 instructions.
+LINE_REFS_PER_KILO_INSTRUCTION = 330.0 / 16.0
+
+
+@dataclass(frozen=True)
+class Table6Settings:
+    """Scales for the two problem-size regimes.
+
+    ``small_scale`` divides the original SPLASH2 sizes (and the 1 MB cache);
+    ``large_scale`` divides the paper's realistic sizes (and the 8 MB
+    cache).  Each regime preserves its footprint-to-cache ratio.
+    """
+
+    small_scale: int = 8
+    large_scale: int = 1024
+    n_refs: int = 400_000
+    seed: int = 17
+
+    @classmethod
+    def quick(cls) -> "Table6Settings":
+        return cls(small_scale=16, large_scale=2048, n_refs=120_000)
+
+
+def _small_kernels(settings: Table6Settings) -> Dict[str, Workload]:
+    s = settings.small_scale
+    seed = settings.seed
+    small_scale = ExperimentScale(scale=s)
+    return {
+        "FMM": FmmWorkload.splash2_scale(s, seed=seed),
+        "FFT": FftWorkload(
+            n_points=max(256, (1 << 16) // s),
+            # 64K points: sqrt(n) = 256 -> 12KB rows, 8 butterfly stages;
+            # transpose blocks are 32 points (tiny), so the communication
+            # is scattered, and it is 1/8th of the work (1/log2 sqrt(n)).
+            row_bytes=small_scale.scaled_bytes("12KB") if s <= 96 else 128,
+            row_passes=8,
+            local_fraction=0.875,
+            transpose_scatter=True,
+            seed=seed,
+        ),
+        "Ocean": OceanWorkload.splash2_scale(s, seed=seed),
+        "Water": WaterWorkload.splash2_scale(s, seed=seed),
+        "Barnes": BarnesWorkload.splash2_scale(s, seed=seed),
+    }
+
+
+def _large_kernels(settings: Table6Settings) -> Dict[str, Workload]:
+    s = settings.large_scale
+    seed = settings.seed
+    large_scale = ExperimentScale(scale=s)
+    return {
+        "FMM": FmmWorkload.paper_scale(s, seed=seed),
+        "FFT": FftWorkload(
+            n_points=max(1024, (1 << 28) // s),
+            # m=28: sqrt(n) = 16K points -> 768KB rows, 14 butterfly
+            # stages; transpose blocks are 2K points (long sequential
+            # runs) and only 1/14th of the work.
+            row_bytes=large_scale.scaled_bytes("768KB"),
+            row_passes=14,
+            local_fraction=0.93,
+            seed=seed,
+        ),
+        "Ocean": OceanWorkload.paper_scale(s, seed=seed),
+        "Water": WaterWorkload.paper_scale(s, seed=seed),
+        "Barnes": BarnesWorkload.paper_scale(s, seed=seed),
+    }
+
+
+def miss_rate_per_kilo_instruction(
+    workload: Workload,
+    host_scale: ExperimentScale,
+    l2_size: str,
+    l2_assoc: int,
+    n_refs: int,
+) -> float:
+    """Misses per 1000 instructions for one kernel/cache pairing."""
+    workload.reset()
+    host = HostSMP(host_scale.host(l2_size=l2_size, l2_assoc=l2_assoc))
+    host.run(workload.chunks(n_refs), max_references=n_refs)
+    references = host.total_references()
+    if references == 0:
+        return 0.0
+    instructions = references * 1000.0 / LINE_REFS_PER_KILO_INSTRUCTION
+    return host.total_l2_misses() * 1000.0 / instructions
+
+
+def run(settings: Optional[Table6Settings] = None) -> ExperimentResult:
+    """Regenerate Table 6."""
+    settings = settings or Table6Settings()
+    small_scale = ExperimentScale(scale=settings.small_scale)
+    large_scale = ExperimentScale(scale=settings.large_scale)
+    small_kernels = _small_kernels(settings)
+    large_kernels = _large_kernels(settings)
+
+    rows = []
+    data: Dict[str, dict] = {}
+    for name in PAPER_TABLE6:
+        paper_small, paper_large = PAPER_TABLE6[name]
+        measured_small = miss_rate_per_kilo_instruction(
+            small_kernels[name], small_scale, "1MB", 4, settings.n_refs
+        )
+        measured_large = miss_rate_per_kilo_instruction(
+            large_kernels[name], large_scale, "8MB", 2, settings.n_refs
+        )
+        rows.append(
+            [
+                name,
+                f"{paper_small:g}",
+                f"{measured_small:.2f}",
+                f"{paper_large:g}",
+                f"{measured_large:.2f}",
+                "down" if measured_large < measured_small else "up",
+            ]
+        )
+        data[name] = {
+            "paper_small": paper_small,
+            "paper_large": paper_large,
+            "measured_small": measured_small,
+            "measured_large": measured_large,
+        }
+    table = render_table(
+        [
+            "Application",
+            "SPLASH2 size @1MB/4w (paper)",
+            "(measured)",
+            "realistic size @8MB/2w (paper)",
+            "(measured)",
+            "direction",
+        ],
+        rows,
+        title="Table 6: Miss rates (misses per 1000 instructions)",
+    )
+    notes = [
+        "each size/cache pair is scaled by its own factor to preserve the "
+        "paper's footprint:cache ratios; absolute rates depend on the "
+        "line-touch model (16 touches per 128B line)",
+        "the paper's headline finding — scaled sizes are 'vastly different' "
+        "from realistic ones — reproduces; FMM/Ocean/Water/Barnes rise at "
+        "realistic sizes as in the paper.  FFT's 18x *drop* does not: it "
+        "stems from the single-shot, 32-64-processor runs behind the "
+        "SPLASH2-size citation (cold transposes dominate one transform), "
+        "which a steady-state 8-CPU reference stream cannot express",
+    ]
+    return ExperimentResult(name="table6", report=table, data=data, notes=notes)
+
+
+if __name__ == "__main__":
+    print(run(Table6Settings.quick()))

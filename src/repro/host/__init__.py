@@ -1,0 +1,29 @@
+"""Model of the host machine MemorIES plugs into.
+
+The paper's host is an 8-way IBM S7A SMP (262 MHz Northstar processors, 8 MB
+per-CPU L2 caches, 100 MHz 6xx bus).  The board never sees the processors
+directly — only the bus traffic their L2 misses generate — so this package
+models exactly that: per-CPU write-back MESI L2 caches
+(:mod:`repro.host.cache`) fed by workload reference streams
+(:mod:`repro.host.processor`), a memory controller, an optional I/O bridge,
+and the assembled machine (:mod:`repro.host.smp`).
+"""
+
+from repro.host.cache import CacheStats, MESIState, SnoopingCache
+from repro.host.l1 import L1Cache
+from repro.host.memory import MemoryController
+from repro.host.processor import Processor
+from repro.host.smp import HostConfig, HostSMP, IoBridge, S7A_HOST
+
+__all__ = [
+    "CacheStats",
+    "HostConfig",
+    "HostSMP",
+    "IoBridge",
+    "L1Cache",
+    "MESIState",
+    "MemoryController",
+    "Processor",
+    "S7A_HOST",
+    "SnoopingCache",
+]

@@ -1,0 +1,140 @@
+"""Optional per-CPU L1 cache in front of the snooping L2.
+
+The S7A's Northstar processors carry on-chip L1s; the board never sees them
+(their hits stay on-chip), which is why the workload generators emit
+L1-miss streams by default and the L1 model is optional.  Enable it (via
+``HostConfig.l1_size``) when a workload models raw element-granular
+references and the L1's filtering matters.
+
+The model is deliberately simple and hardware-faithful where it counts:
+
+* **write-through, no-write-allocate** — stores always reach the L2, so
+  the L2's MESI dirty states (and therefore every bus castout the emulator
+  sees) stay exactly as without an L1;
+* **inclusion** — the L2 invalidates the L1 copy whenever it loses a line
+  (eviction or snoop), as the real hierarchy does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.addr import AddressMap, is_power_of_two
+from repro.common.errors import ConfigurationError
+from repro.host.cache import SnoopingCache
+
+
+@dataclass
+class L1Stats:
+    """Hit/miss counters for one L1."""
+
+    accesses: int = 0
+    hits: int = 0
+    inclusion_invalidations: int = 0
+
+    @property
+    def misses(self) -> int:
+        return self.accesses - self.hits
+
+    @property
+    def hit_ratio(self) -> float:
+        if self.accesses == 0:
+            return 0.0
+        return self.hits / self.accesses
+
+
+class L1Cache:
+    """Write-through, no-write-allocate L1 in front of one L2.
+
+    Args:
+        l2: the backing snooping L2; the L1 registers itself for inclusion
+            callbacks.
+        size: capacity in bytes.
+        assoc: set associativity.
+        line_size: must equal the L2's line size (hardware ties them).
+    """
+
+    def __init__(
+        self,
+        l2: SnoopingCache,
+        size: int = 64 * 1024,
+        assoc: int = 2,
+        line_size: int = 128,
+    ) -> None:
+        if line_size != l2.line_size:
+            raise ConfigurationError(
+                f"L1 line size {line_size} must match the L2's {l2.line_size}"
+            )
+        if assoc < 1:
+            raise ConfigurationError("associativity must be >= 1")
+        if size % (assoc * line_size) != 0:
+            raise ConfigurationError(
+                f"size {size} not divisible by assoc*line ({assoc}*{line_size})"
+            )
+        num_sets = size // (assoc * line_size)
+        if not is_power_of_two(num_sets):
+            raise ConfigurationError(f"set count {num_sets} not a power of two")
+        self.l2 = l2
+        self.size = size
+        self.assoc = assoc
+        self.line_size = line_size
+        self.amap = AddressMap(line_size=line_size, num_sets=num_sets)
+        self.stats = L1Stats()
+        self._tags: list[list[int]] = [[] for _ in range(num_sets)]
+        l2.add_inclusion_listener(self._on_l2_loss)
+
+    def access(self, address: int, is_write: bool) -> bool:
+        """One processor reference; returns True when the L2 was skipped.
+
+        Loads hitting the L1 never reach the L2; everything else (load
+        misses, all stores) passes through.  Load misses allocate.
+        """
+        self.stats.accesses += 1
+        set_index = self.amap.set_index(address)
+        tag = self.amap.tag(address)
+        tags = self._tags[set_index]
+        try:
+            way = tags.index(tag)
+        except ValueError:
+            way = -1
+
+        if not is_write:
+            if way >= 0:
+                self.stats.hits += 1
+                if way != 0:
+                    tags.insert(0, tags.pop(way))
+                return True
+            self.l2.access(address, is_write=False)
+            if len(tags) >= self.assoc:
+                tags.pop()
+            tags.insert(0, tag)
+            return False
+
+        # Write-through, no-write-allocate: the L2 sees every store; a
+        # store hitting the L1 keeps the L1 copy current (it stays valid).
+        if way >= 0:
+            self.stats.hits += 1
+            if way != 0:
+                tags.insert(0, tags.pop(way))
+        self.l2.access(address, is_write=True)
+        return False
+
+    def _on_l2_loss(self, line_address: int) -> None:
+        """Inclusion: the L2 lost a line, so the L1 must drop its copy."""
+        set_index = self.amap.set_index(line_address)
+        tags = self._tags[set_index]
+        try:
+            way = tags.index(self.amap.tag(line_address))
+        except ValueError:
+            return
+        tags.pop(way)
+        self.stats.inclusion_invalidations += 1
+
+    def holds(self, address: int) -> bool:
+        """True when the line containing ``address`` is L1-resident."""
+        set_index = self.amap.set_index(address)
+        return self.amap.tag(address) in self._tags[set_index]
+
+    def resident_lines(self) -> int:
+        """Valid lines currently held."""
+        return sum(len(tags) for tags in self._tags)

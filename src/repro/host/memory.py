@@ -1,0 +1,45 @@
+"""The host's memory controller.
+
+On the 6xx bus the memory controller is the default responder: any coherent
+read not satisfied by a cache-to-cache intervention is sourced from DRAM, and
+castouts sink into it.  For emulation purposes it never needs to hold data —
+it only counts traffic, which the experiments use to sanity-check
+where-satisfied breakdowns (reads sourced from memory = reads − modified
+interventions).
+
+The controller is attached to the bus as a *monitor* rather than a snooper,
+because whether it sources a read depends on the combined snoop response,
+which is only known once the response phase has completed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bus.transaction import BusCommand, BusTransaction, SnoopResponse
+
+
+@dataclass
+class MemoryController:
+    """Counts the memory-side traffic of the host machine.
+
+    Attributes:
+        capacity: installed main memory in bytes (the paper's S7A has 16 GB);
+            informational only.
+        reads_from_memory: coherent reads the controller sourced because no
+            cache supplied the data.
+        writes_to_memory: castouts absorbed.
+    """
+
+    capacity: int = 16 * 1024**3
+    reads_from_memory: int = 0
+    writes_to_memory: int = 0
+
+    def observe(self, txn: BusTransaction) -> SnoopResponse:
+        """Observe a completed tenure and account for the data source."""
+        if txn.command is BusCommand.CASTOUT:
+            self.writes_to_memory += 1
+        elif txn.command in (BusCommand.READ, BusCommand.RWITM):
+            if txn.snoop_response is not SnoopResponse.MODIFIED:
+                self.reads_from_memory += 1
+        return SnoopResponse.NULL

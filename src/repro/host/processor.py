@@ -1,0 +1,65 @@
+"""Host processor model.
+
+A processor here is deliberately thin: workload generators (see
+:mod:`repro.workloads`) already produce the stream of data references that
+escape the L1, so the processor simply feeds that stream through its private
+L2.  It additionally carries an instruction-count model so experiments can
+report *misses per thousand instructions* (Table 6 of the paper) rather than
+only miss ratios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.host.cache import SnoopingCache
+
+#: Default data references per thousand instructions.  Typical for the
+#: integer-heavy commercial and SPLASH2 codes in the paper: roughly one
+#: load/store per three instructions.
+DEFAULT_REFS_PER_KILO_INSTRUCTION = 330.0
+
+
+@dataclass
+class Processor:
+    """One CPU of the host machine.
+
+    Attributes:
+        cpu_id: bus ID (0-based).
+        l2: the private snooping L2 this CPU drives.
+        l1: optional on-chip L1 in front of the L2 (see
+            :mod:`repro.host.l1`); None means references hit the L2
+            directly, the default because workload generators emit
+            L1-miss streams.
+        refs_per_kilo_instruction: data references the workload makes per
+            1000 instructions; used to convert reference counts into
+            instruction counts.
+        references_issued: total references this CPU has driven.
+    """
+
+    cpu_id: int
+    l2: SnoopingCache
+    l1: object = None
+    refs_per_kilo_instruction: float = DEFAULT_REFS_PER_KILO_INSTRUCTION
+    references_issued: int = field(default=0)
+
+    def reference(self, address: int, is_write: bool) -> bool:
+        """Issue one data reference; returns True if it hit in L1 or L2."""
+        self.references_issued += 1
+        if self.l1 is not None:
+            return self.l1.access(address, is_write)
+        return self.l2.access(address, is_write)
+
+    @property
+    def instructions_executed(self) -> float:
+        """Instructions implied by the references issued so far."""
+        if self.refs_per_kilo_instruction <= 0:
+            return 0.0
+        return self.references_issued * 1000.0 / self.refs_per_kilo_instruction
+
+    def misses_per_kilo_instruction(self) -> float:
+        """L2 misses per thousand instructions (the Table 6 metric)."""
+        instructions = self.instructions_executed
+        if instructions == 0:
+            return 0.0
+        return self.l2.stats.misses * 1000.0 / instructions

@@ -1,0 +1,55 @@
+"""The MemorIES board — the paper's primary contribution, in software.
+
+Public surface:
+
+* :class:`~repro.memories.config.CacheNodeConfig` — one emulated cache's
+  parameters, validated against the Table 2 hardware envelope.
+* :class:`~repro.memories.board.MemoriesBoard` /
+  :func:`~repro.memories.board.board_for_machine` — the board chassis with
+  a loaded firmware image; plugs into a live host or replays traces.
+* :class:`~repro.memories.console.MemoriesConsole` — programming and
+  statistics extraction.
+* :mod:`repro.memories.protocol_table` — loadable coherence-protocol map
+  files (MSI/MESI/MOESI built in).
+* :mod:`repro.memories.firmware` — the alternate firmware images of
+  Section 2.3 (hot-spot profiling, trace collection, NUMA sparse directory,
+  remote cache).
+"""
+
+from repro.memories.board import (
+    CacheEmulationFirmware,
+    MemoriesBoard,
+    board_for_machine,
+)
+from repro.memories.cache_model import TagStateDirectory
+from repro.memories.config import CacheNodeConfig
+from repro.memories.console import MemoriesConsole
+from repro.memories.counters import CounterBank
+from repro.memories.node_controller import NodeController
+from repro.memories.protocol_table import (
+    CacheOp,
+    LineState,
+    ProtocolTable,
+    load_protocol,
+)
+from repro.memories.replacement import make_policy
+from repro.memories.sdram import SdramModel
+from repro.memories.tx_buffer import TransactionBuffer
+
+__all__ = [
+    "CacheEmulationFirmware",
+    "CacheNodeConfig",
+    "CacheOp",
+    "CounterBank",
+    "LineState",
+    "MemoriesBoard",
+    "MemoriesConsole",
+    "NodeController",
+    "ProtocolTable",
+    "SdramModel",
+    "TagStateDirectory",
+    "TransactionBuffer",
+    "board_for_machine",
+    "load_protocol",
+    "make_policy",
+]

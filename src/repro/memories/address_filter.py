@@ -1,0 +1,90 @@
+"""The address-filter FPGA.
+
+First stage of the board's pipeline (Section 3.1): it interfaces with the
+6xx bus, discards transactions that are irrelevant to cache emulation —
+I/O register accesses, interrupts, sync tenures, and tenures that were
+retried by other bus devices (they will be reissued, so processing them
+would double-count) — and forwards the survivors, grouped by bus ID, to the
+global events counter FPGA.
+
+Its small input buffer accepts operations at the full 100 MHz bus rate; the
+deeper pacing buffers live in the node controllers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bus.transaction import BusCommand, SnoopResponse
+from repro.memories.tx_buffer import FILTER_BUFFER_ENTRIES, TransactionBuffer
+
+
+@dataclass
+class FilterStats:
+    """What the filter saw and what it discarded."""
+
+    observed: int = 0
+    forwarded: int = 0
+    filtered_io: int = 0
+    filtered_interrupts: int = 0
+    filtered_sync: int = 0
+    filtered_retried: int = 0
+
+    def snapshot(self) -> dict:
+        """Counter-style dict for console statistics extraction."""
+        return {
+            "filter.observed": self.observed,
+            "filter.forwarded": self.forwarded,
+            "filter.io": self.filtered_io,
+            "filter.interrupts": self.filtered_interrupts,
+            "filter.sync": self.filtered_sync,
+            "filter.retried": self.filtered_retried,
+        }
+
+
+class AddressFilter:
+    """Filters bus tenures down to the coherent-memory stream.
+
+    The filter's :meth:`admit` returns True when the tenure should continue
+    into the emulation pipeline.  Filtered tenures consume no buffer space
+    ("Operations such as I/O register accesses, interrupts or memory
+    operations that are rejected by other system bus devices are filtered
+    out and do not take up any transaction buffer space", Section 3.3).
+    """
+
+    def __init__(self) -> None:
+        self.stats = FilterStats()
+        # The input buffer runs at full bus rate: service one op per cycle.
+        self.buffer = TransactionBuffer(
+            capacity=FILTER_BUFFER_ENTRIES, service_cycles=1.0
+        )
+
+    def admit(
+        self,
+        command: BusCommand,
+        snoop_response: SnoopResponse,
+        now_cycle: float,
+    ) -> bool:
+        """Decide whether a tenure enters the emulation pipeline."""
+        stats = self.stats
+        stats.observed += 1
+        if command in (BusCommand.IO_READ, BusCommand.IO_WRITE):
+            stats.filtered_io += 1
+            return False
+        if command is BusCommand.INTERRUPT:
+            stats.filtered_interrupts += 1
+            return False
+        if command is BusCommand.SYNC:
+            stats.filtered_sync += 1
+            return False
+        if snoop_response is SnoopResponse.RETRY:
+            stats.filtered_retried += 1
+            return False
+        self.buffer.offer(now_cycle)
+        stats.forwarded += 1
+        return True
+
+    def reset(self) -> None:
+        """Console re-initialisation."""
+        self.stats = FilterStats()
+        self.buffer.reset()

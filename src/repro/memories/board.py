@@ -1,0 +1,282 @@
+"""The MemorIES board: chassis, firmware dispatch, and trace replay.
+
+:class:`MemoriesBoard` is the self-contained board of Figure 5.  It bundles
+the address-filter FPGA, the global events counter FPGA and a *firmware*
+object — the programmable part.  The shipped cache-emulation firmware
+(:class:`CacheEmulationFirmware`) instantiates up to four node controllers
+from a :class:`~repro.target.mapping.TargetMachine` programming; the
+alternate firmware images of Section 2.3 live in
+:mod:`repro.memories.firmware`.
+
+The board can be used two ways, mirroring the paper:
+
+* **Live**, plugged into a running :class:`~repro.host.smp.HostSMP` via
+  ``host.plug_in(board)`` — it then observes every bus tenure in real time.
+* **Offline**, replaying a collected :class:`~repro.bus.trace.BusTrace`
+  with :meth:`MemoriesBoard.replay` ("a mechanism to collect traces for
+  finer and repeatable off-line analysis", Section 1).
+
+Time: the board keeps its own bus-cycle clock, advancing a configurable
+number of cycles per observed tenure (2 busy cycles / assumed utilization).
+``emulated_seconds`` is therefore the wall-clock time the real board would
+have spent — the quantity Tables 3 and 4 compare against software
+simulators.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Protocol, Sequence, Tuple
+
+import numpy as np
+
+from repro.bus.bus import ADDRESS_TENURE_CYCLES
+from repro.bus.trace import BusTrace, decode_arrays
+from repro.bus.transaction import BusCommand, BusTransaction, SnoopResponse
+from repro.common.errors import ConfigurationError
+from repro.memories.address_filter import AddressFilter
+from repro.memories.global_counter import GlobalEventsCounter
+from repro.memories.node_controller import NodeController
+from repro.memories.protocol_table import CacheOp
+from repro.target.mapping import TargetMachine
+
+#: The observed bus utilization regime from Section 3.3 ("always varied
+#: between 2% to 20%"); the board's clock model defaults to the top of it.
+DEFAULT_ASSUMED_UTILIZATION = 0.20
+
+#: Bus IDs above this belong to I/O bridges, not processors (see
+#: :mod:`repro.host.smp`); the distinction matters for unmapped-master
+#: castout handling below.
+_MAX_PROCESSOR_ID = 15
+
+
+class Firmware(Protocol):
+    """What a loadable FPGA firmware image must implement."""
+
+    def process(
+        self,
+        cpu_id: int,
+        command: BusCommand,
+        address: int,
+        snoop_response: SnoopResponse,
+        now_cycle: float,
+    ) -> bool:
+        """Handle one filtered tenure; False requests a bus retry."""
+        ...
+
+    def snapshot(self) -> dict:
+        """Counter snapshot for console statistics extraction."""
+        ...
+
+    def reset(self) -> None:
+        """Re-initialise firmware state."""
+        ...
+
+
+class CacheEmulationFirmware:
+    """The primary firmware: up to four emulated shared-cache nodes.
+
+    Args:
+        machine: the target-machine programming (node configs, CPU
+            partitioning, coherence groups).
+        seed: seed for any random replacement policies.
+    """
+
+    def __init__(self, machine: TargetMachine, seed: int = 0) -> None:
+        self.machine = machine
+        self.nodes: List[NodeController] = []
+        rng = np.random.default_rng(seed)
+        for index, spec in enumerate(machine.nodes):
+            self.nodes.append(
+                NodeController(
+                    index=index,
+                    config=spec.config,
+                    cpus=spec.cpus,
+                    group=spec.group,
+                    rng=rng,
+                )
+            )
+        # Pre-computed routing: per group, cpu -> local controller, and each
+        # controller's peer list within the group.
+        self._groups: List[Tuple[Dict[int, NodeController], Dict[int, Tuple[NodeController, ...]], Tuple[NodeController, ...]]] = []
+        for group, indices in machine.groups().items():
+            controllers = [self.nodes[i] for i in indices]
+            local_by_cpu: Dict[int, NodeController] = {}
+            peers_of: Dict[int, Tuple[NodeController, ...]] = {}
+            for controller in controllers:
+                for cpu in controller.cpus:
+                    local_by_cpu[cpu] = controller
+                peers_of[controller.index] = tuple(
+                    c for c in controllers if c is not controller
+                )
+            self._groups.append((local_by_cpu, peers_of, tuple(controllers)))
+
+    def process(
+        self,
+        cpu_id: int,
+        command: BusCommand,
+        address: int,
+        snoop_response: SnoopResponse,
+        now_cycle: float,
+    ) -> bool:
+        accepted = True
+        for local_by_cpu, peers_of, controllers in self._groups:
+            local = local_by_cpu.get(cpu_id)
+            if local is None:
+                # Unmapped master.  An unmapped *processor* (its emulated
+                # node exists in the target but is not instantiated on this
+                # board, e.g. nodes 5..8 of an 8-node target) contributes
+                # coherence traffic: reads snoop, ownership claims
+                # invalidate, but its castouts go to memory and touch
+                # nothing.  An I/O bridge doing DMA is different: DMA writes
+                # arrive as castout-style tenures and must invalidate stale
+                # cached copies.
+                if command is BusCommand.READ:
+                    op = CacheOp.REMOTE_READ
+                elif command is BusCommand.CASTOUT and cpu_id <= _MAX_PROCESSOR_ID:
+                    continue
+                else:
+                    op = CacheOp.REMOTE_WRITE
+                for controller in controllers:
+                    controller.process_remote(op, address, now_cycle)
+            else:
+                ok = local.process_local(
+                    command, address, snoop_response, now_cycle,
+                    peers_of[local.index],
+                )
+                if not ok:
+                    accepted = False
+        return accepted
+
+    def snapshot(self) -> dict:
+        merged: dict = {}
+        for node in self.nodes:
+            merged.update(node.counters.snapshot())
+        return merged
+
+    def reset(self) -> None:
+        for node in self.nodes:
+            node.reset()
+
+
+class MemoriesBoard:
+    """The assembled board (Figure 7's physical block diagram, in software).
+
+    Args:
+        firmware: the loaded firmware image; pass a
+            :class:`CacheEmulationFirmware` for cache studies or one of the
+            images in :mod:`repro.memories.firmware`.
+        bus_hz: host bus clock (100 MHz on the S7A).
+        assumed_utilization: bus utilization used to advance the board clock
+            per tenure — sets how many wall-clock seconds a replayed trace
+            represents.
+        name: console label.
+    """
+
+    def __init__(
+        self,
+        firmware: Firmware,
+        bus_hz: int = 100_000_000,
+        assumed_utilization: float = DEFAULT_ASSUMED_UTILIZATION,
+        name: str = "memories",
+    ) -> None:
+        if not 0.0 < assumed_utilization <= 1.0:
+            raise ConfigurationError(
+                f"utilization {assumed_utilization} outside (0, 1]"
+            )
+        self.firmware = firmware
+        self.bus_hz = bus_hz
+        self.name = name
+        self.address_filter = AddressFilter()
+        self.global_counter = GlobalEventsCounter()
+        self.cycles_per_tenure = ADDRESS_TENURE_CYCLES / assumed_utilization
+        self.now_cycle = 0.0
+        self.retries_posted = 0
+
+    # ------------------------------------------------------------------ #
+    # Live operation (bus monitor protocol)
+    # ------------------------------------------------------------------ #
+
+    def observe(self, txn: BusTransaction) -> SnoopResponse:
+        """Observe one live bus tenure (the Monitor protocol)."""
+        return self._dispatch(
+            txn.cpu_id, txn.command, txn.address, txn.snoop_response
+        )
+
+    def _dispatch(
+        self,
+        cpu_id: int,
+        command: BusCommand,
+        address: int,
+        snoop_response: SnoopResponse,
+    ) -> SnoopResponse:
+        self.now_cycle += self.cycles_per_tenure
+        now = self.now_cycle
+        if not self.address_filter.admit(command, snoop_response, now):
+            return SnoopResponse.NULL
+        self.global_counter.record(cpu_id, command, self.cycles_per_tenure)
+        if not self.firmware.process(cpu_id, command, address, snoop_response, now):
+            self.retries_posted += 1
+            return SnoopResponse.RETRY
+        return SnoopResponse.NULL
+
+    # ------------------------------------------------------------------ #
+    # Offline replay
+    # ------------------------------------------------------------------ #
+
+    def replay(self, trace: BusTrace) -> int:
+        """Replay a collected trace through the board; returns records run."""
+        return self.replay_words(trace.words)
+
+    def replay_words(self, words: np.ndarray) -> int:
+        """Replay packed 64-bit records (the fast path)."""
+        cpu_ids, commands, addresses, responses = decode_arrays(words)
+        dispatch = self._dispatch
+        command_of = _COMMANDS
+        response_of = _RESPONSES
+        for cpu_id, command, address, response in zip(
+            cpu_ids.tolist(), commands.tolist(), addresses.tolist(), responses.tolist()
+        ):
+            dispatch(cpu_id, command_of[command], address, response_of[response])
+        return int(words.shape[0])
+
+    # ------------------------------------------------------------------ #
+    # Console-facing state
+    # ------------------------------------------------------------------ #
+
+    @property
+    def emulated_seconds(self) -> float:
+        """Wall-clock seconds the real board would have spent so far."""
+        return self.now_cycle / self.bus_hz
+
+    def statistics(self) -> dict:
+        """Merged counter snapshot across filter, global FPGA and firmware."""
+        merged = dict(self.address_filter.stats.snapshot())
+        merged.update(self.global_counter.snapshot())
+        merged.update(self.firmware.snapshot())
+        merged["board.retries_posted"] = self.retries_posted
+        return merged
+
+    def reset(self) -> None:
+        """Power-up initialisation: clear everything, rewind the clock."""
+        self.address_filter.reset()
+        self.global_counter.reset()
+        self.firmware.reset()
+        self.now_cycle = 0.0
+        self.retries_posted = 0
+
+
+_COMMANDS = [BusCommand(i) for i in range(len(BusCommand))]
+_RESPONSES = [SnoopResponse(i) for i in range(len(SnoopResponse))]
+
+
+def board_for_machine(
+    machine: TargetMachine,
+    seed: int = 0,
+    assumed_utilization: float = DEFAULT_ASSUMED_UTILIZATION,
+) -> MemoriesBoard:
+    """Convenience: a board running cache-emulation firmware for ``machine``."""
+    return MemoriesBoard(
+        CacheEmulationFirmware(machine, seed=seed),
+        assumed_utilization=assumed_utilization,
+        name=machine.name,
+    )

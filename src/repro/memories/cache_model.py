@@ -1,0 +1,152 @@
+"""The SDRAM-resident tag/state directory of one emulated cache node.
+
+Each node controller FPGA owns four 64 MB SDRAM DIMMs holding, for every
+line frame of the emulated cache, its tag, coherence state and replacement
+metadata.  :class:`TagStateDirectory` models that structure: a set-associative
+array of (tag, state) pairs managed by a pluggable replacement policy.
+
+The directory itself is protocol-agnostic — it stores whatever state integers
+the node controller's protocol table produces — and exposes fine-grained
+operations (probe / touch / install / invalidate) so the controller can apply
+table transitions between them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+from repro.common.addr import AddressMap
+from repro.common.errors import EmulationError
+from repro.memories.config import CacheNodeConfig
+from repro.memories.protocol_table import LineState
+from repro.memories.replacement import ReplacementPolicy, make_policy
+
+
+class TagStateDirectory:
+    """Set-associative tag/state array for one emulated cache.
+
+    Args:
+        config: geometry (size / associativity / line size) of the cache.
+        policy: replacement policy instance; defaults to the one named in
+            ``config.replacement``.
+    """
+
+    def __init__(
+        self,
+        config: CacheNodeConfig,
+        policy: Optional[ReplacementPolicy] = None,
+    ) -> None:
+        config.validate_geometry()
+        self.config = config
+        self.amap = AddressMap(line_size=config.line_size, num_sets=config.num_sets)
+        self.policy = policy if policy is not None else make_policy(
+            config.replacement, config.assoc
+        )
+        num_sets = config.num_sets
+        self._tags: list[list[int]] = [[] for _ in range(num_sets)]
+        self._states: list[list[int]] = [[] for _ in range(num_sets)]
+        self._meta: list[int] = [self.policy.make_meta()] * num_sets
+
+    # ------------------------------------------------------------------ #
+    # Hot-path operations
+    # ------------------------------------------------------------------ #
+
+    def probe(self, address: int) -> Tuple[int, int, int]:
+        """Locate ``address``; returns (set_index, tag, way) with way=-1 on miss."""
+        amap = self.amap
+        set_index = amap.set_index(address)
+        tag = amap.tag(address)
+        try:
+            way = self._tags[set_index].index(tag)
+        except ValueError:
+            way = -1
+        return set_index, tag, way
+
+    def state_at(self, set_index: int, way: int) -> int:
+        """State integer stored at (set, way)."""
+        return self._states[set_index][way]
+
+    def set_state(self, set_index: int, way: int, state: int) -> None:
+        """Overwrite the state at (set, way)."""
+        self._states[set_index][way] = state
+
+    def touch(self, set_index: int, way: int) -> int:
+        """Record a hit for the replacement policy; returns the new way."""
+        new_way, meta = self.policy.touch(
+            self._tags[set_index], self._states[set_index], way, self._meta[set_index]
+        )
+        self._meta[set_index] = meta
+        return new_way
+
+    def install(
+        self, set_index: int, tag: int, state: int
+    ) -> Optional[Tuple[int, int]]:
+        """Allocate a line; returns (victim line address, victim state) or None."""
+        victim, meta = self.policy.insert(
+            self._tags[set_index],
+            self._states[set_index],
+            tag,
+            state,
+            self.config.assoc,
+            self._meta[set_index],
+        )
+        self._meta[set_index] = meta
+        if victim is None:
+            return None
+        victim_tag, victim_state = victim
+        return self.amap.rebuild(victim_tag, set_index), victim_state
+
+    def invalidate(self, set_index: int, way: int) -> int:
+        """Drop the line at (set, way); returns its former state."""
+        self._tags[set_index].pop(way)
+        return self._states[set_index].pop(way)
+
+    # ------------------------------------------------------------------ #
+    # Whole-directory queries (console, tests, peers)
+    # ------------------------------------------------------------------ #
+
+    def lookup_state(self, address: int) -> int:
+        """State of the line holding ``address`` (INVALID when absent)."""
+        set_index, tag, way = self.probe(address)
+        if way < 0:
+            return int(LineState.INVALID)
+        return self._states[set_index][way]
+
+    def resident_lines(self) -> int:
+        """Number of valid lines currently in the directory."""
+        return sum(len(tags) for tags in self._tags)
+
+    def occupancy(self) -> float:
+        """Fraction of line frames in use."""
+        return self.resident_lines() / self.config.num_lines
+
+    def iter_lines(self) -> Iterator[Tuple[int, int]]:
+        """Yield (line address, state) for every resident line."""
+        rebuild = self.amap.rebuild
+        for set_index, (tags, states) in enumerate(zip(self._tags, self._states)):
+            for tag, state in zip(tags, states):
+                yield rebuild(tag, set_index), state
+
+    def check_invariants(self) -> None:
+        """Assert structural invariants; used by property-based tests.
+
+        Raises:
+            EmulationError: if a set exceeds the associativity, holds
+                duplicate tags, or parallel arrays lost sync.
+        """
+        assoc = self.config.assoc
+        for set_index, (tags, states) in enumerate(zip(self._tags, self._states)):
+            if len(tags) != len(states):
+                raise EmulationError(f"set {set_index}: tag/state arrays diverged")
+            if len(tags) > assoc:
+                raise EmulationError(f"set {set_index}: {len(tags)} lines > {assoc}-way")
+            if len(set(tags)) != len(tags):
+                raise EmulationError(f"set {set_index}: duplicate tags")
+
+    def clear(self) -> None:
+        """Invalidate the whole directory (console power-up initialisation)."""
+        for tags in self._tags:
+            tags.clear()
+        for states in self._states:
+            states.clear()
+        self._meta = [self.policy.make_meta()] * self.config.num_sets

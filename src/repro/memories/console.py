@@ -1,0 +1,215 @@
+"""The console software.
+
+The real console is a Windows PC driving the board over a parallel port; it
+performs "power-up initialization of the MemorIES board, cache parameter
+setting, and statistics extraction" (Section 2).  :class:`MemoriesConsole`
+is that program's API surface: it programs target machines into a board,
+uploads protocol map files to individual node controllers, extracts and
+formats statistics, and offers a small textual command interface so the
+examples can feel like a lab session.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+from repro.common.errors import ConfigurationError
+from repro.memories.board import (
+    CacheEmulationFirmware,
+    DEFAULT_ASSUMED_UTILIZATION,
+    MemoriesBoard,
+)
+from repro.memories.protocol_table import ProtocolTable
+from repro.target.mapping import TargetMachine
+
+
+class MemoriesConsole:
+    """Programming and diagnostics interface to one board.
+
+    Example:
+        >>> from repro.memories import CacheNodeConfig, MemoriesConsole
+        >>> from repro.target import single_node_machine
+        >>> console = MemoriesConsole()
+        >>> board = console.power_up(
+        ...     single_node_machine(CacheNodeConfig.create("64MB"), n_cpus=8))
+        >>> console.read_statistics()["board.retries_posted"]
+        0
+    """
+
+    def __init__(self) -> None:
+        self.board: Optional[MemoriesBoard] = None
+        self._log: List[str] = []
+
+    # ------------------------------------------------------------------ #
+    # Programming
+    # ------------------------------------------------------------------ #
+
+    def power_up(
+        self,
+        machine: TargetMachine,
+        seed: int = 0,
+        assumed_utilization: float = DEFAULT_ASSUMED_UTILIZATION,
+        enforce_envelope: bool = True,
+    ) -> MemoriesBoard:
+        """Initialise a board with cache-emulation firmware for ``machine``.
+
+        Every node config is validated against the Table 2 envelope before
+        the board comes up, exactly like the real console refuses bad
+        parameter settings.  Pass ``enforce_envelope=False`` for scaled-down
+        experiment configurations, whose caches intentionally fall below
+        the board's 2 MB minimum; geometry is still checked.
+        """
+        for spec in machine.nodes:
+            if enforce_envelope:
+                spec.config.validate()
+            else:
+                spec.config.validate_geometry()
+        firmware = CacheEmulationFirmware(machine, seed=seed)
+        self.board = MemoriesBoard(
+            firmware,
+            assumed_utilization=assumed_utilization,
+            name=machine.name,
+        )
+        self._log.append(f"power-up: {machine.describe()}")
+        return self.board
+
+    def attach(self, board: MemoriesBoard) -> None:
+        """Take control of an already-constructed board (any firmware)."""
+        self.board = board
+        self._log.append(f"attached to board {board.name!r}")
+
+    def load_protocol_map(self, node_index: int, table: ProtocolTable) -> None:
+        """Upload a protocol map file to one node controller FPGA.
+
+        Section 3.2: "Different state table files could be loaded to
+        different node controller FPGAs to experiment with different
+        coherence protocols during the same measurement."
+        """
+        firmware = self._emulation_firmware()
+        try:
+            node = firmware.nodes[node_index]
+        except IndexError:
+            raise ConfigurationError(
+                f"board has {len(firmware.nodes)} nodes; no node {node_index}"
+            ) from None
+        node.protocol = table
+        node._table = table.raw_table()
+        node._fill = table.fill
+        self._log.append(f"node {node_index}: loaded protocol {table.name!r}")
+
+    # ------------------------------------------------------------------ #
+    # Statistics extraction
+    # ------------------------------------------------------------------ #
+
+    def read_statistics(self) -> dict:
+        """Pull the merged counter snapshot off the board."""
+        board = self._require_board()
+        return board.statistics()
+
+    def reset_statistics(self) -> None:
+        """Re-initialise the board's counters and directories."""
+        self._require_board().reset()
+        self._log.append("statistics reset")
+
+    def report(self) -> str:
+        """Human-readable statistics report, one counter per line."""
+        board = self._require_board()
+        lines = [f"=== MemorIES board {board.name!r} ==="]
+        lines.append(f"emulated wall-clock: {board.emulated_seconds:.3f}s")
+        for name, value in sorted(board.statistics().items()):
+            lines.append(f"{name:40s} {value}")
+        return "\n".join(lines)
+
+    def miss_ratios(self) -> List[float]:
+        """Per-node miss ratios (cache-emulation firmware only)."""
+        return [node.miss_ratio() for node in self._emulation_firmware().nodes]
+
+    def wrapped_counters(self) -> List[str]:
+        """Names of 40-bit counters that have overflowed at least once.
+
+        The paper sizes the counters for ">30 hours" at 20% bus
+        utilization; an operator polling statistics less often than that
+        must check this before trusting absolute counts.
+        """
+        firmware = self._emulation_firmware()
+        wrapped: List[str] = []
+        for node in firmware.nodes:
+            bank = node.counters
+            for name, _value in bank.items():
+                if bank.wrapped(name):
+                    wrapped.append(f"{bank.prefix}.{name}")
+        return wrapped
+
+    def self_test(self) -> "SelfTestResult":
+        """Run the power-on diagnostic (resets the board's statistics)."""
+        from repro.memories.selftest import run_self_test
+
+        result = run_self_test(self._require_board())
+        self._log.append(
+            "self-test " + ("passed" if result.passed else "FAILED")
+        )
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Textual command interface
+    # ------------------------------------------------------------------ #
+
+    def execute(self, command_line: str) -> str:
+        """Run one console command; returns its output text.
+
+        Supported commands: ``stats``, ``report``, ``reset``, ``describe``,
+        ``log``, ``self-test``, ``protocol <node>``, ``overflows``.
+        """
+        command = command_line.strip().lower()
+        if command == "self-test":
+            return self.self_test().render()
+        if command.startswith("protocol"):
+            parts = command.split()
+            node_index = int(parts[1]) if len(parts) > 1 else 0
+            firmware = self._emulation_firmware()
+            try:
+                node = firmware.nodes[node_index]
+            except IndexError:
+                raise ConfigurationError(
+                    f"board has {len(firmware.nodes)} nodes; no node {node_index}"
+                ) from None
+            return node.protocol.render()
+        if command == "overflows":
+            wrapped = self.wrapped_counters()
+            if not wrapped:
+                return "no counters have wrapped"
+            return "WRAPPED (values are modulo 2^40): " + ", ".join(wrapped)
+        if command == "stats":
+            return "\n".join(
+                f"{k} {v}" for k, v in sorted(self.read_statistics().items())
+            )
+        if command == "report":
+            return self.report()
+        if command == "reset":
+            self.reset_statistics()
+            return "ok"
+        if command == "describe":
+            firmware = self._emulation_firmware()
+            return firmware.machine.describe()
+        if command == "log":
+            return "\n".join(self._log)
+        raise ConfigurationError(f"unknown console command {command_line!r}")
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+
+    def _require_board(self) -> MemoriesBoard:
+        if self.board is None:
+            raise ConfigurationError("no board attached; call power_up() first")
+        return self.board
+
+    def _emulation_firmware(self) -> CacheEmulationFirmware:
+        board = self._require_board()
+        firmware = board.firmware
+        if not isinstance(firmware, CacheEmulationFirmware):
+            raise ConfigurationError(
+                "this operation requires cache-emulation firmware; "
+                f"the board is running {type(firmware).__name__}"
+            )
+        return firmware

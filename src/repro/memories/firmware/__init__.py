@@ -1,0 +1,29 @@
+"""Alternate FPGA firmware images (Section 2.3 of the paper).
+
+"Although the primary use of the MemorIES board is to emulate large cache
+systems, the tool is very flexible and can be programmed to perform many
+other functions relatively easily by changing the FPGA firmware and
+recompiling."  The four functions the paper names are all here:
+
+* :class:`~repro.memories.firmware.hotspot.HotSpotFirmware` — per-line or
+  per-page read/write frequency counters for hot-spot identification.
+* :class:`~repro.memories.firmware.tracer.TraceCollectorFirmware` — real-time
+  bus trace capture into on-board memory (up to 10^9 8-byte records).
+* :class:`~repro.memories.firmware.numa_directory.NumaDirectoryFirmware` —
+  sparse-directory cache-coherence emulation for a multi-node NUMA target.
+* :class:`~repro.memories.firmware.remote_cache.RemoteCacheFirmware` — NUMA
+  nodes with remote caches (L3 directory + remote-cache directory per node).
+"""
+
+from repro.memories.firmware.hotspot import HotSpotFirmware
+from repro.memories.firmware.numa_directory import NumaDirectoryFirmware, SparseDirectory
+from repro.memories.firmware.remote_cache import RemoteCacheFirmware
+from repro.memories.firmware.tracer import TraceCollectorFirmware
+
+__all__ = [
+    "HotSpotFirmware",
+    "NumaDirectoryFirmware",
+    "RemoteCacheFirmware",
+    "SparseDirectory",
+    "TraceCollectorFirmware",
+]

@@ -1,0 +1,108 @@
+"""Hot-spot identification firmware.
+
+Section 2.3: "The FPGAs can be programmed to treat their private 256MB
+memory as a table of memory read/write frequency counters either on cache
+line basis or page basis.  These counters help to identify hot spots in
+cache lines or in memory pages and provide useful insight into program
+behavior for OS and application tuning."
+
+The model keeps a lazily-populated counter table keyed by line or page
+number, bounded by the number of 8-byte counters the node's 256 MB SDRAM
+could hold, and reports the hottest regions on request.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Tuple
+
+from repro.bus.transaction import BusCommand, SnoopResponse
+from repro.common.addr import is_power_of_two, log2_int
+from repro.common.errors import ConfigurationError
+from repro.memories.config import NODE_SDRAM_BYTES
+
+#: Each frequency counter occupies one 8-byte SDRAM word (paper hardware).
+COUNTER_BYTES = 8
+
+#: Maximum distinct regions the 256 MB table can track.
+TABLE_CAPACITY = NODE_SDRAM_BYTES // COUNTER_BYTES
+
+
+class HotSpotFirmware:
+    """Per-line or per-page read/write frequency profiling.
+
+    Args:
+        granularity_bytes: 128 for cache-line counters, 4096 for page
+            counters (any power of two works).
+
+    Attributes:
+        reads / writes: counter tables keyed by region number.
+        dropped: references ignored because the table was full — the
+            hardware analogue of running out of SDRAM counter words.
+    """
+
+    def __init__(self, granularity_bytes: int = 4096) -> None:
+        if not is_power_of_two(granularity_bytes):
+            raise ConfigurationError(
+                f"granularity {granularity_bytes} is not a power of two"
+            )
+        self.granularity_bytes = granularity_bytes
+        self._shift = log2_int(granularity_bytes)
+        self.reads: Dict[int, int] = {}
+        self.writes: Dict[int, int] = {}
+        self.dropped = 0
+
+    def process(
+        self,
+        cpu_id: int,
+        command: BusCommand,
+        address: int,
+        snoop_response: SnoopResponse,
+        now_cycle: float,
+    ) -> bool:
+        region = address >> self._shift
+        if command is BusCommand.READ:
+            table = self.reads
+        else:  # RWITM / DCLAIM / CASTOUT are all write-side traffic
+            table = self.writes
+        if region not in table and len(self.reads) + len(self.writes) >= TABLE_CAPACITY:
+            self.dropped += 1
+            return True
+        table[region] = table.get(region, 0) + 1
+        return True
+
+    def hottest(self, n: int = 10, kind: str = "total") -> List[Tuple[int, int]]:
+        """Top-``n`` (region number, count) pairs.
+
+        Args:
+            n: how many regions to report.
+            kind: ``"reads"``, ``"writes"`` or ``"total"``.
+        """
+        if kind == "reads":
+            table = self.reads
+        elif kind == "writes":
+            table = self.writes
+        elif kind == "total":
+            table = dict(self.reads)
+            for region, count in self.writes.items():
+                table[region] = table.get(region, 0) + count
+        else:
+            raise ConfigurationError(f"unknown kind {kind!r}")
+        return heapq.nlargest(n, table.items(), key=lambda item: (item[1], -item[0]))
+
+    def region_address(self, region: int) -> int:
+        """First byte address of a region number."""
+        return region << self._shift
+
+    def snapshot(self) -> dict:
+        return {
+            "hotspot.regions_tracked": len(self.reads) + len(self.writes),
+            "hotspot.reads": sum(self.reads.values()),
+            "hotspot.writes": sum(self.writes.values()),
+            "hotspot.dropped": self.dropped,
+        }
+
+    def reset(self) -> None:
+        self.reads.clear()
+        self.writes.clear()
+        self.dropped = 0

@@ -1,0 +1,303 @@
+"""NUMA sparse-directory coherence emulation firmware.
+
+Section 2.3: "MemorIES can also emulate NUMA directory protocols, for
+example, a system with 4 NUMA nodes kept coherent using a sparse-directory
+cache coherence scheme.  The memory address space can be partitioned so that
+one of the 4 nodes is the 'home' for that particular partition ...  The
+private 256MB memory present in each of the 4 nodes can be partitioned to
+hold both the L3 tag directory and the sparse directory belonging to the
+corresponding 'home'.  If an entry gets evicted out of the sparse directory,
+then the other L3 nodes can be informed about the eviction so that the entry
+can also be invalidated in the other L3 tag directories."
+
+The firmware therefore gives every emulated node two structures:
+
+* an **L3 tag directory** for the node's processors (a plain
+  :class:`~repro.memories.cache_model.TagStateDirectory`), and
+* a **sparse directory** covering the slice of the address space the node is
+  home for: a set-associative table of (line → presence vector, dirty owner).
+
+Because the board is passive it cannot invalidate the host's real L1/L2
+caches (the paper suggests shrinking or disabling the host L2 to
+compensate); evictions *can* and do invalidate the emulated L3 directories.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.bus.transaction import BusCommand, SnoopResponse
+from repro.common.addr import AddressMap, is_power_of_two, log2_int
+from repro.common.errors import ConfigurationError
+from repro.memories.cache_model import TagStateDirectory
+from repro.memories.config import CacheNodeConfig
+from repro.memories.counters import CounterBank
+from repro.memories.protocol_table import LineState
+
+
+@dataclass
+class SparseEntry:
+    """One sparse-directory entry: who caches a home line, and how."""
+
+    presence: int = 0      # bit i set => node i's L3 holds the line
+    dirty_owner: int = -1  # node holding it modified, -1 when clean
+
+
+class SparseDirectory:
+    """Set-associative sparse directory for one home node's partition.
+
+    Args:
+        entries: total directory entries (the 'sparseness' knob — fewer
+            entries than cacheable lines forces evictions).
+        assoc: directory associativity.
+        line_size: coherence granularity in bytes.
+    """
+
+    def __init__(self, entries: int, assoc: int, line_size: int) -> None:
+        if entries % assoc != 0:
+            raise ConfigurationError(f"{entries} entries not divisible by {assoc}-way")
+        num_sets = entries // assoc
+        if not is_power_of_two(num_sets):
+            raise ConfigurationError(f"sparse set count {num_sets} not a power of two")
+        self.entries = entries
+        self.assoc = assoc
+        self.amap = AddressMap(line_size=line_size, num_sets=num_sets)
+        self._tags: List[List[int]] = [[] for _ in range(num_sets)]
+        self._data: List[List[SparseEntry]] = [[] for _ in range(num_sets)]
+        self.evictions = 0
+
+    def lookup(self, address: int) -> Optional[SparseEntry]:
+        """Find the entry for a line, refreshing its LRU position."""
+        set_index = self.amap.set_index(address)
+        tag = self.amap.tag(address)
+        tags = self._tags[set_index]
+        try:
+            way = tags.index(tag)
+        except ValueError:
+            return None
+        if way != 0:
+            tags.insert(0, tags.pop(way))
+            data = self._data[set_index]
+            data.insert(0, data.pop(way))
+        return self._data[set_index][0]
+
+    def allocate(self, address: int) -> Tuple[SparseEntry, Optional[Tuple[int, SparseEntry]]]:
+        """Install a fresh entry; returns (entry, evicted (address, entry) or None)."""
+        set_index = self.amap.set_index(address)
+        tag = self.amap.tag(address)
+        tags = self._tags[set_index]
+        data = self._data[set_index]
+        evicted = None
+        if len(tags) >= self.assoc:
+            victim_tag = tags.pop()
+            victim_entry = data.pop()
+            self.evictions += 1
+            evicted = (self.amap.rebuild(victim_tag, set_index), victim_entry)
+        entry = SparseEntry()
+        tags.insert(0, tag)
+        data.insert(0, entry)
+        return entry, evicted
+
+    def occupancy(self) -> float:
+        """Fraction of directory entries in use."""
+        used = sum(len(tags) for tags in self._tags)
+        return used / self.entries
+
+    def clear(self) -> None:
+        for tags in self._tags:
+            tags.clear()
+        for data in self._data:
+            data.clear()
+        self.evictions = 0
+
+
+class NumaDirectoryFirmware:
+    """Sparse-directory NUMA emulation over up to four home nodes.
+
+    Args:
+        l3_config: configuration of each node's emulated L3.
+        cpu_nodes: for every host CPU ID, the NUMA node it belongs to
+            (e.g. ``[0, 0, 1, 1, 2, 2, 3, 3]`` for 8 CPUs on 4 nodes).
+        sparse_entries: entries per home node's sparse directory.
+        sparse_assoc: sparse-directory associativity.
+        home_granularity: size of the address-interleaving unit that picks a
+            line's home node (defaults to 4 KB pages).
+    """
+
+    def __init__(
+        self,
+        l3_config: CacheNodeConfig,
+        cpu_nodes: Sequence[int],
+        sparse_entries: int = 4096,
+        sparse_assoc: int = 4,
+        home_granularity: int = 4096,
+    ) -> None:
+        if not cpu_nodes:
+            raise ConfigurationError("cpu_nodes must not be empty")
+        self.n_nodes = max(cpu_nodes) + 1
+        if self.n_nodes > 4:
+            raise ConfigurationError("the board emulates at most 4 NUMA nodes")
+        if not is_power_of_two(home_granularity):
+            raise ConfigurationError("home granularity must be a power of two")
+        self.cpu_nodes = tuple(cpu_nodes)
+        self._home_shift = log2_int(home_granularity)
+        self.l3_config = l3_config
+        self.l3: List[TagStateDirectory] = [
+            TagStateDirectory(l3_config) for _ in range(self.n_nodes)
+        ]
+        self.sparse: List[SparseDirectory] = [
+            SparseDirectory(sparse_entries, sparse_assoc, l3_config.line_size)
+            for _ in range(self.n_nodes)
+        ]
+        self.counters = CounterBank(prefix="numa")
+
+    def home_of(self, address: int) -> int:
+        """Home node of an address (page-interleaved partitioning)."""
+        return (address >> self._home_shift) % self.n_nodes
+
+    def process(
+        self,
+        cpu_id: int,
+        command: BusCommand,
+        address: int,
+        snoop_response: SnoopResponse,
+        now_cycle: float,
+    ) -> bool:
+        if cpu_id >= len(self.cpu_nodes):
+            # Unmapped master (I/O); writes invalidate everywhere.
+            if command is not BusCommand.READ:
+                self._invalidate_everywhere(address)
+            return True
+        node = self.cpu_nodes[cpu_id]
+        home = self.home_of(address)
+        counters = self.counters
+        if node == home:
+            counters.increment("requests.local")
+        else:
+            counters.increment("requests.remote")
+
+        is_write = command in (BusCommand.RWITM, BusCommand.DCLAIM, BusCommand.CASTOUT)
+        l3 = self.l3[node]
+        set_index, tag, way = l3.probe(address)
+
+        if way >= 0:
+            counters.increment("l3.hits")
+            state = LineState(l3.state_at(set_index, way))
+            if is_write and state is LineState.SHARED:
+                # Upgrade: home directory must invalidate other sharers.
+                self._directory_write(node, address)
+                l3.set_state(set_index, way, int(LineState.MODIFIED))
+            elif is_write:
+                l3.set_state(set_index, way, int(LineState.MODIFIED))
+            l3.touch(set_index, way)
+            return True
+
+        counters.increment("l3.misses")
+        if is_write:
+            sharers = self._directory_write(node, address)
+            fill = LineState.MODIFIED
+        else:
+            sharers = self._directory_read(node, address)
+            fill = LineState.SHARED if sharers else LineState.EXCLUSIVE
+        evicted = l3.install(set_index, tag, int(fill))
+        if evicted is not None:
+            victim_addr, _victim_state = evicted
+            self._drop_presence(node, victim_addr)
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Home-directory actions
+    # ------------------------------------------------------------------ #
+
+    def _entry_for(self, address: int) -> SparseEntry:
+        home = self.home_of(address)
+        directory = self.sparse[home]
+        entry = directory.lookup(address)
+        if entry is None:
+            self.counters.increment("sparse.misses")
+            entry, evicted = directory.allocate(address)
+            if evicted is not None:
+                victim_addr, victim_entry = evicted
+                self.counters.increment("sparse.evictions")
+                self._invalidate_presence(victim_addr, victim_entry.presence)
+        else:
+            self.counters.increment("sparse.hits")
+        return entry
+
+    def _directory_read(self, node: int, address: int) -> int:
+        """Register a read; returns the pre-existing sharer set (sans node)."""
+        entry = self._entry_for(address)
+        others = entry.presence & ~(1 << node)
+        if entry.dirty_owner >= 0 and entry.dirty_owner != node:
+            self.counters.increment("interventions.dirty")
+            entry.dirty_owner = -1
+        entry.presence |= 1 << node
+        return others
+
+    def _directory_write(self, node: int, address: int) -> int:
+        """Register a write; invalidates all other sharers' L3 copies."""
+        entry = self._entry_for(address)
+        others = entry.presence & ~(1 << node)
+        if others:
+            self._invalidate_presence(address, others)
+        if entry.dirty_owner >= 0 and entry.dirty_owner != node:
+            self.counters.increment("interventions.dirty")
+        entry.presence = 1 << node
+        entry.dirty_owner = node
+        return others
+
+    def _invalidate_presence(self, address: int, presence: int) -> None:
+        """Invalidate an address in every L3 named by a presence vector."""
+        for node in range(self.n_nodes):
+            if presence & (1 << node):
+                l3 = self.l3[node]
+                set_index, _tag, way = l3.probe(address)
+                if way >= 0:
+                    l3.invalidate(set_index, way)
+                    self.counters.increment("invalidations.sent")
+
+    def _drop_presence(self, node: int, address: int) -> None:
+        """An L3 evicted a line; clear its presence bit at the home."""
+        home = self.home_of(address)
+        entry = self.sparse[home].lookup(address)
+        if entry is not None:
+            entry.presence &= ~(1 << node)
+            if entry.dirty_owner == node:
+                entry.dirty_owner = -1
+
+    def _invalidate_everywhere(self, address: int) -> None:
+        home = self.home_of(address)
+        entry = self.sparse[home].lookup(address)
+        if entry is not None and entry.presence:
+            self._invalidate_presence(address, entry.presence)
+            entry.presence = 0
+            entry.dirty_owner = -1
+
+    # ------------------------------------------------------------------ #
+    # Console interface
+    # ------------------------------------------------------------------ #
+
+    def remote_access_fraction(self) -> float:
+        """Fraction of requests whose home is a different node."""
+        local = self.counters.read("requests.local")
+        remote = self.counters.read("requests.remote")
+        total = local + remote
+        if total == 0:
+            return 0.0
+        return remote / total
+
+    def snapshot(self) -> dict:
+        merged = self.counters.snapshot()
+        for node, directory in enumerate(self.sparse):
+            merged[f"numa.sparse{node}.occupancy_pct"] = int(
+                directory.occupancy() * 100
+            )
+        return merged
+
+    def reset(self) -> None:
+        self.counters.reset()
+        for l3 in self.l3:
+            l3.clear()
+        for directory in self.sparse:
+            directory.clear()

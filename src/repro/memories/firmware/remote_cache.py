@@ -1,0 +1,128 @@
+"""Remote-cache emulation firmware.
+
+Section 2.3: "In a similar vein, MemorIES can also model NUMA nodes with
+remote caches.  The private 256MB memory belonging to each node can hold
+both the L3 tag directory as well as the remote cache tag directory."
+
+A *remote cache* holds only lines whose home is a **different** node: it
+shortcuts the NUMA interconnect for repeatedly used remote data.  Each
+emulated node therefore carries two directories — the L3 (all lines) and the
+remote cache (remote-home lines only) — and the firmware reports how many
+remote references the remote cache absorbs, the figure of merit for sizing
+such caches.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.bus.transaction import BusCommand, SnoopResponse
+from repro.common.addr import is_power_of_two, log2_int
+from repro.common.errors import ConfigurationError
+from repro.memories.cache_model import TagStateDirectory
+from repro.memories.config import CacheNodeConfig
+from repro.memories.counters import CounterBank
+from repro.memories.protocol_table import LineState
+
+
+class RemoteCacheFirmware:
+    """Per-node L3 plus remote-cache directories.
+
+    Args:
+        l3_config: each node's emulated L3 configuration.
+        remote_config: each node's remote-cache configuration (usually
+            smaller than the L3).
+        cpu_nodes: NUMA node of every host CPU ID.
+        home_granularity: address-interleaving unit for home assignment.
+    """
+
+    def __init__(
+        self,
+        l3_config: CacheNodeConfig,
+        remote_config: CacheNodeConfig,
+        cpu_nodes: Sequence[int],
+        home_granularity: int = 4096,
+    ) -> None:
+        if not cpu_nodes:
+            raise ConfigurationError("cpu_nodes must not be empty")
+        self.n_nodes = max(cpu_nodes) + 1
+        if self.n_nodes > 4:
+            raise ConfigurationError("the board emulates at most 4 NUMA nodes")
+        if not is_power_of_two(home_granularity):
+            raise ConfigurationError("home granularity must be a power of two")
+        self.cpu_nodes = tuple(cpu_nodes)
+        self._home_shift = log2_int(home_granularity)
+        self.l3: List[TagStateDirectory] = [
+            TagStateDirectory(l3_config) for _ in range(self.n_nodes)
+        ]
+        self.remote: List[TagStateDirectory] = [
+            TagStateDirectory(remote_config) for _ in range(self.n_nodes)
+        ]
+        self.counters = CounterBank(prefix="rcache")
+
+    def home_of(self, address: int) -> int:
+        """Home node of an address."""
+        return (address >> self._home_shift) % self.n_nodes
+
+    def process(
+        self,
+        cpu_id: int,
+        command: BusCommand,
+        address: int,
+        snoop_response: SnoopResponse,
+        now_cycle: float,
+    ) -> bool:
+        if cpu_id >= len(self.cpu_nodes):
+            return True  # I/O master: out of scope for remote-cache sizing
+        node = self.cpu_nodes[cpu_id]
+        home = self.home_of(address)
+        counters = self.counters
+        is_write = command in (BusCommand.RWITM, BusCommand.DCLAIM, BusCommand.CASTOUT)
+        state = LineState.MODIFIED if is_write else LineState.SHARED
+
+        # L3 is checked first regardless of the line's home.
+        l3 = self.l3[node]
+        set_index, tag, way = l3.probe(address)
+        if way >= 0:
+            counters.increment("l3.hits")
+            if is_write:
+                l3.set_state(set_index, way, int(LineState.MODIFIED))
+            l3.touch(set_index, way)
+            return True
+        counters.increment("l3.misses")
+        l3.install(set_index, tag, int(state))
+
+        if home == node:
+            counters.increment("local.misses")
+            return True
+
+        # Remote-home miss: does the remote cache absorb the interconnect trip?
+        counters.increment("remote.references")
+        remote = self.remote[node]
+        r_set, r_tag, r_way = remote.probe(address)
+        if r_way >= 0:
+            counters.increment("remote.hits")
+            if is_write:
+                remote.set_state(r_set, r_way, int(LineState.MODIFIED))
+            remote.touch(r_set, r_way)
+        else:
+            counters.increment("remote.misses")
+            remote.install(r_set, r_tag, int(state))
+        return True
+
+    def remote_hit_ratio(self) -> float:
+        """Fraction of remote-home L3 misses the remote cache satisfied."""
+        references = self.counters.read("remote.references")
+        if references == 0:
+            return 0.0
+        return self.counters.read("remote.hits") / references
+
+    def snapshot(self) -> dict:
+        return self.counters.snapshot()
+
+    def reset(self) -> None:
+        self.counters.reset()
+        for directory in self.l3:
+            directory.clear()
+        for directory in self.remote:
+            directory.clear()

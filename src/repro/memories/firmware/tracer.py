@@ -1,0 +1,76 @@
+"""Real-time bus trace collection firmware.
+
+Section 2.3: "The on-board memory ... can be used to collect bus traces from
+the host machine and later dump to a disk in the console machine.  The
+current revision of the MemorIES board is capable of collecting traces
+containing up to 1 billion 8-byte wide bus references at a time ...
+MemorIES requires no such stoppage [unlike a logic analyser], allowing for
+the collection of large traces without gaps."
+
+This firmware is how live host runs become the repeatable offline traces the
+paper's case studies lean on: plug a board running it into a
+:class:`~repro.host.smp.HostSMP`, run the workload, then :meth:`to_trace` or
+:meth:`save`.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+from repro.bus.trace import BOARD_TRACE_CAPACITY, BusTrace, TraceWriter
+from repro.bus.transaction import BusCommand, SnoopResponse
+
+
+class TraceCollectorFirmware:
+    """Capture the filtered memory-reference stream into on-board SDRAM.
+
+    Args:
+        capacity: maximum records (defaults to the board's 10^9 limit).
+
+    Attributes:
+        overflowed: True once references arrived after the buffer filled;
+            the board keeps running (it is passive) but stops recording,
+            and the console is expected to notice via this flag.
+    """
+
+    def __init__(self, capacity: int = BOARD_TRACE_CAPACITY) -> None:
+        self.writer = TraceWriter(capacity=capacity)
+        self.overflowed = False
+
+    def process(
+        self,
+        cpu_id: int,
+        command: BusCommand,
+        address: int,
+        snoop_response: SnoopResponse,
+        now_cycle: float,
+    ) -> bool:
+        recorded = self.writer.append_raw(
+            cpu_id, int(command), address, int(snoop_response)
+        )
+        if not recorded:
+            self.overflowed = True
+        return True
+
+    def __len__(self) -> int:
+        return len(self.writer)
+
+    def to_trace(self) -> BusTrace:
+        """Snapshot the captured records as an in-memory trace."""
+        return self.writer.to_trace()
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Dump the captured trace to the console machine's disk."""
+        self.writer.save(path)
+
+    def snapshot(self) -> dict:
+        return {
+            "tracer.records": len(self.writer),
+            "tracer.capacity": self.writer.capacity,
+            "tracer.overflowed": int(self.overflowed),
+        }
+
+    def reset(self) -> None:
+        self.writer = TraceWriter(capacity=self.writer.capacity)
+        self.overflowed = False

@@ -1,0 +1,53 @@
+"""The global events counter and buffer FPGA.
+
+Second stage of the board pipeline (Section 3.1): keeps machine-wide event
+counters — bus cycles, tenures by command, traffic per requesting bus ID —
+and forwards each transaction toward the node controller that owns the
+requesting CPU.  The per-command and per-CPU counters are what the console
+reads to report bus utilization and read/write ratios.
+"""
+
+from __future__ import annotations
+
+from repro.bus.transaction import BusCommand
+from repro.memories.counters import CounterBank
+
+_COMMAND_COUNTER = {
+    BusCommand.READ: "bus.reads",
+    BusCommand.RWITM: "bus.rwitms",
+    BusCommand.DCLAIM: "bus.dclaims",
+    BusCommand.CASTOUT: "bus.castouts",
+}
+
+
+class GlobalEventsCounter:
+    """Global 40-bit counters over the filtered transaction stream."""
+
+    def __init__(self) -> None:
+        self.counters = CounterBank(prefix="global")
+
+    def record(self, cpu_id: int, command: BusCommand, cycles_elapsed: float) -> None:
+        """Account one forwarded tenure."""
+        counters = self.counters
+        counters.increment("bus.tenures")
+        counters.increment("bus.cycles", int(cycles_elapsed))
+        name = _COMMAND_COUNTER.get(command)
+        if name is not None:
+            counters.increment(name)
+        counters.increment(f"cpu.{cpu_id}")
+
+    def read_write_ratio(self) -> float:
+        """Reads per write-intent tenure (RWITM + DCLAIM)."""
+        counters = self.counters
+        writes = counters.read("bus.rwitms") + counters.read("bus.dclaims")
+        if writes == 0:
+            return float("inf") if counters.read("bus.reads") else 0.0
+        return counters.read("bus.reads") / writes
+
+    def snapshot(self) -> dict:
+        """Qualified counter dict for console statistics extraction."""
+        return self.counters.snapshot()
+
+    def reset(self) -> None:
+        """Console re-initialisation."""
+        self.counters.reset()

@@ -1,0 +1,361 @@
+"""Programmable coherence-protocol state tables.
+
+Section 3.2 of the paper: "cache state transitions are modeled as a lookup
+table which consists of the type of memory operation, the current state of
+the cache entry, and the resulting state ...  The table lookup map file is
+loaded into each cache node controller FPGA during the initialization phase.
+Different state table files could be loaded to different node controller
+FPGAs to experiment with different coherence protocols during the same
+measurement."
+
+This module is that mechanism in software.  A :class:`ProtocolTable` maps
+``(operation, current state)`` to ``(next state, hit?)`` plus *fill rules*
+that pick the allocation state of a missing line depending on whether another
+emulated node holds a copy.  Tables serialise to and from plain dictionaries
+(the "map file"), and three firmware-builtin protocols ship: MSI, MESI and
+MOESI.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Mapping, Tuple, Union
+
+from repro.common.errors import ProtocolError
+
+
+class CacheOp(enum.IntEnum):
+    """Operations a node controller applies to its directory.
+
+    ``LOCAL_*`` operations come from CPUs mapped to this node;
+    ``REMOTE_*`` operations are tenures from CPUs of *other* emulated nodes,
+    which the controller snoops to keep multiple emulated caches coherent.
+    """
+
+    LOCAL_READ = 0
+    LOCAL_WRITE = 1       # RWITM or DCLAIM from a local CPU
+    LOCAL_CASTOUT = 2     # dirty L2 line written back into this cache
+    REMOTE_READ = 3
+    REMOTE_WRITE = 4
+
+
+class LineState(enum.IntEnum):
+    """Superset of states used by the shipped protocols.
+
+    A given protocol table may use only a subset (MSI never produces
+    ``EXCLUSIVE`` or ``OWNED``).
+    """
+
+    INVALID = 0
+    SHARED = 1
+    EXCLUSIVE = 2
+    MODIFIED = 3
+    OWNED = 4
+
+    @property
+    def is_valid(self) -> bool:
+        return self is not LineState.INVALID
+
+    @property
+    def is_dirty(self) -> bool:
+        """States whose eviction requires a write-back."""
+        return self in (LineState.MODIFIED, LineState.OWNED)
+
+
+@dataclass(frozen=True)
+class Transition:
+    """Result of one table lookup.
+
+    Attributes:
+        next_state: state the line moves to.
+        is_hit: whether the operation counts as a cache hit (it found valid
+            data, or for remote ops, whether this node supplied data).
+    """
+
+    next_state: LineState
+    is_hit: bool
+
+
+@dataclass(frozen=True)
+class FillRules:
+    """Allocation states for lines installed on a miss.
+
+    Attributes:
+        read_shared: state after a local read miss when some other emulated
+            node holds the line.
+        read_alone: state after a local read miss when no other node holds
+            the line.
+        write: state after a local write (RWITM) miss.
+    """
+
+    read_shared: LineState
+    read_alone: LineState
+    write: LineState
+
+
+class ProtocolTable:
+    """One loadable protocol: a transition table plus fill rules.
+
+    Args:
+        name: protocol name (reported by the console).
+        states: states this protocol may place a line in (excluding INVALID).
+        transitions: mapping from (op, current valid state) to Transition.
+        fill: allocation rules for misses.
+
+    Raises:
+        ProtocolError: if the table is not *closed* — i.e. some
+            (operation, state) pair for a declared state is undefined, or a
+            transition produces an undeclared state.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        states: Tuple[LineState, ...],
+        transitions: Mapping[Tuple[CacheOp, LineState], Transition],
+        fill: FillRules,
+    ) -> None:
+        self.name = name
+        self.states = tuple(states)
+        self.fill = fill
+        self._table: Dict[Tuple[int, int], Transition] = {
+            (int(op), int(state)): transition
+            for (op, state), transition in transitions.items()
+        }
+        self._check_closed()
+
+    def _check_closed(self) -> None:
+        declared = set(self.states)
+        if LineState.INVALID in declared:
+            raise ProtocolError(f"{self.name}: INVALID must not be declared")
+        for op in CacheOp:
+            for state in declared:
+                transition = self._table.get((int(op), int(state)))
+                if transition is None:
+                    raise ProtocolError(
+                        f"{self.name}: missing transition ({op.name}, {state.name})"
+                    )
+                if (
+                    transition.next_state is not LineState.INVALID
+                    and transition.next_state not in declared
+                ):
+                    raise ProtocolError(
+                        f"{self.name}: transition ({op.name}, {state.name}) "
+                        f"produces undeclared state {transition.next_state.name}"
+                    )
+        for label, state in (
+            ("read_shared", self.fill.read_shared),
+            ("read_alone", self.fill.read_alone),
+            ("write", self.fill.write),
+        ):
+            if state not in declared:
+                raise ProtocolError(
+                    f"{self.name}: fill rule {label} uses undeclared "
+                    f"state {state.name}"
+                )
+
+    def lookup(self, op: CacheOp, state: LineState) -> Transition:
+        """Table lookup; raises ProtocolError on an undefined pair."""
+        transition = self._table.get((int(op), int(state)))
+        if transition is None:
+            raise ProtocolError(
+                f"{self.name}: undefined transition ({op.name}, {state.name})"
+            )
+        return transition
+
+    def raw_table(self) -> Dict[Tuple[int, int], Transition]:
+        """The underlying int-keyed table (node controllers inline this)."""
+        return self._table
+
+    # ------------------------------------------------------------------ #
+    # Map-file serialisation
+    # ------------------------------------------------------------------ #
+
+    def to_map(self) -> dict:
+        """Serialise to the JSON-compatible 'map file' structure."""
+        return {
+            "name": self.name,
+            "states": [state.name for state in self.states],
+            "fill": {
+                "read_shared": self.fill.read_shared.name,
+                "read_alone": self.fill.read_alone.name,
+                "write": self.fill.write.name,
+            },
+            "transitions": [
+                {
+                    "op": CacheOp(op).name,
+                    "state": LineState(state).name,
+                    "next": transition.next_state.name,
+                    "hit": transition.is_hit,
+                }
+                for (op, state), transition in sorted(self._table.items())
+            ],
+        }
+
+    @classmethod
+    def from_map(cls, data: Mapping) -> "ProtocolTable":
+        """Deserialise a map file produced by :meth:`to_map`."""
+        try:
+            states = tuple(LineState[name] for name in data["states"])
+            fill = FillRules(
+                read_shared=LineState[data["fill"]["read_shared"]],
+                read_alone=LineState[data["fill"]["read_alone"]],
+                write=LineState[data["fill"]["write"]],
+            )
+            transitions = {
+                (CacheOp[entry["op"]], LineState[entry["state"]]): Transition(
+                    next_state=LineState[entry["next"]],
+                    is_hit=bool(entry["hit"]),
+                )
+                for entry in data["transitions"]
+            }
+        except (KeyError, TypeError) as exc:
+            raise ProtocolError(f"malformed protocol map file: {exc}") from exc
+        return cls(str(data["name"]), states, transitions, fill)
+
+    def render(self) -> str:
+        """ASCII state-transition table (what the console shows on demand).
+
+        Rows are current states, columns operations; each cell shows the
+        next state, with ``*`` marking transitions that supply data.
+        """
+        ops = list(CacheOp)
+        header = ["state"] + [op.name for op in ops]
+        widths = [max(len(header[0]), 9)] + [
+            max(len(op.name), 10) for op in ops
+        ]
+        lines = [f"protocol {self.name!r}"]
+        lines.append(
+            "  ".join(h.ljust(w) for h, w in zip(header, widths))
+        )
+        lines.append("  ".join("-" * w for w in widths))
+        for state in self.states:
+            cells = [state.name.ljust(widths[0])]
+            for op, width in zip(ops, widths[1:]):
+                transition = self.lookup(op, state)
+                text = transition.next_state.name + (
+                    "*" if transition.is_hit else ""
+                )
+                cells.append(text.ljust(width))
+            lines.append("  ".join(cells))
+        lines.append(
+            f"fills: read_shared={self.fill.read_shared.name} "
+            f"read_alone={self.fill.read_alone.name} "
+            f"write={self.fill.write.name}   (* = supplies data / hit)"
+        )
+        return "\n".join(lines)
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Write the map file to disk (what the console uploads to FPGAs)."""
+        Path(path).write_text(json.dumps(self.to_map(), indent=2))
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "ProtocolTable":
+        """Read a map file from disk."""
+        return cls.from_map(json.loads(Path(path).read_text()))
+
+
+# ---------------------------------------------------------------------- #
+# Firmware-builtin protocols
+# ---------------------------------------------------------------------- #
+
+_I, _S, _E, _M, _O = (
+    LineState.INVALID,
+    LineState.SHARED,
+    LineState.EXCLUSIVE,
+    LineState.MODIFIED,
+    LineState.OWNED,
+)
+_LR, _LW, _LC, _RR, _RW = (
+    CacheOp.LOCAL_READ,
+    CacheOp.LOCAL_WRITE,
+    CacheOp.LOCAL_CASTOUT,
+    CacheOp.REMOTE_READ,
+    CacheOp.REMOTE_WRITE,
+)
+
+
+def _msi() -> ProtocolTable:
+    transitions = {
+        (_LR, _S): Transition(_S, True),
+        (_LR, _M): Transition(_M, True),
+        (_LW, _S): Transition(_M, True),
+        (_LW, _M): Transition(_M, True),
+        (_LC, _S): Transition(_M, True),
+        (_LC, _M): Transition(_M, True),
+        (_RR, _S): Transition(_S, False),
+        (_RR, _M): Transition(_S, True),   # supplies dirty data
+        (_RW, _S): Transition(_I, False),
+        (_RW, _M): Transition(_I, True),   # supplies dirty data, then dies
+    }
+    fill = FillRules(read_shared=_S, read_alone=_S, write=_M)
+    return ProtocolTable("msi", (_S, _M), transitions, fill)
+
+
+def _mesi() -> ProtocolTable:
+    transitions = {
+        (_LR, _S): Transition(_S, True),
+        (_LR, _E): Transition(_E, True),
+        (_LR, _M): Transition(_M, True),
+        (_LW, _S): Transition(_M, True),
+        (_LW, _E): Transition(_M, True),
+        (_LW, _M): Transition(_M, True),
+        (_LC, _S): Transition(_M, True),
+        (_LC, _E): Transition(_M, True),
+        (_LC, _M): Transition(_M, True),
+        (_RR, _S): Transition(_S, False),
+        (_RR, _E): Transition(_S, False),
+        (_RR, _M): Transition(_S, True),
+        (_RW, _S): Transition(_I, False),
+        (_RW, _E): Transition(_I, False),
+        (_RW, _M): Transition(_I, True),
+    }
+    fill = FillRules(read_shared=_S, read_alone=_E, write=_M)
+    return ProtocolTable("mesi", (_S, _E, _M), transitions, fill)
+
+
+def _moesi() -> ProtocolTable:
+    transitions = {
+        (_LR, _S): Transition(_S, True),
+        (_LR, _E): Transition(_E, True),
+        (_LR, _M): Transition(_M, True),
+        (_LR, _O): Transition(_O, True),
+        (_LW, _S): Transition(_M, True),
+        (_LW, _E): Transition(_M, True),
+        (_LW, _M): Transition(_M, True),
+        (_LW, _O): Transition(_M, True),
+        (_LC, _S): Transition(_M, True),
+        (_LC, _E): Transition(_M, True),
+        (_LC, _M): Transition(_M, True),
+        (_LC, _O): Transition(_M, True),
+        (_RR, _S): Transition(_S, False),
+        (_RR, _E): Transition(_S, False),
+        (_RR, _M): Transition(_O, True),   # keep ownership, supply data
+        (_RR, _O): Transition(_O, True),   # owner keeps supplying
+        (_RW, _S): Transition(_I, False),
+        (_RW, _E): Transition(_I, False),
+        (_RW, _M): Transition(_I, True),
+        (_RW, _O): Transition(_I, True),
+    }
+    fill = FillRules(read_shared=_S, read_alone=_E, write=_M)
+    return ProtocolTable("moesi", (_S, _E, _M, _O), transitions, fill)
+
+
+_BUILTINS = {"msi": _msi, "mesi": _mesi, "moesi": _moesi}
+
+
+def load_protocol(name: str) -> ProtocolTable:
+    """Return a fresh instance of a firmware-builtin protocol table.
+
+    Raises:
+        ProtocolError: for an unknown protocol name.
+    """
+    factory = _BUILTINS.get(name.lower())
+    if factory is None:
+        raise ProtocolError(
+            f"unknown protocol {name!r}; builtins are {sorted(_BUILTINS)}"
+        )
+    return factory()

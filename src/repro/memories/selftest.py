@@ -1,0 +1,161 @@
+"""Board self-test: the console's power-on diagnostic.
+
+Section 3.1: the console FPGA "is necessary for all diagnostic activities".
+This module is that diagnostic: it drives a deterministic test pattern
+through the whole pipeline — filter, global counters, node controller,
+directory, protocol table, transaction buffer — and checks every observable
+against values computed from first principles.  A wrong counter pinpoints
+the stage that broke.
+
+Run it through the console::
+
+    console = MemoriesConsole()
+    board = console.power_up(machine)
+    print(run_self_test(board).render())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.bus.transaction import BusCommand, BusTransaction, SnoopResponse
+from repro.common.errors import ConfigurationError
+from repro.memories.board import CacheEmulationFirmware, MemoriesBoard
+from repro.memories.protocol_table import LineState
+
+
+@dataclass
+class SelfTestResult:
+    """Outcome of one diagnostic run."""
+
+    checks: List[tuple] = field(default_factory=list)  # (name, ok, detail)
+
+    @property
+    def passed(self) -> bool:
+        return all(ok for _name, ok, _detail in self.checks)
+
+    def record(self, name: str, ok: bool, detail: str = "") -> None:
+        self.checks.append((name, ok, detail))
+
+    def render(self) -> str:
+        lines = ["MemorIES self-test: " + ("PASS" if self.passed else "FAIL")]
+        for name, ok, detail in self.checks:
+            status = "ok  " if ok else "FAIL"
+            suffix = f" ({detail})" if detail and not ok else ""
+            lines.append(f"  [{status}] {name}{suffix}")
+        return "\n".join(lines)
+
+
+def run_self_test(board: MemoriesBoard) -> SelfTestResult:
+    """Exercise the board's pipeline with a known pattern.
+
+    The board is reset before and after; the test needs cache-emulation
+    firmware with at least one node observing CPU 0.
+
+    Raises:
+        ConfigurationError: wrong firmware, or CPU 0 unmapped.
+    """
+    firmware = board.firmware
+    if not isinstance(firmware, CacheEmulationFirmware):
+        raise ConfigurationError("self-test requires cache-emulation firmware")
+    node = next((n for n in firmware.nodes if 0 in n.cpus), None)
+    if node is None:
+        raise ConfigurationError("self-test needs a node observing CPU 0")
+
+    board.reset()
+    result = SelfTestResult()
+    line = node.config.line_size
+
+    def observe(cpu, command, address, response=SnoopResponse.NULL):
+        """Drive one tenure; a crash anywhere in the pipeline is a FAIL,
+        not a console crash (a diagnostic must survive broken hardware)."""
+        from repro.common.errors import ReproError
+
+        try:
+            board.observe(
+                BusTransaction(cpu, command, address, snoop_response=response)
+            )
+        except ReproError as error:
+            result.record(
+                f"pipeline raised on {command.name}", False, str(error)
+            )
+
+    # 1. Filter: non-memory and retried tenures must be discarded.
+    observe(0, BusCommand.IO_READ, 0x0)
+    observe(0, BusCommand.INTERRUPT, 0x0)
+    observe(0, BusCommand.READ, 0x0, SnoopResponse.RETRY)
+    filter_stats = board.address_filter.stats
+    result.record(
+        "address filter discards I/O, interrupts and retried tenures",
+        filter_stats.filtered_io == 1
+        and filter_stats.filtered_interrupts == 1
+        and filter_stats.filtered_retried == 1
+        and filter_stats.forwarded == 0,
+        f"forwarded={filter_stats.forwarded}",
+    )
+
+    # 2. Cold read then re-read: one miss, one hit, exclusive fill (MESI)
+    #    or the protocol's read_alone state in general.
+    observe(0, BusCommand.READ, 0x10 * line)
+    observe(0, BusCommand.READ, 0x10 * line)
+    result.record(
+        "cold read misses, warm read hits",
+        node.counters.read("miss.read") == 1 and node.counters.read("hit.read") == 1,
+        f"miss={node.counters.read('miss.read')} hit={node.counters.read('hit.read')}",
+    )
+    expected_fill = node.protocol.fill.read_alone
+    result.record(
+        f"read-alone fill state is {expected_fill.name}",
+        node.directory.lookup_state(0x10 * line) == int(expected_fill),
+    )
+
+    # 3. RWITM dirties; the dirty line's eviction must be counted.
+    observe(0, BusCommand.RWITM, 0x20 * line)
+    result.record(
+        "RWITM fills the write state",
+        node.directory.lookup_state(0x20 * line)
+        == int(node.protocol.fill.write),
+    )
+
+    # 4. Castout for an absent line: the Section 3.4 non-inclusive path.
+    observe(0, BusCommand.CASTOUT, 0x30 * line)
+    result.record(
+        "castout of an absent line allocates dirty (non-inclusive cache)",
+        node.counters.read("inclusion.castout_miss") == 1
+        and LineState(node.directory.lookup_state(0x30 * line)).is_dirty,
+    )
+
+    # 5. Snoop-hint attribution: a MODIFIED response is a mod-int.
+    observe(0, BusCommand.READ, 0x40 * line, SnoopResponse.MODIFIED)
+    result.record(
+        "modified snoop response attributed as intervention",
+        node.counters.read("satisfied.mod_int") == 1,
+    )
+
+    # 6. Global counters saw exactly the forwarded tenures.
+    tenures = board.global_counter.counters.read("bus.tenures")
+    result.record(
+        "global counter matches forwarded tenures",
+        tenures == board.address_filter.stats.forwarded == 5,
+        f"tenures={tenures}",
+    )
+
+    # 7. Transaction buffer accounted every directory operation.
+    accepted = node.buffer.stats.accepted
+    result.record(
+        "transaction buffer accepted every operation without retries",
+        accepted >= 5 and node.buffer.stats.rejected == 0,
+        f"accepted={accepted}",
+    )
+
+    # 8. Clock: five tenures advanced the emulated clock accordingly.
+    expected_cycles = 8 * board.cycles_per_tenure
+    result.record(
+        "board clock advanced per observed tenure",
+        abs(board.now_cycle - expected_cycles) < 1e-9,
+        f"now={board.now_cycle} expected={expected_cycles}",
+    )
+
+    board.reset()
+    return result

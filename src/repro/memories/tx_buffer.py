@@ -1,0 +1,133 @@
+"""Transaction buffering and the SDRAM throughput model.
+
+Section 3.3 of the paper: the SDRAM implementing the state/tag/LRU
+functions sustains roughly **42% of the maximum 6xx bus bandwidth**.  To
+ride out bursts above that rate the board buffers transactions — the address
+filter accepts operations at the full 100 MHz bus rate, and each node
+controller has a **512-entry** transaction buffer pacing its SDRAM directory
+operations.  Only when the buffers are completely full does the address
+filter post a **retry** on the bus (the one active thing the otherwise
+passive board can do); the authors report this never happened below 42%
+sustained utilization.
+
+:class:`TransactionBuffer` models one such queue with a deterministic
+service time per operation, measured in bus cycles.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Optional
+
+#: SDRAM directory throughput as a fraction of peak bus tenure bandwidth.
+SDRAM_BANDWIDTH_FRACTION = 0.42
+
+#: Node-controller transaction buffer depth (Section 3.3).
+NODE_BUFFER_ENTRIES = 512
+
+#: Address-filter burst buffer depth (absorbs scheduling jitter between the
+#: bus and the node controllers; the paper gives no number, sized generously).
+FILTER_BUFFER_ENTRIES = 64
+
+
+def service_cycles_per_op(
+    bandwidth_fraction: float = SDRAM_BANDWIDTH_FRACTION,
+    tenure_cycles: int = 2,
+) -> float:
+    """Bus cycles one directory operation occupies the SDRAM.
+
+    A bus that issues one tenure every ``tenure_cycles`` at 100% utilization
+    offers ``1/tenure_cycles`` ops/cycle; SDRAM sustains ``bandwidth_fraction``
+    of that, i.e. one op per ``tenure_cycles / fraction`` cycles.
+    """
+    if not 0 < bandwidth_fraction <= 1:
+        raise ValueError(f"bandwidth fraction {bandwidth_fraction} out of (0, 1]")
+    return tenure_cycles / bandwidth_fraction
+
+
+@dataclass
+class BufferStats:
+    """Occupancy and overflow statistics for one transaction buffer."""
+
+    accepted: int = 0
+    rejected: int = 0
+    high_water: int = 0
+
+    @property
+    def ever_rejected(self) -> bool:
+        """True if the buffer ever forced a bus retry."""
+        return self.rejected > 0
+
+
+class TransactionBuffer:
+    """A fixed-depth queue drained at a deterministic service rate.
+
+    Each accepted operation completes ``service_cycles`` after the later of
+    its arrival and the previous operation's completion (a single-server
+    deterministic queue).  :meth:`offer` returns False — meaning the board
+    must post a retry — only when ``capacity`` operations are still
+    in flight.
+
+    Args:
+        capacity: queue depth (512 for node controllers).
+        service_cycles: bus cycles per directory operation.
+    """
+
+    def __init__(
+        self,
+        capacity: int = NODE_BUFFER_ENTRIES,
+        service_cycles: float = service_cycles_per_op(),
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("buffer capacity must be >= 1")
+        self.capacity = capacity
+        self.service_cycles = float(service_cycles)
+        self.stats = BufferStats()
+        self._finish_times: deque[float] = deque()
+        self._last_finish = 0.0
+
+    def occupancy(self, now_cycle: float) -> int:
+        """Operations still in flight at ``now_cycle``."""
+        self._drain(now_cycle)
+        return len(self._finish_times)
+
+    def _drain(self, now_cycle: float) -> None:
+        finish_times = self._finish_times
+        while finish_times and finish_times[0] <= now_cycle:
+            finish_times.popleft()
+
+    def offer(self, now_cycle: float, service_cycles: Optional[float] = None) -> bool:
+        """Try to enqueue one operation arriving at ``now_cycle``.
+
+        Returns True when accepted; False when the buffer is full (the
+        caller must post a bus retry, which the paper's Section 3.3 notes
+        has never been observed in practice below 42% utilization).
+
+        Args:
+            now_cycle: arrival time in bus cycles.
+            service_cycles: per-operation service time override; a detailed
+                SDRAM model (see :mod:`repro.memories.sdram`) supplies
+                address-dependent costs here, otherwise the buffer's
+                constant applies.
+        """
+        self._drain(now_cycle)
+        if len(self._finish_times) >= self.capacity:
+            self.stats.rejected += 1
+            return False
+        cost = self.service_cycles if service_cycles is None else service_cycles
+        start = now_cycle if now_cycle > self._last_finish else self._last_finish
+        finish = start + cost
+        self._finish_times.append(finish)
+        self._last_finish = finish
+        self.stats.accepted += 1
+        depth = len(self._finish_times)
+        if depth > self.stats.high_water:
+            self.stats.high_water = depth
+        return True
+
+    def reset(self) -> None:
+        """Clear in-flight operations and statistics."""
+        self._finish_times.clear()
+        self._last_finish = 0.0
+        self.stats = BufferStats()

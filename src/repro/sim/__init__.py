@@ -1,0 +1,35 @@
+"""Baseline simulators and runtime models.
+
+The paper positions MemorIES against two software alternatives and validates
+it with one of them:
+
+* :mod:`repro.sim.trace_sim` — "a trace-driven C simulator (which was used
+  as one of the methods to validate the MemorIES design)".  Ours is an
+  independent implementation of the same single-node cache semantics; the
+  integration tests require it to produce *identical* hit/miss counts to
+  the board's emulation path on any trace.
+* :mod:`repro.sim.augmint` — an Augmint-like execution-driven simulator
+  model with per-event cost accounting.
+* :mod:`repro.sim.timing` — the analytic runtime models behind Tables 3
+  and 4 (board real-time arithmetic, C-simulator and Augmint slowdowns).
+"""
+
+from repro.sim.augmint import AugmintModel, AugmintResult
+from repro.sim.timing import (
+    augmint_runtime_seconds,
+    csim_runtime_seconds,
+    fft_host_runtime_seconds,
+    memories_runtime_seconds,
+)
+from repro.sim.trace_sim import TraceSimResult, TraceSimulator
+
+__all__ = [
+    "AugmintModel",
+    "AugmintResult",
+    "TraceSimResult",
+    "TraceSimulator",
+    "augmint_runtime_seconds",
+    "csim_runtime_seconds",
+    "fft_host_runtime_seconds",
+    "memories_runtime_seconds",
+]

@@ -1,0 +1,49 @@
+"""Synthetic workload generators standing in for the paper's benchmarks.
+
+See DESIGN.md ("Hardware gates and substitutions") for why these are
+synthetic and what structural properties each preserves.  Available
+workloads:
+
+* :class:`~repro.workloads.tpcc.TpccWorkload` — OLTP (TPC-C-like).
+* :class:`~repro.workloads.tpch.TpchWorkload` — decision support
+  (TPC-H-like).
+* :mod:`repro.workloads.splash` — the five SPLASH2 kernels of Table 5.
+* :class:`~repro.workloads.osjournal.JournalBugOverlay` — Case Study 2's
+  OS journaling bug, as a fault-injection overlay.
+* :mod:`repro.workloads.capture` — workload -> host -> bus-trace pipeline.
+"""
+
+from repro.workloads.base import InterleavedWorkload, Workload, ZipfSampler
+from repro.workloads.capture import capture_bus_trace, run_live
+from repro.workloads.osjournal import JournalBugOverlay
+from repro.workloads.splash import (
+    ALL_KERNELS,
+    BarnesWorkload,
+    FftWorkload,
+    FmmWorkload,
+    OceanWorkload,
+    WaterWorkload,
+)
+from repro.workloads.tpcc import TpccWorkload, paper_tpcc
+from repro.workloads.tpch import TpchWorkload, paper_tpch
+from repro.workloads.web import WebWorkload
+
+__all__ = [
+    "ALL_KERNELS",
+    "BarnesWorkload",
+    "FftWorkload",
+    "FmmWorkload",
+    "InterleavedWorkload",
+    "JournalBugOverlay",
+    "OceanWorkload",
+    "TpccWorkload",
+    "TpchWorkload",
+    "WaterWorkload",
+    "WebWorkload",
+    "Workload",
+    "ZipfSampler",
+    "capture_bus_trace",
+    "paper_tpcc",
+    "paper_tpch",
+    "run_live",
+]

@@ -1,0 +1,69 @@
+"""End-to-end capture pipeline: workload -> host SMP -> bus trace.
+
+This is the glue the paper's methodology implies: run a workload on the
+host with a MemorIES board in trace-collection mode, keep the resulting
+trace, then replay it offline through as many cache configurations as
+needed ("a mechanism to collect traces for finer and repeatable off-line
+analysis", Section 1).  Replaying one captured trace into several boards is
+dramatically cheaper than re-running the host, and matches how the paper's
+trace-length case study was performed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.bus.bus import Monitor
+from repro.bus.trace import BusTrace
+from repro.host.smp import HostConfig, HostSMP, S7A_HOST
+from repro.memories.board import MemoriesBoard
+from repro.memories.firmware.tracer import TraceCollectorFirmware
+from repro.workloads.base import Workload
+
+
+def capture_bus_trace(
+    workload: Workload,
+    n_refs: int,
+    host_config: Optional[HostConfig] = None,
+    chunk_size: int = 65536,
+) -> BusTrace:
+    """Run ``workload`` on a host machine and capture its bus trace.
+
+    Args:
+        workload: the reference-stream generator; its ``n_cpus`` must not
+            exceed the host's.
+        n_refs: processor references to execute (the bus trace will be
+            shorter — only L2 misses, upgrades and castouts reach the bus).
+        host_config: host machine parameters; defaults to the paper's S7A.
+        chunk_size: reference batching granularity.
+
+    Returns:
+        The captured trace of filtered memory tenures, with combined snoop
+        responses recorded (so offline replay sees the same intervention
+        hints the live board saw).
+    """
+    host = HostSMP(host_config if host_config is not None else S7A_HOST)
+    tracer = TraceCollectorFirmware()
+    board = MemoriesBoard(tracer, name="tracer")
+    host.plug_in(board)
+    host.run(workload.chunks(n_refs, chunk_size), max_references=n_refs)
+    return tracer.to_trace()
+
+
+def run_live(
+    workload: Workload,
+    n_refs: int,
+    boards: Sequence[Monitor],
+    host_config: Optional[HostConfig] = None,
+    chunk_size: int = 65536,
+) -> HostSMP:
+    """Run ``workload`` with one or more boards plugged into the live bus.
+
+    Returns the host machine so callers can inspect L2 statistics alongside
+    the boards' emulated-cache statistics.
+    """
+    host = HostSMP(host_config if host_config is not None else S7A_HOST)
+    for board in boards:
+        host.plug_in(board)
+    host.run(workload.chunks(n_refs, chunk_size), max_references=n_refs)
+    return host

@@ -1,0 +1,89 @@
+"""Fault-injection overlay: the OS journaling bug of Case Study 2.
+
+Figure 10 of the paper shows "periodic spikes in the miss ratio around
+every 5 minutes, no matter what cache size is being modeled", eventually
+traced to a bug in the file system's journaling activity.  The crucial
+properties are (a) periodicity on a timescale far longer than conventional
+traces, and (b) cache-size independence — the spikes are *cold* traffic
+(freshly written journal blocks) that no cache size absorbs.
+
+:class:`JournalBugOverlay` wraps any base workload and periodically splices
+in a burst of sequential writes to ever-fresh journal addresses, using CPU 0
+(the paper's bug lived in the OS, which runs on whichever CPU takes the
+timer interrupt — one CPU is enough for the signature).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError
+from repro.workloads.base import Chunk, LINE, Workload
+
+#: Journal region base, far above any workload's footprint.
+JOURNAL_BASE = 1 << 45
+
+
+class JournalBugOverlay(Workload):
+    """Periodic journal write-bursts spliced into a base workload.
+
+    Args:
+        base: the workload being perturbed.
+        period_refs: distance between burst starts, in base references
+            (maps to the paper's ~5 minutes of bus time).
+        burst_refs: journal writes per burst.
+        journal_cpu: CPU issuing the journal traffic.
+    """
+
+    name = "osjournal"
+
+    def __init__(
+        self,
+        base: Workload,
+        period_refs: int,
+        burst_refs: int,
+        journal_cpu: int = 0,
+    ) -> None:
+        if burst_refs >= period_refs:
+            raise ConfigurationError("burst must be shorter than the period")
+        if burst_refs < 1:
+            raise ConfigurationError("burst must contain at least one reference")
+        self.base = base
+        self.n_cpus = base.n_cpus
+        self.period_refs = period_refs
+        self.burst_refs = burst_refs
+        self.journal_cpu = journal_cpu
+        self._since_burst = 0
+        self._journal_pos = 0
+
+    def chunks(self, n_refs: int, chunk_size: int = 65536) -> Iterator[Chunk]:
+        for cpu_ids, addresses, is_writes in self.base.chunks(n_refs, chunk_size):
+            yield self._inject(cpu_ids, addresses, is_writes)
+
+    def _inject(self, cpu_ids, addresses, is_writes) -> Chunk:
+        n = len(cpu_ids)
+        position = self._since_burst
+        self._since_burst = (position + n) % self.period_refs
+        offsets = (position + np.arange(n, dtype=np.int64)) % self.period_refs
+        burst_mask = offsets < self.burst_refs
+        count = int(burst_mask.sum())
+        if count == 0:
+            return cpu_ids, addresses, is_writes
+        cpu_ids = cpu_ids.copy()
+        addresses = addresses.copy()
+        is_writes = is_writes.copy()
+        cpu_ids[burst_mask] = self.journal_cpu
+        # Fresh journal blocks every burst: sequential, never reused.
+        lines = self._journal_pos + np.arange(count, dtype=np.int64)
+        self._journal_pos += count
+        addresses[burst_mask] = JOURNAL_BASE + lines * LINE
+        is_writes[burst_mask] = True
+        return cpu_ids, addresses, is_writes
+
+    def reset(self) -> None:
+        """Restart both the base workload and the injection phase."""
+        self.base.reset()
+        self._since_burst = 0
+        self._journal_pos = 0

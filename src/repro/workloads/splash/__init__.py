@@ -1,0 +1,39 @@
+"""SPLASH2 kernel address-stream generators.
+
+One module per application the paper runs (Table 5): FFT, Ocean, FMM,
+Water (spatial) and Barnes-Hut.  Each generator reproduces the kernel's
+*memory-reference structure* — partitioned sequential sweeps, shared
+tree/grid traversal, inter-thread communication — rather than its
+arithmetic, and exposes two size presets per kernel:
+
+* ``paper_scale(scale)`` — the realistic sizes of Table 5 (e.g. FFT m=28,
+  12.58 GB), divided by ``scale``;
+* ``splash2_scale(scale)`` — the original SPLASH2 paper sizes of Table 1
+  (e.g. FFT 64 K points), divided by the same ``scale``,
+
+so Table 6's small-size vs. realistic-size comparison can be reproduced with
+a consistent scaling factor.
+"""
+
+from repro.workloads.splash.fft import FftWorkload
+from repro.workloads.splash.ocean import OceanWorkload
+from repro.workloads.splash.barnes import BarnesWorkload
+from repro.workloads.splash.fmm import FmmWorkload
+from repro.workloads.splash.water import WaterWorkload
+
+ALL_KERNELS = {
+    "fmm": FmmWorkload,
+    "fft": FftWorkload,
+    "ocean": OceanWorkload,
+    "water": WaterWorkload,
+    "barnes": BarnesWorkload,
+}
+
+__all__ = [
+    "ALL_KERNELS",
+    "BarnesWorkload",
+    "FftWorkload",
+    "FmmWorkload",
+    "OceanWorkload",
+    "WaterWorkload",
+]

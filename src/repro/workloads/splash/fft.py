@@ -1,0 +1,143 @@
+"""SPLASH2 FFT kernel (radix-√n six-step FFT) address-stream generator.
+
+The six-step FFT alternates **local butterfly passes** — each thread
+streaming sequentially through its own rows of the √n x √n matrix — with an
+**all-to-all transpose** in which every thread reads one block from every
+other thread's partition and writes it into its own.  The transpose is the
+only communication, which is why the paper finds FFT has "relatively small
+modified or shared interventions" (Figure 12 discussion).
+
+Sizes: the paper runs ``-m28 -l7`` (2^28 points, 12.58 GB); the original
+SPLASH2 characterisation used 64 K points (m=16).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.workloads.base import LINE, InterleavedWorkload
+from repro.workloads.splash.common import KernelGeometry, sequential_lines
+
+#: Table 5: 12.58 GB for 2^28 points -> ~48 bytes per complex point
+#: (source + destination + twiddle arrays).
+BYTES_PER_POINT = 48
+
+
+class FftWorkload(InterleavedWorkload):
+    """Six-step FFT: local passes punctuated by an all-to-all transpose.
+
+    Args:
+        n_points: FFT size (the ``2**m`` of the command line).
+        n_cpus: threads.
+        local_fraction: share of references in local butterfly passes
+            (the remainder is transpose communication).
+        row_bytes: when positive, local passes are *row-structured*: the
+            six-step FFT works on one √n-point row at a time, re-sweeping
+            it ``row_passes`` times (the log2 √n butterfly stages) before
+            moving on.  A row that fits in cache makes all but the first
+            sweep hit — the reason realistic FFT sizes show far *lower*
+            miss rates than scaled-down ones in the paper's Table 6.
+            Because the row/cache ratio is what matters, experiments pass
+            the paper-scale row size through their common scale factor
+            rather than deriving it from the (scaled) ``n_points``.
+        row_passes: butterfly stages per row (log2 √n at paper scale).
+        transpose_scatter: read peer partitions at random lines instead of
+            sequentially.  A transpose moves √n/P-point blocks; when the
+            problem is small those blocks shrink below a cache line and the
+            traffic is effectively scattered — one of the reasons small FFT
+            sizes show much worse miss rates than realistic ones (Table 6).
+        seed: reproducibility seed.
+    """
+
+    name = "fft"
+
+    def __init__(
+        self,
+        n_points: int,
+        n_cpus: int = 8,
+        local_fraction: float = 0.85,
+        row_bytes: int = 0,
+        row_passes: int = 1,
+        transpose_scatter: bool = False,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(n_cpus=n_cpus, seed=seed)
+        self.n_points = n_points
+        footprint = n_points * BYTES_PER_POINT
+        partition = max(LINE * 4, footprint // n_cpus // LINE * LINE)
+        self.geometry = KernelGeometry(n_cpus=n_cpus, partition_bytes=partition)
+        self.local_fraction = local_fraction
+        self.row_lines = min(row_bytes // LINE, self.geometry.partition_lines)
+        self.row_passes = max(1, row_passes)
+        self.transpose_scatter = transpose_scatter
+
+    @classmethod
+    def paper_scale(cls, scale: int = 512, n_cpus: int = 8, seed: int = 0) -> "FftWorkload":
+        """Table 5 size (m=28) divided by ``scale``."""
+        return cls(n_points=max(1024, (1 << 28) // scale), n_cpus=n_cpus, seed=seed)
+
+    @classmethod
+    def splash2_scale(cls, scale: int = 512, n_cpus: int = 8, seed: int = 0) -> "FftWorkload":
+        """Original SPLASH2 size (64 K points) divided by ``scale``."""
+        return cls(n_points=max(256, (1 << 16) // scale), n_cpus=n_cpus, seed=seed)
+
+    def cpu_refs(
+        self, cpu: int, n: int, rng: np.random.Generator, state: dict
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        geometry = self.geometry
+        local_mask = rng.random(n) < self.local_fraction
+        addresses = np.empty(n, dtype=np.int64)
+        is_writes = np.empty(n, dtype=bool)
+
+        n_local = int(local_mask.sum())
+        if n_local:
+            if self.row_lines > 0:
+                # Row-structured passes: re-sweep the current row
+                # row_passes times, then advance to the next row.
+                step = state.get("local_step", 0)
+                steps = step + np.arange(n_local, dtype=np.int64)
+                state["local_step"] = int(step + n_local)
+                per_row = self.row_lines * self.row_passes
+                row_index = steps // per_row
+                within = steps % per_row
+                lines = (
+                    row_index * self.row_lines + within % self.row_lines
+                ) % geometry.partition_lines
+            else:
+                lines = sequential_lines(
+                    state, "local", n_local, geometry.partition_lines
+                )
+            addresses[local_mask] = geometry.partition_base(cpu) + lines * LINE
+            # Butterfly passes read and rewrite the data in place.
+            is_writes[local_mask] = rng.random(n_local) < 0.5
+
+        n_comm = n - n_local
+        if n_comm:
+            comm_mask = ~local_mask
+            # Transpose: read a block from each other thread in turn, write
+            # the result into our own partition.
+            reads = rng.random(n_comm) < 0.5
+            if self.transpose_scatter:
+                lines = rng.integers(
+                    0, geometry.partition_lines, n_comm
+                ).astype(np.int64)
+            else:
+                lines = sequential_lines(
+                    state, "transpose", n_comm, geometry.partition_lines
+                )
+            source_cpus = (
+                cpu
+                + 1
+                + (
+                    sequential_lines(state, "peer", n_comm, max(1, self.n_cpus - 1))
+                    % max(1, self.n_cpus - 1)
+                )
+            ) % self.n_cpus
+            peer_addrs = source_cpus * geometry.partition_bytes + lines * LINE
+            own_addrs = geometry.partition_base(cpu) + lines * LINE
+            addresses[comm_mask] = np.where(reads, peer_addrs, own_addrs)
+            is_writes[comm_mask] = ~reads
+
+        return addresses, is_writes

@@ -1,0 +1,100 @@
+"""SPLASH2 Ocean kernel (grid-based ocean current solver) generator.
+
+Ocean repeatedly sweeps five-point stencils over ~25 double-precision
+n x n grids, with each thread owning a contiguous block of rows.  The only
+communication is reading the neighbouring threads' **boundary rows**, a thin
+slice of their partitions — so interventions stay small (the paper groups
+Ocean with FFT as low-sharing) while the footprint is enormous (n=8194 is
+14.5 GB in Table 5).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.workloads.base import LINE, InterleavedWorkload
+from repro.workloads.splash.common import KernelGeometry, stencil_lines
+
+#: Table 5: 14.5 GB at n=8194 -> about 27 grids of n*n doubles.
+GRIDS = 27
+BYTES_PER_CELL = 8
+
+
+class OceanWorkload(InterleavedWorkload):
+    """Stencil sweeps over row-partitioned grids with boundary exchange.
+
+    Args:
+        grid_n: grid edge length (the ``-n`` command-line parameter).
+        n_cpus: threads.
+        boundary_fraction: share of references touching a neighbour's
+            boundary rows.
+        write_fraction: stores within the owned block (stencil updates).
+        seed: reproducibility seed.
+    """
+
+    name = "ocean"
+
+    def __init__(
+        self,
+        grid_n: int,
+        n_cpus: int = 8,
+        boundary_fraction: float = 0.03,
+        write_fraction: float = 0.40,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(n_cpus=n_cpus, seed=seed)
+        self.grid_n = grid_n
+        footprint = GRIDS * grid_n * grid_n * BYTES_PER_CELL
+        partition = max(LINE * 8, footprint // n_cpus // LINE * LINE)
+        self.geometry = KernelGeometry(n_cpus=n_cpus, partition_bytes=partition)
+        self.boundary_fraction = boundary_fraction
+        self.write_fraction = write_fraction
+        # A boundary is one grid row: n cells.
+        self.boundary_lines = max(1, grid_n * BYTES_PER_CELL // LINE)
+
+    @classmethod
+    def paper_scale(cls, scale: int = 512, n_cpus: int = 8, seed: int = 0) -> "OceanWorkload":
+        """Table 5 size (n=8194) with area divided by ``scale``."""
+        n = max(66, int(8194 / scale ** 0.5))
+        return cls(grid_n=n, n_cpus=n_cpus, seed=seed)
+
+    @classmethod
+    def splash2_scale(cls, scale: int = 512, n_cpus: int = 8, seed: int = 0) -> "OceanWorkload":
+        """Original SPLASH2 size (n=258) with area divided by ``scale``."""
+        n = max(18, int(258 / scale ** 0.5))
+        return cls(grid_n=n, n_cpus=n_cpus, seed=seed)
+
+    def cpu_refs(
+        self, cpu: int, n: int, rng: np.random.Generator, state: dict
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        geometry = self.geometry
+        boundary_mask = rng.random(n) < self.boundary_fraction
+        addresses = np.empty(n, dtype=np.int64)
+        is_writes = np.empty(n, dtype=bool)
+
+        n_own = int((~boundary_mask).sum())
+        if n_own:
+            row_lines = max(1, self.grid_n * BYTES_PER_CELL // LINE)
+            lines = stencil_lines(
+                state, "sweep", n_own, geometry.partition_lines, row_lines
+            )
+            addresses[~boundary_mask] = geometry.partition_base(cpu) + lines * LINE
+            is_writes[~boundary_mask] = rng.random(n_own) < self.write_fraction
+
+        n_boundary = n - n_own
+        if n_boundary:
+            # Read the first rows of the neighbours' blocks (above / below).
+            neighbours = np.where(
+                rng.random(n_boundary) < 0.5,
+                (cpu - 1) % self.n_cpus,
+                (cpu + 1) % self.n_cpus,
+            )
+            lines = rng.integers(0, self.boundary_lines, n_boundary)
+            addresses[boundary_mask] = (
+                neighbours * geometry.partition_bytes + lines * LINE
+            )
+            is_writes[boundary_mask] = False
+
+        return addresses, is_writes

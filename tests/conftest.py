@@ -1,0 +1,43 @@
+"""Shared fixtures for the MemorIES reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bus.trace import BusTrace, encode_arrays
+from repro.host.smp import HostConfig, HostSMP
+from repro.memories.config import CacheNodeConfig
+
+
+@pytest.fixture
+def small_host() -> HostSMP:
+    """A 4-way host with small L2s (fast to exercise)."""
+    return HostSMP(HostConfig(n_cpus=4, l2_size=64 * 1024, l2_assoc=2))
+
+
+@pytest.fixture
+def tiny_cache_config() -> CacheNodeConfig:
+    """A small but geometry-valid emulated cache (below Table 2 minimum)."""
+    return CacheNodeConfig(size=64 * 1024, assoc=4, line_size=128)
+
+
+def make_trace(
+    n: int = 1000,
+    n_cpus: int = 4,
+    address_space: int = 1 << 22,
+    write_fraction: float = 0.3,
+    seed: int = 0,
+) -> BusTrace:
+    """A synthetic bus trace of READ/RWITM records."""
+    rng = np.random.default_rng(seed)
+    cpu_ids = rng.integers(0, n_cpus, n).astype(np.uint64)
+    commands = np.where(rng.random(n) < write_fraction, 1, 0).astype(np.uint64)
+    addresses = (rng.integers(0, address_space // 128, n).astype(np.uint64)) * np.uint64(128)
+    return BusTrace(encode_arrays(cpu_ids, commands, addresses))
+
+
+@pytest.fixture
+def random_trace() -> BusTrace:
+    """A 1000-record random trace."""
+    return make_trace()

@@ -1,0 +1,95 @@
+"""Tests for the ablation studies (design choices the paper calls out)."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    AblationSettings,
+    buffer_depth_ablation,
+    inclusion_ablation,
+    protocol_ablation,
+    replacement_ablation,
+    sdram_ablation,
+)
+from repro.experiments.params import ExperimentScale
+
+TINY = AblationSettings(scale=ExperimentScale(scale=4096), records=30_000)
+
+
+class TestBufferDepth:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return buffer_depth_ablation(TINY)
+
+    def test_design_point_never_retries(self, result):
+        """Section 3.3: 512 entries, <= 42% utilization -> zero retries."""
+        assert result.data["depth512_util0.2"] == 0.0
+        assert result.data["depth512_util0.42"] == 0.0
+
+    def test_shallow_buffers_retry_under_bursts(self, result):
+        assert result.data["depth8_util0.2"] > 0.1
+
+    def test_overload_defeats_any_depth(self, result):
+        assert result.data["depth512_util0.6"] > 0.0
+
+
+class TestProtocol:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return protocol_ablation(TINY)
+
+    def test_all_protocols_ran(self, result):
+        assert set(result.data) == {"msi", "mesi", "moesi"}
+
+    def test_moesi_supplies_at_least_as_much(self, result):
+        """Owned state keeps supplying; M-only protocols forfeit after one."""
+        assert (
+            result.data["moesi"]["dirty_supplied"]
+            >= result.data["mesi"]["dirty_supplied"]
+        )
+
+    def test_miss_ratios_comparable(self, result):
+        ratios = [entry["miss_ratio"] for entry in result.data.values()]
+        assert max(ratios) - min(ratios) < 0.1
+
+
+class TestReplacement:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return replacement_ablation(TINY)
+
+    def test_all_policies_ran(self, result):
+        assert set(result.data) == {"lru", "plru", "fifo", "random"}
+
+    def test_lru_not_worst(self, result):
+        assert result.data["lru"] <= max(result.data.values())
+
+    def test_plru_close_to_lru(self, result):
+        assert result.data["plru"] == pytest.approx(result.data["lru"], abs=0.05)
+
+
+class TestSdram:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return sdram_ablation(TINY)
+
+    def test_banked_mean_validates_the_42pct_constant(self, result):
+        assert result.data["banked_mean_cycles"] == pytest.approx(
+            result.data["constant_cycles"], rel=0.2
+        )
+
+    def test_neither_model_retries_at_nominal_load(self, result):
+        assert result.data["constant_high_water"] < 512
+        assert result.data["banked_high_water"] < 512
+
+
+class TestInclusion:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return inclusion_ablation(TINY)
+
+    def test_error_shrinks_with_cache_size(self, result):
+        assert result.data["16MB"] > result.data["256MB"]
+
+    def test_shares_are_fractions(self, result):
+        for share in result.data.values():
+            assert 0.0 <= share <= 1.0

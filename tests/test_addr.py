@@ -1,0 +1,94 @@
+"""Tests for repro.common.addr: address slicing shared by every cache."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.addr import (
+    AddressMap,
+    align_down,
+    is_power_of_two,
+    log2_int,
+    page_number,
+)
+
+
+class TestPowerOfTwo:
+    @pytest.mark.parametrize("value", [1, 2, 4, 128, 1 << 30])
+    def test_powers(self, value):
+        assert is_power_of_two(value)
+
+    @pytest.mark.parametrize("value", [0, -2, 3, 6, 127, (1 << 30) + 1])
+    def test_non_powers(self, value):
+        assert not is_power_of_two(value)
+
+    def test_log2_exact(self):
+        assert log2_int(128) == 7
+
+    def test_log2_rejects_non_power(self):
+        with pytest.raises(ValueError):
+            log2_int(100)
+
+
+class TestAddressMap:
+    def test_slicing_known_values(self):
+        amap = AddressMap(line_size=128, num_sets=64)
+        address = 0xABCD00
+        assert amap.line_address(address) == address & ~0x7F
+        assert amap.set_index(address) == (address >> 7) & 0x3F
+        assert amap.tag(address) == address >> 13
+
+    def test_rebuild_inverts_slicing(self):
+        amap = AddressMap(line_size=256, num_sets=32)
+        address = 0x1234500
+        rebuilt = amap.rebuild(amap.tag(address), amap.set_index(address))
+        assert rebuilt == amap.line_address(address)
+
+    def test_rebuild_rejects_bad_set(self):
+        amap = AddressMap(line_size=128, num_sets=8)
+        with pytest.raises(ValueError):
+            amap.rebuild(1, 8)
+
+    def test_line_number(self):
+        amap = AddressMap(line_size=128, num_sets=8)
+        assert amap.line_number(0) == 0
+        assert amap.line_number(127) == 0
+        assert amap.line_number(128) == 1
+
+    @pytest.mark.parametrize("line,sets", [(100, 64), (128, 63)])
+    def test_rejects_non_power_geometry(self, line, sets):
+        with pytest.raises(ValueError):
+            AddressMap(line_size=line, num_sets=sets)
+
+    @given(
+        address=st.integers(min_value=0, max_value=(1 << 48) - 1),
+        line_bits=st.integers(min_value=7, max_value=14),
+        index_bits=st.integers(min_value=0, max_value=16),
+    )
+    def test_rebuild_roundtrip_property(self, address, line_bits, index_bits):
+        amap = AddressMap(line_size=1 << line_bits, num_sets=1 << index_bits)
+        rebuilt = amap.rebuild(amap.tag(address), amap.set_index(address))
+        assert rebuilt == amap.line_address(address)
+
+    @given(address=st.integers(min_value=0, max_value=(1 << 48) - 1))
+    def test_set_index_in_range(self, address):
+        amap = AddressMap(line_size=128, num_sets=512)
+        assert 0 <= amap.set_index(address) < 512
+
+
+class TestHelpers:
+    def test_align_down(self):
+        assert align_down(0x12345, 0x1000) == 0x12000
+
+    def test_align_down_rejects_non_power(self):
+        with pytest.raises(ValueError):
+            align_down(100, 3)
+
+    def test_page_number_default_4k(self):
+        assert page_number(0x2345) == 2
+
+    def test_page_number_custom(self):
+        assert page_number(0x2345, page_size=0x100) == 0x23
+
+    def test_page_number_rejects_non_power(self):
+        with pytest.raises(ValueError):
+            page_number(0, page_size=3000)

@@ -1,0 +1,63 @@
+"""Tests for repro.memories.address_filter: the first pipeline FPGA."""
+
+import pytest
+
+from repro.bus.transaction import BusCommand, SnoopResponse
+from repro.memories.address_filter import AddressFilter
+
+
+class TestFiltering:
+    @pytest.mark.parametrize(
+        "command",
+        [BusCommand.READ, BusCommand.RWITM, BusCommand.DCLAIM, BusCommand.CASTOUT],
+    )
+    def test_memory_commands_admitted(self, command):
+        filter_ = AddressFilter()
+        assert filter_.admit(command, SnoopResponse.NULL, 0.0)
+        assert filter_.stats.forwarded == 1
+
+    @pytest.mark.parametrize(
+        "command,field",
+        [
+            (BusCommand.IO_READ, "filtered_io"),
+            (BusCommand.IO_WRITE, "filtered_io"),
+            (BusCommand.INTERRUPT, "filtered_interrupts"),
+            (BusCommand.SYNC, "filtered_sync"),
+        ],
+    )
+    def test_non_memory_filtered(self, command, field):
+        filter_ = AddressFilter()
+        assert not filter_.admit(command, SnoopResponse.NULL, 0.0)
+        assert getattr(filter_.stats, field) == 1
+        assert filter_.stats.forwarded == 0
+
+    def test_retried_tenures_filtered(self):
+        filter_ = AddressFilter()
+        assert not filter_.admit(BusCommand.READ, SnoopResponse.RETRY, 0.0)
+        assert filter_.stats.filtered_retried == 1
+
+    def test_filtered_ops_take_no_buffer_space(self):
+        """Section 3.3: filtered operations do not occupy buffer entries."""
+        filter_ = AddressFilter()
+        for _ in range(1000):
+            filter_.admit(BusCommand.IO_READ, SnoopResponse.NULL, 0.0)
+        assert filter_.buffer.stats.accepted == 0
+
+    def test_observed_counts_everything(self):
+        filter_ = AddressFilter()
+        filter_.admit(BusCommand.READ, SnoopResponse.NULL, 0.0)
+        filter_.admit(BusCommand.IO_READ, SnoopResponse.NULL, 1.0)
+        assert filter_.stats.observed == 2
+
+    def test_snapshot_keys(self):
+        filter_ = AddressFilter()
+        filter_.admit(BusCommand.READ, SnoopResponse.NULL, 0.0)
+        snapshot = filter_.stats.snapshot()
+        assert snapshot["filter.observed"] == 1
+        assert snapshot["filter.forwarded"] == 1
+
+    def test_reset(self):
+        filter_ = AddressFilter()
+        filter_.admit(BusCommand.READ, SnoopResponse.NULL, 0.0)
+        filter_.reset()
+        assert filter_.stats.observed == 0

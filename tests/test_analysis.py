@@ -1,0 +1,138 @@
+"""Tests for repro.analysis: stats containers, profiles and rendering."""
+
+import pytest
+
+from repro.analysis.profiles import IntervalProfile
+from repro.analysis.report import render_breakdown, render_series, render_table
+from repro.analysis.stats import (
+    MissCurve,
+    SweepPoint,
+    crossover_exists,
+    relative_flattening,
+)
+
+
+class TestMissCurve:
+    def make(self, ys):
+        curve = MissCurve(name="test")
+        for i, y in enumerate(ys):
+            curve.add(float(i), y)
+        return curve
+
+    def test_monotone_decreasing(self):
+        assert self.make([0.9, 0.5, 0.3]).is_monotone_decreasing()
+        assert not self.make([0.9, 0.5, 0.6]).is_monotone_decreasing()
+        assert self.make([0.9, 0.5, 0.505]).is_monotone_decreasing(tolerance=0.01)
+
+    def test_monotone_increasing(self):
+        assert self.make([0.1, 0.2, 0.3]).is_monotone_increasing()
+        assert not self.make([0.3, 0.2]).is_monotone_increasing()
+
+    def test_total_drop(self):
+        assert self.make([0.9, 0.3]).total_drop() == pytest.approx(0.6)
+        assert MissCurve("empty").total_drop() == 0.0
+
+    def test_xs_ys(self):
+        curve = self.make([0.5, 0.4])
+        assert curve.xs() == [0.0, 1.0]
+        assert curve.ys() == [0.5, 0.4]
+
+    def test_sweep_point_label(self):
+        assert SweepPoint(x=64 * 1024 * 1024, miss_ratio=0.1).display_label() == "64MB"
+        assert SweepPoint(x=1, miss_ratio=0.1, label="8 proc").display_label() == "8 proc"
+
+    def test_relative_flattening(self):
+        flat_tail = self.make([0.9, 0.3, 0.29, 0.28])
+        steep_tail = self.make([0.9, 0.6, 0.4, 0.2])
+        assert relative_flattening(flat_tail, 1) < relative_flattening(steep_tail, 1)
+
+    def test_relative_flattening_bad_knee(self):
+        with pytest.raises(ValueError):
+            relative_flattening(self.make([0.9, 0.3]), 5)
+
+    def test_crossover(self):
+        assert crossover_exists([0.6, 0.5, 0.4], [0.3, 0.35, 0.4])
+        assert not crossover_exists([0.6, 0.5], [0.5, 0.4])
+        assert not crossover_exists([0.6], [0.3, 0.4])
+
+
+class TestIntervalProfile:
+    def make(self, values):
+        profile = IntervalProfile(node_index=0, interval_records=100)
+        profile.miss_ratios = list(values)
+        profile.references = [100] * len(values)
+        return profile
+
+    def test_spikes_detected_on_low_plateau(self):
+        values = [0.05] * 20
+        values[5] = values[12] = values[19] = 0.8
+        assert self.make(values).spike_indices() == [5, 12, 19]
+
+    def test_spikes_detected_on_high_plateau(self):
+        """The Figure 10 top curve: small bumps on a ~90% baseline."""
+        values = [0.90] * 20
+        values[4] = values[11] = 0.97
+        assert self.make(values).spike_indices() == [4, 11]
+
+    def test_no_spikes_on_flat_profile(self):
+        assert self.make([0.5] * 20).spike_indices() == []
+
+    def test_skip_ignores_warmup(self):
+        values = [0.95, 0.9] + [0.1] * 18
+        values[10] = 0.8
+        assert self.make(values).spike_indices(skip=2) == [10]
+
+    def test_period_merges_adjacent_intervals(self):
+        values = [0.1] * 24
+        # Two-interval-wide spikes every 8 intervals.
+        for start in (4, 12, 20):
+            values[start] = values[start + 1] = 0.9
+        assert self.make(values).spike_period() == pytest.approx(8.0)
+
+    def test_period_none_for_single_spike(self):
+        values = [0.1] * 10
+        values[4] = 0.9
+        assert self.make(values).spike_period() is None
+
+    def test_empty_profile(self):
+        assert self.make([]).spike_indices() == []
+
+
+class TestRenderers:
+    def test_render_table_alignment(self):
+        text = render_table(["a", "bbb"], [[1, 2], [333, 4]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].startswith("a    bbb")
+        assert all(len(line) >= 6 for line in lines[2:])
+
+    def test_render_series_shares_axis(self):
+        a = MissCurve("a")
+        b = MissCurve("b")
+        for x in (1.0, 2.0):
+            a.add(x, 0.5, label=str(x))
+            b.add(x, 0.25, label=str(x))
+        text = render_series([a, b], x_header="size")
+        assert "50.00%" in text and "25.00%" in text
+
+    def test_render_series_mismatched_axes_rejected(self):
+        a = MissCurve("a")
+        a.add(1.0, 0.5)
+        b = MissCurve("b")
+        b.add(2.0, 0.5)
+        with pytest.raises(ValueError):
+            render_series([a, b])
+
+    def test_render_series_raw_values(self):
+        a = MissCurve("a")
+        a.add(1.0, 0.1234, label="x")
+        assert "0.1234" in render_series([a], percent=False)
+
+    def test_render_breakdown(self):
+        text = render_breakdown(
+            ["memory", "l3"], ["2x4", "4x2"], [[0.7, 0.3], [0.6, 0.4]]
+        )
+        assert "70.0%" in text and "40.0%" in text
+
+    def test_render_empty_series(self):
+        assert render_series([], title="empty") == "empty"

@@ -1,0 +1,72 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.analysis.ascii_chart import MARKERS, render_chart, render_sparkline
+from repro.analysis.stats import MissCurve
+
+
+def curve(name, ys, labels=None):
+    result = MissCurve(name=name)
+    for i, y in enumerate(ys):
+        result.add(float(i), y, label=(labels[i] if labels else str(i)))
+    return result
+
+
+class TestRenderChart:
+    def test_contains_markers_and_legend(self):
+        chart = render_chart([curve("a", [0.9, 0.5]), curve("b", [0.3, 0.2])])
+        assert "o = a" in chart
+        assert "* = b" in chart
+        grid_lines = [line for line in chart.splitlines() if "|" in line]
+        assert any("o" in line for line in grid_lines)
+        assert any("*" in line for line in grid_lines)
+
+    def test_x_labels_appear(self):
+        chart = render_chart([curve("a", [0.9, 0.5], labels=["16MB", "1GB"])])
+        assert "16MB" in chart and "1GB" in chart
+
+    def test_y_axis_spans_to_max(self):
+        chart = render_chart([curve("a", [0.5, 0.25])], percent=True)
+        assert "50.0%" in chart
+
+    def test_higher_values_plot_higher(self):
+        chart = render_chart([curve("a", [1.0, 0.0])], width=20, height=10)
+        lines = [line for line in chart.splitlines() if "|" in line]
+        first_marker_row = next(i for i, l in enumerate(lines) if "o" in l)
+        last_marker_row = max(i for i, l in enumerate(lines) if "o" in l)
+        assert first_marker_row == 0          # the 1.0 point at the top
+        assert last_marker_row == len(lines) - 1  # the 0.0 point at the bottom
+
+    def test_mismatched_curves_rejected(self):
+        with pytest.raises(ValueError):
+            render_chart([curve("a", [0.1, 0.2]), curve("b", [0.1])])
+
+    def test_too_many_curves_rejected(self):
+        curves = [curve(str(i), [0.1, 0.2]) for i in range(len(MARKERS) + 1)]
+        with pytest.raises(ValueError):
+            render_chart(curves)
+
+    def test_empty_inputs(self):
+        assert render_chart([], title="t") == "t"
+        assert render_chart([MissCurve("empty")], title="t") == "t"
+
+    def test_single_point(self):
+        chart = render_chart([curve("a", [0.4])])
+        assert "o" in chart
+
+
+class TestSparkline:
+    def test_peaks_get_top_ramp_char(self):
+        line = render_sparkline([0.0, 1.0, 0.0])
+        assert line[1] == "@"
+
+    def test_zero_series(self):
+        assert render_sparkline([0.0, 0.0]) == "  "
+
+    def test_downsampling(self):
+        line = render_sparkline(list(range(100)), width=10)
+        assert len(line) == 10
+
+    def test_empty(self):
+        assert render_sparkline([]) == ""

@@ -1,0 +1,163 @@
+"""Tests for repro.memories.board: chassis, routing and replay."""
+
+import numpy as np
+import pytest
+
+from repro.bus.trace import BusTrace, encode_arrays
+from repro.bus.transaction import BusCommand, BusTransaction, SnoopResponse
+from repro.common.errors import ConfigurationError
+from repro.memories.board import (
+    CacheEmulationFirmware,
+    MemoriesBoard,
+    board_for_machine,
+)
+from repro.memories.config import CacheNodeConfig
+from repro.memories.protocol_table import LineState
+from repro.target.configs import (
+    multi_config_machine,
+    single_node_machine,
+    split_smp_machine,
+)
+
+CFG = CacheNodeConfig(size=16 * 1024, assoc=4, line_size=128)
+
+
+def observe(board, cpu, command, address, response=SnoopResponse.NULL):
+    return board.observe(
+        BusTransaction(cpu, command, address, snoop_response=response)
+    )
+
+
+class TestChassis:
+    def test_filters_io_before_firmware(self):
+        board = board_for_machine(single_node_machine(CFG, n_cpus=4))
+        observe(board, 0, BusCommand.IO_READ, 0x1000)
+        assert board.firmware.nodes[0].references() == 0
+        assert board.address_filter.stats.filtered_io == 1
+
+    def test_global_counters_record_commands(self):
+        board = board_for_machine(single_node_machine(CFG, n_cpus=4))
+        observe(board, 0, BusCommand.READ, 0x1000)
+        observe(board, 1, BusCommand.RWITM, 0x2000)
+        stats = board.statistics()
+        assert stats["global.bus.reads"] == 1
+        assert stats["global.bus.rwitms"] == 1
+        assert stats["global.cpu.0"] == 1
+
+    def test_clock_advances_per_tenure(self):
+        board = board_for_machine(
+            single_node_machine(CFG, n_cpus=4), assumed_utilization=0.2
+        )
+        for _ in range(100):
+            observe(board, 0, BusCommand.READ, 0x1000)
+        # 2 cycles busy / 0.2 utilization = 10 cycles per tenure.
+        assert board.now_cycle == pytest.approx(1000.0)
+        assert board.emulated_seconds == pytest.approx(1000.0 / 100e6)
+
+    def test_invalid_utilization_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MemoriesBoard(
+                CacheEmulationFirmware(single_node_machine(CFG, n_cpus=4)),
+                assumed_utilization=0.0,
+            )
+
+    def test_reset_restores_power_up_state(self):
+        board = board_for_machine(single_node_machine(CFG, n_cpus=4))
+        observe(board, 0, BusCommand.READ, 0x1000)
+        board.reset()
+        assert board.now_cycle == 0.0
+        assert board.firmware.nodes[0].references() == 0
+        assert board.statistics()["filter.observed"] == 0
+
+
+class TestRouting:
+    def test_local_cpu_routes_to_owning_node(self):
+        machine = split_smp_machine(CFG, n_cpus=8, procs_per_node=4)
+        board = board_for_machine(machine)
+        observe(board, 1, BusCommand.READ, 0x1000)   # node 0
+        observe(board, 6, BusCommand.READ, 0x2000)   # node 1
+        node0, node1 = board.firmware.nodes
+        assert node0.references() == 1
+        assert node1.references() == 1
+
+    def test_peer_nodes_see_remote_traffic(self):
+        machine = split_smp_machine(CFG, n_cpus=8, procs_per_node=4)
+        board = board_for_machine(machine)
+        observe(board, 0, BusCommand.RWITM, 0x1000)
+        assert board.firmware.nodes[1].counters.read("remote.write") == 1
+
+    def test_multi_config_groups_are_independent(self):
+        small = CacheNodeConfig(size=4 * 1024, assoc=4, line_size=128)
+        machine = multi_config_machine([CFG, small], n_cpus=4)
+        board = board_for_machine(machine)
+        observe(board, 0, BusCommand.READ, 0x1000)
+        # Both configurations absorb the same reference as LOCAL.
+        for node in board.firmware.nodes:
+            assert node.references() == 1
+            assert node.counters.read("remote.read") == 0
+
+    def test_unmapped_processor_read_snoops_nodes(self):
+        machine = split_smp_machine(CFG, n_cpus=8, procs_per_node=1, truncate=True)
+        board = board_for_machine(machine)
+        observe(board, 0, BusCommand.RWITM, 0x1000)  # node 0 owns the line
+        observe(board, 7, BusCommand.READ, 0x1000)   # unmapped CPU 7
+        node0 = board.firmware.nodes[0]
+        assert node0.counters.read("remote.read") == 1
+        assert node0.directory.lookup_state(0x1000) == int(LineState.SHARED)
+
+    def test_unmapped_processor_castout_is_ignored(self):
+        machine = split_smp_machine(CFG, n_cpus=8, procs_per_node=1, truncate=True)
+        board = board_for_machine(machine)
+        observe(board, 0, BusCommand.READ, 0x1000)
+        observe(board, 7, BusCommand.CASTOUT, 0x1000)
+        node0 = board.firmware.nodes[0]
+        assert node0.directory.lookup_state(0x1000) != int(LineState.INVALID)
+        assert node0.counters.read("remote.write") == 0
+
+    def test_io_bridge_dma_write_invalidates(self):
+        machine = single_node_machine(CFG, n_cpus=4)
+        board = board_for_machine(machine)
+        observe(board, 0, BusCommand.READ, 0x1000)
+        observe(board, 16, BusCommand.CASTOUT, 0x1000)  # DMA write, bus ID 16
+        node = board.firmware.nodes[0]
+        assert node.directory.lookup_state(0x1000) == int(LineState.INVALID)
+
+    def test_unmapped_write_invalidates_all_group_nodes(self):
+        machine = split_smp_machine(CFG, n_cpus=8, procs_per_node=2, truncate=True)
+        board = board_for_machine(machine)
+        observe(board, 0, BusCommand.READ, 0x1000)
+        observe(board, 2, BusCommand.READ, 0x1000)
+        observe(board, 16, BusCommand.CASTOUT, 0x1000)  # DMA write
+        for node in board.firmware.nodes[:2]:
+            assert node.directory.lookup_state(0x1000) == int(LineState.INVALID)
+
+
+class TestReplay:
+    def test_replay_equals_live_observation(self):
+        rng = np.random.default_rng(3)
+        n = 2000
+        cpus = rng.integers(0, 4, n).astype(np.uint64)
+        commands = np.where(rng.random(n) < 0.3, 1, 0).astype(np.uint64)
+        addresses = (rng.integers(0, 256, n).astype(np.uint64)) * np.uint64(128)
+        trace = BusTrace(encode_arrays(cpus, commands, addresses))
+
+        live = board_for_machine(single_node_machine(CFG, n_cpus=4))
+        for txn in trace:
+            live.observe(txn)
+        replayed = board_for_machine(single_node_machine(CFG, n_cpus=4))
+        replayed.replay(trace)
+
+        assert live.statistics() == replayed.statistics()
+
+    def test_replay_returns_record_count(self, random_trace):
+        board = board_for_machine(single_node_machine(CFG, n_cpus=4))
+        assert board.replay(random_trace) == len(random_trace)
+
+    def test_statistics_include_all_layers(self, random_trace):
+        board = board_for_machine(single_node_machine(CFG, n_cpus=4))
+        board.replay(random_trace)
+        stats = board.statistics()
+        assert "filter.observed" in stats
+        assert "global.bus.tenures" in stats
+        assert "node0.local.read" in stats
+        assert "board.retries_posted" in stats

@@ -1,0 +1,105 @@
+"""Tests for repro.bus.bus: the 6xx system bus model."""
+
+import pytest
+
+from repro.bus.bus import ADDRESS_TENURE_CYCLES, SystemBus
+from repro.bus.transaction import BusCommand, BusTransaction, SnoopResponse
+
+
+class Recorder:
+    """A monitor that records what it observes."""
+
+    def __init__(self, response=SnoopResponse.NULL):
+        self.seen = []
+        self.response = response
+
+    def observe(self, txn):
+        self.seen.append(txn)
+        return self.response
+
+
+class FixedSnooper:
+    def __init__(self, response):
+        self.response = response
+        self.snooped = []
+
+    def snoop(self, txn):
+        self.snooped.append(txn)
+        return self.response
+
+
+def read(cpu=0, address=0x1000):
+    return BusTransaction(cpu, BusCommand.READ, address)
+
+
+class TestIssue:
+    def test_sequence_numbers_increase(self):
+        bus = SystemBus()
+        first = bus.issue(read())
+        second = bus.issue(read())
+        assert (first.seq, second.seq) == (1, 2)
+
+    def test_combined_response_reaches_monitor(self):
+        bus = SystemBus()
+        bus.attach_snooper(FixedSnooper(SnoopResponse.MODIFIED))
+        recorder = Recorder()
+        bus.attach_monitor(recorder)
+        completed = bus.issue(read())
+        assert completed.snoop_response is SnoopResponse.MODIFIED
+        assert recorder.seen[0].snoop_response is SnoopResponse.MODIFIED
+
+    def test_issuer_does_not_snoop_itself(self):
+        bus = SystemBus()
+        snooper = FixedSnooper(SnoopResponse.SHARED)
+        bus.attach_snooper(snooper)
+        completed = bus.issue(read(), issuer=snooper)
+        assert completed.snoop_response is SnoopResponse.NULL
+        assert snooper.snooped == []
+
+    def test_monitor_retry_escalates(self):
+        bus = SystemBus()
+        bus.attach_monitor(Recorder(response=SnoopResponse.RETRY))
+        completed = bus.issue(read())
+        assert completed.snoop_response is SnoopResponse.RETRY
+        assert bus.stats.retries == 1
+
+    def test_detach_monitor(self):
+        bus = SystemBus()
+        recorder = Recorder()
+        bus.attach_monitor(recorder)
+        bus.detach_monitor(recorder)
+        bus.issue(read())
+        assert recorder.seen == []
+
+
+class TestStats:
+    def test_per_command_counts(self):
+        bus = SystemBus()
+        bus.issue(BusTransaction(0, BusCommand.READ, 0))
+        bus.issue(BusTransaction(0, BusCommand.RWITM, 0))
+        bus.issue(BusTransaction(0, BusCommand.DCLAIM, 0))
+        bus.issue(BusTransaction(0, BusCommand.CASTOUT, 0))
+        bus.issue(BusTransaction(0, BusCommand.IO_READ, 0))
+        stats = bus.stats
+        assert stats.tenures == 5
+        assert stats.memory_tenures == 4
+        assert (stats.reads, stats.rwitms, stats.dclaims, stats.castouts) == (1, 1, 1, 1)
+        assert stats.io_ops == 1
+
+    def test_utilization_matches_idle_model(self):
+        bus = SystemBus(idle_cycles_per_tenure=8)
+        for _ in range(100):
+            bus.issue(read())
+        expected = ADDRESS_TENURE_CYCLES / (ADDRESS_TENURE_CYCLES + 8)
+        assert bus.stats.utilization == pytest.approx(expected)
+
+    def test_utilization_zero_before_traffic(self):
+        assert SystemBus().stats.utilization == 0.0
+
+    def test_elapsed_seconds(self):
+        bus = SystemBus(clock_hz=100_000_000)
+        for _ in range(1000):
+            bus.issue(read())
+        assert bus.elapsed_seconds == pytest.approx(
+            bus.stats.total_cycles / 100_000_000
+        )

@@ -1,0 +1,165 @@
+"""Tests for repro.memories.cache_model: the SDRAM tag/state directory."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.memories.cache_model import TagStateDirectory
+from repro.memories.config import CacheNodeConfig
+from repro.memories.protocol_table import LineState
+
+
+def make_directory(size=16 * 1024, assoc=4, line_size=128, replacement="lru"):
+    config = CacheNodeConfig(
+        size=size, assoc=assoc, line_size=line_size, replacement=replacement
+    )
+    return TagStateDirectory(config)
+
+
+class TestProbeInstall:
+    def test_probe_miss_then_hit(self):
+        directory = make_directory()
+        set_index, tag, way = directory.probe(0x1000)
+        assert way == -1
+        directory.install(set_index, tag, int(LineState.SHARED))
+        _, _, way = directory.probe(0x1000)
+        assert way >= 0
+
+    def test_state_read_write(self):
+        directory = make_directory()
+        set_index, tag, _ = directory.probe(0x2000)
+        directory.install(set_index, tag, int(LineState.EXCLUSIVE))
+        _, _, way = directory.probe(0x2000)
+        assert directory.state_at(set_index, way) == int(LineState.EXCLUSIVE)
+        directory.set_state(set_index, way, int(LineState.MODIFIED))
+        assert directory.lookup_state(0x2000) == int(LineState.MODIFIED)
+
+    def test_lookup_state_absent_is_invalid(self):
+        assert make_directory().lookup_state(0x9999) == int(LineState.INVALID)
+
+    def test_install_evicts_when_full(self):
+        directory = make_directory(size=4 * 128, assoc=4)  # one set
+        for i in range(4):
+            set_index, tag, _ = directory.probe(i * 128)
+            assert directory.install(set_index, tag, 1) is None
+        set_index, tag, _ = directory.probe(4 * 128)
+        evicted = directory.install(set_index, tag, 1)
+        assert evicted is not None
+        victim_addr, _state = evicted
+        assert victim_addr == 0  # LRU: the first line installed
+
+    def test_eviction_returns_line_address_and_state(self):
+        directory = make_directory(size=2 * 128, assoc=2)
+        s0, t0, _ = directory.probe(0x0000)
+        directory.install(s0, t0, int(LineState.MODIFIED))
+        s1, t1, _ = directory.probe(0x8000)
+        directory.install(s1, t1, int(LineState.SHARED))
+        s2, t2, _ = directory.probe(0x10000)
+        evicted = directory.install(s2, t2, int(LineState.SHARED))
+        assert evicted == (0x0000, int(LineState.MODIFIED))
+
+    def test_invalidate_removes_line(self):
+        directory = make_directory()
+        set_index, tag, _ = directory.probe(0x3000)
+        directory.install(set_index, tag, 2)
+        _, _, way = directory.probe(0x3000)
+        former = directory.invalidate(set_index, way)
+        assert former == 2
+        assert directory.lookup_state(0x3000) == int(LineState.INVALID)
+
+    def test_touch_refreshes_lru(self):
+        directory = make_directory(size=2 * 128, assoc=2)
+        s, t0, _ = directory.probe(0 * 128 * directory.config.num_sets)
+        directory.install(s, t0, 1)
+        addr_b = 1 << 20
+        sb, tb, _ = directory.probe(addr_b)
+        directory.install(sb, tb, 1)
+        # Touch the first line so the second becomes LRU.
+        _, _, way = directory.probe(0)
+        directory.touch(0, way)
+        s2, t2, _ = directory.probe(1 << 21)
+        evicted = directory.install(s2, t2, 1)
+        assert evicted[0] == addr_b
+
+
+class TestWholeDirectory:
+    def test_resident_and_occupancy(self):
+        directory = make_directory(size=8 * 128, assoc=2)
+        for i in range(4):
+            s, t, _ = directory.probe(i * 128)
+            directory.install(s, t, 1)
+        assert directory.resident_lines() == 4
+        assert directory.occupancy() == pytest.approx(0.5)
+
+    def test_iter_lines_rebuilds_addresses(self):
+        directory = make_directory()
+        addresses = {0x1000, 0x2080, 0x40100}
+        for address in addresses:
+            s, t, _ = directory.probe(address)
+            directory.install(s, t, 1)
+        listed = {addr for addr, _state in directory.iter_lines()}
+        assert listed == {a & ~127 for a in addresses}
+
+    def test_clear(self):
+        directory = make_directory()
+        s, t, _ = directory.probe(0x1000)
+        directory.install(s, t, 1)
+        directory.clear()
+        assert directory.resident_lines() == 0
+
+    def test_check_invariants_passes_after_traffic(self):
+        directory = make_directory(size=1024, assoc=2)
+        for i in range(100):
+            s, t, _ = directory.probe((i * 937) % (1 << 16) * 128)
+            if directory.probe((i * 937) % (1 << 16) * 128)[2] < 0:
+                directory.install(s, t, 1)
+        directory.check_invariants()
+
+
+@st.composite
+def directory_ops(draw):
+    return draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, 31),   # line index
+                st.integers(1, 3),    # state
+                st.sampled_from(["access", "invalidate"]),
+            ),
+            min_size=1,
+            max_size=200,
+        )
+    )
+
+
+class TestPropertyBased:
+    @pytest.mark.parametrize("replacement", ["lru", "fifo", "random", "plru"])
+    def test_invariants_under_random_ops_all_policies(self, replacement):
+        import numpy as np
+
+        rng = np.random.default_rng(5)
+        directory = make_directory(size=8 * 128, assoc=4, replacement=replacement)
+        for _ in range(500):
+            address = int(rng.integers(0, 64)) * 128
+            set_index, tag, way = directory.probe(address)
+            if way < 0:
+                directory.install(set_index, tag, int(rng.integers(1, 4)))
+            else:
+                directory.touch(set_index, way)
+            directory.check_invariants()
+
+    @given(ops=directory_ops())
+    @settings(max_examples=50, deadline=None)
+    def test_lru_invariants_property(self, ops):
+        directory = make_directory(size=4 * 128, assoc=2)
+        for line, state, kind in ops:
+            address = line * 128
+            set_index, tag, way = directory.probe(address)
+            if kind == "access":
+                if way < 0:
+                    directory.install(set_index, tag, state)
+                else:
+                    directory.set_state(set_index, way, state)
+                    directory.touch(set_index, way)
+            elif way >= 0:
+                directory.invalidate(set_index, way)
+        directory.check_invariants()
+        assert directory.resident_lines() <= directory.config.num_lines

@@ -1,0 +1,99 @@
+"""Tests for repro.memories.config: the Table 2 hardware envelope."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.units import GB, KB, MB
+from repro.memories.config import (
+    CacheNodeConfig,
+    DIRECTORY_ENTRY_BYTES,
+    NODE_SDRAM_BYTES,
+)
+
+
+class TestEnvelope:
+    def test_paper_minimum_accepted(self):
+        CacheNodeConfig.create("2MB")
+
+    def test_paper_maximum_accepted(self):
+        CacheNodeConfig.create("8GB", line_size="16KB")
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(size=1 * MB),
+            dict(size=16 * GB, line_size=16 * KB),
+            dict(size=16 * MB, assoc=16),
+            dict(size=16 * MB, assoc=0),
+            dict(size=16 * MB, line_size=64),
+            dict(size=16 * MB, line_size=32 * KB),
+            dict(size=16 * MB, procs_per_node=0),
+            dict(size=16 * MB, procs_per_node=9),
+            dict(size=16 * MB, replacement="mru"),
+        ],
+    )
+    def test_out_of_envelope_rejected(self, kwargs):
+        config = CacheNodeConfig(**kwargs)
+        with pytest.raises(ConfigurationError):
+            config.validate()
+
+    def test_non_power_of_two_line_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CacheNodeConfig(size=16 * MB, line_size=384).validate()
+
+    def test_indivisible_geometry_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CacheNodeConfig(size=2 * MB + 128, assoc=4).validate()
+
+    def test_directory_must_fit_sdram(self):
+        config = CacheNodeConfig(size=8 * GB, line_size=128)
+        assert config.directory_bytes > NODE_SDRAM_BYTES
+        with pytest.raises(ConfigurationError, match="SDRAM"):
+            config.validate()
+
+    def test_large_cache_with_large_lines_fits(self):
+        config = CacheNodeConfig(size=8 * GB, line_size=16 * KB)
+        assert config.directory_bytes <= NODE_SDRAM_BYTES
+        config.validate()
+
+
+class TestDerivedGeometry:
+    def test_lines_and_sets(self):
+        config = CacheNodeConfig(size=64 * MB, assoc=4, line_size=128)
+        assert config.num_lines == 64 * MB // 128
+        assert config.num_sets == config.num_lines // 4
+
+    def test_directory_bytes(self):
+        config = CacheNodeConfig(size=2 * MB, line_size=128)
+        assert config.directory_bytes == config.num_lines * DIRECTORY_ENTRY_BYTES
+
+    def test_create_parses_strings(self):
+        config = CacheNodeConfig.create("64MB", line_size="1KB")
+        assert config.size == 64 * MB
+        assert config.line_size == 1024
+
+    def test_describe_mentions_parameters(self):
+        text = CacheNodeConfig.create("64MB", assoc=4, name="test").describe()
+        assert "64MB" in text and "4-way" in text and "test" in text
+
+    def test_describe_direct_mapped(self):
+        assert "direct-mapped" in CacheNodeConfig.create("2MB", assoc=1).describe()
+
+
+class TestScaled:
+    def test_scaled_divides_size(self):
+        config = CacheNodeConfig.create("64MB")
+        scaled = config.scaled(1024)
+        assert scaled.size == 64 * KB
+        assert scaled.assoc == config.assoc
+
+    def test_scaled_below_minimum_still_geometry_valid(self):
+        CacheNodeConfig.create("2MB").scaled(64).validate_geometry()
+
+    def test_scaled_rejects_indivisible(self):
+        with pytest.raises(ConfigurationError):
+            CacheNodeConfig.create("2MB").scaled(3_000_000)
+
+    def test_scaled_rejects_zero(self):
+        with pytest.raises(ConfigurationError):
+            CacheNodeConfig.create("2MB").scaled(0)

@@ -1,0 +1,117 @@
+"""Tests for repro.memories.console: the console software."""
+
+import pytest
+
+from repro.bus.transaction import BusCommand, BusTransaction
+from repro.common.errors import ConfigurationError
+from repro.common.units import MB
+from repro.memories.board import MemoriesBoard
+from repro.memories.config import CacheNodeConfig
+from repro.memories.console import MemoriesConsole
+from repro.memories.firmware.hotspot import HotSpotFirmware
+from repro.memories.protocol_table import load_protocol
+from repro.target.configs import multi_config_machine, single_node_machine
+
+
+def powered_console():
+    console = MemoriesConsole()
+    machine = single_node_machine(CacheNodeConfig.create("2MB"), n_cpus=4)
+    board = console.power_up(machine)
+    return console, board
+
+
+class TestPowerUp:
+    def test_power_up_returns_board(self):
+        console, board = powered_console()
+        assert console.board is board
+
+    def test_power_up_validates_envelope(self):
+        console = MemoriesConsole()
+        machine = single_node_machine(
+            CacheNodeConfig(size=1 * MB), n_cpus=4  # below Table 2 minimum
+        )
+        with pytest.raises(ConfigurationError):
+            console.power_up(machine)
+
+    def test_no_board_errors(self):
+        console = MemoriesConsole()
+        with pytest.raises(ConfigurationError, match="no board"):
+            console.read_statistics()
+
+
+class TestStatistics:
+    def test_read_statistics(self):
+        console, board = powered_console()
+        board.observe(BusTransaction(0, BusCommand.READ, 0x1000))
+        stats = console.read_statistics()
+        assert stats["node0.local.read"] == 1
+
+    def test_reset_statistics(self):
+        console, board = powered_console()
+        board.observe(BusTransaction(0, BusCommand.READ, 0x1000))
+        console.reset_statistics()
+        # Counters are lazily created; after reset the tenure counter is
+        # either absent or zero.
+        assert console.read_statistics().get("global.bus.tenures", 0) == 0
+
+    def test_report_format(self):
+        console, board = powered_console()
+        board.observe(BusTransaction(0, BusCommand.READ, 0x1000))
+        report = console.report()
+        assert "emulated wall-clock" in report
+        assert "node0.local.read" in report
+
+    def test_miss_ratios_per_node(self):
+        console = MemoriesConsole()
+        machine = multi_config_machine(
+            [CacheNodeConfig.create("2MB"), CacheNodeConfig.create("4MB")], n_cpus=4
+        )
+        board = console.power_up(machine)
+        board.observe(BusTransaction(0, BusCommand.READ, 0x1000))
+        assert console.miss_ratios() == [1.0, 1.0]
+
+
+class TestProtocolUpload:
+    def test_load_protocol_map(self):
+        console, board = powered_console()
+        console.load_protocol_map(0, load_protocol("moesi"))
+        assert board.firmware.nodes[0].protocol.name == "moesi"
+
+    def test_bad_node_index(self):
+        console, _board = powered_console()
+        with pytest.raises(ConfigurationError):
+            console.load_protocol_map(5, load_protocol("msi"))
+
+    def test_requires_emulation_firmware(self):
+        console = MemoriesConsole()
+        console.attach(MemoriesBoard(HotSpotFirmware()))
+        with pytest.raises(ConfigurationError, match="cache-emulation"):
+            console.load_protocol_map(0, load_protocol("msi"))
+
+
+class TestCommandInterface:
+    def test_stats_command(self):
+        console, board = powered_console()
+        board.observe(BusTransaction(0, BusCommand.READ, 0x1000))
+        assert "node0.local.read 1" in console.execute("stats")
+
+    def test_describe_command(self):
+        console, _board = powered_console()
+        assert "2MB" in console.execute("describe")
+
+    def test_reset_command(self):
+        console, board = powered_console()
+        board.observe(BusTransaction(0, BusCommand.READ, 0x1000))
+        assert console.execute("reset") == "ok"
+        assert console.miss_ratios() == [0.0]
+
+    def test_log_command_records_actions(self):
+        console, _board = powered_console()
+        console.execute("reset")
+        log = console.execute("log")
+        assert "power-up" in log and "statistics reset" in log
+
+    def test_unknown_command_rejected(self):
+        console, _board = powered_console()
+        with pytest.raises(ConfigurationError):
+            console.execute("make coffee")

@@ -1,0 +1,54 @@
+"""Tests for the console's protocol display and overflow reporting."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.memories.config import CacheNodeConfig
+from repro.memories.console import MemoriesConsole
+from repro.memories.counters import COUNTER_MASK
+from repro.memories.protocol_table import load_protocol
+from repro.target.configs import single_node_machine
+
+
+def powered():
+    console = MemoriesConsole()
+    console.power_up(
+        single_node_machine(CacheNodeConfig.create("2MB"), n_cpus=4)
+    )
+    return console
+
+
+class TestProtocolDisplay:
+    def test_render_shows_transitions(self):
+        text = load_protocol("mesi").render()
+        assert "LOCAL_READ" in text
+        assert "REMOTE_WRITE" in text
+        assert "EXCLUSIVE" in text
+        assert "read_alone=EXCLUSIVE" in text
+
+    def test_render_marks_data_supply(self):
+        text = load_protocol("moesi").render()
+        # Remote read of MODIFIED supplies data and keeps ownership.
+        assert "OWNED*" in text
+
+    def test_console_protocol_command(self):
+        console = powered()
+        assert "LOCAL_CASTOUT" in console.execute("protocol 0")
+
+    def test_console_protocol_bad_node(self):
+        with pytest.raises(ConfigurationError):
+            powered().execute("protocol 7")
+
+
+class TestOverflowReporting:
+    def test_no_wraps_initially(self):
+        console = powered()
+        assert console.wrapped_counters() == []
+        assert console.execute("overflows") == "no counters have wrapped"
+
+    def test_wrapped_counter_reported(self):
+        console = powered()
+        node = console.board.firmware.nodes[0]
+        node.counters.increment("hit.read", COUNTER_MASK + 5)
+        assert console.wrapped_counters() == ["node0.hit.read"]
+        assert "node0.hit.read" in console.execute("overflows")

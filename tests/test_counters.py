@@ -1,0 +1,67 @@
+"""Tests for repro.memories.counters: 40-bit hardware counter banks."""
+
+import pytest
+
+from repro.common.errors import EmulationError
+from repro.memories.counters import COUNTER_MASK, CounterBank, seconds_until_wrap
+
+
+class TestCounterBank:
+    def test_lazily_created_at_zero(self):
+        bank = CounterBank()
+        assert bank.read("never.touched") == 0
+        assert "never.touched" not in bank
+
+    def test_increment_and_read(self):
+        bank = CounterBank()
+        bank.increment("hits")
+        bank.increment("hits", 4)
+        assert bank.read("hits") == 5
+
+    def test_negative_increment_rejected(self):
+        bank = CounterBank()
+        with pytest.raises(EmulationError):
+            bank.increment("hits", -1)
+
+    def test_forty_bit_wrap(self):
+        bank = CounterBank()
+        bank.increment("big", (1 << 40) + 7)
+        assert bank.read("big") == 7
+        assert bank.read_raw("big") == (1 << 40) + 7
+        assert bank.wrapped("big")
+
+    def test_not_wrapped_below_limit(self):
+        bank = CounterBank()
+        bank.increment("small", COUNTER_MASK)
+        assert not bank.wrapped("small")
+        assert bank.read("small") == COUNTER_MASK
+
+    def test_snapshot_qualified_names(self):
+        bank = CounterBank(prefix="node2")
+        bank.increment("hit.read", 3)
+        assert bank.snapshot() == {"node2.hit.read": 3}
+        assert bank.snapshot(qualified=False) == {"hit.read": 3}
+
+    def test_items_sorted(self):
+        bank = CounterBank()
+        bank.increment("zeta")
+        bank.increment("alpha")
+        assert [name for name, _ in bank.items()] == ["alpha", "zeta"]
+
+    def test_reset(self):
+        bank = CounterBank()
+        bank.increment("x")
+        bank.reset()
+        assert len(bank) == 0
+        assert bank.read("x") == 0
+
+
+class TestWrapTime:
+    def test_paper_claim_over_30_hours(self):
+        # 100 MHz bus, 20% utilization, one event per 2-cycle tenure:
+        # 10M events/s -> a 40-bit counter lasts > 30 hours.
+        events_per_second = 100e6 * 0.2 / 2
+        assert seconds_until_wrap(events_per_second) > 30 * 3600
+
+    def test_zero_rate_is_infinite(self):
+        assert seconds_until_wrap(0) == float("inf")

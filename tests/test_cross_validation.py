@@ -1,0 +1,90 @@
+"""Cross-validation: the board's emulation path vs. the C simulator.
+
+The paper validated the MemorIES design against its trace-driven C
+simulator; this suite holds our two independent implementations to the same
+standard: for any (trace, configuration) pair, every hit/miss/castout/
+eviction counter must be *identical*.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bus.trace import BusTrace, encode_arrays
+from repro.memories.board import board_for_machine
+from repro.memories.config import CacheNodeConfig
+from repro.sim.trace_sim import TraceSimulator
+from repro.target.configs import single_node_machine
+
+from tests.conftest import make_trace
+
+
+def compare(trace, config, n_cpus=4):
+    board = board_for_machine(single_node_machine(config, n_cpus=n_cpus))
+    board.replay(trace)
+    node = board.firmware.nodes[0]
+    simulator = TraceSimulator(config, local_cpus=frozenset(range(n_cpus)))
+    result = simulator.simulate(trace)
+    expected = result.counter_view()
+    actual = {name: node.counters.read(name) for name in expected}
+    assert actual == expected, f"divergence for {config.describe()}"
+    assert node.miss_ratio() == pytest.approx(result.miss_ratio)
+
+
+class TestAgreement:
+    @pytest.mark.parametrize(
+        "size,assoc,line",
+        [
+            (4 * 1024, 1, 128),
+            (16 * 1024, 4, 128),
+            (16 * 1024, 8, 256),
+            (64 * 1024, 2, 512),
+        ],
+    )
+    def test_configs_agree_on_random_trace(self, size, assoc, line):
+        trace = make_trace(n=5000, seed=42)
+        compare(trace, CacheNodeConfig(size=size, assoc=assoc, line_size=line))
+
+    def test_agreement_with_castouts_and_dclaims(self):
+        rng = np.random.default_rng(9)
+        n = 4000
+        commands = rng.choice([0, 1, 2, 3], size=n, p=[0.5, 0.2, 0.1, 0.2])
+        words = encode_arrays(
+            rng.integers(0, 4, n).astype(np.uint64),
+            commands.astype(np.uint64),
+            (rng.integers(0, 512, n).astype(np.uint64)) * np.uint64(128),
+        )
+        compare(BusTrace(words), CacheNodeConfig(size=8 * 1024, assoc=4, line_size=128))
+
+    def test_agreement_with_io_and_dma_masters(self):
+        rng = np.random.default_rng(11)
+        n = 3000
+        cpus = rng.choice([0, 1, 2, 3, 16], size=n, p=[0.23, 0.23, 0.23, 0.23, 0.08])
+        commands = rng.choice([0, 1, 3, 4], size=n, p=[0.6, 0.2, 0.1, 0.1])
+        words = encode_arrays(
+            cpus.astype(np.uint64),
+            commands.astype(np.uint64),
+            (rng.integers(0, 256, n).astype(np.uint64)) * np.uint64(128),
+        )
+        compare(BusTrace(words), CacheNodeConfig(size=8 * 1024, assoc=4, line_size=128))
+
+    def test_agreement_on_real_workload_trace(self):
+        from repro.experiments.pipeline import capture_records
+        from repro.host.smp import HostConfig
+        from repro.workloads.tpcc import TpccWorkload
+
+        workload = TpccWorkload(db_bytes=1 << 22, n_cpus=4, seed=13)
+        trace = capture_records(
+            workload, 8000, HostConfig(n_cpus=4, l2_size=8 * 1024, l2_assoc=2)
+        )
+        compare(trace, CacheNodeConfig(size=32 * 1024, assoc=4, line_size=128))
+
+    @given(
+        seed=st.integers(0, 10_000),
+        assoc=st.sampled_from([1, 2, 4, 8]),
+        size_kb=st.sampled_from([4, 8, 32]),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_agreement_property(self, seed, assoc, size_kb):
+        trace = make_trace(n=1500, seed=seed, address_space=1 << 19)
+        compare(trace, CacheNodeConfig(size=size_kb * 1024, assoc=assoc, line_size=128))

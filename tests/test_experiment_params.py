@@ -1,0 +1,55 @@
+"""Tests for the shared experiment scaling machinery."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.experiments.params import ExperimentResult, ExperimentScale
+
+
+class TestExperimentScale:
+    def test_scaled_bytes(self):
+        scale = ExperimentScale(scale=1024)
+        assert scale.scaled_bytes("64MB") == 64 * 1024
+        assert scale.scaled_bytes(1 << 30) == 1 << 20
+
+    def test_scaled_bytes_floor(self):
+        with pytest.raises(ConfigurationError, match="below one line"):
+            ExperimentScale(scale=1024).scaled_bytes("64KB")
+
+    def test_cache_builder(self):
+        scale = ExperimentScale(scale=1024)
+        config = scale.cache("64MB", assoc=8, name="test")
+        assert config.size == 64 * 1024
+        assert config.assoc == 8
+        assert config.line_size == 128  # line size never scales
+        assert config.procs_per_node == scale.n_cpus
+
+    def test_cache_geometry_still_validated(self):
+        with pytest.raises(ConfigurationError):
+            # 3 MB scaled produces a non-power-of-two set count at 4-way.
+            ExperimentScale(scale=1024).cache(3 * 1024 * 1024, assoc=4)
+
+    def test_host_builder_scales_l2(self):
+        scale = ExperimentScale(scale=2048, n_cpus=4)
+        config = scale.host()
+        assert config.n_cpus == 4
+        assert config.l2_size == 8 * 1024 * 1024 // 2048
+        assert config.l2_assoc == 4
+
+    def test_host_boot_time_reconfiguration(self):
+        config = ExperimentScale(scale=1024).host(l2_size="1MB", l2_assoc=1)
+        assert config.l2_size == 1024
+        assert config.l2_assoc == 1
+
+
+class TestExperimentResult:
+    def test_str_includes_notes(self):
+        result = ExperimentResult(
+            name="x", report="THE TABLE", notes=["caveat one"]
+        )
+        text = str(result)
+        assert "THE TABLE" in text
+        assert "note: caveat one" in text
+
+    def test_str_without_notes(self):
+        assert str(ExperimentResult(name="x", report="R")) == "R"

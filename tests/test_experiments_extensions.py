@@ -1,0 +1,51 @@
+"""Shape tests for the extension experiments (I/O effect, web scaling)."""
+
+import pytest
+
+from repro.experiments.io_effect import IoEffectSettings, run as run_io
+from repro.experiments.params import ExperimentScale
+from repro.experiments.webserver_scaling import (
+    WebScalingSettings,
+    run as run_web,
+)
+
+
+class TestIoEffect:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_io(IoEffectSettings(n_refs=60_000, scale=ExperimentScale(scale=1024)))
+
+    def test_miss_ratio_rises_with_dma(self, result):
+        ys = result.data["curve"].ys()
+        assert ys[-1] > ys[0]
+
+    def test_monotone_within_tolerance(self, result):
+        assert result.data["curve"].is_monotone_increasing(tolerance=0.01)
+
+    def test_all_intensities_swept(self, result):
+        assert len(result.data["curve"].points) == 4
+
+
+class TestWebScaling:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_web(
+            WebScalingSettings(
+                records_per_point=40_000,
+                fileset_sizes=("1GB", "4GB", "16GB", "64GB"),
+            )
+        )
+
+    def test_projection_exact_at_anchors(self, result):
+        errors = result.data["errors"]
+        assert errors[0] == pytest.approx(0.0, abs=1e-9)
+        assert errors[1] == pytest.approx(0.0, abs=1e-9)
+
+    def test_projection_error_grows_beyond_anchors(self, result):
+        """Section 1: extrapolated cache statistics degrade at scale."""
+        errors = result.data["errors"]
+        assert abs(errors[-1]) > 0.03
+
+    def test_larger_filesets_not_easier_to_cache(self, result):
+        ys = result.data["measured"].ys()
+        assert ys[-1] >= ys[0] - 0.05

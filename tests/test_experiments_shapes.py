@@ -1,0 +1,198 @@
+"""Shape tests for the case-study experiments (Figures 8-12, Tables 5-6).
+
+These run the experiment harness at reduced scale and assert the
+*qualitative* findings the paper reports — the reproduction's contract
+(DESIGN.md section 5.4).  They are the slowest tests in the suite.
+"""
+
+import pytest
+
+from repro.experiments.params import ExperimentScale
+from repro.experiments.figure8_tracelen import Figure8Settings, run as run_figure8
+from repro.experiments.figure9_sharing import Figure9Settings, run as run_figure9
+from repro.experiments.figure10_profile import Figure10Settings, run as run_figure10
+from repro.experiments.figure11_l3sweep import Figure11Settings, run as run_figure11
+from repro.experiments.figure12_breakdown import Figure12Settings, run as run_figure12
+from repro.experiments.table5_splash_char import Table5Settings, run as run_table5
+from repro.experiments.table6_missrates import Table6Settings, run as run_table6
+
+
+class TestFigure8:
+    @pytest.fixture(scope="class")
+    def result(self):
+        settings = Figure8Settings(
+            scale=ExperimentScale(scale=8192),
+            l3_sizes=("16MB", "64MB", "256MB", "1GB"),
+            tpcc_long_records=120_000,
+            tpcc_short_records=2_400,
+            tpch_long_records=120_000,
+            tpch_mid_records=70_000,
+            tpch_short_records=4_000,
+        )
+        return run_figure8(settings)
+
+    def test_curves_decrease_with_cache_size(self, result):
+        for curve in result.data["tpcc"] + result.data["tpch"]:
+            assert curve.is_monotone_decreasing(tolerance=0.02), curve.name
+
+    def test_short_tpcc_trace_overestimates_at_large_caches(self, result):
+        long_curve, short_curve = result.data["tpcc"]
+        assert short_curve.ys()[-1] > long_curve.ys()[-1]
+
+    def test_short_tpcc_trace_flattens_more(self, result):
+        from repro.analysis.stats import relative_flattening
+
+        long_curve, short_curve = result.data["tpcc"]
+        knee = len(long_curve.points) - 2
+        assert relative_flattening(short_curve, knee) < relative_flattening(
+            long_curve, knee
+        )
+
+    def test_all_sizes_swept(self, result):
+        for curve in result.data["tpcc"]:
+            assert len(curve.points) == 4
+
+
+class TestFigure9:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_figure9(Figure9Settings.quick())
+
+    def test_crossover_reproduced(self, result):
+        assert result.data["crossover"]
+
+    def test_long_trace_monotone_increasing(self, result):
+        short_curve, long_curve = result.data["curves"]
+        assert long_curve.is_monotone_increasing(tolerance=0.02)
+
+    def test_short_trace_net_decrease(self, result):
+        short_curve, _ = result.data["curves"]
+        assert short_curve.ys()[-1] < short_curve.ys()[0]
+
+
+class TestFigure10:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_figure10(Figure10Settings(total_records=120_000, spike_periods=6))
+
+    def test_spikes_in_both_cache_sizes(self, result):
+        for profile in result.data["profiles"]:
+            assert len(profile.spike_indices(rel_delta=0.25, skip=8)) >= 3
+
+    def test_period_matches_injection(self, result):
+        expected = result.data["expected_period_intervals"]
+        for profile in result.data["profiles"]:
+            period = profile.spike_period(rel_delta=0.25, skip=8)
+            assert period is not None
+            assert period == pytest.approx(expected, rel=0.35)
+
+    def test_both_configs_profiled(self, result):
+        configs = result.data["configs"]
+        assert configs[0].assoc == 1 and configs[1].assoc == 8
+
+
+class TestFigure11:
+    @pytest.fixture(scope="class")
+    def result(self):
+        settings = Figure11Settings(
+            scale=ExperimentScale(scale=4096),
+            l3_sizes=("32MB", "128MB", "512MB", "1GB"),
+            records_per_kernel=60_000,
+        )
+        return run_figure11(settings)
+
+    def test_all_kernels_monotone_decreasing(self, result):
+        assert all(result.data["monotone"].values()), result.data["monotone"]
+
+    def test_five_kernels(self, result):
+        assert len(result.data["curves"]) == 5
+
+    def test_l3_meaningfully_reduces_misses(self, result):
+        """Figure 11's message: large L3s keep absorbing misses."""
+        drops = [curve.total_drop() for curve in result.data["curves"]]
+        assert max(drops) > 0.15
+
+    def test_no_l3_size_degrades_performance(self, result):
+        """Section 5.3: 'for no L3 cache size do we see performance
+        degradation', improvements up to ~25%."""
+        all_values = [
+            value
+            for values in result.data["improvements"].values()
+            for value in values
+        ]
+        assert min(all_values) >= 0.0
+        assert max(all_values) < 35.0
+
+
+class TestFigure12:
+    @pytest.fixture(scope="class")
+    def result(self):
+        settings = Figure12Settings(
+            scale=ExperimentScale(scale=4096), records_per_kernel=60_000
+        )
+        return run_figure12(settings)
+
+    def test_fmm_has_most_intervention_traffic(self, result):
+        def share(kernel):
+            values = result.data[kernel].values()
+            return sum(v["mod_int"] + v["shr_int"] for v in values) / len(values)
+
+        assert share("FMM") > share("FFT")
+        assert share("FMM") > share("Ocean")
+        assert share("FMM") > 0.1
+
+    def test_fractions_sum_to_one(self, result):
+        for kernel, configs in result.data.items():
+            for name, fractions in configs.items():
+                assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_both_node_configs_present(self, result):
+        assert set(result.data["FFT"]) == {"2x4", "4x2"}
+
+
+class TestTable5:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_table5(Table5Settings(n_refs=60_000))
+
+    def test_footprints_match_paper(self, result):
+        for name, entry in result.data.items():
+            assert entry["footprint_gb"] == pytest.approx(
+                entry["paper_footprint_gb"], rel=0.25
+            ), name
+
+    def test_degraded_l2_never_faster(self, result):
+        for name, entry in result.data.items():
+            assert entry["predicted_runtime_1mb"] >= entry["paper_runtime_8mb"], name
+
+    def test_miss_ratio_rises_with_degraded_l2(self, result):
+        for name, entry in result.data.items():
+            assert entry["miss_ratio_1mb_dm"] >= entry["miss_ratio_8mb"] - 0.01, name
+
+
+class TestTable6:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_table6(Table6Settings(small_scale=16, large_scale=2048, n_refs=60_000))
+
+    def test_all_rates_positive(self, result):
+        for name, entry in result.data.items():
+            assert entry["measured_small"] > 0
+            assert entry["measured_large"] > 0
+
+    def test_scaled_sizes_vastly_different(self, result):
+        """The paper's headline: small-size rates mispredict realistic ones."""
+        differing = sum(
+            1
+            for entry in result.data.values()
+            if not (
+                2 / 3 < entry["measured_large"] / max(entry["measured_small"], 1e-9) < 1.5
+            )
+        )
+        assert differing >= 2
+
+    def test_rising_kernels_rise(self, result):
+        """FMM, Water and Barnes rise at realistic sizes, as in the paper."""
+        for name in ("FMM", "Water", "Barnes"):
+            entry = result.data[name]
+            assert entry["measured_large"] > entry["measured_small"], name

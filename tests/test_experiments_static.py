@@ -1,0 +1,56 @@
+"""Tests for the static experiments: Table 1, Figure 1, Table 2."""
+
+import pytest
+
+from repro.experiments import table1_survey, figure1_growth, table2_params
+
+
+class TestTable1:
+    def test_rows_match_paper(self):
+        result = table1_survey.run()
+        rows = result.data["rows"]
+        assert len(rows) == 9
+        assert {row.year for row in rows} == {1995, 1997, 1999}
+
+    def test_gap_widens(self):
+        gaps = table1_survey.run().data["gaps"]
+        assert gaps[1995] < gaps[1997] < gaps[1999]
+        assert gaps[1999] == pytest.approx(16.0)
+
+    def test_report_contains_table(self):
+        report = table1_survey.run().report
+        assert "Barnes Hut" in report
+        assert "512KB" in report
+
+
+class TestFigure1:
+    def test_observed_anchors_present(self):
+        data = figure1_growth.run().data
+        assert data["anchors"][1999] == (8 * 1024**2, 32 * 1024**2)
+
+    def test_projection_grows(self):
+        data = figure1_growth.run().data
+        years = sorted(data["projection"])
+        lows = [data["projection"][year][0] for year in years]
+        highs = [data["projection"][year][1] for year in years]
+        assert lows == sorted(lows)
+        assert highs == sorted(highs)
+        assert highs[0] > 32 * 1024**2
+
+    def test_growth_rates_positive(self):
+        min_rate, max_rate = figure1_growth.run().data["growth_rates"]
+        assert min_rate > 1.0 and max_rate > 1.0
+
+
+class TestTable2:
+    def test_sweep_accepts_and_rejects(self):
+        data = table2_params.run().data
+        assert data["accepted"] > 100
+        assert data["directory_rejects"] > 0
+        assert data["boundary_failures"] == 6
+
+    def test_report_contains_envelope(self):
+        report = table2_params.run().report
+        assert "2MB - 8GB" in report
+        assert "Direct mapped to 8-way" in report
+        assert "128B - 16KB" in report

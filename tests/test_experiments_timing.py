@@ -1,0 +1,62 @@
+"""Tests for the Table 3 / Table 4 experiments (timing comparisons)."""
+
+import pytest
+
+from repro.experiments.table3_tracesim import Table3Settings, run as run_table3
+from repro.experiments.table4_augmint import Table4Settings, run as run_table4
+
+
+class TestTable3:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_table3(Table3Settings(measure_records=20_000))
+
+    def test_modeled_board_matches_paper(self, result):
+        modeled = result.data["modeled_board_seconds"]
+        assert modeled[0] == pytest.approx(0.00328, rel=0.01)
+        assert modeled[3] == pytest.approx(1000.0, rel=0.01)
+
+    def test_modeled_csim_matches_paper(self, result):
+        modeled = result.data["modeled_csim_seconds"]
+        assert modeled[0] == pytest.approx(1.0, rel=0.05)
+        assert modeled[2] == pytest.approx(300.0, rel=0.05)
+
+    def test_measured_simulator_slower_than_board_model(self, result):
+        """The shape that matters: software simulation is orders of
+        magnitude slower than real-time emulation."""
+        csim_rps = result.data["csim_measured_rps"]
+        board_model_rps = 10_000_000  # 100 MHz x 20% / 2 cycles
+        assert csim_rps < board_model_rps
+
+    def test_report_has_all_rows(self, result):
+        assert result.report.count("\n") >= 5
+        assert "10,000,000,000" in result.report
+
+    def test_notes_admit_software_board_is_not_real_time(self, result):
+        assert any("NOT real time" in note for note in result.notes)
+
+
+class TestTable4:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_table4(Table4Settings(measured_refs=20_000))
+
+    def test_modeled_anchors(self, result):
+        augmint = result.data["modeled_augmint_seconds"]
+        host = result.data["modeled_host_seconds"]
+        assert augmint[0] == pytest.approx(47 * 60, rel=0.1)
+        assert host[0] == pytest.approx(3.0, rel=0.15)
+
+    def test_augmint_always_slower(self, result):
+        for augmint, host in zip(
+            result.data["modeled_augmint_seconds"],
+            result.data["modeled_host_seconds"],
+        ):
+            assert augmint > 100 * host
+
+    def test_measured_run_processed_all_events(self, result):
+        assert result.data["measured"].events == 20_000
+
+    def test_report_mentions_paper_values(self, result):
+        assert "47 minutes" in result.report
+        assert "> 2 days" in result.report

@@ -1,0 +1,82 @@
+"""Tests for the hot-spot identification firmware."""
+
+import pytest
+
+from repro.bus.transaction import BusCommand, SnoopResponse
+from repro.common.errors import ConfigurationError
+from repro.memories.firmware.hotspot import HotSpotFirmware
+
+
+def process(firmware, command, address, cpu=0):
+    firmware.process(cpu, command, address, SnoopResponse.NULL, 0.0)
+
+
+class TestCounting:
+    def test_reads_and_writes_separated(self):
+        firmware = HotSpotFirmware(granularity_bytes=4096)
+        process(firmware, BusCommand.READ, 0x1000)
+        process(firmware, BusCommand.RWITM, 0x1000)
+        process(firmware, BusCommand.CASTOUT, 0x1000)
+        assert firmware.reads == {1: 1}   # 0x1000 is page 1
+        assert firmware.writes == {1: 2}
+
+    def test_page_granularity(self):
+        firmware = HotSpotFirmware(granularity_bytes=4096)
+        process(firmware, BusCommand.READ, 0x0FFF)
+        process(firmware, BusCommand.READ, 0x1000)
+        assert firmware.reads == {0: 1, 1: 1}
+
+    def test_line_granularity(self):
+        firmware = HotSpotFirmware(granularity_bytes=128)
+        process(firmware, BusCommand.READ, 0)
+        process(firmware, BusCommand.READ, 128)
+        assert set(firmware.reads) == {0, 1}
+
+    def test_non_power_granularity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HotSpotFirmware(granularity_bytes=1000)
+
+
+class TestHottest:
+    def make_loaded(self):
+        firmware = HotSpotFirmware(granularity_bytes=4096)
+        for _ in range(5):
+            process(firmware, BusCommand.READ, 0x3000)
+        for _ in range(3):
+            process(firmware, BusCommand.RWITM, 0x3000)
+        process(firmware, BusCommand.READ, 0x9000)
+        return firmware
+
+    def test_total_ordering(self):
+        firmware = self.make_loaded()
+        top = firmware.hottest(2)
+        assert top[0] == (3, 8)
+        assert top[1] == (9, 1)
+
+    def test_kind_filters(self):
+        firmware = self.make_loaded()
+        assert firmware.hottest(1, kind="reads")[0] == (3, 5)
+        assert firmware.hottest(1, kind="writes")[0] == (3, 3)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self.make_loaded().hottest(1, kind="bogus")
+
+    def test_region_address(self):
+        firmware = HotSpotFirmware(granularity_bytes=4096)
+        assert firmware.region_address(3) == 0x3000
+
+
+class TestSnapshotAndReset:
+    def test_snapshot(self):
+        firmware = HotSpotFirmware()
+        process(firmware, BusCommand.READ, 0x1000)
+        snapshot = firmware.snapshot()
+        assert snapshot["hotspot.reads"] == 1
+        assert snapshot["hotspot.regions_tracked"] == 1
+
+    def test_reset(self):
+        firmware = HotSpotFirmware()
+        process(firmware, BusCommand.READ, 0x1000)
+        firmware.reset()
+        assert firmware.snapshot()["hotspot.regions_tracked"] == 0

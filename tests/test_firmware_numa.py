@@ -1,0 +1,145 @@
+"""Tests for the NUMA sparse-directory emulation firmware."""
+
+import pytest
+
+from repro.bus.transaction import BusCommand, SnoopResponse
+from repro.common.errors import ConfigurationError
+from repro.memories.config import CacheNodeConfig
+from repro.memories.firmware.numa_directory import (
+    NumaDirectoryFirmware,
+    SparseDirectory,
+)
+from repro.memories.protocol_table import LineState
+
+L3 = CacheNodeConfig(size=8 * 1024, assoc=4, line_size=128)
+CPU_NODES = [0, 0, 1, 1, 2, 2, 3, 3]
+
+
+def make_firmware(sparse_entries=64, sparse_assoc=4):
+    return NumaDirectoryFirmware(
+        L3, CPU_NODES, sparse_entries=sparse_entries, sparse_assoc=sparse_assoc
+    )
+
+
+def process(firmware, cpu, command, address):
+    firmware.process(cpu, command, address, SnoopResponse.NULL, 0.0)
+
+
+class TestSparseDirectory:
+    def test_lookup_miss_then_hit(self):
+        directory = SparseDirectory(entries=16, assoc=4, line_size=128)
+        assert directory.lookup(0x1000) is None
+        entry, evicted = directory.allocate(0x1000)
+        assert evicted is None
+        entry.presence = 0b0010
+        assert directory.lookup(0x1000).presence == 0b0010
+
+    def test_eviction_returns_victim(self):
+        directory = SparseDirectory(entries=4, assoc=4, line_size=128)
+        # All map to the single set.
+        for i in range(4):
+            directory.allocate(i * 128)
+        _entry, evicted = directory.allocate(4 * 128)
+        assert evicted is not None
+        assert directory.evictions == 1
+
+    def test_geometry_validation(self):
+        with pytest.raises(ConfigurationError):
+            SparseDirectory(entries=10, assoc=4, line_size=128)
+
+    def test_occupancy(self):
+        directory = SparseDirectory(entries=8, assoc=4, line_size=128)
+        directory.allocate(0)
+        assert directory.occupancy() == pytest.approx(1 / 8)
+
+
+class TestHomeAssignment:
+    def test_page_interleaving(self):
+        firmware = make_firmware()
+        assert firmware.home_of(0x0000) == 0
+        assert firmware.home_of(0x1000) == 1
+        assert firmware.home_of(0x2000) == 2
+        assert firmware.home_of(0x3000) == 3
+        assert firmware.home_of(0x4000) == 0
+
+    def test_local_vs_remote_counting(self):
+        firmware = make_firmware()
+        process(firmware, 0, BusCommand.READ, 0x0000)  # node 0, home 0: local
+        process(firmware, 0, BusCommand.READ, 0x1000)  # node 0, home 1: remote
+        assert firmware.counters.read("requests.local") == 1
+        assert firmware.counters.read("requests.remote") == 1
+        assert firmware.remote_access_fraction() == pytest.approx(0.5)
+
+    def test_too_many_nodes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NumaDirectoryFirmware(L3, [0, 1, 2, 3, 4])
+
+    def test_empty_cpu_map_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NumaDirectoryFirmware(L3, [])
+
+
+class TestCoherence:
+    def test_read_fills_shared_when_another_node_holds(self):
+        firmware = make_firmware()
+        process(firmware, 0, BusCommand.READ, 0x0000)  # node 0
+        process(firmware, 2, BusCommand.READ, 0x0000)  # node 1
+        assert firmware.l3[1].lookup_state(0x0000) == int(LineState.SHARED)
+        assert firmware.l3[0].lookup_state(0x0000) == int(LineState.EXCLUSIVE)
+
+    def test_write_invalidates_other_sharers(self):
+        firmware = make_firmware()
+        process(firmware, 0, BusCommand.READ, 0x0000)
+        process(firmware, 2, BusCommand.RWITM, 0x0000)
+        assert firmware.l3[0].lookup_state(0x0000) == int(LineState.INVALID)
+        assert firmware.l3[1].lookup_state(0x0000) == int(LineState.MODIFIED)
+        assert firmware.counters.read("invalidations.sent") == 1
+
+    def test_dirty_intervention_counted(self):
+        firmware = make_firmware()
+        process(firmware, 0, BusCommand.RWITM, 0x0000)
+        process(firmware, 2, BusCommand.READ, 0x0000)
+        assert firmware.counters.read("interventions.dirty") == 1
+
+    def test_sparse_eviction_invalidates_l3_copies(self):
+        """The paper's eviction-notification mechanism."""
+        firmware = make_firmware(sparse_entries=4, sparse_assoc=4)
+        # Fill home 0's sparse directory (home 0 = pages 0, 4, 8...).
+        addresses = [0x0000, 0x4000, 0x8000, 0xC000, 0x10000]
+        for address in addresses[:4]:
+            process(firmware, 0, BusCommand.READ, address)
+        assert firmware.l3[0].lookup_state(addresses[0]) != int(LineState.INVALID)
+        # Fifth home-0 line evicts the oldest sparse entry -> invalidation.
+        process(firmware, 0, BusCommand.READ, addresses[4])
+        assert firmware.counters.read("sparse.evictions") == 1
+        assert firmware.l3[0].lookup_state(addresses[0]) == int(LineState.INVALID)
+
+    def test_l3_eviction_clears_presence(self):
+        firmware = NumaDirectoryFirmware(
+            CacheNodeConfig(size=2 * 128, assoc=2, line_size=128),
+            CPU_NODES,
+            sparse_entries=64,
+        )
+        # Three same-set lines with home 0: the third evicts the first.
+        a, b, c = 0x0000, 0x40000, 0x80000
+        for address in (a, b, c):
+            assert firmware.home_of(address) == 0
+            process(firmware, 0, BusCommand.READ, address)
+        entry = firmware.sparse[0].lookup(a)
+        assert entry is not None and entry.presence == 0
+
+    def test_io_write_invalidates_everywhere(self):
+        firmware = make_firmware()
+        process(firmware, 0, BusCommand.READ, 0x0000)
+        firmware.process(99, BusCommand.CASTOUT, 0x0000, SnoopResponse.NULL, 0.0)
+        assert firmware.l3[0].lookup_state(0x0000) == int(LineState.INVALID)
+
+    def test_snapshot_and_reset(self):
+        firmware = make_firmware()
+        process(firmware, 0, BusCommand.READ, 0x0000)
+        snapshot = firmware.snapshot()
+        assert snapshot["numa.requests.local"] == 1
+        assert "numa.sparse0.occupancy_pct" in snapshot
+        firmware.reset()
+        assert firmware.counters.read("requests.local") == 0
+        assert firmware.l3[0].resident_lines() == 0

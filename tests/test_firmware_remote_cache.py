@@ -1,0 +1,70 @@
+"""Tests for the remote-cache emulation firmware."""
+
+import pytest
+
+from repro.bus.transaction import BusCommand, SnoopResponse
+from repro.common.errors import ConfigurationError
+from repro.memories.config import CacheNodeConfig
+from repro.memories.firmware.remote_cache import RemoteCacheFirmware
+
+L3 = CacheNodeConfig(size=2 * 128, assoc=2, line_size=128)  # tiny L3
+REMOTE = CacheNodeConfig(size=8 * 1024, assoc=4, line_size=128)
+CPU_NODES = [0, 0, 1, 1, 2, 2, 3, 3]
+
+
+def make_firmware():
+    return RemoteCacheFirmware(L3, REMOTE, CPU_NODES)
+
+
+def process(firmware, cpu, command, address):
+    firmware.process(cpu, command, address, SnoopResponse.NULL, 0.0)
+
+
+class TestRemoteCache:
+    def test_local_home_miss_skips_remote_cache(self):
+        firmware = make_firmware()
+        process(firmware, 0, BusCommand.READ, 0x0000)  # home 0 = local
+        assert firmware.counters.read("local.misses") == 1
+        assert firmware.counters.read("remote.references") == 0
+
+    def test_remote_home_miss_consults_remote_cache(self):
+        firmware = make_firmware()
+        process(firmware, 0, BusCommand.READ, 0x1000)  # home 1 = remote
+        assert firmware.counters.read("remote.references") == 1
+        assert firmware.counters.read("remote.misses") == 1
+
+    def test_remote_cache_absorbs_rereference_after_l3_eviction(self):
+        firmware = make_firmware()
+        remote_line = 0x1000
+        process(firmware, 0, BusCommand.READ, remote_line)
+        # Two conflicting lines evict remote_line from the tiny 2-way L3
+        # (same set because the L3 has a single set).
+        process(firmware, 0, BusCommand.READ, 0x2000)
+        process(firmware, 0, BusCommand.READ, 0x3000)
+        process(firmware, 0, BusCommand.READ, remote_line)
+        assert firmware.counters.read("remote.hits") == 1
+        # All four references were remote-home for node 0; one hit.
+        assert firmware.remote_hit_ratio() == pytest.approx(0.25)
+
+    def test_l3_hit_never_reaches_remote_cache(self):
+        firmware = make_firmware()
+        process(firmware, 0, BusCommand.READ, 0x1000)
+        process(firmware, 0, BusCommand.READ, 0x1000)  # L3 hit
+        assert firmware.counters.read("remote.references") == 1
+
+    def test_io_masters_ignored(self):
+        firmware = make_firmware()
+        process(firmware, 99, BusCommand.READ, 0x1000)
+        assert firmware.counters.read("remote.references") == 0
+
+    def test_too_many_nodes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RemoteCacheFirmware(L3, REMOTE, [0, 1, 2, 3, 4])
+
+    def test_snapshot_and_reset(self):
+        firmware = make_firmware()
+        process(firmware, 0, BusCommand.READ, 0x1000)
+        assert firmware.snapshot()["rcache.l3.misses"] == 1
+        firmware.reset()
+        assert firmware.counters.read("l3.misses") == 0
+        assert firmware.remote_hit_ratio() == 0.0

@@ -1,0 +1,66 @@
+"""Shape tests for the Section 2.3 firmware studies."""
+
+import pytest
+
+from repro.experiments.firmware_studies import (
+    FirmwareStudySettings,
+    hotspot_study,
+    numa_directory_study,
+    remote_cache_study,
+    tracer_continuity_study,
+)
+from repro.experiments.params import ExperimentScale
+
+TINY = FirmwareStudySettings(scale=ExperimentScale(scale=2048), records=40_000)
+
+
+class TestHotspotStudy:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return hotspot_study(TINY)
+
+    def test_write_heat_lands_on_private_scratch(self, result):
+        assert result.data["writes_private"] >= 6
+
+    def test_read_heat_lands_on_common_set(self, result):
+        assert result.data["reads_common"] >= 5
+
+
+class TestTracerContinuity:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return tracer_continuity_study(TINY)
+
+    def test_board_sees_every_burst(self, result):
+        assert result.data["board_bursts"] >= 2
+
+    def test_analyzer_misses_bursts(self, result):
+        assert result.data["analyzer_bursts"] < result.data["board_bursts"]
+
+    def test_analyzer_coverage_is_partial(self, result):
+        assert 0.0 < result.data["coverage"] < 0.5
+
+
+class TestNumaDirectoryStudy:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return numa_directory_study(TINY, entry_counts=(256, 4096))
+
+    def test_more_entries_fewer_evictions(self, result):
+        assert result.data[4096]["evictions"] < result.data[256]["evictions"]
+
+    def test_evictions_inflate_miss_ratio(self, result):
+        assert result.data[256]["miss_ratio"] > result.data[4096]["miss_ratio"]
+
+
+class TestRemoteCacheStudy:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return remote_cache_study(TINY, sizes=("8MB", "128MB"))
+
+    def test_bigger_remote_cache_absorbs_more(self, result):
+        assert result.data["128MB"] > result.data["8MB"]
+
+    def test_hit_ratios_are_fractions(self, result):
+        for value in result.data.values():
+            assert 0.0 <= value <= 1.0

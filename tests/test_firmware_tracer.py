@@ -1,0 +1,66 @@
+"""Tests for the trace-collection firmware."""
+
+from repro.bus.trace import TraceReader
+from repro.bus.transaction import BusCommand, SnoopResponse
+from repro.memories.board import MemoriesBoard
+from repro.memories.firmware.tracer import TraceCollectorFirmware
+
+
+def process(firmware, cpu, command, address, response=SnoopResponse.NULL):
+    firmware.process(cpu, command, address, response, 0.0)
+
+
+class TestCapture:
+    def test_records_accumulate(self):
+        firmware = TraceCollectorFirmware(capacity=100)
+        process(firmware, 0, BusCommand.READ, 0x1000)
+        process(firmware, 1, BusCommand.RWITM, 0x2000)
+        trace = firmware.to_trace()
+        assert len(trace) == 2
+        assert trace[0].cpu_id == 0 and trace[0].command is BusCommand.READ
+        assert trace[1].address == 0x2000
+
+    def test_snoop_responses_preserved(self):
+        firmware = TraceCollectorFirmware(capacity=10)
+        process(firmware, 0, BusCommand.READ, 0x1000, SnoopResponse.MODIFIED)
+        assert firmware.to_trace()[0].snoop_response is SnoopResponse.MODIFIED
+
+    def test_overflow_sets_flag_and_stops_recording(self):
+        firmware = TraceCollectorFirmware(capacity=2)
+        for i in range(5):
+            process(firmware, 0, BusCommand.READ, i * 128)
+        assert len(firmware) == 2
+        assert firmware.overflowed
+
+    def test_board_filters_before_capture(self):
+        firmware = TraceCollectorFirmware(capacity=100)
+        board = MemoriesBoard(firmware)
+        from repro.bus.transaction import BusTransaction
+
+        board.observe(BusTransaction(0, BusCommand.IO_READ, 0x1000))
+        board.observe(BusTransaction(0, BusCommand.READ, 0x2000))
+        assert len(firmware) == 1
+
+    def test_save_and_reload(self, tmp_path):
+        firmware = TraceCollectorFirmware(capacity=100)
+        for i in range(7):
+            process(firmware, i % 4, BusCommand.READ, i * 256)
+        path = tmp_path / "captured.mies"
+        firmware.save(path)
+        assert len(TraceReader(path).load()) == 7
+
+    def test_snapshot(self):
+        firmware = TraceCollectorFirmware(capacity=5)
+        process(firmware, 0, BusCommand.READ, 0)
+        snapshot = firmware.snapshot()
+        assert snapshot["tracer.records"] == 1
+        assert snapshot["tracer.capacity"] == 5
+        assert snapshot["tracer.overflowed"] == 0
+
+    def test_reset(self):
+        firmware = TraceCollectorFirmware(capacity=2)
+        for i in range(3):
+            process(firmware, 0, BusCommand.READ, i * 128)
+        firmware.reset()
+        assert len(firmware) == 0
+        assert not firmware.overflowed

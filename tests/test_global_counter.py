@@ -1,0 +1,57 @@
+"""Tests for the global events counter FPGA."""
+
+import pytest
+
+from repro.bus.transaction import BusCommand
+from repro.memories.global_counter import GlobalEventsCounter
+
+
+class TestRecording:
+    def test_per_command_counters(self):
+        counter = GlobalEventsCounter()
+        counter.record(0, BusCommand.READ, 10.0)
+        counter.record(1, BusCommand.RWITM, 10.0)
+        counter.record(2, BusCommand.DCLAIM, 10.0)
+        counter.record(3, BusCommand.CASTOUT, 10.0)
+        snapshot = counter.snapshot()
+        assert snapshot["global.bus.reads"] == 1
+        assert snapshot["global.bus.rwitms"] == 1
+        assert snapshot["global.bus.dclaims"] == 1
+        assert snapshot["global.bus.castouts"] == 1
+        assert snapshot["global.bus.tenures"] == 4
+
+    def test_per_cpu_traffic(self):
+        counter = GlobalEventsCounter()
+        for _ in range(3):
+            counter.record(5, BusCommand.READ, 10.0)
+        assert counter.snapshot()["global.cpu.5"] == 3
+
+    def test_cycle_accumulation(self):
+        counter = GlobalEventsCounter()
+        counter.record(0, BusCommand.READ, 10.0)
+        counter.record(0, BusCommand.READ, 10.0)
+        assert counter.snapshot()["global.bus.cycles"] == 20
+
+
+class TestReadWriteRatio:
+    def test_ratio(self):
+        counter = GlobalEventsCounter()
+        for _ in range(6):
+            counter.record(0, BusCommand.READ, 1.0)
+        counter.record(0, BusCommand.RWITM, 1.0)
+        counter.record(0, BusCommand.DCLAIM, 1.0)
+        assert counter.read_write_ratio() == pytest.approx(3.0)
+
+    def test_no_writes_is_infinite(self):
+        counter = GlobalEventsCounter()
+        counter.record(0, BusCommand.READ, 1.0)
+        assert counter.read_write_ratio() == float("inf")
+
+    def test_no_traffic_is_zero(self):
+        assert GlobalEventsCounter().read_write_ratio() == 0.0
+
+    def test_reset(self):
+        counter = GlobalEventsCounter()
+        counter.record(0, BusCommand.READ, 1.0)
+        counter.reset()
+        assert counter.snapshot() == {}

@@ -1,0 +1,81 @@
+"""Property-based coherence tests for the host L2s.
+
+The fundamental invariant of any snooping protocol is SWMR: at any point,
+a line has either a single writable (Modified) copy or any number of
+read-only copies — never both.  We drive random access sequences through a
+multi-cache host and check the invariant after every step.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bus.bus import SystemBus
+from repro.host.cache import MESIState, SnoopingCache
+
+N_CPUS = 4
+N_LINES = 8
+LINE = 128
+
+
+def build_machine():
+    bus = SystemBus()
+    caches = []
+    for cpu in range(N_CPUS):
+        cache = SnoopingCache(cpu_id=cpu, bus=bus, size=4 * LINE, assoc=2, line_size=LINE)
+        bus.attach_snooper(cache)
+        caches.append(cache)
+    return bus, caches
+
+
+def check_swmr(caches, address):
+    states = [cache.lookup_state(address) for cache in caches]
+    modified = sum(1 for s in states if s is MESIState.MODIFIED)
+    exclusive = sum(1 for s in states if s is MESIState.EXCLUSIVE)
+    valid = sum(1 for s in states if s is not MESIState.INVALID)
+    assert modified <= 1, f"two modified copies of {address:#x}: {states}"
+    assert exclusive <= 1, f"two exclusive copies of {address:#x}: {states}"
+    if modified or exclusive:
+        assert valid == 1, f"owned line {address:#x} also cached elsewhere: {states}"
+
+
+access_strategy = st.lists(
+    st.tuples(
+        st.integers(0, N_CPUS - 1),
+        st.integers(0, N_LINES - 1),
+        st.booleans(),
+    ),
+    min_size=1,
+    max_size=200,
+)
+
+
+@given(accesses=access_strategy)
+@settings(max_examples=60, deadline=None)
+def test_swmr_invariant_under_random_traffic(accesses):
+    _bus, caches = build_machine()
+    for cpu, line, is_write in accesses:
+        caches[cpu].access(line * LINE, is_write)
+        for probe_line in range(N_LINES):
+            check_swmr(caches, probe_line * LINE)
+
+
+@given(accesses=access_strategy)
+@settings(max_examples=60, deadline=None)
+def test_capacity_never_exceeded(accesses):
+    _bus, caches = build_machine()
+    for cpu, line, is_write in accesses:
+        caches[cpu].access(line * LINE, is_write)
+    for cache in caches:
+        assert cache.resident_lines() <= cache.size // cache.line_size
+
+
+@given(accesses=access_strategy)
+@settings(max_examples=30, deadline=None)
+def test_stats_balance(accesses):
+    _bus, caches = build_machine()
+    for cpu, line, is_write in accesses:
+        caches[cpu].access(line * LINE, is_write)
+    for cache in caches:
+        stats = cache.stats
+        assert stats.accesses == stats.hits + stats.misses
+        assert stats.misses == stats.read_misses + stats.write_misses
+        assert stats.accesses == stats.read_accesses + stats.write_accesses

@@ -1,0 +1,137 @@
+"""Tests for the optional L1 front cache."""
+
+import numpy as np
+import pytest
+
+from repro.bus.bus import SystemBus
+from repro.common.errors import ConfigurationError
+from repro.host.cache import MESIState, SnoopingCache
+from repro.host.l1 import L1Cache
+from repro.host.smp import HostConfig, HostSMP
+
+
+def make_pair(l1_size=4 * 128, l1_assoc=2, l2_size=4096, bus=None):
+    bus = bus if bus is not None else SystemBus()
+    l2 = SnoopingCache(cpu_id=0, bus=bus, size=l2_size, assoc=2, line_size=128)
+    bus.attach_snooper(l2)
+    l1 = L1Cache(l2, size=l1_size, assoc=l1_assoc, line_size=128)
+    return l1, l2, bus
+
+
+class TestFiltering:
+    def test_load_hit_skips_l2(self):
+        l1, l2, _bus = make_pair()
+        l1.access(0x1000, False)
+        l2_accesses = l2.stats.accesses
+        assert l1.access(0x1000, False) is True
+        assert l2.stats.accesses == l2_accesses
+
+    def test_load_miss_fills_l1(self):
+        l1, _l2, _bus = make_pair()
+        l1.access(0x1000, False)
+        assert l1.holds(0x1000)
+
+    def test_writes_always_reach_l2(self):
+        l1, l2, _bus = make_pair()
+        l1.access(0x1000, False)
+        l1.access(0x1000, True)  # store to an L1-resident line
+        assert l2.stats.write_accesses == 1
+        assert l2.lookup_state(0x1000) is MESIState.MODIFIED
+
+    def test_write_does_not_allocate_l1(self):
+        l1, _l2, _bus = make_pair()
+        l1.access(0x1000, True)
+        assert not l1.holds(0x1000)
+
+    def test_l1_capacity_respected(self):
+        l1, _l2, _bus = make_pair(l1_size=2 * 128, l1_assoc=2)
+        for i in range(8):
+            l1.access(i * 0x1000, False)
+        assert l1.resident_lines() <= 2
+
+    def test_hit_ratio_statistics(self):
+        l1, _l2, _bus = make_pair()
+        l1.access(0x1000, False)
+        l1.access(0x1000, False)
+        assert l1.stats.accesses == 2
+        assert l1.stats.hits == 1
+        assert l1.stats.hit_ratio == pytest.approx(0.5)
+
+
+class TestInclusion:
+    def test_l2_eviction_back_invalidates_l1(self):
+        # Single-set L2 (2 ways): the third distinct line evicts the first.
+        l1, l2, _bus = make_pair(l2_size=2 * 128)
+        l1.access(0x0000, False)
+        l1.access(0x8000, False)
+        l1.access(0x10000, False)  # L2 evicts 0x0000
+        assert not l1.holds(0x0000)
+        assert l1.stats.inclusion_invalidations == 1
+
+    def test_snoop_invalidation_back_invalidates_l1(self):
+        bus = SystemBus()
+        l1, l2, _ = make_pair(bus=bus)
+        other = SnoopingCache(cpu_id=1, bus=bus, size=4096, assoc=2, line_size=128)
+        bus.attach_snooper(other)
+        l1.access(0x1000, False)
+        other.access(0x1000, True)  # RWITM invalidates our L2 (and L1)
+        assert not l1.holds(0x1000)
+
+    def test_l1_never_holds_what_l2_lacks(self):
+        rng = np.random.default_rng(3)
+        l1, l2, _bus = make_pair(l1_size=4 * 128, l2_size=8 * 128)
+        for _ in range(2000):
+            l1.access(int(rng.integers(0, 64)) * 128, bool(rng.random() < 0.3))
+        for set_tags in l1._tags:
+            for tag in set_tags:
+                line_address = l1.amap.rebuild(tag, l1._tags.index(set_tags))
+        # Structural check: every L1-resident line is L2-resident.
+        for set_index, tags in enumerate(l1._tags):
+            for tag in tags:
+                address = l1.amap.rebuild(tag, set_index)
+                assert l2.lookup_state(address) is not MESIState.INVALID
+
+
+class TestValidation:
+    def test_line_size_must_match(self):
+        bus = SystemBus()
+        l2 = SnoopingCache(cpu_id=0, bus=bus, size=4096, assoc=2, line_size=128)
+        with pytest.raises(ConfigurationError):
+            L1Cache(l2, size=1024, assoc=2, line_size=256)
+
+    def test_geometry_validated(self):
+        bus = SystemBus()
+        l2 = SnoopingCache(cpu_id=0, bus=bus, size=4096, assoc=2, line_size=128)
+        with pytest.raises(ConfigurationError):
+            L1Cache(l2, size=1000, assoc=2, line_size=128)
+
+
+class TestHostIntegration:
+    def test_host_with_l1_filters_l2_traffic(self):
+        with_l1 = HostSMP(
+            HostConfig(n_cpus=2, l2_size=64 * 1024, l2_assoc=2, l1_size=8 * 1024)
+        )
+        without_l1 = HostSMP(
+            HostConfig(n_cpus=2, l2_size=64 * 1024, l2_assoc=2)
+        )
+        rng = np.random.default_rng(7)
+        n = 20_000
+        cpus = rng.integers(0, 2, n)
+        addrs = (rng.zipf(1.5, n) * 128) % (1 << 20)
+        addrs = (addrs // 128) * 128
+        writes = rng.random(n) < 0.2
+        with_l1.run_chunk(cpus, addrs, writes)
+        without_l1.run_chunk(cpus, addrs, writes)
+        l2_refs_with = sum(p.l2.stats.accesses for p in with_l1.processors)
+        l2_refs_without = sum(p.l2.stats.accesses for p in without_l1.processors)
+        assert l2_refs_with < l2_refs_without
+
+    def test_bus_traffic_identical_castouts(self):
+        """Write-through L1 must not change what the bus (and the board)
+        sees for the same L2 miss stream... castouts specifically."""
+        config = HostConfig(n_cpus=1, l2_size=2 * 128, l2_assoc=2, l1_size=0)
+        host = HostSMP(config)
+        host.processors[0].reference(0x0000, True)
+        host.processors[0].reference(0x8000, False)
+        host.processors[0].reference(0x10000, False)
+        assert host.bus.stats.castouts == 1

@@ -1,0 +1,124 @@
+"""Tests for the interposer card (foreign-bus protocol conversion)."""
+
+import pytest
+
+from repro.bus.interposer import (
+    CommandMap,
+    ForeignCommand,
+    InterposerCard,
+    x86_command_map,
+)
+from repro.bus.transaction import BusCommand, SnoopResponse
+from repro.common.errors import ConfigurationError, TraceFormatError
+from repro.memories.board import board_for_machine
+from repro.memories.config import CacheNodeConfig
+from repro.target.configs import single_node_machine
+
+CFG = CacheNodeConfig(size=16 * 1024, assoc=4, line_size=128)
+
+
+def make_card(**kwargs):
+    board = board_for_machine(single_node_machine(CFG, n_cpus=4))
+    return InterposerCard(board, **kwargs), board
+
+
+class TestCommandMap:
+    def test_builtin_covers_all_commands(self):
+        x86 = x86_command_map()
+        for command in ForeignCommand:
+            x86.translate(command)  # must not raise
+
+    @pytest.mark.parametrize(
+        "foreign,native",
+        [
+            (ForeignCommand.BRL, BusCommand.READ),
+            (ForeignCommand.BRIL, BusCommand.RWITM),
+            (ForeignCommand.BWL, BusCommand.CASTOUT),
+            (ForeignCommand.BIL, BusCommand.DCLAIM),
+            (ForeignCommand.IO_IN, BusCommand.IO_READ),
+            (ForeignCommand.INT_ACK, BusCommand.INTERRUPT),
+        ],
+    )
+    def test_x86_translations(self, foreign, native):
+        assert x86_command_map().translate(foreign) is native
+
+    def test_incomplete_map_rejected(self):
+        with pytest.raises(ConfigurationError, match="does not translate"):
+            CommandMap("partial", {ForeignCommand.BRL: BusCommand.READ})
+
+    def test_map_file_roundtrip(self, tmp_path):
+        path = tmp_path / "x86.map.json"
+        original = x86_command_map()
+        original.save(path)
+        restored = CommandMap.load(path)
+        for command in ForeignCommand:
+            assert restored.translate(command) == original.translate(command)
+
+    def test_none_entries_roundtrip(self, tmp_path):
+        entries = {cmd: None for cmd in ForeignCommand}
+        entries[ForeignCommand.BRL] = BusCommand.READ
+        original = CommandMap("sparse", entries)
+        path = tmp_path / "sparse.map.json"
+        original.save(path)
+        restored = CommandMap.load(path)
+        assert restored.translate(ForeignCommand.BWL) is None
+        assert restored.translate(ForeignCommand.BRL) is BusCommand.READ
+
+    def test_malformed_file_rejected(self):
+        with pytest.raises(TraceFormatError):
+            CommandMap.from_map({"name": "x", "entries": {"NOT_A_CMD": "READ"}})
+
+
+class TestInterposerCard:
+    def test_reads_reach_the_emulated_cache(self):
+        card, board = make_card()
+        card.observe_foreign(0, ForeignCommand.BRL, 0x1000)
+        card.observe_foreign(0, ForeignCommand.BRL, 0x1000)
+        node = board.firmware.nodes[0]
+        assert node.counters.read("local.read") == 2
+        assert node.counters.read("hit.read") == 1
+
+    def test_io_converted_then_filtered_by_board(self):
+        card, board = make_card()
+        card.observe_foreign(0, ForeignCommand.IO_IN, 0xF000)
+        assert card.stats.converted == 1
+        assert board.address_filter.stats.filtered_io == 1
+        assert board.firmware.nodes[0].references() == 0
+
+    def test_dropped_commands_never_reach_board(self):
+        entries = {cmd: None for cmd in ForeignCommand}
+        card, board = make_card(command_map=CommandMap("droppy", entries))
+        card.observe_foreign(0, ForeignCommand.BRL, 0x1000)
+        assert card.stats.dropped == 1
+        assert board.address_filter.stats.observed == 0
+
+    def test_agent_remapping(self):
+        # Foreign agents 8..11 become host CPUs 0..3.
+        card, board = make_card(agent_map={8: 0, 9: 1, 10: 2, 11: 3})
+        card.observe_foreign(9, ForeignCommand.BRL, 0x1000)
+        assert board.firmware.nodes[0].references() == 1
+        assert card.stats.remapped_agents == 1
+
+    def test_address_offset(self):
+        card, board = make_card(address_offset=0x100000)
+        card.observe_foreign(0, ForeignCommand.BRIL, 0x1000)
+        from repro.memories.protocol_table import LineState
+
+        node = board.firmware.nodes[0]
+        assert node.directory.lookup_state(0x101000) == int(LineState.MODIFIED)
+
+    def test_snoop_response_passes_through(self):
+        card, board = make_card()
+        card.observe_foreign(
+            0, ForeignCommand.BRL, 0x1000, SnoopResponse.MODIFIED
+        )
+        assert board.firmware.nodes[0].counters.read("satisfied.mod_int") == 1
+
+    def test_snapshot(self):
+        card, _board = make_card()
+        card.observe_foreign(0, ForeignCommand.BRL, 0x1000)
+        card.observe_foreign(0, ForeignCommand.SPECIAL, 0x0)
+        snapshot = card.snapshot()
+        assert snapshot["interposer.map"] == "x86"
+        assert snapshot["interposer.observed"] == 2
+        assert snapshot["interposer.converted"] == 2

@@ -1,0 +1,87 @@
+"""Tests for the Section 5.3 latency-weighted performance projection."""
+
+import pytest
+
+from repro.analysis.performance_model import (
+    DEFAULT_LATENCIES,
+    average_miss_latency,
+    project_performance,
+)
+from repro.common.errors import ConfigurationError
+
+
+class TestAverageLatency:
+    def test_pure_memory(self):
+        latency = average_miss_latency({"memory": 1.0})
+        assert latency == DEFAULT_LATENCIES["memory"]
+
+    def test_weighted_mixture(self):
+        latency = average_miss_latency({"memory": 0.5, "l3": 0.5})
+        expected = (DEFAULT_LATENCIES["memory"] + DEFAULT_LATENCIES["l3"]) / 2
+        assert latency == pytest.approx(expected)
+
+    def test_unnormalised_breakdown_normalised(self):
+        a = average_miss_latency({"memory": 1.0, "l3": 1.0})
+        b = average_miss_latency({"memory": 0.5, "l3": 0.5})
+        assert a == pytest.approx(b)
+
+    def test_unknown_source_rejected(self):
+        with pytest.raises(ConfigurationError):
+            average_miss_latency({"warp_drive": 1.0})
+
+    def test_empty_breakdown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            average_miss_latency({"memory": 0.0})
+
+
+class TestProjection:
+    def test_l3_hits_always_help(self):
+        """The paper: 'for no L3 cache size do we see performance
+        degradation' — any positive L3-hit fraction must improve CPI."""
+        for l3_fraction in (0.05, 0.2, 0.5, 0.9):
+            breakdown = {
+                "l3": l3_fraction,
+                "memory": 1.0 - l3_fraction,
+                "mod_int": 0.0,
+                "shr_int": 0.0,
+            }
+            projection = project_performance(breakdown, l2_miss_ratio=0.3)
+            assert projection.speedup > 1.0
+            assert projection.improvement_percent > 0.0
+
+    def test_no_l3_hits_no_change(self):
+        breakdown = {"l3": 0.0, "memory": 0.8, "mod_int": 0.1, "shr_int": 0.1}
+        projection = project_performance(breakdown, l2_miss_ratio=0.3)
+        assert projection.speedup == pytest.approx(1.0)
+
+    def test_improvement_grows_with_l3_fraction(self):
+        def improvement(l3_fraction):
+            breakdown = {"l3": l3_fraction, "memory": 1 - l3_fraction}
+            return project_performance(breakdown, 0.3).improvement_percent
+
+        assert improvement(0.5) > improvement(0.2) > improvement(0.05)
+
+    def test_improvement_grows_with_miss_ratio(self):
+        breakdown = {"l3": 0.4, "memory": 0.6}
+        low = project_performance(breakdown, 0.05).improvement_percent
+        high = project_performance(breakdown, 0.5).improvement_percent
+        assert high > low
+
+    def test_paper_band(self):
+        """Typical Figure 11 operating points land in the paper's 2-25%."""
+        breakdown = {"l3": 0.4, "memory": 0.55, "mod_int": 0.02, "shr_int": 0.03}
+        projection = project_performance(breakdown, l2_miss_ratio=0.5)
+        assert 2.0 < projection.improvement_percent < 25.0
+
+    def test_interventions_unaffected_by_baseline(self):
+        breakdown = {"l3": 0.3, "memory": 0.3, "mod_int": 0.2, "shr_int": 0.2}
+        projection = project_performance(breakdown, 0.3)
+        # Baseline redirects only the L3 fraction to memory.
+        expected_baseline = average_miss_latency(
+            {"memory": 0.6, "mod_int": 0.2, "shr_int": 0.2}
+        )
+        assert projection.baseline_bus_cycles == pytest.approx(expected_baseline)
+
+    def test_invalid_miss_ratio_rejected(self):
+        with pytest.raises(ConfigurationError):
+            project_performance({"memory": 1.0}, l2_miss_ratio=1.5)

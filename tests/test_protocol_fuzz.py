@@ -1,0 +1,170 @@
+"""Property-based fuzzing of user-supplied protocol tables.
+
+Section 3.2 lets users load arbitrary state tables into the node
+controllers.  These tests generate random *well-formed* tables (closed, and
+respecting the two axioms any invalidation-based protocol satisfies:
+remote writes invalidate, local writes produce a dirty state) and drive
+random multi-node traffic through them, checking that the emulator never
+crashes, directory invariants hold, and the emulated caches preserve SWMR.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bus.transaction import BusCommand, SnoopResponse
+from repro.memories.config import CacheNodeConfig
+from repro.memories.node_controller import NodeController
+from repro.memories.protocol_table import (
+    CacheOp,
+    FillRules,
+    LineState,
+    ProtocolTable,
+    Transition,
+)
+
+VALID_STATES = (
+    LineState.SHARED,
+    LineState.EXCLUSIVE,
+    LineState.MODIFIED,
+    LineState.OWNED,
+)
+
+
+@st.composite
+def protocol_tables(draw, coherent: bool = False):
+    """A random closed protocol table.
+
+    With ``coherent=False`` only the structural axioms hold (remote writes
+    invalidate, local writes dirty) — enough that the emulator must not
+    crash, but the table may be semantically absurd (e.g. a read fill that
+    claims Modified).  With ``coherent=True`` the table also satisfies the
+    axioms every real invalidation protocol does, which is what makes the
+    SWMR property provable:
+
+    * local reads never upgrade a state (same state or demote to Shared);
+    * read fills are clean, and shared fills are never Exclusive.
+    """
+    n_states = draw(st.integers(2, 4))
+    states = tuple(VALID_STATES[:n_states])
+    if LineState.MODIFIED not in states:
+        states = states + (LineState.MODIFIED,)
+
+    transitions = {}
+    for op in CacheOp:
+        for state in states:
+            if op is CacheOp.REMOTE_WRITE:
+                next_state = LineState.INVALID  # axiom: writes invalidate
+                is_hit = state.is_dirty
+            elif op is CacheOp.LOCAL_WRITE or op is CacheOp.LOCAL_CASTOUT:
+                next_state = LineState.MODIFIED  # axiom: writes dirty
+                is_hit = True
+            elif op is CacheOp.REMOTE_READ:
+                # Remote reads may demote to a shareable state or die.
+                next_state = draw(
+                    st.sampled_from(
+                        [LineState.INVALID]
+                        + [
+                            s
+                            for s in states
+                            if s in (LineState.SHARED, LineState.OWNED)
+                        ]
+                    )
+                )
+                is_hit = state.is_dirty
+            else:  # LOCAL_READ
+                if coherent:
+                    next_state = draw(
+                        st.sampled_from([state, LineState.SHARED])
+                    )
+                else:
+                    next_state = draw(st.sampled_from(list(states)))
+                is_hit = True
+            transitions[(op, state)] = Transition(next_state, is_hit)
+
+    clean_states = [s for s in states if not s.is_dirty]
+    if coherent:
+        read_shared = LineState.SHARED
+        read_alone = draw(st.sampled_from(clean_states))
+    else:
+        read_shared = draw(
+            st.sampled_from([s for s in states if s is not LineState.EXCLUSIVE])
+        )
+        read_alone = draw(st.sampled_from(list(states)))
+    fill = FillRules(
+        read_shared=read_shared,
+        read_alone=read_alone,
+        write=LineState.MODIFIED,
+    )
+    return ProtocolTable("fuzzed", states, transitions, fill)
+
+
+traffic = st.lists(
+    st.tuples(
+        st.integers(0, 3),                      # cpu
+        st.integers(0, 15),                     # line
+        st.sampled_from(
+            [BusCommand.READ, BusCommand.RWITM, BusCommand.DCLAIM, BusCommand.CASTOUT]
+        ),
+    ),
+    min_size=1,
+    max_size=120,
+)
+
+
+def build_nodes(table):
+    config = CacheNodeConfig(
+        size=4 * 128, assoc=2, line_size=128, protocol="mesi"
+    )
+    node_a = NodeController(0, config, cpus=(0, 1), protocol=table)
+    node_b = NodeController(1, config, cpus=(2, 3), protocol=table)
+    return node_a, node_b
+
+
+@given(table=protocol_tables(), ops=traffic)
+@settings(max_examples=80, deadline=None)
+def test_fuzzed_protocols_never_break_the_emulator(table, ops):
+    node_a, node_b = build_nodes(table)
+    nodes = {0: node_a, 1: node_a, 2: node_b, 3: node_b}
+    peers = {0: (node_b,), 1: (node_b,), 2: (node_a,), 3: (node_a,)}
+    for cpu, line, command in ops:
+        nodes[cpu].process_local(
+            command, line * 128, SnoopResponse.NULL, 0.0, peers[cpu]
+        )
+        node_a.directory.check_invariants()
+        node_b.directory.check_invariants()
+
+
+@given(table=protocol_tables(coherent=True), ops=traffic)
+@settings(max_examples=80, deadline=None)
+def test_fuzzed_protocols_preserve_swmr(table, ops):
+    """With the coherence axioms, no line is ever dirty in both caches.
+
+    The traffic uses only coherent requests (no raw castouts): a castout
+    stream that never acquired ownership is impossible on a coherent host,
+    and the passive emulator inherits the host's ordering guarantees.
+    """
+    coherent_commands = (BusCommand.READ, BusCommand.RWITM, BusCommand.DCLAIM)
+    node_a, node_b = build_nodes(table)
+    nodes = {0: node_a, 1: node_a, 2: node_b, 3: node_b}
+    peers = {0: (node_b,), 1: (node_b,), 2: (node_a,), 3: (node_a,)}
+    for cpu, line, command in ops:
+        if command not in coherent_commands:
+            command = BusCommand.RWITM
+        nodes[cpu].process_local(
+            command, line * 128, SnoopResponse.NULL, 0.0, peers[cpu]
+        )
+        for probe in range(16):
+            address = probe * 128
+            state_a = LineState(node_a.directory.lookup_state(address))
+            state_b = LineState(node_b.directory.lookup_state(address))
+            assert not (state_a.is_dirty and state_b.is_dirty), (
+                f"line {address:#x} dirty in both nodes: "
+                f"{state_a.name}/{state_b.name} under {table.to_map()}"
+            )
+
+
+@given(table=protocol_tables())
+@settings(max_examples=40, deadline=None)
+def test_fuzzed_tables_roundtrip_map_files(table):
+    restored = ProtocolTable.from_map(table.to_map())
+    assert restored.raw_table() == table.raw_table()
+    assert restored.fill == table.fill

@@ -1,0 +1,141 @@
+"""Tests for repro.memories.protocol_table: loadable coherence tables."""
+
+import pytest
+
+from repro.common.errors import ProtocolError
+from repro.memories.protocol_table import (
+    CacheOp,
+    FillRules,
+    LineState,
+    ProtocolTable,
+    Transition,
+    load_protocol,
+)
+
+
+class TestBuiltins:
+    @pytest.mark.parametrize("name", ["msi", "mesi", "moesi"])
+    def test_builtins_load_and_are_closed(self, name):
+        table = load_protocol(name)
+        assert table.name == name
+        for op in CacheOp:
+            for state in table.states:
+                table.lookup(op, state)  # must not raise
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(ProtocolError):
+            load_protocol("dragon")
+
+    def test_case_insensitive(self):
+        assert load_protocol("MESI").name == "mesi"
+
+    def test_msi_has_no_exclusive(self):
+        assert LineState.EXCLUSIVE not in load_protocol("msi").states
+
+    def test_mesi_read_alone_fills_exclusive(self):
+        assert load_protocol("mesi").fill.read_alone is LineState.EXCLUSIVE
+
+    def test_msi_read_alone_fills_shared(self):
+        assert load_protocol("msi").fill.read_alone is LineState.SHARED
+
+    def test_moesi_remote_read_of_modified_keeps_ownership(self):
+        table = load_protocol("moesi")
+        transition = table.lookup(CacheOp.REMOTE_READ, LineState.MODIFIED)
+        assert transition.next_state is LineState.OWNED
+        assert transition.is_hit  # supplies the data
+
+    def test_mesi_remote_read_of_modified_demotes_to_shared(self):
+        table = load_protocol("mesi")
+        transition = table.lookup(CacheOp.REMOTE_READ, LineState.MODIFIED)
+        assert transition.next_state is LineState.SHARED
+
+    def test_remote_write_always_invalidates(self):
+        for name in ("msi", "mesi", "moesi"):
+            table = load_protocol(name)
+            for state in table.states:
+                transition = table.lookup(CacheOp.REMOTE_WRITE, state)
+                assert transition.next_state is LineState.INVALID
+
+    def test_local_write_always_produces_modified(self):
+        for name in ("msi", "mesi", "moesi"):
+            table = load_protocol(name)
+            for state in table.states:
+                transition = table.lookup(CacheOp.LOCAL_WRITE, state)
+                assert transition.next_state is LineState.MODIFIED
+
+
+class TestValidation:
+    def test_missing_transition_rejected(self):
+        transitions = {
+            (CacheOp.LOCAL_READ, LineState.SHARED): Transition(LineState.SHARED, True),
+        }
+        fill = FillRules(LineState.SHARED, LineState.SHARED, LineState.SHARED)
+        with pytest.raises(ProtocolError, match="missing transition"):
+            ProtocolTable("broken", (LineState.SHARED,), transitions, fill)
+
+    def test_undeclared_next_state_rejected(self):
+        transitions = {
+            (op, LineState.SHARED): Transition(LineState.SHARED, True)
+            for op in CacheOp
+        }
+        transitions[(CacheOp.LOCAL_WRITE, LineState.SHARED)] = Transition(
+            LineState.MODIFIED, True
+        )
+        fill = FillRules(LineState.SHARED, LineState.SHARED, LineState.SHARED)
+        with pytest.raises(ProtocolError, match="undeclared state"):
+            ProtocolTable("broken", (LineState.SHARED,), transitions, fill)
+
+    def test_invalid_must_not_be_declared(self):
+        with pytest.raises(ProtocolError, match="INVALID"):
+            ProtocolTable(
+                "broken",
+                (LineState.INVALID, LineState.SHARED),
+                {},
+                FillRules(LineState.SHARED, LineState.SHARED, LineState.SHARED),
+            )
+
+    def test_fill_rule_must_use_declared_state(self):
+        transitions = {
+            (op, LineState.SHARED): Transition(LineState.SHARED, True)
+            for op in CacheOp
+        }
+        fill = FillRules(LineState.SHARED, LineState.EXCLUSIVE, LineState.SHARED)
+        with pytest.raises(ProtocolError, match="fill rule"):
+            ProtocolTable("broken", (LineState.SHARED,), transitions, fill)
+
+
+class TestMapFiles:
+    @pytest.mark.parametrize("name", ["msi", "mesi", "moesi"])
+    def test_roundtrip(self, name):
+        original = load_protocol(name)
+        restored = ProtocolTable.from_map(original.to_map())
+        assert restored.name == original.name
+        assert restored.states == original.states
+        assert restored.raw_table() == original.raw_table()
+        assert restored.fill == original.fill
+
+    def test_save_load_file(self, tmp_path):
+        path = tmp_path / "mesi.map.json"
+        load_protocol("mesi").save(path)
+        restored = ProtocolTable.load(path)
+        assert restored.name == "mesi"
+
+    def test_malformed_map_rejected(self):
+        with pytest.raises(ProtocolError):
+            ProtocolTable.from_map({"name": "x", "states": ["NOT_A_STATE"]})
+
+
+class TestStateProperties:
+    def test_dirty_states(self):
+        assert LineState.MODIFIED.is_dirty
+        assert LineState.OWNED.is_dirty
+        assert not LineState.SHARED.is_dirty
+        assert not LineState.EXCLUSIVE.is_dirty
+
+    def test_validity(self):
+        assert not LineState.INVALID.is_valid
+        assert all(
+            state.is_valid
+            for state in LineState
+            if state is not LineState.INVALID
+        )

@@ -1,0 +1,52 @@
+"""Tests for the top-level public API surface."""
+
+import repro
+
+
+class TestExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_quickstart_flow(self):
+        """The README quickstart, miniaturised."""
+        host = repro.HostSMP(
+            repro.HostConfig(n_cpus=4, l2_size=8 * 1024, l2_assoc=4)
+        )
+        console = repro.MemoriesConsole()
+        l3 = repro.CacheNodeConfig(size=64 * 1024, assoc=4, line_size=128)
+        board = console.power_up(
+            repro.single_node_machine(l3, n_cpus=4), enforce_envelope=False
+        )
+        host.plug_in(board)
+        workload = repro.TpccWorkload(db_bytes=1 << 22, n_cpus=4)
+        host.run(workload.chunks(20_000), max_references=20_000)
+        report = console.report()
+        assert "node0.local.read" in report
+        assert 0.0 < console.miss_ratios()[0] <= 1.0
+
+    def test_subpackages_importable(self):
+        import repro.analysis
+        import repro.bus
+        import repro.common
+        import repro.experiments
+        import repro.host
+        import repro.memories
+        import repro.memories.firmware
+        import repro.sim
+        import repro.target
+        import repro.workloads
+        import repro.workloads.splash
+
+    def test_experiment_registry_complete(self):
+        import importlib
+
+        from repro.experiments import ARTEFACTS
+
+        assert len(ARTEFACTS) == 12
+        for artefact, module_name in ARTEFACTS.items():
+            module = importlib.import_module(module_name)
+            assert hasattr(module, "run"), artefact

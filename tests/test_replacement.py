@@ -1,0 +1,129 @@
+"""Tests for repro.memories.replacement: the four replacement policies."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import ConfigurationError
+from repro.memories.replacement import (
+    FifoPolicy,
+    LruPolicy,
+    PlruPolicy,
+    RandomPolicy,
+    make_policy,
+)
+
+
+def run_trace(policy, assoc, tags_seen):
+    """Drive a tag stream through one set; returns final tags list."""
+    tags, states = [], []
+    meta = policy.make_meta()
+    for tag in tags_seen:
+        if tag in tags:
+            way = tags.index(tag)
+            _, meta = policy.touch(tags, states, way, meta)
+        else:
+            _, meta = policy.insert(tags, states, tag, 1, assoc, meta)
+    return tags
+
+
+class TestLru:
+    def test_evicts_least_recent(self):
+        # Touch A again so B is LRU when D arrives.
+        final = run_trace(LruPolicy(), 2, ["A", "B", "A", "D"])
+        assert "A" in final and "D" in final and "B" not in final
+
+    def test_touch_moves_to_front(self):
+        tags, states = ["A", "B", "C"], [1, 1, 1]
+        policy = LruPolicy()
+        policy.touch(tags, states, 2, 0)
+        assert tags == ["C", "A", "B"]
+
+    def test_insert_returns_victim(self):
+        policy = LruPolicy()
+        tags, states = ["A", "B"], [1, 2]
+        victim, _ = policy.insert(tags, states, "C", 3, 2, 0)
+        assert victim == ("B", 2)
+
+
+class TestFifo:
+    def test_hit_does_not_refresh(self):
+        # A is oldest even though it was touched; FIFO evicts it.
+        final = run_trace(FifoPolicy(), 2, ["A", "B", "A", "D"])
+        assert "A" not in final and "B" in final and "D" in final
+
+    def test_fills_before_evicting(self):
+        final = run_trace(FifoPolicy(), 3, ["A", "B", "C"])
+        assert sorted(final) == ["A", "B", "C"]
+
+
+class TestRandom:
+    def test_reproducible_with_seed(self):
+        stream = [str(i) for i in np.random.default_rng(0).integers(0, 20, 200)]
+        a = run_trace(RandomPolicy(np.random.default_rng(7)), 4, stream)
+        b = run_trace(RandomPolicy(np.random.default_rng(7)), 4, stream)
+        assert a == b
+
+    def test_capacity_respected(self):
+        final = run_trace(RandomPolicy(np.random.default_rng(0)), 4, [str(i) for i in range(50)])
+        assert len(final) == 4
+
+    def test_replaces_in_place(self):
+        policy = RandomPolicy(np.random.default_rng(0))
+        tags, states = ["A", "B"], [1, 2]
+        victim, _ = policy.insert(tags, states, "C", 3, 2, 0)
+        assert victim is not None
+        assert len(tags) == 2 and "C" in tags
+
+
+class TestPlru:
+    def test_requires_power_of_two_assoc(self):
+        with pytest.raises(ConfigurationError):
+            PlruPolicy(3)
+
+    def test_victim_way_in_range(self):
+        policy = PlruPolicy(8)
+        for meta in range(256):
+            assert 0 <= policy.victim_way(meta) < 8
+
+    def test_most_recent_way_not_immediate_victim(self):
+        policy = PlruPolicy(4)
+        tags, states = ["A", "B", "C", "D"], [1] * 4
+        meta = 0
+        for way in range(4):
+            _, meta = policy.touch(tags, states, way, meta)
+        # After touching ways 0..3 in order, way 3 is MRU.
+        assert policy.victim_way(meta) != 3
+
+    def test_approximates_lru_on_sequential_fill(self):
+        policy = PlruPolicy(4)
+        final = run_trace(policy, 4, ["A", "B", "C", "D", "A", "E"])
+        assert "A" in final  # A was just touched
+        assert "E" in final
+
+    @given(ways=st.lists(st.integers(0, 7), min_size=1, max_size=64))
+    @settings(max_examples=50, deadline=None)
+    def test_tree_never_picks_just_touched_way(self, ways):
+        policy = PlruPolicy(8)
+        meta = 0
+        tags = [str(i) for i in range(8)]
+        states = [1] * 8
+        for way in ways:
+            _, meta = policy.touch(tags, states, way, meta)
+        assert policy.victim_way(meta) != ways[-1]
+
+
+class TestMakePolicy:
+    @pytest.mark.parametrize(
+        "name,cls",
+        [("lru", LruPolicy), ("fifo", FifoPolicy), ("random", RandomPolicy), ("plru", PlruPolicy)],
+    )
+    def test_factory(self, name, cls):
+        assert isinstance(make_policy(name, 4), cls)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_policy("clock", 4)
+
+    def test_case_insensitive(self):
+        assert isinstance(make_policy("LRU", 4), LruPolicy)

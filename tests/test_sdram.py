@@ -1,0 +1,117 @@
+"""Tests for the bank-level SDRAM timing model."""
+
+import numpy as np
+import pytest
+
+from repro.bus.transaction import BusCommand, SnoopResponse
+from repro.common.errors import ConfigurationError
+from repro.memories.config import CacheNodeConfig
+from repro.memories.node_controller import NodeController
+from repro.memories.sdram import SdramModel, calibration_error
+from repro.memories.tx_buffer import service_cycles_per_op
+
+
+class TestRowBuffer:
+    def test_first_access_misses_row(self):
+        model = SdramModel()
+        cycles = model.access_cycles(0, now_cycle=0.0)
+        assert cycles == model.row_miss_cycles
+        assert model.stats.row_misses == 1
+
+    def test_same_row_hits(self):
+        model = SdramModel(row_bytes=2048)
+        model.access_cycles(0, 0.0)
+        cycles = model.access_cycles(128, 10.0)
+        assert cycles == model.row_hit_cycles
+        assert model.stats.row_hits == 1
+
+    def test_different_rows_same_bank_conflict(self):
+        model = SdramModel(n_banks=16, row_bytes=2048)
+        stride = 2048 * 16  # same bank, next row
+        model.access_cycles(0, 0.0)
+        cycles = model.access_cycles(stride, 10.0)
+        assert cycles == model.row_miss_cycles
+
+    def test_banks_are_independent(self):
+        model = SdramModel(n_banks=16, row_bytes=2048)
+        model.access_cycles(0, 0.0)          # bank 0
+        model.access_cycles(2048, 1.0)       # bank 1
+        cycles = model.access_cycles(128, 2.0)  # bank 0, row still open
+        assert cycles == model.row_hit_cycles
+
+    def test_refresh_charged_on_deadline(self):
+        model = SdramModel(refresh_interval=100.0, refresh_cycles=10.0)
+        model.access_cycles(0, 0.0)
+        cycles = model.access_cycles(128, 150.0)  # crossed one refresh
+        assert cycles == model.row_hit_cycles + 10.0
+        assert model.stats.refreshes == 1
+
+    def test_multiple_missed_refreshes_accumulate(self):
+        model = SdramModel(refresh_interval=100.0, refresh_cycles=10.0)
+        model.access_cycles(0, 0.0)
+        cycles = model.access_cycles(128, 350.0)  # crossed three refreshes
+        assert cycles == model.row_hit_cycles + 30.0
+        assert model.stats.refreshes == 3
+
+    def test_reset(self):
+        model = SdramModel()
+        model.access_cycles(0, 0.0)
+        model.reset()
+        assert model.stats.accesses == 0
+        assert model.access_cycles(0, 0.0) == model.row_miss_cycles
+
+
+class TestValidation:
+    def test_non_power_banks_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SdramModel(n_banks=12)
+
+    def test_non_power_row_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SdramModel(row_bytes=3000)
+
+    def test_miss_cheaper_than_hit_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SdramModel(row_hit_cycles=5.0, row_miss_cycles=2.0)
+
+
+class TestCalibration:
+    def test_defaults_land_near_42_percent_constant(self):
+        """A directory access pattern should average near the paper's
+        constant service time (2 / 0.42 cycles per op)."""
+        model = SdramModel()
+        rng = np.random.default_rng(0)
+        now = 0.0
+        for _ in range(20_000):
+            now += 10.0
+            # Directory entries of a 64K-set cache, zipf-ish set reuse.
+            address = int(rng.integers(0, 1 << 16)) * 32
+            model.access_cycles(address, now)
+        assert abs(calibration_error(model)) < 0.15
+        assert model.average_service_cycles() == pytest.approx(
+            service_cycles_per_op(), rel=0.15
+        )
+
+    def test_sequential_pattern_mostly_hits(self):
+        model = SdramModel()
+        now = 0.0
+        for i in range(1000):
+            now += 10.0
+            model.access_cycles(i * 8, now)
+        assert model.stats.row_hit_ratio > 0.9
+
+
+class TestNodeControllerIntegration:
+    def test_node_uses_sdram_costs(self):
+        config = CacheNodeConfig(size=16 * 1024, assoc=4, line_size=128)
+        sdram = SdramModel()
+        node = NodeController(index=0, config=config, cpus=(0,), sdram=sdram)
+        node.process_local(BusCommand.READ, 0x1000, SnoopResponse.NULL, 0.0, ())
+        node.process_local(BusCommand.READ, 0x2000, SnoopResponse.NULL, 10.0, ())
+        assert sdram.stats.accesses == 2
+
+    def test_without_sdram_model_untouched(self):
+        config = CacheNodeConfig(size=16 * 1024, assoc=4, line_size=128)
+        node = NodeController(index=0, config=config, cpus=(0,))
+        node.process_local(BusCommand.READ, 0x1000, SnoopResponse.NULL, 0.0, ())
+        assert node.sdram is None

@@ -1,0 +1,85 @@
+"""Tests for the board self-test diagnostic."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.memories.board import MemoriesBoard, board_for_machine
+from repro.memories.config import CacheNodeConfig
+from repro.memories.console import MemoriesConsole
+from repro.memories.firmware.hotspot import HotSpotFirmware
+from repro.memories.selftest import run_self_test
+from repro.target.configs import single_node_machine, split_smp_machine
+
+CFG = CacheNodeConfig(size=16 * 1024, assoc=4, line_size=128)
+
+
+class TestSelfTest:
+    @pytest.mark.parametrize("protocol", ["msi", "mesi", "moesi"])
+    def test_passes_on_healthy_board(self, protocol):
+        from dataclasses import replace
+
+        machine = single_node_machine(replace(CFG, protocol=protocol), n_cpus=4)
+        result = run_self_test(board_for_machine(machine))
+        assert result.passed, result.render()
+
+    def test_passes_on_split_machine(self):
+        machine = split_smp_machine(CFG, n_cpus=4, procs_per_node=2)
+        assert run_self_test(board_for_machine(machine)).passed
+
+    def test_board_left_clean(self):
+        board = board_for_machine(single_node_machine(CFG, n_cpus=4))
+        run_self_test(board)
+        assert board.now_cycle == 0.0
+        assert board.firmware.nodes[0].references() == 0
+
+    def test_render_lists_checks(self):
+        board = board_for_machine(single_node_machine(CFG, n_cpus=4))
+        text = run_self_test(board).render()
+        assert text.startswith("MemorIES self-test: PASS")
+        assert "address filter" in text
+        assert "transaction buffer" in text
+
+    def test_requires_emulation_firmware(self):
+        with pytest.raises(ConfigurationError):
+            run_self_test(MemoriesBoard(HotSpotFirmware()))
+
+    def test_requires_cpu0_mapping(self):
+        from repro.target.mapping import TargetMachine, TargetNodeSpec
+        from dataclasses import replace
+
+        spec = TargetNodeSpec(
+            config=replace(CFG, procs_per_node=2), cpus=(2, 3)
+        )
+        board = board_for_machine(TargetMachine(nodes=[spec]))
+        with pytest.raises(ConfigurationError, match="CPU 0"):
+            run_self_test(board)
+
+    def test_console_command(self):
+        console = MemoriesConsole()
+        console.power_up(
+            single_node_machine(CacheNodeConfig.create("2MB"), n_cpus=4)
+        )
+        output = console.execute("self-test")
+        assert "PASS" in output
+        assert "self-test passed" in console.execute("log")
+
+    def test_detects_broken_filter(self):
+        """A sabotaged pipeline stage must fail its check."""
+        board = board_for_machine(single_node_machine(CFG, n_cpus=4))
+
+        class BrokenFilter:
+            def __init__(self, inner):
+                self.inner = inner
+                self.stats = inner.stats
+                self.buffer = inner.buffer
+
+            def admit(self, command, response, now):
+                self.inner.admit(command, response, now)
+                return True  # forwards everything, including I/O
+
+            def reset(self):
+                self.inner.reset()
+
+        board.address_filter = BrokenFilter(board.address_filter)
+        result = run_self_test(board)
+        assert not result.passed

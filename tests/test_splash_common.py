@@ -1,0 +1,114 @@
+"""Tests for the SPLASH2 shared building blocks (reuse patterns)."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.workloads.splash.common import (
+    KernelGeometry,
+    sequential_lines,
+    stencil_lines,
+    strided_lines,
+    windowed_sequential_lines,
+)
+
+
+class TestKernelGeometry:
+    def test_layout(self):
+        geometry = KernelGeometry(n_cpus=4, partition_bytes=1024, shared_bytes=2048)
+        assert geometry.partition_base(0) == 0
+        assert geometry.partition_base(3) == 3 * 1024
+        assert geometry.shared_base == 4 * 1024
+        assert geometry.total_bytes == 4 * 1024 + 2048
+        assert geometry.partition_lines == 8
+        assert geometry.shared_lines == 16
+
+    def test_tiny_partition_rejected(self):
+        with pytest.raises(ConfigurationError):
+            KernelGeometry(n_cpus=1, partition_bytes=64)
+
+    def test_no_shared_region(self):
+        geometry = KernelGeometry(n_cpus=2, partition_bytes=1024)
+        assert geometry.shared_bytes == 0
+        assert geometry.shared_lines == 1  # floor for samplers
+
+
+class TestSequentialLines:
+    def test_wraps_cyclically(self):
+        state = {}
+        lines = sequential_lines(state, "k", 10, region_lines=4)
+        assert lines.tolist() == [0, 1, 2, 3, 0, 1, 2, 3, 0, 1]
+        assert state["k"] == 2
+
+    def test_state_persists_across_calls(self):
+        state = {}
+        sequential_lines(state, "k", 3, 10)
+        again = sequential_lines(state, "k", 3, 10)
+        assert again.tolist() == [3, 4, 5]
+
+    def test_independent_keys(self):
+        state = {}
+        sequential_lines(state, "a", 5, 10)
+        b = sequential_lines(state, "b", 2, 10)
+        assert b.tolist() == [0, 1]
+
+
+class TestWindowedSequential:
+    def test_advance_rate(self):
+        state = {}
+        rng = np.random.default_rng(0)
+        lines = windowed_sequential_lines(state, "k", 40, 1000, repeat=4, window=1, rng=rng)
+        # With window=1 the pattern is exactly 4 touches per line.
+        assert lines.tolist() == [i // 4 for i in range(40)]
+
+    def test_window_bounds(self):
+        state = {}
+        rng = np.random.default_rng(0)
+        lines = windowed_sequential_lines(state, "k", 500, 10_000, repeat=2, window=8, rng=rng)
+        base = np.arange(500) // 2
+        deltas = (base - lines) % 10_000
+        assert deltas.max() < 8
+
+    def test_reuse_reduces_unique_lines(self):
+        state = {}
+        rng = np.random.default_rng(1)
+        lines = windowed_sequential_lines(state, "k", 1000, 100_000, repeat=8, window=16, rng=rng)
+        assert np.unique(lines).size < 1000 // 4
+
+
+class TestStencilLines:
+    def test_three_rows_per_column(self):
+        state = {}
+        lines = stencil_lines(state, "k", 9, region_lines=64, row_lines=8)
+        # First three refs: column 0 of rows 0, 1, 2.
+        assert lines.tolist()[:3] == [0, 8, 16]
+        # Next three: column 1 of the same rows.
+        assert lines.tolist()[3:6] == [1, 9, 17]
+
+    def test_lines_reused_across_row_sweeps(self):
+        state = {}
+        lines = stencil_lines(state, "k", 8 * 3 * 4, region_lines=64, row_lines=8)
+        values, counts = np.unique(lines, return_counts=True)
+        assert counts.max() >= 3  # stencil overlap revisits lines
+
+    def test_bounds(self):
+        state = {}
+        lines = stencil_lines(state, "k", 1000, region_lines=64, row_lines=8)
+        assert lines.min() >= 0 and lines.max() < 64
+
+    def test_degenerate_row_size_clamped(self):
+        state = {}
+        lines = stencil_lines(state, "k", 10, region_lines=4, row_lines=100)
+        assert lines.max() < 4
+
+
+class TestStridedLines:
+    def test_stride_pattern(self):
+        state = {}
+        lines = strided_lines(state, "k", 5, region_lines=16, stride_lines=3)
+        assert lines.tolist() == [0, 3, 6, 9, 12]
+
+    def test_wraps_modulo_region(self):
+        state = {}
+        lines = strided_lines(state, "k", 8, region_lines=8, stride_lines=5)
+        assert lines.max() < 8

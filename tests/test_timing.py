@@ -1,0 +1,108 @@
+"""Tests for the Table 3 / Table 4 analytic runtime models."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.sim.timing import (
+    augmint_runtime_seconds,
+    csim_runtime_seconds,
+    fft_host_runtime_seconds,
+    fft_reference_count,
+    fft_work_units,
+    memories_runtime_seconds,
+    speedup_memories_vs_augmint,
+    speedup_memories_vs_csim,
+)
+
+
+class TestTable3Anchors:
+    """The model must reproduce the paper's Table 3 entries."""
+
+    @pytest.mark.parametrize(
+        "refs,paper_seconds,tolerance",
+        [
+            (32_768, 0.00328, 0.01),
+            (262_144, 0.02621, 0.01),
+            (10_000_000, 1.0, 0.01),
+            (10_000_000_000, 16.67 * 60, 0.01),
+        ],
+    )
+    def test_memories_column(self, refs, paper_seconds, tolerance):
+        assert memories_runtime_seconds(refs) == pytest.approx(
+            paper_seconds, rel=tolerance
+        )
+
+    @pytest.mark.parametrize(
+        "refs,paper_seconds,tolerance",
+        [
+            (32_768, 1.0, 0.05),
+            (262_144, 8.0, 0.05),
+            (10_000_000, 5 * 60, 0.05),
+            (10_000_000_000, 3 * 86400, 0.25),  # "approx 3 days"
+        ],
+    )
+    def test_csim_column(self, refs, paper_seconds, tolerance):
+        assert csim_runtime_seconds(refs) == pytest.approx(
+            paper_seconds, rel=tolerance
+        )
+
+    def test_speedup_grows_is_constant_ratio(self):
+        assert speedup_memories_vs_csim(10_000_000) == pytest.approx(
+            speedup_memories_vs_csim(32_768), rel=0.01
+        )
+        assert speedup_memories_vs_csim(10_000_000) > 100
+
+
+class TestTable4Anchors:
+    @pytest.mark.parametrize(
+        "m,paper_seconds,tolerance",
+        [
+            (20, 47 * 60, 0.1),
+            (22, 3.2 * 3600, 0.15),
+            (24, 13 * 3600, 0.2),
+        ],
+    )
+    def test_augmint_column(self, m, paper_seconds, tolerance):
+        assert augmint_runtime_seconds(m) == pytest.approx(
+            paper_seconds, rel=tolerance
+        )
+
+    def test_augmint_m26_exceeds_two_days(self):
+        assert augmint_runtime_seconds(26) > 2 * 86400
+
+    @pytest.mark.parametrize(
+        "m,paper_seconds,tolerance",
+        [(20, 3, 0.15), (22, 13, 0.15), (24, 53, 0.2), (26, 196, 0.3)],
+    )
+    def test_host_column(self, m, paper_seconds, tolerance):
+        assert fft_host_runtime_seconds(m) == pytest.approx(
+            paper_seconds, rel=tolerance
+        )
+
+    def test_slowdown_in_paper_range(self):
+        """Paper cites 94-221x multiprocessor slowdowns for execution-driven
+        simulators; Augmint's (including the host-speed gap) is larger."""
+        for m in (20, 22, 24, 26):
+            assert 300 < speedup_memories_vs_augmint(m) < 3000
+
+
+class TestModels:
+    def test_fft_work_superlinear(self):
+        assert fft_work_units(21) > 2 * fft_work_units(20)
+
+    def test_fft_reference_count_proportional_to_work(self):
+        ratio = fft_reference_count(22) / fft_reference_count(20)
+        assert ratio == pytest.approx(fft_work_units(22) / fft_work_units(20))
+
+    def test_memories_runtime_scales_inversely_with_utilization(self):
+        slow = memories_runtime_seconds(1_000_000, utilization=0.1)
+        fast = memories_runtime_seconds(1_000_000, utilization=0.2)
+        assert slow == pytest.approx(2 * fast)
+
+    def test_invalid_utilization_rejected(self):
+        with pytest.raises(ConfigurationError):
+            memories_runtime_seconds(1000, utilization=0.0)
+
+    def test_invalid_fft_exponent_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fft_work_units(0)

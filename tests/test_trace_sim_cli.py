@@ -1,0 +1,58 @@
+"""Tests for the trace-simulator command-line front end."""
+
+import pytest
+
+from repro.bus.trace import TraceWriter
+from repro.sim.trace_sim import main
+from tests.conftest import make_trace
+
+
+@pytest.fixture
+def trace_file(tmp_path):
+    writer = TraceWriter()
+    writer.extend_words(make_trace(3000, seed=1).words)
+    path = tmp_path / "demo.mies"
+    writer.save(path)
+    return str(path)
+
+
+class TestCli:
+    def test_basic_run(self, trace_file, capsys):
+        assert main([trace_file, "--size", "64KB"]) == 0
+        output = capsys.readouterr().out
+        assert "3,000 records" in output
+        assert "miss ratio:" in output
+        assert "the board would have taken" in output
+
+    def test_counters_printed(self, trace_file, capsys):
+        main([trace_file, "--size", "64KB", "--assoc", "2"])
+        output = capsys.readouterr().out
+        assert "miss.read" in output
+        assert "evict.dirty" in output
+
+    def test_local_cpus_filter(self, trace_file, capsys):
+        main([trace_file, "--size", "64KB", "--cpus", "0,1"])
+        output = capsys.readouterr().out
+        # Only CPUs 0-1 are local; fewer references than total records.
+        local_refs = int(
+            next(
+                line.split()[-1].replace(",", "")
+                for line in output.splitlines()
+                if "local.read" in line
+            )
+        )
+        assert 0 < local_refs < 3000
+
+    def test_compressed_trace_accepted(self, tmp_path, capsys):
+        writer = TraceWriter()
+        writer.extend_words(make_trace(1000, seed=2).words)
+        path = tmp_path / "demo.miesz"
+        writer.save(path, compress=True)
+        assert main([str(path), "--size", "64KB"]) == 0
+        assert "1,000 records" in capsys.readouterr().out
+
+    def test_bad_geometry_rejected(self, trace_file):
+        from repro.common.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            main([trace_file, "--size", "100KB", "--assoc", "3"])

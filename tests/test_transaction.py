@@ -1,0 +1,79 @@
+"""Tests for repro.bus.transaction: commands, responses, combining."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.bus.transaction import (
+    BusCommand,
+    BusTransaction,
+    SnoopResponse,
+    combine_snoop_responses,
+)
+
+
+class TestBusCommand:
+    @pytest.mark.parametrize(
+        "command",
+        [BusCommand.READ, BusCommand.RWITM, BusCommand.DCLAIM, BusCommand.CASTOUT],
+    )
+    def test_memory_commands(self, command):
+        assert command.is_memory
+
+    @pytest.mark.parametrize(
+        "command",
+        [BusCommand.IO_READ, BusCommand.IO_WRITE, BusCommand.INTERRUPT, BusCommand.SYNC],
+    )
+    def test_non_memory_commands(self, command):
+        assert not command.is_memory
+
+    def test_write_intent(self):
+        assert BusCommand.RWITM.is_write_intent
+        assert BusCommand.DCLAIM.is_write_intent
+        assert not BusCommand.READ.is_write_intent
+        assert not BusCommand.CASTOUT.is_write_intent
+
+
+class TestCombineResponses:
+    def test_empty_is_null(self):
+        assert combine_snoop_responses([]) is SnoopResponse.NULL
+
+    def test_modified_beats_shared(self):
+        combined = combine_snoop_responses(
+            [SnoopResponse.SHARED, SnoopResponse.MODIFIED, SnoopResponse.NULL]
+        )
+        assert combined is SnoopResponse.MODIFIED
+
+    def test_retry_dominates(self):
+        combined = combine_snoop_responses(
+            [SnoopResponse.MODIFIED, SnoopResponse.RETRY]
+        )
+        assert combined is SnoopResponse.RETRY
+
+    @given(
+        responses=st.lists(
+            st.sampled_from(list(SnoopResponse)), min_size=1, max_size=16
+        )
+    )
+    def test_combining_is_maximum(self, responses):
+        assert combine_snoop_responses(responses) == max(responses)
+
+
+class TestBusTransaction:
+    def test_defaults(self):
+        txn = BusTransaction(1, BusCommand.READ, 0x1000)
+        assert txn.seq == 0
+        assert txn.snoop_response is SnoopResponse.NULL
+
+    def test_with_response_copies(self):
+        txn = BusTransaction(2, BusCommand.RWITM, 0x2000)
+        completed = txn.with_response(7, SnoopResponse.SHARED)
+        assert completed.seq == 7
+        assert completed.snoop_response is SnoopResponse.SHARED
+        assert completed.address == txn.address
+        assert completed.cpu_id == txn.cpu_id
+        assert txn.seq == 0  # original untouched
+
+    def test_frozen(self):
+        txn = BusTransaction(1, BusCommand.READ, 0x1000)
+        with pytest.raises(AttributeError):
+            txn.address = 0

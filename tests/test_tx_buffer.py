@@ -1,0 +1,101 @@
+"""Tests for repro.memories.tx_buffer: SDRAM pacing and retry behaviour."""
+
+import pytest
+
+from repro.memories.tx_buffer import (
+    NODE_BUFFER_ENTRIES,
+    SDRAM_BANDWIDTH_FRACTION,
+    TransactionBuffer,
+    service_cycles_per_op,
+)
+
+
+class TestServiceModel:
+    def test_service_cycles_from_bandwidth(self):
+        assert service_cycles_per_op(0.42, 2) == pytest.approx(2 / 0.42)
+
+    def test_full_bandwidth_is_tenure_rate(self):
+        assert service_cycles_per_op(1.0, 2) == 2.0
+
+    @pytest.mark.parametrize("fraction", [0.0, -0.1, 1.5])
+    def test_invalid_fraction_rejected(self, fraction):
+        with pytest.raises(ValueError):
+            service_cycles_per_op(fraction)
+
+
+class TestTransactionBuffer:
+    def test_accepts_until_capacity(self):
+        buffer = TransactionBuffer(capacity=3, service_cycles=1000.0)
+        results = [buffer.offer(0.0) for _ in range(4)]
+        assert results == [True, True, True, False]
+        assert buffer.stats.rejected == 1
+
+    def test_drains_at_service_rate(self):
+        buffer = TransactionBuffer(capacity=2, service_cycles=10.0)
+        assert buffer.offer(0.0)
+        assert buffer.offer(0.0)
+        assert not buffer.offer(5.0)     # neither op finished yet
+        assert buffer.offer(10.5)        # first op done at t=10
+        assert buffer.occupancy(20.5) == 1  # second done at 20, third pending
+
+    def test_sequential_service_not_parallel(self):
+        buffer = TransactionBuffer(capacity=10, service_cycles=10.0)
+        buffer.offer(0.0)
+        buffer.offer(0.0)
+        # Second op starts only when the first completes: finishes at 20.
+        assert buffer.occupancy(19.0) == 1
+        assert buffer.occupancy(20.0) == 0
+
+    def test_high_water_tracked(self):
+        buffer = TransactionBuffer(capacity=8, service_cycles=100.0)
+        for _ in range(5):
+            buffer.offer(0.0)
+        assert buffer.stats.high_water == 5
+
+    def test_reset(self):
+        buffer = TransactionBuffer(capacity=2, service_cycles=10.0)
+        buffer.offer(0.0)
+        buffer.reset()
+        assert buffer.occupancy(0.0) == 0
+        assert buffer.stats.accepted == 0
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            TransactionBuffer(capacity=0)
+
+
+class TestPaperDesignPoint:
+    def test_never_rejects_at_20_percent_utilization(self):
+        """Section 3.3: months of lab use, never one retry at <= 20% load."""
+        buffer = TransactionBuffer(capacity=NODE_BUFFER_ENTRIES)
+        cycles_per_tenure = 2.0 / 0.20
+        now = 0.0
+        for _ in range(50_000):
+            now += cycles_per_tenure
+            assert buffer.offer(now)
+        assert not buffer.stats.ever_rejected
+
+    def test_never_rejects_at_42_percent_utilization(self):
+        buffer = TransactionBuffer(capacity=NODE_BUFFER_ENTRIES)
+        cycles_per_tenure = 2.0 / SDRAM_BANDWIDTH_FRACTION
+        now = 0.0
+        for _ in range(50_000):
+            now += cycles_per_tenure
+            assert buffer.offer(now)
+
+    def test_sustained_overload_eventually_rejects(self):
+        buffer = TransactionBuffer(capacity=NODE_BUFFER_ENTRIES)
+        cycles_per_tenure = 2.0 / 0.9  # 90% sustained: beyond SDRAM rate
+        now = 0.0
+        rejected = 0
+        for _ in range(20_000):
+            now += cycles_per_tenure
+            if not buffer.offer(now):
+                rejected += 1
+        assert rejected > 0
+
+    def test_burst_absorbed_by_deep_buffer(self):
+        buffer = TransactionBuffer(capacity=NODE_BUFFER_ENTRIES)
+        # A 512-tenure burst at full bus rate fits exactly.
+        for i in range(NODE_BUFFER_ENTRIES):
+            assert buffer.offer(2.0 * i)

@@ -1,0 +1,67 @@
+"""Tests for repro.common.units: size parsing and formatting."""
+
+import pytest
+
+from repro.common.units import GB, KB, MB, TB, format_size, parse_size
+
+
+class TestParseSize:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("128B", 128),
+            ("128", 128),
+            ("2KB", 2 * KB),
+            ("2K", 2 * KB),
+            ("64MB", 64 * MB),
+            ("64 MB", 64 * MB),
+            ("8GB", 8 * GB),
+            ("1TB", TB),
+            ("1.5MB", int(1.5 * MB)),
+            ("0", 0),
+        ],
+    )
+    def test_accepts_paper_style_sizes(self, text, expected):
+        assert parse_size(text) == expected
+
+    def test_lowercase_accepted(self):
+        assert parse_size("64mb") == 64 * MB
+
+    def test_int_passthrough(self):
+        assert parse_size(4096) == 4096
+
+    @pytest.mark.parametrize("bad", ["", "MB", "12QB", "1.2.3MB", "-5MB"])
+    def test_rejects_garbage(self, bad):
+        with pytest.raises(ValueError):
+            parse_size(bad)
+
+    def test_rejects_fractional_bytes(self):
+        with pytest.raises(ValueError):
+            parse_size("1.0000001KB")
+
+
+class TestFormatSize:
+    @pytest.mark.parametrize(
+        "nbytes,expected",
+        [
+            (128, "128B"),
+            (2 * KB, "2KB"),
+            (64 * MB, "64MB"),
+            (8 * GB, "8GB"),
+            (TB, "1TB"),
+            (0, "0B"),
+        ],
+    )
+    def test_exact_units(self, nbytes, expected):
+        assert format_size(nbytes) == expected
+
+    def test_inexact_gets_decimal(self):
+        assert format_size(int(1.5 * MB)) == "1.5MB"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_size(-1)
+
+    @pytest.mark.parametrize("nbytes", [128, 4 * KB, 3 * MB, 7 * GB])
+    def test_roundtrip(self, nbytes):
+        assert parse_size(format_size(nbytes)) == nbytes

@@ -1,0 +1,149 @@
+"""Tests for the TPC-C and TPC-H workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.workloads.base import LINE
+from repro.workloads.tpcc import TpccWorkload, paper_tpcc
+from repro.workloads.tpch import TpchWorkload, paper_tpch
+
+
+def collect(workload, n=20_000):
+    cpu_list, addr_list, write_list = [], [], []
+    for cpus, addrs, writes in workload.chunks(n):
+        cpu_list.append(cpus)
+        addr_list.append(addrs)
+        write_list.append(writes)
+    return (
+        np.concatenate(cpu_list),
+        np.concatenate(addr_list),
+        np.concatenate(write_list),
+    )
+
+
+class TestTpcc:
+    def test_write_fraction_near_target(self):
+        workload = TpccWorkload(db_bytes=1 << 22, write_fraction=0.25, seed=1)
+        _c, _a, writes = collect(workload)
+        assert writes.mean() == pytest.approx(0.25, abs=0.02)
+
+    def test_addresses_within_footprint(self):
+        workload = TpccWorkload(db_bytes=1 << 22, n_cpus=4, private_bytes=1 << 14)
+        _c, addrs, _w = collect(workload)
+        limit = 4 * (1 << 14) + (1 << 22)
+        assert addrs.max() < limit
+        assert addrs.min() >= 0
+
+    def test_private_region_per_cpu(self):
+        workload = TpccWorkload(
+            db_bytes=1 << 22, n_cpus=2, private_bytes=1 << 14, p_private=1.0
+        )
+        cpus, addrs, _w = collect(workload, 5000)
+        for cpu in (0, 1):
+            cpu_addrs = addrs[cpus == cpu]
+            assert (cpu_addrs >= cpu * (1 << 14)).all()
+            assert (cpu_addrs < (cpu + 1) * (1 << 14)).all()
+
+    def test_common_region_bounds_common_traffic(self):
+        region = 1 << 16
+        workload = TpccWorkload(
+            db_bytes=1 << 22,
+            n_cpus=2,
+            p_private=0.0,
+            p_common=1.0,
+            common_region_bytes=region,
+            private_bytes=LINE * 8,
+        )
+        _c, addrs, _w = collect(workload, 5000)
+        db_base = 2 * LINE * 8
+        assert (addrs < db_base + region).all()
+
+    def test_affine_regions_are_disjoint_per_cpu(self):
+        workload = TpccWorkload(
+            db_bytes=1 << 24,
+            n_cpus=2,
+            p_private=0.0,
+            p_common=0.0,
+            affine_region_bytes=1 << 16,
+            private_bytes=LINE * 8,
+        )
+        cpus, addrs, _w = collect(workload, 5000)
+        addrs0 = set(addrs[cpus == 0].tolist())
+        addrs1 = set(addrs[cpus == 1].tolist())
+        assert not (addrs0 & addrs1)
+
+    def test_common_write_fraction_override(self):
+        workload = TpccWorkload(
+            db_bytes=1 << 22,
+            p_private=0.0,
+            p_common=1.0,
+            common_region_bytes=1 << 16,
+            write_fraction=0.5,
+            common_write_fraction=0.0,
+        )
+        _c, _a, writes = collect(workload, 5000)
+        assert writes.mean() == 0.0
+
+    def test_tiny_database_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TpccWorkload(db_bytes=100)
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TpccWorkload(db_bytes=1 << 22, p_private=1.5)
+
+    def test_paper_preset_scales(self):
+        workload = paper_tpcc(scale=1024)
+        assert workload.db_bytes == (150 * 1024 * 1024 * 1024) // 1024
+
+
+class TestTpch:
+    def test_scan_traffic_sequential_within_segment(self):
+        workload = TpchWorkload(
+            fact_bytes=1 << 22, dim_bytes=1 << 18, n_cpus=1, p_scan=1.0, seed=2
+        )
+        _c, addrs, _w = collect(workload, 2000)
+        deltas = np.diff(addrs)
+        # Mostly +LINE steps (sequential), with occasional segment jumps.
+        assert (deltas == LINE).mean() > 0.9
+
+    def test_rescans_revisit_lines(self):
+        workload = TpchWorkload(
+            fact_bytes=1 << 22,
+            dim_bytes=1 << 18,
+            n_cpus=1,
+            p_scan=1.0,
+            segment_bytes=64 * LINE,
+            rescans=4,
+            seed=3,
+        )
+        _c, addrs, _w = collect(workload, 4000)
+        unique_fraction = np.unique(addrs).size / addrs.size
+        assert unique_fraction < 0.6  # re-scanning reuses lines
+
+    def test_write_fraction_low(self):
+        workload = TpchWorkload(fact_bytes=1 << 22, dim_bytes=1 << 18, seed=1)
+        _c, _a, writes = collect(workload)
+        assert writes.mean() < 0.1
+
+    def test_dim_probes_in_dim_region(self):
+        workload = TpchWorkload(
+            fact_bytes=1 << 20, dim_bytes=1 << 18, n_cpus=1, p_scan=0.0
+        )
+        _c, addrs, _w = collect(workload, 2000)
+        assert (addrs >= 1 << 20).all()
+        assert (addrs < (1 << 20) + (1 << 18)).all()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TpchWorkload(fact_bytes=64, dim_bytes=1 << 18)
+        with pytest.raises(ConfigurationError):
+            TpchWorkload(fact_bytes=1 << 20, dim_bytes=1 << 18, p_scan=2.0)
+        with pytest.raises(ConfigurationError):
+            TpchWorkload(fact_bytes=1 << 20, dim_bytes=1 << 18, rescans=0)
+
+    def test_paper_preset(self):
+        workload = paper_tpch(scale=1024)
+        total = workload.fact_bytes + workload.dim_bytes
+        assert total == pytest.approx((100 * 1024**3) // 1024, rel=0.05)

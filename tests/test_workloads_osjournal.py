@@ -1,0 +1,70 @@
+"""Tests for the OS-journaling fault-injection overlay."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.workloads.osjournal import JOURNAL_BASE, JournalBugOverlay
+from repro.workloads.tpcc import TpccWorkload
+
+
+def base_workload(seed=0):
+    return TpccWorkload(db_bytes=1 << 22, n_cpus=4, seed=seed)
+
+
+def collect(workload, n):
+    chunks = list(workload.chunks(n, chunk_size=1024))
+    return (
+        np.concatenate([c[0] for c in chunks]),
+        np.concatenate([c[1] for c in chunks]),
+        np.concatenate([c[2] for c in chunks]),
+    )
+
+
+class TestInjection:
+    def test_burst_cadence(self):
+        overlay = JournalBugOverlay(base_workload(), period_refs=1000, burst_refs=100)
+        _c, addrs, _w = collect(overlay, 10_000)
+        journal = addrs >= JOURNAL_BASE
+        assert journal.sum() == 10 * 100
+        # Bursts occupy the first 100 refs of every 1000-ref period.
+        positions = np.where(journal)[0]
+        assert ((positions % 1000) < 100).all()
+
+    def test_journal_refs_are_writes_on_journal_cpu(self):
+        overlay = JournalBugOverlay(
+            base_workload(), period_refs=500, burst_refs=50, journal_cpu=2
+        )
+        cpus, addrs, writes = collect(overlay, 5_000)
+        journal = addrs >= JOURNAL_BASE
+        assert writes[journal].all()
+        assert (cpus[journal] == 2).all()
+
+    def test_journal_addresses_never_reused(self):
+        overlay = JournalBugOverlay(base_workload(), period_refs=500, burst_refs=50)
+        _c, addrs, _w = collect(overlay, 10_000)
+        journal_addrs = addrs[addrs >= JOURNAL_BASE]
+        assert np.unique(journal_addrs).size == journal_addrs.size
+
+    def test_base_traffic_untouched_outside_bursts(self):
+        base = base_workload(seed=5)
+        plain = collect(base, 5_000)
+        base.reset()
+        overlay = JournalBugOverlay(base, period_refs=1000, burst_refs=100)
+        injected = collect(overlay, 5_000)
+        outside = injected[1] < JOURNAL_BASE
+        # Non-burst positions carry the same addresses as the plain run.
+        assert (injected[1][outside] == plain[1][outside]).all()
+
+    def test_reset_restarts_phase(self):
+        overlay = JournalBugOverlay(base_workload(), period_refs=1000, burst_refs=100)
+        first = collect(overlay, 3_000)
+        overlay.reset()
+        again = collect(overlay, 3_000)
+        assert (first[1] == again[1]).all()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            JournalBugOverlay(base_workload(), period_refs=100, burst_refs=100)
+        with pytest.raises(ConfigurationError):
+            JournalBugOverlay(base_workload(), period_refs=100, burst_refs=0)

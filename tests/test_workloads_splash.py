@@ -1,0 +1,153 @@
+"""Tests for the SPLASH2 kernel generators."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.base import LINE
+from repro.workloads.splash import (
+    ALL_KERNELS,
+    BarnesWorkload,
+    FftWorkload,
+    FmmWorkload,
+    OceanWorkload,
+    WaterWorkload,
+)
+
+
+def collect(workload, n=20_000):
+    chunks = list(workload.chunks(n))
+    return (
+        np.concatenate([c[0] for c in chunks]),
+        np.concatenate([c[1] for c in chunks]),
+        np.concatenate([c[2] for c in chunks]),
+    )
+
+
+class TestFootprints:
+    """Table 5 footprints, reconstructed from generator geometry."""
+
+    @pytest.mark.parametrize(
+        "cls,paper_gb,tolerance",
+        [
+            (FmmWorkload, 8.34, 0.2),
+            (FftWorkload, 12.58, 0.1),
+            (OceanWorkload, 14.5, 0.15),
+            (WaterWorkload, 1.38, 0.1),
+            (BarnesWorkload, 3.1, 0.25),
+        ],
+    )
+    def test_paper_scale_footprint(self, cls, paper_gb, tolerance):
+        scale = 1024
+        workload = cls.paper_scale(scale)
+        footprint_gb = workload.geometry.total_bytes * scale / (1 << 30)
+        assert footprint_gb == pytest.approx(paper_gb, rel=tolerance)
+
+    @pytest.mark.parametrize("name,cls", list(ALL_KERNELS.items()))
+    def test_splash2_smaller_than_paper(self, name, cls):
+        small = cls.splash2_scale(8)
+        large = cls.paper_scale(8)
+        assert small.geometry.total_bytes < large.geometry.total_bytes
+
+
+class TestAddressBounds:
+    @pytest.mark.parametrize("name,cls", list(ALL_KERNELS.items()))
+    def test_addresses_within_footprint(self, name, cls):
+        workload = cls.paper_scale(2048, seed=4)
+        _c, addrs, _w = collect(workload, 10_000)
+        assert addrs.min() >= 0
+        assert addrs.max() < workload.geometry.total_bytes
+
+    @pytest.mark.parametrize("name,cls", list(ALL_KERNELS.items()))
+    def test_line_alignment(self, name, cls):
+        workload = cls.paper_scale(2048, seed=4)
+        _c, addrs, _w = collect(workload, 5_000)
+        assert (addrs % LINE == 0).all()
+
+    @pytest.mark.parametrize("name,cls", list(ALL_KERNELS.items()))
+    def test_deterministic(self, name, cls):
+        a = collect(cls.paper_scale(2048, seed=6), 5_000)
+        b = collect(cls.paper_scale(2048, seed=6), 5_000)
+        assert (a[1] == b[1]).all() and (a[2] == b[2]).all()
+
+
+class TestSharingStructure:
+    def test_fmm_has_more_shared_writes_than_fft(self):
+        """The structural property behind Figure 12's intervention ordering."""
+
+        def shared_write_fraction(workload):
+            cpus, addrs, writes = collect(workload, 30_000)
+            shared_base = workload.geometry.shared_base
+            shared = addrs >= shared_base
+            if workload.geometry.shared_bytes == 0:
+                shared = np.zeros_like(shared)
+            return (shared & writes).mean()
+
+        fmm = FmmWorkload.paper_scale(2048, seed=7)
+        fft = FftWorkload.paper_scale(2048, seed=7)
+        assert shared_write_fraction(fmm) > 0.05
+        assert shared_write_fraction(fmm) > shared_write_fraction(fft)
+
+    def test_fft_transpose_reads_peer_partitions(self):
+        workload = FftWorkload(n_points=1 << 14, n_cpus=4, seed=8)
+        cpus, addrs, writes = collect(workload, 20_000)
+        partition = workload.geometry.partition_bytes
+        owners = addrs // partition
+        foreign_reads = ((owners != cpus) & ~writes).mean()
+        assert foreign_reads > 0.02
+
+    def test_ocean_boundary_reads_are_reads(self):
+        workload = OceanWorkload(grid_n=128, n_cpus=4, boundary_fraction=0.5, seed=9)
+        cpus, addrs, writes = collect(workload, 10_000)
+        partition = workload.geometry.partition_bytes
+        foreign = (addrs // partition) != cpus
+        assert foreign.any()
+        assert not writes[foreign].any()
+
+    def test_water_neighbour_reads_adjacent_partitions(self):
+        workload = WaterWorkload(
+            n_molecules=20_000, n_cpus=4, neighbour_fraction=0.5, seed=10
+        )
+        cpus, addrs, _w = collect(workload, 10_000)
+        partition = workload.geometry.partition_bytes
+        owners = addrs // partition
+        foreign = owners != cpus
+        assert foreign.mean() == pytest.approx(0.5, abs=0.05)
+        gaps = (owners[foreign] - cpus[foreign]) % 4
+        assert set(np.unique(gaps)).issubset({1, 3})  # only +-1 neighbours
+
+    def test_barnes_rebuild_phase_writes_tree(self):
+        workload = BarnesWorkload(
+            n_bodies=1 << 14, n_cpus=2, rebuild_fraction=0.2, seed=11
+        )
+        _c, addrs, writes = collect(workload, 20_000)
+        shared = addrs >= workload.geometry.shared_base
+        assert writes[shared].mean() > 0.2  # rebuild + steady tree writes
+
+
+class TestFftRowStructure:
+    def test_row_passes_create_reuse(self):
+        flat = FftWorkload(n_points=1 << 14, n_cpus=1, local_fraction=1.0, seed=12)
+        rowed = FftWorkload(
+            n_points=1 << 14,
+            n_cpus=1,
+            local_fraction=1.0,
+            row_bytes=8 * LINE,
+            row_passes=8,
+            seed=12,
+        )
+        _c, flat_addrs, _w = collect(flat, 8_000)
+        _c, row_addrs, _w = collect(rowed, 8_000)
+        assert np.unique(row_addrs).size < np.unique(flat_addrs).size / 2
+
+    def test_scatter_transpose_randomises_peer_lines(self):
+        workload = FftWorkload(
+            n_points=1 << 14,
+            n_cpus=4,
+            local_fraction=0.0,
+            transpose_scatter=True,
+            seed=13,
+        )
+        _c, addrs, writes = collect(workload, 4_000)
+        reads = addrs[~writes]
+        deltas = np.diff(np.sort(reads % workload.geometry.partition_bytes))
+        assert (deltas == LINE).mean() < 0.9  # not a dense sequential run

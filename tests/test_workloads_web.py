@@ -1,0 +1,95 @@
+"""Tests for the web-server workload generator."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.workloads.base import LINE
+from repro.workloads.web import WebWorkload
+
+
+def collect(workload, n=20_000):
+    chunks = list(workload.chunks(n))
+    return (
+        np.concatenate([c[0] for c in chunks]),
+        np.concatenate([c[1] for c in chunks]),
+        np.concatenate([c[2] for c in chunks]),
+    )
+
+
+def make(fileset=1 << 22, **kwargs):
+    defaults = dict(n_files=64, n_cpus=4, metadata_bytes=1 << 14, buffer_bytes=1 << 12)
+    defaults.update(kwargs)
+    return WebWorkload(fileset_bytes=fileset, **defaults)
+
+
+class TestLayout:
+    def test_addresses_within_footprint(self):
+        workload = make()
+        _c, addrs, _w = collect(workload)
+        assert addrs.min() >= 0
+        assert addrs.max() < workload.total_bytes
+
+    def test_file_table_covers_fileset(self):
+        workload = make()
+        assert workload.total_file_lines * LINE <= workload.fileset_bytes * 1.1
+        assert workload.file_lines.min() >= 1
+        # Starts are cumulative sums of lengths.
+        assert (np.diff(workload.file_start_line) == workload.file_lines[:-1]).all()
+
+    def test_file_bodies_are_read_only(self):
+        workload = make(p_metadata=0.0, p_buffer=0.0)
+        _c, _a, writes = collect(workload, 5000)
+        assert not writes.any()
+
+    def test_buffers_are_per_cpu(self):
+        workload = make(p_metadata=0.0, p_buffer=0.9)
+        cpus, addrs, _w = collect(workload, 5000)
+        buffer_region = addrs < 4 * (1 << 12)  # below the metadata base
+        assert buffer_region.mean() > 0.8
+        for cpu in range(4):
+            cpu_addrs = addrs[(cpus == cpu) & buffer_region]
+            assert (cpu_addrs >= cpu * (1 << 12)).all()
+            assert (cpu_addrs < (cpu + 1) * (1 << 12)).all()
+
+
+class TestStreaming:
+    def test_file_bodies_stream_sequentially(self):
+        workload = make(p_metadata=0.0, p_buffer=0.0, n_cpus=1)
+        _c, addrs, _w = collect(workload, 3000)
+        deltas = np.diff(addrs)
+        assert (deltas == LINE).mean() > 0.8  # sequential inside files
+
+    def test_popular_files_reused(self):
+        workload = make(
+            p_metadata=0.0, p_buffer=0.0, n_cpus=1, popularity_exponent=1.3
+        )
+        _c, addrs, _w = collect(workload, 30_000)
+        unique_fraction = np.unique(addrs).size / addrs.size
+        assert unique_fraction < 0.9  # Zipf popularity revisits hot files
+
+
+class TestValidation:
+    def test_zero_files_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make(n_files=0)
+
+    def test_tiny_fileset_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WebWorkload(fileset_bytes=100, n_files=64)
+
+    def test_fractions_must_leave_room_for_files(self):
+        with pytest.raises(ConfigurationError):
+            make(p_metadata=0.6, p_buffer=0.5)
+
+    def test_deterministic(self):
+        a = collect(make(), 5000)
+        b = collect(make(), 5000)
+        assert (a[1] == b[1]).all()
+
+    def test_reset(self):
+        workload = make()
+        first = collect(workload, 5000)
+        workload.reset()
+        again = collect(workload, 5000)
+        assert (first[1] == again[1]).all()
