@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
+from repro.common.errors import ValidationError
 from repro.analysis.stats import MissCurve
 
 MARKERS = "o*x+#@%&"
@@ -34,11 +35,11 @@ def render_chart(
     n_points = len(curves[0].points)
     for curve in curves[1:]:
         if len(curve.points) != n_points:
-            raise ValueError("curves sweep different numbers of points")
+            raise ValidationError("curves sweep different numbers of points")
     if n_points == 0:
         return title
     if len(curves) > len(MARKERS):
-        raise ValueError(f"at most {len(MARKERS)} curves per chart")
+        raise ValidationError(f"at most {len(MARKERS)} curves per chart")
 
     y_max = max(max(curve.ys()) for curve in curves) or 1.0
     grid = [[" "] * width for _ in range(height)]

@@ -20,6 +20,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.bus.trace import BusTrace
+from repro.common.errors import ConfigurationError
 from repro.memories.board import CacheEmulationFirmware, MemoriesBoard
 
 
@@ -108,7 +109,9 @@ def profile_replay(
     """
     firmware = board.firmware
     if not isinstance(firmware, CacheEmulationFirmware):
-        raise TypeError("interval profiling requires cache-emulation firmware")
+        raise ConfigurationError(
+            "interval profiling requires cache-emulation firmware"
+        )
     profiles = [
         IntervalProfile(node_index=node.index, interval_records=interval_records)
         for node in firmware.nodes

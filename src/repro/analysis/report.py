@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
+from repro.common.errors import ValidationError
 from repro.analysis.stats import MissCurve
 
 
@@ -63,7 +64,7 @@ def render_series(
     first = curves[0]
     for curve in curves[1:]:
         if curve.xs() != first.xs():
-            raise ValueError(
+            raise ValidationError(
                 f"curve {curve.name!r} sweeps different x values than "
                 f"{first.name!r}"
             )

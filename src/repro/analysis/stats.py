@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Sequence
 
+from repro.common.errors import ValidationError
 from repro.common.units import format_size
 
 
@@ -82,7 +83,7 @@ def relative_flattening(curve: MissCurve, knee_index: int) -> float:
     """
     ys = curve.ys()
     if not 0 < knee_index < len(ys):
-        raise ValueError(f"knee index {knee_index} out of range")
+        raise ValidationError(f"knee index {knee_index} out of range")
     drop_before = ys[0] - ys[knee_index]
     drop_after = ys[knee_index] - ys[-1]
     if drop_before <= 0:

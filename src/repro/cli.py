@@ -20,7 +20,14 @@ Commands (also shown by ``help``)::
     stats | report | describe | reset            console operations
     miss-ratios                                  per-node miss ratios
     save-trace <path> <n_records>                capture and dump a trace
+    verify                                       verify the current programming
     help | quit
+
+Static verification also runs stand-alone, before any board exists::
+
+    python -m repro.cli verify protocol [name|map.json ...]
+    python -m repro.cli verify machine <programming.json> [run_hours]
+    python -m repro.cli verify repo [package_dir]
 
 Sizes accept the paper's notation (``64MB``, ``1GB``); everything the CLI
 builds is scaled by the session's scale factor (default 1024) so runs
@@ -73,6 +80,7 @@ class ConsoleSession:
             "report": self._cmd_console_passthrough,
             "reset": self._cmd_console_passthrough,
             "describe": self._cmd_console_passthrough,
+            "verify": self._cmd_console_passthrough,
             "miss-ratios": self._cmd_miss_ratios,
             "save-trace": self._cmd_save_trace,
             "save-machine": self._cmd_save_machine,
@@ -281,9 +289,77 @@ class ConsoleSession:
         return __doc__.split("Commands", 1)[1]
 
 
+def verify_main(argv: List[str]) -> int:
+    """The ``verify`` subcommand: static analysis before power-up.
+
+    ``verify protocol [name|map.json ...]`` model-checks protocol tables
+    (all firmware builtins when no argument is given); ``verify machine
+    <programming.json> [run_hours]`` validates a saved board programming;
+    ``verify repo [package_dir]`` lints the source tree.  Exit status is 0
+    only when every report passes.
+    """
+    from pathlib import Path
+
+    from repro.verify import check_machine, check_protocol, check_repo
+
+    def load_json(path: str) -> object:
+        import json
+
+        try:
+            with open(path) as handle:
+                return json.load(handle)
+        except OSError as error:
+            raise CliError(f"cannot read {path}: {error}") from None
+        except json.JSONDecodeError as error:
+            raise CliError(f"{path} is not valid JSON: {error}") from None
+
+    if not argv:
+        raise CliError("usage: verify protocol|machine|repo ...")
+    kind, args = argv[0].lower(), argv[1:]
+    reports = []
+    if kind == "protocol":
+        from repro.memories.config import BUILTIN_PROTOCOLS
+
+        targets = args if args else list(BUILTIN_PROTOCOLS)
+        for target in targets:
+            if Path(target).suffix == ".json" or Path(target).exists():
+                reports.append(check_protocol(load_json(target)))
+            else:
+                reports.append(check_protocol(target))
+    elif kind == "machine":
+        if not args:
+            raise CliError("usage: verify machine <programming.json> [run_hours]")
+        data = load_json(args[0])
+        try:
+            run_hours = float(args[1]) if len(args) > 1 else None
+        except ValueError:
+            raise CliError(f"run_hours must be a number, got {args[1]!r}") from None
+        if run_hours is not None:
+            reports.append(check_machine(data, run_hours=run_hours))
+        else:
+            reports.append(check_machine(data))
+    elif kind == "repo":
+        reports.append(check_repo(args[0] if args else None))
+    else:
+        raise CliError(f"unknown verify target {kind!r}; "
+                       f"expected protocol, machine or repo")
+    status = 0
+    for report in reports:
+        print(report.render())
+        if not report.ok:
+            status = 1
+    return status
+
+
 def main(argv: Optional[List[str]] = None) -> int:
-    """Entry point: interactive prompt, or a scripted session file."""
+    """Entry point: interactive prompt, scripted session, or ``verify``."""
     argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0].lower() == "verify":
+        try:
+            return verify_main(argv[1:])
+        except ReproError as error:
+            print(f"error: {error}")
+            return 2
     session = ConsoleSession()
     if argv:
         source = open(argv[0])

@@ -11,6 +11,7 @@ place, so the slicing logic is tested once.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from repro.common.errors import ValidationError
 
 
 def is_power_of_two(value: int) -> bool:
@@ -22,10 +23,10 @@ def log2_int(value: int) -> int:
     """Exact integer log2 of a power of two.
 
     Raises:
-        ValueError: if ``value`` is not a positive power of two.
+        ValidationError: if ``value`` is not a positive power of two.
     """
     if not is_power_of_two(value):
-        raise ValueError(f"{value} is not a positive power of two")
+        raise ValidationError(f"{value} is not a positive power of two")
     return value.bit_length() - 1
 
 
@@ -43,9 +44,9 @@ class AddressMap:
 
     def __post_init__(self) -> None:
         if not is_power_of_two(self.line_size):
-            raise ValueError(f"line size {self.line_size} is not a power of two")
+            raise ValidationError(f"line size {self.line_size} is not a power of two")
         if not is_power_of_two(self.num_sets):
-            raise ValueError(f"set count {self.num_sets} is not a power of two")
+            raise ValidationError(f"set count {self.num_sets} is not a power of two")
 
     @property
     def offset_bits(self) -> int:
@@ -81,19 +82,19 @@ class AddressMap:
         eviction.
         """
         if not 0 <= set_index < self.num_sets:
-            raise ValueError(f"set index {set_index} out of range")
+            raise ValidationError(f"set index {set_index} out of range")
         return ((tag << self.index_bits) | set_index) << self.offset_bits
 
 
 def align_down(address: int, granularity: int) -> int:
     """Align ``address`` down to a power-of-two ``granularity``."""
     if not is_power_of_two(granularity):
-        raise ValueError(f"granularity {granularity} is not a power of two")
+        raise ValidationError(f"granularity {granularity} is not a power of two")
     return address & ~(granularity - 1)
 
 
 def page_number(address: int, page_size: int = 4096) -> int:
     """Page index of an address; used by the hot-spot profiler firmware."""
     if not is_power_of_two(page_size):
-        raise ValueError(f"page size {page_size} is not a power of two")
+        raise ValidationError(f"page size {page_size} is not a power of two")
     return address >> log2_int(page_size)

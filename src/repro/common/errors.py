@@ -21,6 +21,18 @@ class ConfigurationError(ReproError):
     """
 
 
+class ValidationError(ReproError, ValueError):
+    """An argument value failed a structural sanity check.
+
+    Inherits from :class:`ValueError` as well as :class:`ReproError`: the
+    low-level utilities (size parsing, address geometry, buffer setup) are
+    usable as a standalone toolkit where ``ValueError`` is the idiomatic
+    contract, while library-level callers can still catch every repro
+    failure through the single :class:`ReproError` root — the invariant
+    ``repro.verify``'s repo lint enforces.
+    """
+
+
 class TraceFormatError(ReproError):
     """A bus-trace record or file could not be encoded or decoded."""
 

@@ -10,6 +10,7 @@ software ("64MB", "1 GB", "128B", "8-way" is *not* a size) and
 from __future__ import annotations
 
 import re
+from repro.common.errors import ValidationError
 
 KB = 1024
 MB = 1024 * KB
@@ -40,20 +41,20 @@ def parse_size(text: str | int) -> int:
     (``"1.5MB"``).
 
     Raises:
-        ValueError: if the string is not a recognisable size or a fractional
+        ValidationError: if the string is not a recognisable size or a fractional
             value does not resolve to whole bytes.
     """
     if isinstance(text, int):
         return text
     match = _SIZE_RE.match(text)
     if match is None:
-        raise ValueError(f"unparseable size: {text!r}")
+        raise ValidationError(f"unparseable size: {text!r}")
     value = float(match.group(1))
     suffix = match.group(2).upper() or "B"
     multiplier = _SUFFIXES[suffix]
     size = value * multiplier
     if size != int(size):
-        raise ValueError(f"size {text!r} is not a whole number of bytes")
+        raise ValidationError(f"size {text!r} is not a whole number of bytes")
     return int(size)
 
 
@@ -64,7 +65,7 @@ def format_size(nbytes: int) -> str:
     one decimal place otherwise.
     """
     if nbytes < 0:
-        raise ValueError("size must be non-negative")
+        raise ValidationError("size must be non-negative")
     for suffix, multiplier in (("TB", TB), ("GB", GB), ("MB", MB), ("KB", KB)):
         if nbytes >= multiplier:
             if nbytes % multiplier == 0:

@@ -50,6 +50,7 @@ class MemoriesConsole:
         seed: int = 0,
         assumed_utilization: float = DEFAULT_ASSUMED_UTILIZATION,
         enforce_envelope: bool = True,
+        force: bool = False,
     ) -> MemoriesBoard:
         """Initialise a board with cache-emulation firmware for ``machine``.
 
@@ -58,12 +59,19 @@ class MemoriesConsole:
         parameter settings.  Pass ``enforce_envelope=False`` for scaled-down
         experiment configurations, whose caches intentionally fall below
         the board's 2 MB minimum; geometry is still checked.
+
+        The machine's protocol tables are additionally run through the
+        :mod:`repro.verify` model checker; a machine referencing a table
+        that fails verification is refused unless ``force=True`` (the
+        real board would run it — straight into silent state corruption).
         """
         for spec in machine.nodes:
             if enforce_envelope:
                 spec.config.validate()
             else:
                 spec.config.validate_geometry()
+        if not force:
+            self._refuse_unverified(machine)
         firmware = CacheEmulationFirmware(machine, seed=seed)
         self.board = MemoriesBoard(
             firmware,
@@ -78,13 +86,22 @@ class MemoriesConsole:
         self.board = board
         self._log.append(f"attached to board {board.name!r}")
 
-    def load_protocol_map(self, node_index: int, table: ProtocolTable) -> None:
+    def load_protocol_map(
+        self, node_index: int, table: ProtocolTable, force: bool = False
+    ) -> None:
         """Upload a protocol map file to one node controller FPGA.
 
         Section 3.2: "Different state table files could be loaded to
         different node controller FPGAs to experiment with different
         coherence protocols during the same measurement."
+
+        The table is model-checked first (see :mod:`repro.verify`); an
+        unverified table is refused unless ``force=True``.
         """
+        if not force:
+            from repro.verify.protocol import require_verified
+
+            require_verified(table)
         firmware = self._emulation_firmware()
         try:
             node = firmware.nodes[node_index]
@@ -158,11 +175,19 @@ class MemoriesConsole:
         """Run one console command; returns its output text.
 
         Supported commands: ``stats``, ``report``, ``reset``, ``describe``,
-        ``log``, ``self-test``, ``protocol <node>``, ``overflows``.
+        ``log``, ``self-test``, ``protocol <node>``, ``overflows``,
+        ``verify``.
         """
         command = command_line.strip().lower()
         if command == "self-test":
             return self.self_test().render()
+        if command == "verify":
+            from repro.verify.machine import check_machine
+
+            machine = self._emulation_firmware().machine
+            report = check_machine(machine)
+            self._log.append(f"verify: {report.summary()}")
+            return report.render(verbose=True)
         if command.startswith("protocol"):
             parts = command.split()
             node_index = int(parts[1]) if len(parts) > 1 else 0
@@ -198,6 +223,18 @@ class MemoriesConsole:
     # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
+
+    def _refuse_unverified(self, machine: TargetMachine) -> None:
+        """Raise when the machine's programming fails static verification."""
+        from repro.verify.machine import check_machine
+
+        report = check_machine(machine)
+        if not report.ok:
+            details = "\n".join(f.render() for f in report.errors)
+            raise ConfigurationError(
+                f"machine {machine.name!r} failed verification "
+                f"(pass force=True to program it anyway):\n{details}"
+            )
 
     def _require_board(self) -> MemoriesBoard:
         if self.board is None:

@@ -142,9 +142,15 @@ class NodeController:
             else:
                 directory.set_state(set_index, way, int(transition.next_state))
                 directory.touch(set_index, way)
-            # A write hit on a Shared line must invalidate peer copies
-            # (the target machine's inter-node upgrade).
-            if op is CacheOp.LOCAL_WRITE and state is LineState.SHARED:
+            # A write hit on a non-exclusive line (Shared, or dirty-shared
+            # Owned) must invalidate peer copies — the target machine's
+            # inter-node upgrade.  Owned matters: after a remote read
+            # demotes Modified to Owned, peers hold Shared copies, and a
+            # write hit that skipped the probe would leave them stale
+            # (found by the repro.verify model checker's SWMR invariant).
+            if op is CacheOp.LOCAL_WRITE and state in (
+                LineState.SHARED, LineState.OWNED
+            ):
                 for peer in peers:
                     peer.process_remote(CacheOp.REMOTE_WRITE, address, now_cycle)
             if fetches_data:

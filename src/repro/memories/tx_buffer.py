@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
+from repro.common.errors import ValidationError
 from typing import Optional
 
 #: SDRAM directory throughput as a fraction of peak bus tenure bandwidth.
@@ -42,7 +43,7 @@ def service_cycles_per_op(
     of that, i.e. one op per ``tenure_cycles / fraction`` cycles.
     """
     if not 0 < bandwidth_fraction <= 1:
-        raise ValueError(f"bandwidth fraction {bandwidth_fraction} out of (0, 1]")
+        raise ValidationError(f"bandwidth fraction {bandwidth_fraction} out of (0, 1]")
     return tenure_cycles / bandwidth_fraction
 
 
@@ -80,7 +81,7 @@ class TransactionBuffer:
         service_cycles: float = service_cycles_per_op(),
     ) -> None:
         if capacity < 1:
-            raise ValueError("buffer capacity must be >= 1")
+            raise ValidationError("buffer capacity must be >= 1")
         self.capacity = capacity
         self.service_cycles = float(service_cycles)
         self.stats = BufferStats()

@@ -1,0 +1,28 @@
+"""Target-machine programming: partitioning host CPUs into emulated nodes.
+
+The console programs the board with a *target machine*: up to four emulated
+shared-cache nodes, each absorbing the traffic of a subset of host CPUs,
+grouped into coherence groups (Figures 3 and 4 of the paper).  This package
+owns that programming artifact — its validation, serialisation ("programming
+files") and the preset geometries every case study uses.
+"""
+
+from repro.target.configs import (
+    multi_config_machine,
+    single_node_machine,
+    split_smp_machine,
+)
+from repro.target.mapping import (
+    MAX_EMULATED_NODES,
+    TargetMachine,
+    TargetNodeSpec,
+)
+
+__all__ = [
+    "MAX_EMULATED_NODES",
+    "TargetMachine",
+    "TargetNodeSpec",
+    "multi_config_machine",
+    "single_node_machine",
+    "split_smp_machine",
+]

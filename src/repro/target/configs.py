@@ -1,0 +1,114 @@
+"""Preset target-machine geometries used throughout the paper's studies.
+
+Three shapes cover every case study:
+
+* :func:`single_node_machine` — one emulated shared cache in front of all
+  CPUs (Figure 3's "single node" configuration; the L3 studies).
+* :func:`split_smp_machine` — the SMP split into equal coherent nodes of
+  ``procs_per_node`` CPUs each (the NUMA / sharing studies, Figure 9/12).
+* :func:`multi_config_machine` — one node per cache configuration, each in
+  its own coherence group and seeing *all* CPUs, so several designs are
+  measured against the same reference stream in parallel (Figure 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Sequence
+
+from repro.common.errors import ConfigurationError
+from repro.memories.config import CacheNodeConfig
+from repro.target.mapping import (
+    MAX_EMULATED_NODES,
+    TargetMachine,
+    TargetNodeSpec,
+)
+
+
+def single_node_machine(
+    config: CacheNodeConfig, n_cpus: int, name: str = ""
+) -> TargetMachine:
+    """One emulated node absorbing the traffic of all ``n_cpus`` CPUs."""
+    if n_cpus < 1:
+        raise ConfigurationError(f"need at least one CPU, got {n_cpus}")
+    spec = TargetNodeSpec(
+        config=replace(config, procs_per_node=n_cpus),
+        cpus=tuple(range(n_cpus)),
+        group=0,
+    )
+    return TargetMachine(nodes=(spec,), name=name or "single-node")
+
+
+def split_smp_machine(
+    config: CacheNodeConfig,
+    n_cpus: int,
+    procs_per_node: int,
+    truncate: bool = False,
+    name: str = "",
+) -> TargetMachine:
+    """The SMP split into coherent nodes of ``procs_per_node`` CPUs each.
+
+    All nodes share coherence group 0 and the same cache configuration.
+    When the split needs more than four nodes, pass ``truncate=True`` to
+    emulate only the first four (the remaining CPUs become unmapped
+    masters whose coherence traffic the board still snoops).
+    """
+    if procs_per_node < 1:
+        raise ConfigurationError(
+            f"processors per node must be >= 1, got {procs_per_node}"
+        )
+    if n_cpus % procs_per_node != 0:
+        raise ConfigurationError(
+            f"{n_cpus} CPUs do not split into nodes of {procs_per_node}"
+        )
+    n_nodes = n_cpus // procs_per_node
+    if n_nodes > MAX_EMULATED_NODES:
+        if not truncate:
+            raise ConfigurationError(
+                f"{n_cpus}/{procs_per_node} needs {n_nodes} nodes but the "
+                f"board has {MAX_EMULATED_NODES}; pass truncate=True to "
+                f"emulate the first {MAX_EMULATED_NODES}"
+            )
+        n_nodes = MAX_EMULATED_NODES
+    node_config = replace(config, procs_per_node=procs_per_node)
+    specs = tuple(
+        TargetNodeSpec(
+            config=node_config,
+            cpus=tuple(
+                range(index * procs_per_node, (index + 1) * procs_per_node)
+            ),
+            group=0,
+        )
+        for index in range(n_nodes)
+    )
+    return TargetMachine(
+        nodes=specs, name=name or f"split-{n_nodes}x{procs_per_node}"
+    )
+
+
+def multi_config_machine(
+    configs: Sequence[CacheNodeConfig], n_cpus: int, name: str = ""
+) -> TargetMachine:
+    """One node per configuration, each in its own coherence group.
+
+    Every node sees all CPUs as local, so up to four cache designs are
+    evaluated against the identical reference stream in one run — the
+    multi-configuration mode of Figure 4.
+    """
+    configs = list(configs)
+    if not configs:
+        raise ConfigurationError("need at least one cache configuration")
+    if len(configs) > MAX_EMULATED_NODES:
+        raise ConfigurationError(
+            f"the board has {MAX_EMULATED_NODES} node controllers; "
+            f"cannot evaluate {len(configs)} configurations at once"
+        )
+    specs = tuple(
+        TargetNodeSpec(
+            config=replace(config, procs_per_node=n_cpus),
+            cpus=tuple(range(n_cpus)),
+            group=group,
+        )
+        for group, config in enumerate(configs)
+    )
+    return TargetMachine(nodes=specs, name=name or f"multi-{len(configs)}")

@@ -1,0 +1,44 @@
+"""Static verification of MemorIES programming artifacts.
+
+The real board is programmable in three places — coherence-protocol state
+tables, the target-machine description uploaded by the console, and the
+reproduction's own source tree — and a mistake in any of them silently
+corrupts days of emulation.  All three are finite, statically analysable
+artifacts, so this package proves properties about them *before* power-up:
+
+* :mod:`repro.verify.protocol` — exhaustive model checking of a protocol
+  table over 2–4 emulated nodes (single-writer/multiple-reader,
+  completeness, reachability, dirty write-back, fill consistency).
+* :mod:`repro.verify.machine` — validation of a target-machine
+  programming against the hardware envelope, the 40-bit counter wrap
+  horizon and the protocol checker.
+* :mod:`repro.verify.lint` — AST lint of repository invariants
+  (rng/time discipline, the ReproError hierarchy, mutable defaults).
+
+Results are uniform :class:`repro.verify.findings.Report` objects; the
+console's :meth:`~repro.memories.console.MemoriesConsole.power_up`
+refuses to program the board from a failing report unless forced.
+"""
+
+from repro.verify.findings import Finding, Report, Severity
+from repro.verify.lint import check_repo
+from repro.verify.machine import check_machine
+from repro.verify.model import Exploration, ProtocolModel
+from repro.verify.protocol import (
+    certify_builtin,
+    check_protocol,
+    require_verified,
+)
+
+__all__ = [
+    "Exploration",
+    "Finding",
+    "ProtocolModel",
+    "Report",
+    "Severity",
+    "certify_builtin",
+    "check_machine",
+    "check_protocol",
+    "check_repo",
+    "require_verified",
+]

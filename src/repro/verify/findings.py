@@ -1,0 +1,184 @@
+"""Findings and reports produced by the static verifiers.
+
+Every analyser in :mod:`repro.verify` returns a :class:`Report` — an ordered
+collection of :class:`Finding` objects, each naming the violated invariant
+(``check``), a severity, a human message, the location of the defect and,
+for model-checked properties, the concrete counterexample trace that
+demonstrates the violation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, List, Tuple
+
+
+class Severity(enum.IntEnum):
+    """How bad a finding is.
+
+    ``ERROR`` findings make a report fail (the console refuses to program
+    the board); ``WARNING`` findings are surfaced but do not block;
+    ``INFO`` findings are purely informational.
+    """
+
+    INFO = 0
+    WARNING = 1
+    ERROR = 2
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One verification result.
+
+    Attributes:
+        check: invariant / rule identifier (``"swmr"``, ``"completeness"``,
+            ``"mutable-default"`` ...).
+        severity: see :class:`Severity`.
+        message: human explanation of the defect.
+        location: where it was found — a ``(op, state)`` pair for protocol
+            findings, ``node X`` for machine findings, ``path:line`` for
+            lint findings.
+        trace: counterexample event trace for model-checked invariants;
+            each entry is one step ("event -> resulting system state").
+    """
+
+    check: str
+    severity: Severity
+    message: str
+    location: str = ""
+    trace: Tuple[str, ...] = ()
+
+    def render(self) -> str:
+        """One- or multi-line rendering used by reports and the CLI."""
+        prefix = f"[{self.severity.name}] {self.check}: {self.message}"
+        if self.location:
+            prefix += f"  ({self.location})"
+        if not self.trace:
+            return prefix
+        steps = "\n".join(
+            f"    {index}. {step}" for index, step in enumerate(self.trace, 1)
+        )
+        return f"{prefix}\n  counterexample:\n{steps}"
+
+
+@dataclass
+class Report:
+    """Outcome of one verification run over one subject.
+
+    Attributes:
+        subject: what was verified ("protocol 'mesi'", "machine 'split-2x4'",
+            "repo src/repro" ...).
+        findings: everything the analysers reported, in discovery order.
+        checks_run: names of the invariants that were evaluated — so a
+            clean report still documents what it proved.
+    """
+
+    subject: str
+    findings: List[Finding] = field(default_factory=list)
+    checks_run: List[str] = field(default_factory=list)
+
+    # ------------------------------------------------------------------ #
+    # Building
+    # ------------------------------------------------------------------ #
+
+    def add(
+        self,
+        check: str,
+        severity: Severity,
+        message: str,
+        location: str = "",
+        trace: Iterable[str] = (),
+    ) -> Finding:
+        """Record one finding and return it."""
+        finding = Finding(
+            check=check,
+            severity=severity,
+            message=message,
+            location=location,
+            trace=tuple(trace),
+        )
+        self.findings.append(finding)
+        return finding
+
+    def error(self, check: str, message: str, location: str = "",
+              trace: Iterable[str] = ()) -> Finding:
+        return self.add(check, Severity.ERROR, message, location, trace)
+
+    def warning(self, check: str, message: str, location: str = "") -> Finding:
+        return self.add(check, Severity.WARNING, message, location)
+
+    def info(self, check: str, message: str, location: str = "") -> Finding:
+        return self.add(check, Severity.INFO, message, location)
+
+    def ran(self, check: str) -> None:
+        """Record that an invariant was evaluated (even if it held)."""
+        if check not in self.checks_run:
+            self.checks_run.append(check)
+
+    def merge(self, other: "Report", location_prefix: str = "") -> None:
+        """Fold another report's findings into this one."""
+        for finding in other.findings:
+            location = finding.location
+            if location_prefix:
+                location = (
+                    f"{location_prefix}: {location}" if location
+                    else location_prefix
+                )
+            self.findings.append(
+                Finding(
+                    check=finding.check,
+                    severity=finding.severity,
+                    message=finding.message,
+                    location=location,
+                    trace=finding.trace,
+                )
+            )
+        for check in other.checks_run:
+            self.ran(check)
+
+    # ------------------------------------------------------------------ #
+    # Querying
+    # ------------------------------------------------------------------ #
+
+    @property
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity is Severity.WARNING]
+
+    @property
+    def ok(self) -> bool:
+        """True when no ERROR-severity finding was recorded."""
+        return not self.errors
+
+    def by_check(self, check: str) -> List[Finding]:
+        """Findings for one invariant."""
+        return [f for f in self.findings if f.check == check]
+
+    def summary(self) -> str:
+        """One-line verdict."""
+        verdict = "PASS" if self.ok else "FAIL"
+        return (
+            f"{self.subject}: {verdict} "
+            f"({len(self.errors)} error(s), {len(self.warnings)} warning(s), "
+            f"{len(self.checks_run)} check(s) run)"
+        )
+
+    def render(self, verbose: bool = False) -> str:
+        """Full human-readable report (what the CLI prints)."""
+        lines = [f"=== verify {self.subject} ==="]
+        shown = [
+            f for f in self.findings
+            if verbose or f.severity is not Severity.INFO
+        ]
+        for finding in shown:
+            lines.append(finding.render())
+        if not shown:
+            lines.append("no findings")
+        if self.checks_run:
+            lines.append(f"checks run: {', '.join(self.checks_run)}")
+        lines.append(self.summary())
+        return "\n".join(lines)

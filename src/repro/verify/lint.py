@@ -1,0 +1,287 @@
+"""AST-based lint of repository-wide invariants.
+
+Reproducibility and a single error-handling contract are properties of
+the whole codebase, not of any one module, so they are enforced by
+walking every source file under ``src/repro`` with :mod:`ast`:
+
+``rng-discipline``
+    The stdlib :mod:`random` module must not be imported outside
+    :mod:`repro.common.rng`; every consumer draws from the named,
+    seed-derived streams so a run is reproducible from one seed.
+``time-discipline``
+    ``time.time()`` must not be called outside the designated timing
+    shim (:mod:`repro.sim.timing`); emulated time comes from bus cycles,
+    and wall-clock reads sprinkled through the model would silently make
+    results host-dependent.  (``time.perf_counter`` is fine — it is only
+    ever used to *benchmark* the simulator, never to drive it.)
+``exception-hierarchy``
+    Every exception raised by the library derives from
+    :class:`repro.common.errors.ReproError`: raising bare builtins
+    (``ValueError`` & co.) is flagged, as is defining an ``...Error``
+    class without a ``ReproError`` base.  ``NotImplementedError`` on
+    abstract methods and the control-flow exceptions are exempt.
+``mutable-default``
+    No function parameter defaults to a mutable literal (``[]``, ``{}``,
+    ``set()`` ...); the shared instance aliases across calls.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Set, Tuple, Union
+
+from repro.verify.findings import Report
+
+#: Builtin exceptions whose direct raising the lint flags.
+BANNED_RAISES = frozenset(
+    {
+        "ValueError",
+        "TypeError",
+        "RuntimeError",
+        "KeyError",
+        "IndexError",
+        "AttributeError",
+        "LookupError",
+        "ArithmeticError",
+        "ZeroDivisionError",
+        "OSError",
+        "IOError",
+        "Exception",
+        "BaseException",
+    }
+)
+
+#: Exceptions that are fine to raise anywhere (abstract methods,
+#: control flow, test plumbing).
+EXEMPT_RAISES = frozenset(
+    {
+        "NotImplementedError",
+        "StopIteration",
+        "StopAsyncIteration",
+        "SystemExit",
+        "KeyboardInterrupt",
+        "AssertionError",
+    }
+)
+
+#: Files (relative to the package root, posix separators) allowed to
+#: import the stdlib ``random`` module.
+RNG_ALLOWLIST = frozenset({"common/rng.py"})
+
+#: Files allowed to call ``time.time()``.
+TIME_ALLOWLIST = frozenset({"sim/timing.py"})
+
+#: Call targets that build a fresh mutable object per call-site — banned
+#: as parameter defaults just like the literal forms.
+_MUTABLE_FACTORIES = frozenset({"list", "dict", "set", "bytearray"})
+
+
+def default_root() -> Path:
+    """The installed ``repro`` package directory."""
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+def check_repo(root: Optional[Union[str, Path]] = None) -> Report:
+    """Lint every Python source below ``root`` (default: the repro package)."""
+    root_path = Path(root).resolve() if root is not None else default_root()
+    report = Report(subject=f"repo {root_path}")
+    for check in ("rng-discipline", "time-discipline",
+                  "exception-hierarchy", "mutable-default"):
+        report.ran(check)
+
+    sources = sorted(root_path.rglob("*.py"))
+    if not sources:
+        report.error("structure", f"no Python sources under {root_path}")
+        return report
+
+    trees: List[Tuple[Path, ast.AST]] = []
+    for path in sources:
+        try:
+            tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+        except SyntaxError as exc:
+            report.error(
+                "structure",
+                f"source does not parse: {exc.msg}",
+                location=f"{_relative(path, root_path)}:{exc.lineno}",
+            )
+            continue
+        trees.append((path, tree))
+
+    derived = _repro_error_classes(tree for _, tree in trees)
+    for path, tree in trees:
+        _lint_file(tree, _relative(path, root_path), derived, report)
+    report.info(
+        "structure",
+        f"linted {len(trees)} file(s), "
+        f"{len(derived)} ReproError-derived class(es) known",
+    )
+    return report
+
+
+def _relative(path: Path, root: Path) -> str:
+    return path.relative_to(root).as_posix()
+
+
+# ---------------------------------------------------------------------- #
+# Pass 1: resolve the ReproError class hierarchy by name
+# ---------------------------------------------------------------------- #
+
+def _repro_error_classes(trees: Iterable[ast.AST]) -> Set[str]:
+    """Names of classes transitively derived from ReproError.
+
+    Resolution is purely by name (the repo has a single flat exception
+    module, so name collisions are not a concern worth an import graph).
+    """
+    bases: Dict[str, Set[str]] = {}
+    for tree in trees:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef):
+                bases.setdefault(node.name, set()).update(
+                    name for name in map(_base_name, node.bases) if name
+                )
+    derived = {"ReproError"}
+    changed = True
+    while changed:
+        changed = False
+        for name, base_names in bases.items():
+            if name not in derived and base_names & derived:
+                derived.add(name)
+                changed = True
+    return derived
+
+
+def _base_name(node: ast.expr) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+# ---------------------------------------------------------------------- #
+# Pass 2: per-file rules
+# ---------------------------------------------------------------------- #
+
+def _lint_file(
+    tree: ast.AST, relative: str, derived: Set[str], report: Report
+) -> None:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.split(".")[0] == "random":
+                    _flag_random(relative, node.lineno, report)
+        elif isinstance(node, ast.ImportFrom):
+            if node.module and node.module.split(".")[0] == "random":
+                _flag_random(relative, node.lineno, report)
+        elif isinstance(node, ast.Call):
+            _lint_time_call(node, relative, report)
+        elif isinstance(node, ast.Raise):
+            _lint_raise(node, relative, derived, report)
+        elif isinstance(node, ast.ClassDef):
+            _lint_class(node, relative, derived, report)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            _lint_defaults(node, relative, report)
+
+
+def _flag_random(relative: str, lineno: int, report: Report) -> None:
+    if relative in RNG_ALLOWLIST:
+        return
+    report.error(
+        "rng-discipline",
+        "stdlib 'random' imported; draw from repro.common.rng streams so "
+        "runs stay reproducible from a single seed",
+        location=f"{relative}:{lineno}",
+    )
+
+
+def _lint_time_call(node: ast.Call, relative: str, report: Report) -> None:
+    func = node.func
+    is_time_time = (
+        isinstance(func, ast.Attribute)
+        and func.attr == "time"
+        and isinstance(func.value, ast.Name)
+        and func.value.id == "time"
+    )
+    if is_time_time and relative not in TIME_ALLOWLIST:
+        report.error(
+            "time-discipline",
+            "time.time() called outside the timing shim; emulated time "
+            "must come from bus cycles, not the host wall clock",
+            location=f"{relative}:{node.lineno}",
+        )
+
+
+def _lint_raise(
+    node: ast.Raise, relative: str, derived: Set[str], report: Report
+) -> None:
+    target = node.exc
+    if target is None:  # bare re-raise
+        return
+    if isinstance(target, ast.Call):
+        target = target.func
+    name = _base_name(target)
+    if name is None or name in EXEMPT_RAISES:
+        return
+    if name in BANNED_RAISES:
+        report.error(
+            "exception-hierarchy",
+            f"raises builtin {name}; raise a ReproError subclass (e.g. "
+            f"ValidationError) so callers can catch one library root",
+            location=f"{relative}:{node.lineno}",
+        )
+    elif name.endswith(("Error", "Exception")) and name not in derived:
+        # Unknown ...Error names (e.g. from third-party modules) are left
+        # alone; only classes defined in this repo are held to the rule.
+        pass
+
+
+def _lint_class(
+    node: ast.ClassDef, relative: str, derived: Set[str], report: Report
+) -> None:
+    if not node.name.endswith(("Error", "Exception")):
+        return
+    if node.name in derived or node.name == "ReproError":
+        return
+    base_names = {name for name in map(_base_name, node.bases) if name}
+    # Only flag classes that are actually exception types.
+    if base_names & (BANNED_RAISES | EXEMPT_RAISES | {"Warning"}) or not base_names:
+        report.error(
+            "exception-hierarchy",
+            f"exception class {node.name} does not derive from ReproError; "
+            f"add it to the repro.common.errors hierarchy",
+            location=f"{relative}:{node.lineno}",
+        )
+
+
+def _lint_defaults(
+    node: Union[ast.FunctionDef, ast.AsyncFunctionDef],
+    relative: str,
+    report: Report,
+) -> None:
+    args = node.args
+    for default in list(args.defaults) + [
+        d for d in args.kw_defaults if d is not None
+    ]:
+        if _is_mutable_default(default):
+            report.error(
+                "mutable-default",
+                f"function {node.name!r} has a mutable default argument; "
+                f"the shared instance aliases across calls — default to "
+                f"None (or a tuple) instead",
+                location=f"{relative}:{default.lineno}",
+            )
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in _MUTABLE_FACTORIES
+        and not node.args
+        and not node.keywords
+    )

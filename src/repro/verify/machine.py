@@ -1,0 +1,191 @@
+"""Static validation of a board-programming (target machine) description.
+
+Before the console programs the node controllers, the machine description
+can be checked against the hardware envelope and the planned run:
+
+``structure``
+    The programming file parses into a valid :class:`TargetMachine` —
+    this subsumes the CPU-partition rules (every CPU mapped to at most
+    one node per coherence group, at most four nodes, per-node CPU counts
+    matching the configs).
+``envelope``
+    Every node's cache geometry fits Table 2 and its tag/state directory
+    fits the node controller's SDRAM; directories close to the 256 MB
+    ceiling draw a warning (no room for tag growth when re-programming).
+``counters``
+    The 40-bit statistic counters must not wrap during the planned run:
+    at the assumed bus utilization, a counter incremented on every bus
+    tenure wraps after ``2**40 / (bus_hz * utilization / tenure_cycles)``
+    seconds.  Runs longer than that get a warning with the projected
+    wrap time (Section 2.3 of the paper sizes the counters for "days of
+    continuous monitoring" — this check makes the claim concrete).
+``protocol``
+    Every referenced protocol table passes the full
+    :mod:`repro.verify.protocol` model checker.
+``mapping``
+    Soft conventions: host CPU 0 should be mapped somewhere (the
+    self-test and warm-up traffic originate there), and a coherence group
+    with a single node emulates no inter-node traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Union
+
+from repro.bus.bus import ADDRESS_TENURE_CYCLES
+from repro.common.errors import ReproError
+from repro.common.units import format_size
+from repro.memories.board import DEFAULT_ASSUMED_UTILIZATION
+from repro.memories.config import (
+    BUILTIN_PROTOCOLS,
+    NODE_SDRAM_BYTES,
+)
+from repro.memories.counters import COUNTER_MASK
+from repro.target.mapping import TargetMachine
+from repro.verify.findings import Report
+from repro.verify.protocol import certify_builtin, check_protocol
+
+#: Directory occupancy above this fraction of node SDRAM draws a warning.
+DIRECTORY_WARN_FRACTION = 0.9
+
+#: Default planned run length checked against counter wrap (hours).
+DEFAULT_RUN_HOURS = 24.0
+
+_SECONDS_PER_HOUR = 3600.0
+
+
+def check_machine(
+    source: Union[TargetMachine, Mapping],
+    run_hours: float = DEFAULT_RUN_HOURS,
+    bus_hz: int = 100_000_000,
+    utilization: float = DEFAULT_ASSUMED_UTILIZATION,
+) -> Report:
+    """Statically verify one target-machine programming.
+
+    Args:
+        source: a :class:`TargetMachine` or the dict form of a programming
+            file (as produced by :meth:`TargetMachine.to_dict`).
+        run_hours: planned emulation run length, for counter-wrap analysis.
+        bus_hz: host bus clock.
+        utilization: assumed address-bus utilization (paper Section 4
+            observes ~20% on the S7A host).
+
+    Returns:
+        A :class:`Report`; ``report.ok`` means the board can be programmed.
+    """
+    if isinstance(source, TargetMachine):
+        machine = source
+        report = Report(subject=f"machine {machine.name!r}")
+        report.ran("structure")
+    else:
+        report = Report(subject="machine <programming file>")
+        report.ran("structure")
+        try:
+            machine = TargetMachine.from_dict(source)
+        except ReproError as exc:
+            report.error("structure", str(exc))
+            return report
+        report.subject = f"machine {machine.name!r}"
+
+    _check_envelope(machine, report)
+    _check_counters(machine, report, run_hours, bus_hz, utilization)
+    _check_protocols(machine, report)
+    _check_mapping(machine, report)
+    return report
+
+
+def _check_envelope(machine: TargetMachine, report: Report) -> None:
+    report.ran("envelope")
+    for index, spec in enumerate(machine.nodes):
+        config = spec.config
+        try:
+            config.validate_geometry()
+        except ReproError as exc:
+            report.error("envelope", str(exc), location=f"node {index}")
+            continue
+        directory = config.directory_bytes
+        if directory > DIRECTORY_WARN_FRACTION * NODE_SDRAM_BYTES:
+            report.warning(
+                "envelope",
+                f"tag/state directory occupies {format_size(directory)} of "
+                f"the node's {format_size(NODE_SDRAM_BYTES)} SDRAM "
+                f"(>{DIRECTORY_WARN_FRACTION:.0%}); consider a larger line "
+                f"size",
+                location=f"node {index}",
+            )
+
+
+def _check_counters(
+    machine: TargetMachine,
+    report: Report,
+    run_hours: float,
+    bus_hz: int,
+    utilization: float,
+) -> None:
+    report.ran("counters")
+    if run_hours <= 0 or bus_hz <= 0 or not 0 < utilization <= 1:
+        report.error(
+            "counters",
+            f"cannot analyse counter wrap for run_hours={run_hours}, "
+            f"bus_hz={bus_hz}, utilization={utilization}",
+        )
+        return
+    # Worst case: one counter incremented on every address tenure.
+    tenures_per_second = bus_hz * utilization / ADDRESS_TENURE_CYCLES
+    hours_to_wrap = (COUNTER_MASK / tenures_per_second) / _SECONDS_PER_HOUR
+    if run_hours > hours_to_wrap:
+        report.warning(
+            "counters",
+            f"a 40-bit counter incremented every tenure wraps after "
+            f"{hours_to_wrap:.1f} h at {utilization:.0%} bus utilization, "
+            f"but the planned run is {run_hours:.1f} h; snapshot counters "
+            f"before the wrap or shorten the run",
+        )
+    else:
+        report.info(
+            "counters",
+            f"40-bit counters hold {hours_to_wrap:.1f} h at {utilization:.0%} "
+            f"utilization; planned run of {run_hours:.1f} h is safe",
+        )
+
+
+def _check_protocols(machine: TargetMachine, report: Report) -> None:
+    report.ran("protocol")
+    checked = {}
+    for index, spec in enumerate(machine.nodes):
+        name = spec.config.protocol
+        if name not in checked:
+            try:
+                if name in BUILTIN_PROTOCOLS:
+                    checked[name] = certify_builtin(name)
+                else:
+                    checked[name] = check_protocol(name)
+            except ReproError as exc:
+                checked[name] = None
+                report.error(
+                    "protocol",
+                    f"protocol table {name!r} could not be loaded: {exc}",
+                    location=f"node {index}",
+                )
+                continue
+        sub_report = checked[name]
+        if sub_report is not None and not sub_report.ok:
+            report.merge(sub_report, location_prefix=f"node {index}")
+
+
+def _check_mapping(machine: TargetMachine, report: Report) -> None:
+    report.ran("mapping")
+    if 0 not in machine.all_cpus():
+        report.warning(
+            "mapping",
+            "host CPU 0 is not mapped to any node; the console self-test "
+            "and warm-up traffic originate there and would bypass emulation",
+        )
+    for group, indices in machine.groups().items():
+        if len(indices) == 1 and len(machine.groups()) > 1:
+            report.info(
+                "mapping",
+                f"coherence group {group} contains a single node; it will "
+                f"see no inter-node coherence traffic",
+                location=f"node {indices[0]}",
+            )

@@ -1,0 +1,253 @@
+"""Exhaustive state-space model of N coherent emulated nodes on one line.
+
+The node controllers are passive: every state change is a deterministic
+function of the bus event stream and the loaded protocol table (see
+:class:`repro.memories.node_controller.NodeController`).  Coherence is a
+per-line property, so the model tracks a single cache line across 2-4
+nodes of one coherence group and explores every interleaving of the bus
+events the host can generate:
+
+* ``READ(i)``  — a CPU of node *i* misses its L2 and issues a bus READ;
+* ``WRITE(i)`` — a CPU of node *i* issues RWITM or DCLAIM;
+* ``CASTOUT(i)`` — node *i*'s L2 writes back a dirty line;
+* ``EVICT(i)`` — node *i*'s emulated cache evicts the line (replacement
+  pressure from other addresses mapping to the same set).
+
+The host bus itself is coherent, which constrains the event stream: an L2
+can only cast out a line its CPU previously acquired ownership of, and
+any intervening bus read or foreign write demotes or invalidates that L2
+copy.  The model carries that constraint as an auxiliary ``l2_owner``
+component (the node whose CPU last won ownership on the bus, if any), so
+impossible traffic — e.g. a castout from a node that never wrote — is not
+explored and cannot produce false counterexamples.  This mirrors the
+assumption documented in ``tests/test_protocol_fuzz.py``.
+
+State count is at most ``5**nodes * (nodes + 1)`` — trivially exhaustible;
+breadth-first exploration keeps parent pointers so invariant violations
+come with a shortest concrete event trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
+
+from repro.common.errors import ReproError, ValidationError
+from repro.memories.protocol_table import (
+    CacheOp,
+    FillRules,
+    LineState,
+    Transition,
+)
+
+#: One model state: per-node line states plus the host-level L2 owner.
+ModelState = Tuple[Tuple[LineState, ...], Optional[int]]
+
+#: One bus event: (kind, node index).
+Event = Tuple[str, int]
+
+EVENT_KINDS = ("READ", "WRITE", "CASTOUT", "EVICT")
+
+
+class IncompleteTableError(ReproError, KeyError):
+    """Exploration hit an (op, state) pair the table does not define."""
+
+    def __init__(self, op: CacheOp, state: LineState) -> None:
+        super().__init__((op, state))
+        self.op = op
+        self.state = state
+
+
+@dataclass(frozen=True)
+class Step:
+    """One explored transition: ``state --event--> next_state``."""
+
+    state: ModelState
+    event: Event
+    next_state: ModelState
+
+    def describe(self) -> str:
+        kind, node = self.event
+        lines, owner = self.next_state
+        rendered = ", ".join(s.name for s in lines)
+        suffix = f"; L2 owner node{owner}" if owner is not None else ""
+        return f"node{node} {kind} -> ({rendered}){suffix}"
+
+
+@dataclass
+class Exploration:
+    """Result of exhaustively exploring one protocol on ``n_nodes`` nodes.
+
+    Attributes:
+        n_nodes: how many nodes the model instantiated.
+        reachable: every model state reached from power-up.
+        parents: state -> (previous state, event) for trace reconstruction;
+            the initial state maps to None.
+        line_states_seen: union over nodes of every line state occupied.
+    """
+
+    n_nodes: int
+    reachable: FrozenSet[ModelState]
+    parents: Dict[ModelState, Optional[Tuple[ModelState, Event]]]
+    line_states_seen: FrozenSet[LineState]
+
+    def trace_to(self, state: ModelState) -> List[str]:
+        """Reconstruct the shortest event path from power-up to ``state``."""
+        steps: List[Step] = []
+        cursor = state
+        while True:
+            parent = self.parents[cursor]
+            if parent is None:
+                break
+            previous, event = parent
+            steps.append(Step(previous, event, cursor))
+            cursor = previous
+        steps.reverse()
+        rendered = ["power-up: all nodes INVALID"]
+        rendered.extend(step.describe() for step in steps)
+        return rendered
+
+
+class ProtocolModel:
+    """The transition function of one protocol table over N nodes.
+
+    Args:
+        transitions: ``(op, state) -> Transition`` for every declared state
+            (the checker verifies completeness before building a model).
+        fill: the table's fill rules.
+    """
+
+    def __init__(
+        self,
+        transitions: Mapping[Tuple[CacheOp, LineState], Transition],
+        fill: FillRules,
+    ) -> None:
+        self._table = dict(transitions)
+        self._fill = fill
+
+    def _lookup(self, op: CacheOp, state: LineState) -> Transition:
+        transition = self._table.get((op, state))
+        if transition is None:
+            raise IncompleteTableError(op, state)
+        return transition
+
+    # ------------------------------------------------------------------ #
+    # Single-event semantics (mirrors NodeController.process_local and
+    # CacheEmulationFirmware routing).
+    # ------------------------------------------------------------------ #
+
+    def enabled(self, state: ModelState, event: Event) -> bool:
+        """Whether the host could legally generate ``event`` in ``state``."""
+        lines, owner = state
+        kind, node = event
+        if kind == "CASTOUT":
+            # Only the node whose CPU last acquired bus ownership still has
+            # a dirty L2 copy to cast out.
+            return owner == node
+        if kind == "EVICT":
+            return lines[node] is not LineState.INVALID
+        return True
+
+    def step(self, state: ModelState, event: Event) -> ModelState:
+        """Apply one enabled bus event; returns the successor state."""
+        lines, owner = state
+        kind, node = event
+        new_lines = list(lines)
+        local = lines[node]
+
+        if kind == "READ":
+            if local is not LineState.INVALID:
+                new_lines[node] = self._lookup(
+                    CacheOp.LOCAL_READ, local
+                ).next_state
+            else:
+                held = False
+                for peer, peer_state in enumerate(lines):
+                    if peer == node or peer_state is LineState.INVALID:
+                        continue
+                    held = True
+                    new_lines[peer] = self._lookup(
+                        CacheOp.REMOTE_READ, peer_state
+                    ).next_state
+                new_lines[node] = (
+                    self._fill.read_shared if held else self._fill.read_alone
+                )
+            # Any bus read demotes whichever L2 still owned the line.
+            return tuple(new_lines), None
+
+        if kind == "WRITE":
+            if local is not LineState.INVALID:
+                new_lines[node] = self._lookup(
+                    CacheOp.LOCAL_WRITE, local
+                ).next_state
+                if local in (LineState.SHARED, LineState.OWNED):
+                    self._invalidate_peers(lines, new_lines, node)
+            else:
+                self._invalidate_peers(lines, new_lines, node)
+                new_lines[node] = self._fill.write
+            return tuple(new_lines), node
+
+        if kind == "CASTOUT":
+            if local is not LineState.INVALID:
+                new_lines[node] = self._lookup(
+                    CacheOp.LOCAL_CASTOUT, local
+                ).next_state
+            else:
+                # Non-inclusive miss path: re-allocate write-back data dirty.
+                new_lines[node] = self._fill.write
+            return tuple(new_lines), None
+
+        if kind == "EVICT":
+            new_lines[node] = LineState.INVALID
+            return tuple(new_lines), owner
+
+        raise ValidationError(f"unknown event kind {kind!r}")
+
+    def _invalidate_peers(
+        self,
+        lines: Sequence[LineState],
+        new_lines: List[LineState],
+        node: int,
+    ) -> None:
+        for peer, peer_state in enumerate(lines):
+            if peer == node or peer_state is LineState.INVALID:
+                continue
+            new_lines[peer] = self._lookup(
+                CacheOp.REMOTE_WRITE, peer_state
+            ).next_state
+
+    # ------------------------------------------------------------------ #
+    # Exhaustive exploration
+    # ------------------------------------------------------------------ #
+
+    def explore(self, n_nodes: int) -> Exploration:
+        """Breadth-first exploration of every reachable model state."""
+        if not 2 <= n_nodes <= 4:
+            raise ValidationError(f"model supports 2..4 nodes, got {n_nodes}")
+        initial: ModelState = ((LineState.INVALID,) * n_nodes, None)
+        parents: Dict[ModelState, Optional[Tuple[ModelState, Event]]] = {
+            initial: None
+        }
+        frontier: List[ModelState] = [initial]
+        events: List[Event] = [
+            (kind, node) for node in range(n_nodes) for kind in EVENT_KINDS
+        ]
+        seen_line_states = set()
+        while frontier:
+            next_frontier: List[ModelState] = []
+            for state in frontier:
+                seen_line_states.update(state[0])
+                for event in events:
+                    if not self.enabled(state, event):
+                        continue
+                    successor = self.step(state, event)
+                    if successor not in parents:
+                        parents[successor] = (state, event)
+                        next_frontier.append(successor)
+            frontier = next_frontier
+        return Exploration(
+            n_nodes=n_nodes,
+            reachable=frozenset(parents),
+            parents=parents,
+            line_states_seen=frozenset(seen_line_states),
+        )

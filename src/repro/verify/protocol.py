@@ -1,0 +1,440 @@
+"""Static model checking of coherence-protocol map files.
+
+A malformed state table silently corrupts an entire emulation run: the real
+board only catches it at self-test, but the map file is a finite artifact,
+so we can do strictly better and *prove* properties before power-up.  The
+checker operates on the JSON-level map structure (what
+:meth:`repro.memories.protocol_table.ProtocolTable.to_map` produces and the
+console uploads), so even tables too broken to construct a
+``ProtocolTable`` still get precise findings instead of a load-time crash.
+
+Invariants, in checking order:
+
+``structure``
+    The map parses: known operation / state names, INVALID never declared,
+    no duplicate entries, well-formed fill rules.
+``completeness``
+    Every ``(operation, declared state)`` pair has a transition — the FPGA
+    lookup must never fall off the table mid-run.
+``fill-consistency``
+    Fill rules agree with what the snoop responses imply: a read fill with
+    peers holding the line must be SHARED (never an exclusive or dirty
+    claim), a read fill alone must be clean, a write fill must be dirty.
+``dirty-writeback``
+    Modified data is never dropped: any transition that takes a dirty
+    state clean or invalid must supply the data (``is_hit``), so the line
+    has a write-back path out of every dirty state.
+``reachability``
+    No transition produces an undeclared state, and every declared state
+    is actually reachable in the exhaustive model — a dead state (e.g.
+    OWNED pasted into an MSI table) is a latent table-editing mistake.
+``swmr``
+    Single-writer/multiple-reader, proved by exhaustive exploration of
+    2..N emulated nodes: no reachable state has two dirty copies of a
+    line, or an EXCLUSIVE/MODIFIED copy coexisting with any other valid
+    copy.  Violations come with a shortest concrete event trace.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Tuple, Union
+
+from repro.common.errors import ProtocolError
+from repro.memories.protocol_table import (
+    CacheOp,
+    FillRules,
+    LineState,
+    ProtocolTable,
+    Transition,
+)
+from repro.verify.findings import Report
+from repro.verify.model import Exploration, ModelState, ProtocolModel
+
+#: States a single node may legitimately hold alongside other valid copies.
+_EXCLUSIVE_STATES = (LineState.EXCLUSIVE, LineState.MODIFIED)
+
+#: Model sizes explored by default: pairwise interactions plus one size
+#: with a third observer node (catches invariants that only break with an
+#: extra sharer in the mix).
+DEFAULT_NODE_COUNTS = (2, 3)
+
+_FILL_LABELS = ("read_shared", "read_alone", "write")
+
+
+def check_protocol(
+    source: Union[str, Mapping, ProtocolTable],
+    node_counts: Iterable[int] = DEFAULT_NODE_COUNTS,
+) -> Report:
+    """Statically verify one protocol table.
+
+    Args:
+        source: a builtin protocol name ("msi"), a map-file dict, or an
+            already-constructed :class:`ProtocolTable`.
+        node_counts: emulated node counts to model-check (each in 2..4).
+
+    Returns:
+        A :class:`Report`; ``report.ok`` means every invariant holds.
+    """
+    data = _as_map(source)
+    name = str(data.get("name", "?")) if isinstance(data, Mapping) else "?"
+    report = Report(subject=f"protocol {name!r}")
+
+    parsed = _parse_structure(data, report)
+    report.ran("structure")
+    if parsed is None:
+        return report
+    states, transitions, fill = parsed
+
+    complete = _check_completeness(states, transitions, report)
+    _check_fill_consistency(states, transitions, fill, report)
+    _check_dirty_writeback(states, transitions, report)
+    _check_declared_targets(states, transitions, report)
+
+    if complete and report.ok:
+        model = ProtocolModel(transitions, fill)
+        explorations = [model.explore(n) for n in sorted(set(node_counts))]
+        _check_swmr(explorations, report)
+        _check_reachability(states, explorations, report)
+    else:
+        report.info(
+            "model",
+            "model checking skipped: table is incomplete or structurally "
+            "broken; fix the findings above first",
+        )
+    return report
+
+
+def certify_builtin(name: str) -> Report:
+    """Check a firmware-builtin table, memoised (builtins are immutable)."""
+    cached = _BUILTIN_REPORTS.get(name)
+    if cached is None:
+        from repro.memories.protocol_table import load_protocol
+
+        cached = check_protocol(load_protocol(name))
+        _BUILTIN_REPORTS[name] = cached
+    return cached
+
+
+_BUILTIN_REPORTS: Dict[str, Report] = {}
+
+
+# ---------------------------------------------------------------------- #
+# Structure
+# ---------------------------------------------------------------------- #
+
+def _as_map(source: Union[str, Mapping, ProtocolTable]) -> Mapping:
+    if isinstance(source, ProtocolTable):
+        return source.to_map()
+    if isinstance(source, str):
+        from repro.memories.protocol_table import load_protocol
+
+        return load_protocol(source).to_map()
+    return source
+
+
+def _parse_structure(
+    data: Mapping, report: Report
+) -> Optional[
+    Tuple[
+        Tuple[LineState, ...],
+        Dict[Tuple[CacheOp, LineState], Transition],
+        FillRules,
+    ]
+]:
+    """Parse the map dict, reporting malformations; None when unusable."""
+    if not isinstance(data, Mapping):
+        report.error("structure", f"map file is not an object: {type(data).__name__}")
+        return None
+    for key in ("states", "fill", "transitions"):
+        if key not in data:
+            report.error("structure", f"map file is missing the {key!r} section")
+    if not report.ok:
+        return None
+
+    states = []
+    for entry in data["states"]:
+        state = _state_named(entry, report, context="states")
+        if state is None:
+            continue
+        if state is LineState.INVALID:
+            report.error(
+                "structure",
+                "INVALID must not be declared; it is the absence of a line",
+            )
+            continue
+        if state in states:
+            report.warning("structure", f"state {state.name} declared twice")
+            continue
+        states.append(state)
+    if not states:
+        report.error("structure", "no usable states declared")
+        return None
+
+    transitions: Dict[Tuple[CacheOp, LineState], Transition] = {}
+    for entry in data["transitions"]:
+        if not isinstance(entry, Mapping):
+            report.error("structure", f"transition entry is not an object: {entry!r}")
+            continue
+        op = _op_named(entry.get("op"), report)
+        state = _state_named(entry.get("state"), report, context="transitions")
+        next_state = _state_named(entry.get("next"), report, context="transitions")
+        if op is None or state is None or next_state is None:
+            continue
+        key = (op, state)
+        if key in transitions:
+            report.warning(
+                "structure",
+                "duplicate transition entry; the last one wins on load",
+                location=f"({op.name}, {state.name})",
+            )
+        transitions[key] = Transition(
+            next_state=next_state, is_hit=bool(entry.get("hit", False))
+        )
+
+    fill_section = data["fill"]
+    fill_states = {}
+    for label in _FILL_LABELS:
+        if not isinstance(fill_section, Mapping) or label not in fill_section:
+            report.error("structure", f"fill rules are missing {label!r}")
+            continue
+        state = _state_named(fill_section[label], report, context="fill")
+        if state is not None:
+            fill_states[label] = state
+    if len(fill_states) != len(_FILL_LABELS):
+        return None
+    fill = FillRules(**fill_states)
+    if not report.ok:
+        return None
+    return tuple(states), transitions, fill
+
+
+def _state_named(name: object, report: Report, context: str) -> Optional[LineState]:
+    try:
+        return LineState[str(name)]
+    except KeyError:
+        report.error(
+            "structure",
+            f"unknown state name {name!r} in {context}; "
+            f"expected one of {[s.name for s in LineState]}",
+        )
+        return None
+
+
+def _op_named(name: object, report: Report) -> Optional[CacheOp]:
+    try:
+        return CacheOp[str(name)]
+    except KeyError:
+        report.error(
+            "structure",
+            f"unknown operation name {name!r}; "
+            f"expected one of {[o.name for o in CacheOp]}",
+        )
+        return None
+
+
+# ---------------------------------------------------------------------- #
+# Per-entry invariants
+# ---------------------------------------------------------------------- #
+
+def _check_completeness(states, transitions, report: Report) -> bool:
+    """Every (op, declared state) pair defined."""
+    report.ran("completeness")
+    complete = True
+    for op in CacheOp:
+        for state in states:
+            if (op, state) not in transitions:
+                complete = False
+                report.error(
+                    "completeness",
+                    f"no transition for ({op.name}, {state.name}); the "
+                    f"node controller would fault mid-run on this lookup",
+                    location=f"({op.name}, {state.name})",
+                )
+    return complete
+
+
+def _check_fill_consistency(states, transitions, fill: FillRules,
+                            report: Report) -> None:
+    """Fill rules agree with the snoop responses that select them."""
+    report.ran("fill-consistency")
+    for label in _FILL_LABELS:
+        state = getattr(fill, label)
+        if state not in states:
+            report.error(
+                "fill-consistency",
+                f"fill rule {label} uses undeclared state {state.name}",
+                location=f"fill.{label}",
+            )
+    if fill.read_shared in _EXCLUSIVE_STATES or fill.read_shared.is_dirty:
+        report.error(
+            "fill-consistency",
+            f"read_shared={fill.read_shared.name}: the snoop response said "
+            f"another node holds the line, so the fill must be SHARED — an "
+            f"exclusive or dirty claim breaks single-writer",
+            location="fill.read_shared",
+        )
+    if fill.read_alone.is_dirty:
+        report.error(
+            "fill-consistency",
+            f"read_alone={fill.read_alone.name}: a read miss installs clean "
+            f"data; a dirty fill would later write back data the node never "
+            f"produced",
+            location="fill.read_alone",
+        )
+    if not fill.write.is_dirty:
+        report.error(
+            "fill-consistency",
+            f"write={fill.write.name}: a write miss installs freshly "
+            f"modified data; a clean fill state loses it on eviction",
+            location="fill.write",
+        )
+
+
+def _check_dirty_writeback(states, transitions, report: Report) -> None:
+    """No transition silently drops the only up-to-date copy."""
+    report.ran("dirty-writeback")
+    for state in states:
+        if not state.is_dirty:
+            continue
+        for op in (CacheOp.REMOTE_READ, CacheOp.REMOTE_WRITE):
+            transition = transitions.get((op, state))
+            if transition is None:
+                continue  # reported by completeness
+            loses_data = (
+                transition.next_state is LineState.INVALID
+                or not transition.next_state.is_dirty
+            )
+            if loses_data and not transition.is_hit:
+                report.error(
+                    "dirty-writeback",
+                    f"({op.name}, {state.name}) -> "
+                    f"{transition.next_state.name} without supplying data: "
+                    f"the only modified copy is dropped with no write-back "
+                    f"path",
+                    location=f"({op.name}, {state.name})",
+                )
+        local_read = transitions.get((CacheOp.LOCAL_READ, state))
+        if local_read is not None and not local_read.next_state.is_dirty:
+            report.warning(
+                "dirty-writeback",
+                f"(LOCAL_READ, {state.name}) demotes a dirty line to "
+                f"{local_read.next_state.name}; the dirty bit (and its "
+                f"eviction write-back) is silently lost",
+                location=f"(LOCAL_READ, {state.name})",
+            )
+        castout = transitions.get((CacheOp.LOCAL_CASTOUT, state))
+        if castout is not None and not castout.next_state.is_dirty:
+            report.warning(
+                "dirty-writeback",
+                f"(LOCAL_CASTOUT, {state.name}) receives write-back data "
+                f"but leaves the line clean in {castout.next_state.name}",
+                location=f"(LOCAL_CASTOUT, {state.name})",
+            )
+
+
+def _check_declared_targets(states, transitions, report: Report) -> None:
+    """Transitions may only produce declared states (or INVALID)."""
+    report.ran("reachability")
+    for (op, state), transition in sorted(transitions.items()):
+        target = transition.next_state
+        if target is not LineState.INVALID and target not in states:
+            report.error(
+                "reachability",
+                f"({op.name}, {state.name}) transitions into {target.name}, "
+                f"a state this protocol never declares or allocates",
+                location=f"({op.name}, {state.name})",
+            )
+
+
+# ---------------------------------------------------------------------- #
+# Model-checked invariants
+# ---------------------------------------------------------------------- #
+
+def _swmr_violation(lines: Tuple[LineState, ...]) -> Optional[str]:
+    """Reason this line-state vector breaks SWMR, or None."""
+    dirty = [s for s in lines if s.is_dirty]
+    exclusive = [s for s in lines if s in _EXCLUSIVE_STATES]
+    valid = [s for s in lines if s is not LineState.INVALID]
+    if len(dirty) > 1:
+        return (
+            f"{len(dirty)} dirty copies of the line coexist "
+            f"({'/'.join(s.name for s in dirty)}); writes diverge"
+        )
+    if exclusive and len(valid) > 1:
+        return (
+            f"an {exclusive[0].name} copy coexists with "
+            f"{len(valid) - 1} other valid cop"
+            f"{'y' if len(valid) == 2 else 'ies'}; the exclusive owner "
+            f"writes while peers read stale data"
+        )
+    return None
+
+
+def _check_swmr(explorations, report: Report) -> None:
+    report.ran("swmr")
+    for exploration in explorations:
+        violation = _first_violation(exploration)
+        if violation is None:
+            continue
+        state, reason = violation
+        report.error(
+            "swmr",
+            f"single-writer/multiple-reader violated on "
+            f"{exploration.n_nodes} nodes: {reason}",
+            location=f"state ({', '.join(s.name for s in state[0])})",
+            trace=exploration.trace_to(state),
+        )
+        return  # one counterexample is enough; avoid near-duplicates
+
+
+def _first_violation(
+    exploration: Exploration,
+) -> Optional[Tuple[ModelState, str]]:
+    # parents preserves BFS discovery order, so the first hit has a
+    # shortest counterexample trace.
+    for state in exploration.parents:
+        reason = _swmr_violation(state[0])
+        if reason is not None:
+            return state, reason
+    return None
+
+
+def _check_reachability(states, explorations, report: Report) -> None:
+    # "ran" already recorded by _check_declared_targets.
+    reached = set()
+    for exploration in explorations:
+        reached.update(exploration.line_states_seen)
+    for state in states:
+        if state not in reached:
+            report.error(
+                "reachability",
+                f"declared state {state.name} is dead: no fill rule or "
+                f"reachable transition ever allocates it (checked "
+                f"exhaustively on "
+                f"{'/'.join(str(e.n_nodes) for e in explorations)} nodes)",
+                location=state.name,
+            )
+
+
+# ---------------------------------------------------------------------- #
+# Gate used by the console
+# ---------------------------------------------------------------------- #
+
+def require_verified(table: ProtocolTable,
+                     node_counts: Iterable[int] = DEFAULT_NODE_COUNTS) -> Report:
+    """Check a table and raise :class:`ProtocolError` when it fails.
+
+    The console's upload path uses this so an unverified table never
+    reaches a node controller FPGA unless explicitly forced.
+    """
+    if table.name in _BUILTIN_REPORTS:
+        report = _BUILTIN_REPORTS[table.name]
+    else:
+        report = check_protocol(table, node_counts)
+    if not report.ok:
+        details = "\n".join(f.render() for f in report.errors)
+        raise ProtocolError(
+            f"protocol {table.name!r} failed verification "
+            f"(pass force=True to load it anyway):\n{details}"
+        )
+    return report

@@ -33,8 +33,8 @@ class TestRenderChart:
     def test_higher_values_plot_higher(self):
         chart = render_chart([curve("a", [1.0, 0.0])], width=20, height=10)
         lines = [line for line in chart.splitlines() if "|" in line]
-        first_marker_row = next(i for i, l in enumerate(lines) if "o" in l)
-        last_marker_row = max(i for i, l in enumerate(lines) if "o" in l)
+        first_marker_row = next(i for i, row in enumerate(lines) if "o" in row)
+        last_marker_row = max(i for i, row in enumerate(lines) if "o" in row)
         assert first_marker_row == 0          # the 1.0 point at the top
         assert last_marker_row == len(lines) - 1  # the 0.0 point at the bottom
 

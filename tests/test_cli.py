@@ -80,7 +80,7 @@ class TestCommands:
         output = s.execute("sweep 5000 16MB 256MB")
         assert "swept 5,000 records" in output
         assert "16MB" in output and "256MB" in output
-        lines = [l for l in output.splitlines() if "miss ratio" in l]
+        lines = [line for line in output.splitlines() if "miss ratio" in line]
         assert len(lines) == 2
 
     def test_sweep_requires_workload(self):

@@ -58,17 +58,22 @@ def protocol_tables(draw, coherent: bool = False):
                 next_state = LineState.MODIFIED  # axiom: writes dirty
                 is_hit = True
             elif op is CacheOp.REMOTE_READ:
-                # Remote reads may demote to a shareable state or die.
-                next_state = draw(
-                    st.sampled_from(
-                        [LineState.INVALID]
-                        + [
-                            s
-                            for s in states
-                            if s in (LineState.SHARED, LineState.OWNED)
-                        ]
-                    )
-                )
+                # Remote reads may demote to a shareable state or die.  In a
+                # real protocol only a *dirty* copy may demote to Owned; a
+                # clean copy answering a remote read stays clean (promoting
+                # it would fabricate dirty data — a hole in an earlier
+                # version of these axioms that repro.verify's model checker
+                # flagged: two clean Shared copies could both be promoted
+                # to Owned by successive remote reads).
+                candidates = [LineState.INVALID]
+                for s in states:
+                    if s is LineState.SHARED:
+                        candidates.append(s)
+                    elif s is LineState.OWNED and (
+                        state.is_dirty or not coherent
+                    ):
+                        candidates.append(s)
+                next_state = draw(st.sampled_from(candidates))
                 is_hit = state.is_dirty
             else:  # LOCAL_READ
                 if coherent:
@@ -168,3 +173,95 @@ def test_fuzzed_tables_roundtrip_map_files(table):
     restored = ProtocolTable.from_map(table.to_map())
     assert restored.raw_table() == table.raw_table()
     assert restored.fill == table.fill
+
+
+# ---------------------------------------------------------------------- #
+# Static checker vs the fuzzer and vs mutated shipped tables
+# ---------------------------------------------------------------------- #
+
+from repro.memories.protocol_table import load_protocol  # noqa: E402
+from repro.verify import check_protocol  # noqa: E402
+
+
+@given(table=protocol_tables())
+@settings(max_examples=60, deadline=None)
+def test_checker_never_crashes_on_fuzzed_tables(table):
+    """Any closed table gets a report, never an exception."""
+    report = check_protocol(table)
+    assert report.checks_run
+
+
+@given(table=protocol_tables(coherent=True))
+@settings(max_examples=60, deadline=None)
+def test_checker_agrees_with_the_coherence_axioms(table):
+    """Tables built under the coherence axioms must model-check SWMR-clean.
+
+    This ties the static model checker to the dynamic fuzz property above:
+    the same class of tables that ``test_fuzzed_protocols_preserve_swmr``
+    drives traffic through must be certified by exhaustive exploration.
+    """
+    report = check_protocol(table)
+    assert not report.by_check("swmr"), report.render()
+
+
+def shipped_maps():
+    return {name: load_protocol(name).to_map() for name in ("msi", "mesi", "moesi")}
+
+
+def test_shipped_tables_verify_clean():
+    for name, data in shipped_maps().items():
+        report = check_protocol(data)
+        assert report.ok, f"{name}: {report.render()}"
+
+
+def test_every_dropped_entry_is_flagged():
+    """Deleting any single transition from any shipped table is caught."""
+    for name, base in shipped_maps().items():
+        for index in range(len(base["transitions"])):
+            mutated = {
+                **base,
+                "transitions": [
+                    entry for position, entry in enumerate(base["transitions"])
+                    if position != index
+                ],
+            }
+            report = check_protocol(mutated)
+            dropped = base["transitions"][index]
+            assert not report.ok, (
+                f"{name}: dropping ({dropped['op']}, {dropped['state']}) "
+                f"went unnoticed"
+            )
+            assert any(f.check == "completeness" for f in report.errors)
+
+
+def test_every_next_state_flip_to_dirty_peer_keeper_is_flagged():
+    """Making any REMOTE_WRITE keep a dirty copy breaks SWMR with a trace."""
+    for name, base in shipped_maps().items():
+        for index, entry in enumerate(base["transitions"]):
+            if entry["op"] != "REMOTE_WRITE" or entry["state"] not in (
+                "MODIFIED", "OWNED", "EXCLUSIVE"
+            ):
+                continue
+            mutated = {
+                **base,
+                "transitions": [dict(e) for e in base["transitions"]],
+            }
+            mutated["transitions"][index]["next"] = "MODIFIED"
+            report = check_protocol(mutated)
+            swmr = report.by_check("swmr")
+            assert swmr, (
+                f"{name}: (REMOTE_WRITE, {entry['state']}) -> MODIFIED "
+                f"not flagged:\n{report.render()}"
+            )
+            assert swmr[0].trace[0].startswith("power-up")
+
+
+def test_swmr_break_via_shared_write_keep():
+    """A write hit on SHARED that fails to invalidate peers is caught."""
+    base = load_protocol("msi").to_map()
+    for entry in base["transitions"]:
+        if entry["op"] == "REMOTE_WRITE" and entry["state"] == "SHARED":
+            entry["next"] = "SHARED"
+    report = check_protocol(base)
+    assert not report.ok
+    assert report.by_check("swmr"), report.render()

@@ -1,0 +1,135 @@
+#!/usr/bin/env python
+"""Self-check of the protocol model checker against a broken-table corpus.
+
+CI runs this after ``verify protocol`` certifies the shipped tables: a
+checker that passes everything is worse than no checker, so each seeded
+mutation of a known-good table must be *rejected*, and rejected for the
+right reason — the expected invariant name must appear among the ERROR
+findings.  Exit status is non-zero on any miss.
+"""
+
+from __future__ import annotations
+
+import copy
+import sys
+from typing import Callable, List, Tuple
+
+from repro.memories.config import BUILTIN_PROTOCOLS
+from repro.memories.protocol_table import load_protocol
+from repro.verify.protocol import check_protocol
+
+
+def _drop_entry(table: dict) -> None:
+    table["transitions"].remove(_entry(table, "LOCAL_READ", "SHARED"))
+
+
+def _stale_dirty_peer(table: dict) -> None:
+    _entry(table, "REMOTE_WRITE", "MODIFIED")["next"] = "MODIFIED"
+
+
+def _exclusive_shared_fill(table: dict) -> None:
+    table["fill"]["read_shared"] = "EXCLUSIVE"
+
+
+def _dirty_fill_alone(table: dict) -> None:
+    table["fill"]["read_alone"] = "MODIFIED"
+
+
+def _clean_write_fill(table: dict) -> None:
+    table["fill"]["write"] = "SHARED"
+
+
+def _dropped_writeback(table: dict) -> None:
+    entry = _entry(table, "REMOTE_READ", "MODIFIED")
+    entry["next"] = "SHARED"
+    entry["hit"] = False
+
+
+def _dead_state(table: dict) -> None:
+    table["states"].append("OWNED")
+    for op in ("LOCAL_READ", "LOCAL_WRITE", "LOCAL_CASTOUT",
+               "REMOTE_READ", "REMOTE_WRITE"):
+        table["transitions"].append(
+            {"op": op, "state": "OWNED", "next": "OWNED", "hit": True}
+        )
+
+
+def _unknown_op(table: dict) -> None:
+    table["transitions"][0]["op"] = "LOCAL_FROB"
+
+
+def _undeclared_target(table: dict) -> None:
+    _entry(table, "LOCAL_WRITE", "SHARED")["next"] = "OWNED"
+
+
+def _declared_invalid(table: dict) -> None:
+    table["states"].append("INVALID")
+
+
+def _entry(table: dict, op: str, state: str) -> dict:
+    return next(
+        entry for entry in table["transitions"]
+        if entry["op"] == op and entry["state"] == state
+    )
+
+
+#: (description, base table, mutation, invariant expected to flag it).
+CORPUS: List[Tuple[str, str, Callable[[dict], None], str]] = [
+    ("dropped (LOCAL_READ, SHARED) entry", "mesi", _drop_entry, "completeness"),
+    ("REMOTE_WRITE leaves stale MODIFIED peer", "mesi", _stale_dirty_peer, "swmr"),
+    ("read_shared fill claims EXCLUSIVE", "mesi", _exclusive_shared_fill,
+     "fill-consistency"),
+    ("read_alone fill installs dirty data", "msi", _dirty_fill_alone,
+     "fill-consistency"),
+    ("write fill installs clean data", "msi", _clean_write_fill,
+     "fill-consistency"),
+    ("remote read drops modified data", "moesi", _dropped_writeback,
+     "dirty-writeback"),
+    ("OWNED declared but never allocated", "mesi", _dead_state, "reachability"),
+    ("unknown operation name", "msi", _unknown_op, "structure"),
+    ("transition into undeclared OWNED", "msi", _undeclared_target,
+     "reachability"),
+    ("INVALID declared as a state", "mesi", _declared_invalid, "structure"),
+]
+
+
+def main() -> int:
+    failures = 0
+
+    for name in BUILTIN_PROTOCOLS:
+        report = check_protocol(name)
+        verdict = "ok" if report.ok else "FAIL"
+        print(f"shipped {name!r}: {verdict}")
+        if not report.ok:
+            failures += 1
+            for finding in report.errors:
+                print("  " + finding.render())
+
+    for description, base, mutate, expected in CORPUS:
+        table = load_protocol(base).to_map()
+        mutated = copy.deepcopy(table)
+        mutate(mutated)
+        report = check_protocol(mutated)
+        flagged = {finding.check for finding in report.errors}
+        if report.ok:
+            print(f"MISSED: {description} (expected {expected}, got PASS)")
+            failures += 1
+        elif expected not in flagged:
+            print(
+                f"WRONG INVARIANT: {description} "
+                f"(expected {expected}, got {sorted(flagged)})"
+            )
+            failures += 1
+        else:
+            print(f"rejected: {description} [{expected}]")
+
+    if failures:
+        print(f"\nself-check FAILED: {failures} case(s)")
+        return 1
+    print(f"\nself-check passed: {len(BUILTIN_PROTOCOLS)} shipped tables "
+          f"certified, {len(CORPUS)} broken tables rejected")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
