@@ -30,6 +30,18 @@ ADDRESS_TENURE_CYCLES = 2
 #: utilization regime reported in Section 3.3.
 DEFAULT_IDLE_CYCLES_PER_TENURE = 8
 
+#: How many times a master re-arbitrates for a retried tenure before giving
+#: up.  The 6xx protocol itself retries indefinitely; the model bounds it so
+#: an injected always-retry fault cannot livelock the emulation.
+DEFAULT_MAX_RETRIES = 8
+
+#: Backoff before the first re-issue of a retried tenure, in bus cycles.
+#: Doubles per attempt (capped) so a full buffer gets time to drain.
+DEFAULT_RETRY_BACKOFF_CYCLES = 4
+
+#: Ceiling on the exponential retry backoff.
+_MAX_BACKOFF_CYCLES = 256
+
 
 class Snooper(Protocol):
     """An active bus device that participates in the snoop phase."""
@@ -56,7 +68,14 @@ class BusStats:
         memory_tenures: tenures carrying coherent-memory commands.
         reads / rwitms / dclaims / castouts: per-command counts.
         io_ops: I/O register tenures.
-        retries: tenures that received a combined RETRY response.
+        retries: logical tenures whose *first* attempt received a combined
+            RETRY response (per-command counts and ``tenures`` also count
+            each logical tenure once, regardless of re-issues).
+        retry_reissues: re-arbitrated attempts for retried tenures; their
+            bus occupancy and backoff idle time fold into
+            ``busy_cycles`` / ``total_cycles`` and thus into utilization.
+        retries_abandoned: tenures still retried after the master's bounded
+            re-issue budget (the livelock guard tripping).
         busy_cycles: cycles the address bus was occupied.
         total_cycles: total elapsed bus cycles (busy + idle).
     """
@@ -69,6 +88,8 @@ class BusStats:
     castouts: int = 0
     io_ops: int = 0
     retries: int = 0
+    retry_reissues: int = 0
+    retries_abandoned: int = 0
     busy_cycles: int = 0
     total_cycles: int = 0
 
@@ -94,10 +115,16 @@ class SystemBus:
         clock_hz: bus clock frequency; the S7A's 6xx bus runs at 100 MHz.
         idle_cycles_per_tenure: idle gap modeled between tenures, which sets
             the synthetic bus utilization level.
+        max_retries: bounded re-issue budget per retried tenure (0 disables
+            master re-issue entirely).
+        retry_backoff_cycles: initial idle backoff before a re-issue;
+            doubles per attempt up to a fixed ceiling.
     """
 
     clock_hz: int = 100_000_000
     idle_cycles_per_tenure: int = DEFAULT_IDLE_CYCLES_PER_TENURE
+    max_retries: int = DEFAULT_MAX_RETRIES
+    retry_backoff_cycles: int = DEFAULT_RETRY_BACKOFF_CYCLES
     stats: BusStats = field(default_factory=BusStats)
 
     def __post_init__(self) -> None:
@@ -128,7 +155,43 @@ class SystemBus:
         a snoop response.  Monitors then observe the *completed* tenure
         (command, address, requester and combined response) exactly as the
         MemorIES board does from the bus pins.
+
+        A tenure whose combined response is RETRY is re-issued by the
+        master after an exponential backoff, up to ``max_retries`` times —
+        the 6xx master behaviour the paper relies on when the board's
+        transaction buffers overflow.  Statistics count the *logical*
+        tenure once (``tenures``, per-command counts, ``retries``); each
+        re-arbitration adds to ``retry_reissues`` and to the cycle
+        accounting, and a tenure still refused at the budget's end bumps
+        ``retries_abandoned`` (the livelock guard).  The returned
+        transaction is the final attempt, so its response is RETRY only
+        when the tenure was ultimately abandoned.
         """
+        completed = self._attempt(txn, issuer)
+        self._account(completed)
+        if completed.snoop_response is not SnoopResponse.RETRY:
+            return completed
+
+        stats = self.stats
+        backoff = self.retry_backoff_cycles
+        for _ in range(self.max_retries):
+            # The master backs off (bus idle), then re-arbitrates: one more
+            # address tenure's worth of occupancy, folded into utilization.
+            stats.total_cycles += backoff
+            backoff = min(backoff * 2, _MAX_BACKOFF_CYCLES)
+            stats.retry_reissues += 1
+            stats.busy_cycles += ADDRESS_TENURE_CYCLES
+            stats.total_cycles += ADDRESS_TENURE_CYCLES + self.idle_cycles_per_tenure
+            completed = self._attempt(txn, issuer)
+            if completed.snoop_response is not SnoopResponse.RETRY:
+                return completed
+        stats.retries_abandoned += 1
+        return completed
+
+    def _attempt(
+        self, txn: BusTransaction, issuer: Optional[Snooper]
+    ) -> BusTransaction:
+        """One arbitration: snoop phase, response combining, monitors."""
         self._seq += 1
         responses = [
             snooper.snoop(txn) for snooper in self._snoopers if snooper is not issuer
@@ -141,8 +204,6 @@ class SystemBus:
             if monitor_response is SnoopResponse.RETRY and combined is not SnoopResponse.RETRY:
                 combined = SnoopResponse.RETRY
                 completed = txn.with_response(self._seq, combined)
-
-        self._account(completed)
         return completed
 
     def _account(self, txn: BusTransaction) -> None:

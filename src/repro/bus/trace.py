@@ -39,11 +39,18 @@ _CPU_MASK = 0xFF
 #: Magic + version header for trace files.  Version 1 stores raw packed
 #: records; version 2 stores a zlib-compressed payload — the console-side
 #: disk format for the multi-gigabyte traces the board collects (addresses
-#: are highly regular, so compression routinely reaches 3-6x).
+#: are highly regular, so compression routinely reaches 3-6x).  Versions 3
+#: and 4 are the same two layouts followed by a CRC32 trailer over the
+#: stored payload bytes, so disk corruption or truncation is detected at
+#: load time instead of silently skewing replayed statistics.  Writers emit
+#: the CRC formats by default; all four versions load.
 FILE_MAGIC = b"MIES"
 FILE_VERSION = 1
 FILE_VERSION_COMPRESSED = 2
+FILE_VERSION_CRC = 3
+FILE_VERSION_COMPRESSED_CRC = 4
 _HEADER = struct.Struct("<4sHHQ")  # magic, version, reserved, record count
+_CRC_TRAILER = struct.Struct("<I")  # CRC32 of the stored payload bytes
 
 #: On-board SDRAM capacity of the current board revision, in records.
 BOARD_TRACE_CAPACITY = 1_000_000_000
@@ -227,24 +234,31 @@ class TraceWriter:
             return BusTrace(self._chunks[0].copy())
         return BusTrace(np.concatenate(self._chunks))
 
-    def save(self, path: Union[str, Path], compress: bool = False) -> None:
+    def save(
+        self, path: Union[str, Path], compress: bool = False, crc: bool = True
+    ) -> None:
         """Write the trace file (header + packed records, little-endian).
 
         Args:
-            compress: write the version-2 zlib-compressed payload; readers
-                detect the version automatically.
+            compress: write the zlib-compressed payload; readers detect the
+                version automatically.
+            crc: append the CRC32 trailer (the current on-disk format);
+                pass False to emit the legacy v1/v2 layouts.
         """
         import zlib
 
         trace = self.to_trace()
         payload = trace.words.astype("<u8").tobytes()
-        version = FILE_VERSION
         if compress:
             payload = zlib.compress(payload, level=6)
-            version = FILE_VERSION_COMPRESSED
+            version = FILE_VERSION_COMPRESSED_CRC if crc else FILE_VERSION_COMPRESSED
+        else:
+            version = FILE_VERSION_CRC if crc else FILE_VERSION
         with open(path, "wb") as f:
             f.write(_HEADER.pack(FILE_MAGIC, version, 0, len(trace)))
             f.write(payload)
+            if crc:
+                f.write(_CRC_TRAILER.pack(zlib.crc32(payload) & 0xFFFFFFFF))
 
 
 class TraceReader:
@@ -256,8 +270,14 @@ class TraceReader:
     def load(self) -> BusTrace:
         """Load the whole file into memory as a :class:`BusTrace`.
 
-        Detects and decompresses version-2 (zlib) files transparently.
+        Detects and decompresses the zlib versions transparently, and
+        verifies the CRC32 trailer of v3/v4 files before decoding — a
+        corrupted or truncated trace raises
+        :class:`~repro.common.errors.TraceFormatError` rather than
+        replaying garbage.
         """
+        import zlib
+
         with open(self._path, "rb") as f:
             header = f.read(_HEADER.size)
             if len(header) < _HEADER.size:
@@ -265,12 +285,24 @@ class TraceReader:
             magic, version, _reserved, count = _HEADER.unpack(header)
             if magic != FILE_MAGIC:
                 raise TraceFormatError(f"{self._path}: bad magic {magic!r}")
-            if version not in (FILE_VERSION, FILE_VERSION_COMPRESSED):
+            if version not in (
+                FILE_VERSION,
+                FILE_VERSION_COMPRESSED,
+                FILE_VERSION_CRC,
+                FILE_VERSION_COMPRESSED_CRC,
+            ):
                 raise TraceFormatError(f"{self._path}: unsupported version {version}")
             payload = f.read()
-        if version == FILE_VERSION_COMPRESSED:
-            import zlib
-
+        if version in (FILE_VERSION_CRC, FILE_VERSION_COMPRESSED_CRC):
+            if len(payload) < _CRC_TRAILER.size:
+                raise TraceFormatError(f"{self._path}: truncated CRC trailer")
+            payload, trailer = payload[: -_CRC_TRAILER.size], payload[-_CRC_TRAILER.size :]
+            (expected,) = _CRC_TRAILER.unpack(trailer)
+            if zlib.crc32(payload) & 0xFFFFFFFF != expected:
+                raise TraceFormatError(
+                    f"{self._path}: CRC mismatch — trace file is corrupt"
+                )
+        if version in (FILE_VERSION_COMPRESSED, FILE_VERSION_COMPRESSED_CRC):
             try:
                 payload = zlib.decompress(payload)
             except zlib.error as exc:
@@ -285,7 +317,14 @@ class TraceReader:
         return BusTrace(words)
 
     def iter_chunks(self, chunk_records: int = 1 << 20) -> Iterator[np.ndarray]:
-        """Stream the file in chunks of packed records (replay path)."""
+        """Stream the file in chunks of packed records (replay path).
+
+        Works on the raw formats (v1 and v3); v3's CRC is accumulated
+        chunk-by-chunk and verified after the final chunk, so a corrupt
+        tail raises before the caller treats the replay as complete.
+        """
+        import zlib
+
         with open(self._path, "rb") as f:
             header = f.read(_HEADER.size)
             if len(header) < _HEADER.size:
@@ -293,16 +332,28 @@ class TraceReader:
             magic, version, _reserved, count = _HEADER.unpack(header)
             if magic != FILE_MAGIC:
                 raise TraceFormatError(f"{self._path}: bad header")
-            if version != FILE_VERSION:
+            if version not in (FILE_VERSION, FILE_VERSION_CRC):
                 raise TraceFormatError(
-                    f"{self._path}: chunked reads need the raw (v1) format; "
+                    f"{self._path}: chunked reads need a raw (v1/v3) format; "
                     "use load() for compressed files"
                 )
+            running_crc = 0
             remaining = count
             while remaining > 0:
                 take = min(chunk_records, remaining)
                 payload = f.read(take * 8)
                 if len(payload) != take * 8:
                     raise TraceFormatError(f"{self._path}: truncated payload")
+                if version == FILE_VERSION_CRC:
+                    running_crc = zlib.crc32(payload, running_crc)
                 yield np.frombuffer(payload, dtype="<u8").astype(np.uint64)
                 remaining -= take
+            if version == FILE_VERSION_CRC:
+                trailer = f.read(_CRC_TRAILER.size)
+                if len(trailer) < _CRC_TRAILER.size:
+                    raise TraceFormatError(f"{self._path}: truncated CRC trailer")
+                (expected,) = _CRC_TRAILER.unpack(trailer)
+                if running_crc & 0xFFFFFFFF != expected:
+                    raise TraceFormatError(
+                        f"{self._path}: CRC mismatch — trace file is corrupt"
+                    )

@@ -21,6 +21,7 @@ Commands (also shown by ``help``)::
     miss-ratios                                  per-node miss ratios
     save-trace <path> <n_records>                capture and dump a trace
     verify                                       verify the current programming
+    faults                                       resilience report for the board
     help | quit
 
 Static verification also runs stand-alone, before any board exists::
@@ -28,6 +29,13 @@ Static verification also runs stand-alone, before any board exists::
     python -m repro.cli verify protocol [name|map.json ...]
     python -m repro.cli verify machine <programming.json> [run_hours]
     python -m repro.cli verify repo [package_dir]
+
+So do seeded fault-injection campaigns (see :mod:`repro.faults`)::
+
+    python -m repro.cli faults run [--records N] [--seed S] [--drop R]
+        [--flip R] [--burst R] [--burst-ops N] [--saturate R]
+        [--no-ecc] [--scrub-interval C] [--out FILE]
+    python -m repro.cli faults report <campaign.json>
 
 Sizes accept the paper's notation (``64MB``, ``1GB``); everything the CLI
 builds is scaled by the session's scale factor (default 1024) so runs
@@ -81,6 +89,7 @@ class ConsoleSession:
             "reset": self._cmd_console_passthrough,
             "describe": self._cmd_console_passthrough,
             "verify": self._cmd_console_passthrough,
+            "faults": self._cmd_console_passthrough,
             "miss-ratios": self._cmd_miss_ratios,
             "save-trace": self._cmd_save_trace,
             "save-machine": self._cmd_save_machine,
@@ -351,12 +360,146 @@ def verify_main(argv: List[str]) -> int:
     return status
 
 
+def faults_main(argv: List[str]) -> int:
+    """The ``faults`` subcommand: seeded fault-injection campaigns.
+
+    ``faults run`` captures a scaled TPC-C bus trace, replays it twice
+    through identically programmed boards — once fault-free, once under
+    the requested plan — and prints the campaign summary; ``--out`` writes
+    the full report as JSON.  ``faults report <campaign.json>`` re-renders
+    a saved report.  A zero-rate run whose statistics are not byte-identical
+    to the baseline exits 1 (the CI smoke contract); otherwise 0.
+    """
+    import argparse
+    import json
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cli faults",
+        description="seeded fault-injection campaigns against the board",
+    )
+    sub = parser.add_subparsers(dest="action")
+    run_parser = sub.add_parser(
+        "run", help="capture a trace and run one baseline-vs-faulted campaign"
+    )
+    run_parser.add_argument(
+        "--records", type=int, default=20_000,
+        help="bus records to capture (default 20000)")
+    run_parser.add_argument(
+        "--seed", type=int, default=0,
+        help="seed shared by workload, replacement policy and fault plan")
+    run_parser.add_argument(
+        "--cache", default="64MB",
+        help="paper-scale L3 size, scaled 1/1024 (default 64MB)")
+    run_parser.add_argument(
+        "--drop", type=float, default=0.0,
+        help="per-tenure snoop-drop rate")
+    run_parser.add_argument(
+        "--flip", type=float, default=0.0,
+        help="per-tenure directory bit-flip rate")
+    run_parser.add_argument(
+        "--burst", type=float, default=0.0,
+        help="per-tenure transaction-buffer burst rate")
+    run_parser.add_argument(
+        "--burst-ops", type=int, default=64,
+        help="operations per injected burst (default 64)")
+    run_parser.add_argument(
+        "--saturate", type=float, default=0.0,
+        help="per-tenure counter-saturation rate")
+    run_parser.add_argument(
+        "--no-ecc", action="store_true",
+        help="leave the tag/state directory unprotected")
+    run_parser.add_argument(
+        "--scrub-interval", type=float, default=None,
+        help="patrol-scrubber cadence in bus cycles")
+    run_parser.add_argument(
+        "--out", default=None,
+        help="write the full campaign report to this JSON file")
+    report_parser = sub.add_parser(
+        "report", help="re-render a saved campaign report"
+    )
+    report_parser.add_argument("path")
+    ns = parser.parse_args(argv)
+
+    if ns.action == "report":
+        try:
+            with open(ns.path) as handle:
+                data = json.load(handle)
+        except OSError as error:
+            raise CliError(f"cannot read {ns.path}: {error}") from None
+        except json.JSONDecodeError as error:
+            raise CliError(f"{ns.path} is not valid JSON: {error}") from None
+        from repro.faults import FaultPlan
+
+        plan = FaultPlan.from_dict(data.get("plan", {}))
+        print(f"campaign over {data.get('records', 0):,} records, plan {plan}")
+        print(
+            f"miss ratio {data.get('baseline_miss_ratio', 0.0):.4f} -> "
+            f"{data.get('faulted_miss_ratio', 0.0):.4f} "
+            f"(error {data.get('miss_ratio_error', 0.0):.4f})"
+        )
+        counts = data.get("fault_counts", {})
+        print(
+            "faults committed: "
+            + (", ".join(f"{k}={v}" for k, v in sorted(counts.items())) or "none")
+        )
+        print(f"identical to baseline: {data.get('identical')}")
+        return 0
+    if ns.action != "run":
+        parser.print_usage()
+        return 2
+
+    from repro.faults import FaultPlan, run_campaign
+
+    plan = FaultPlan(
+        seed=ns.seed,
+        drop_snoop_rate=ns.drop,
+        directory_flip_rate=ns.flip,
+        buffer_burst_rate=ns.burst,
+        buffer_burst_ops=ns.burst_ops,
+        counter_saturate_rate=ns.saturate,
+    )
+    plan.validate()
+    scale = ExperimentScale()
+    workload = TpccWorkload(
+        db_bytes=scale.scaled_bytes("150GB"),
+        n_cpus=scale.n_cpus,
+        private_bytes=scale.scaled_bytes("8MB"),
+        seed=ns.seed,
+    )
+    print(f"capturing {ns.records:,} bus records (TPC-C, scale 1/{scale.scale})...")
+    trace = capture_records(workload, ns.records, scale.host())
+    machine = single_node_machine(scale.cache(ns.cache), n_cpus=scale.n_cpus)
+    result = run_campaign(
+        trace.words,
+        machine,
+        plan,
+        seed=ns.seed,
+        ecc=not ns.no_ecc,
+        scrub_interval=ns.scrub_interval,
+    )
+    print(result.summary())
+    if plan.is_zero:
+        print(f"zero-fault run identical to baseline: {result.identical}")
+    if ns.out:
+        with open(ns.out, "w") as handle:
+            json.dump(result.to_dict(), handle, indent=2)
+        print(f"wrote {ns.out}")
+    return 0 if (not plan.is_zero or result.identical) else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
-    """Entry point: interactive prompt, scripted session, or ``verify``."""
+    """Entry point: interactive prompt, scripted session, ``verify`` or
+    ``faults``."""
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0].lower() == "verify":
         try:
             return verify_main(argv[1:])
+        except ReproError as error:
+            print(f"error: {error}")
+            return 2
+    if argv and argv[0].lower() == "faults":
+        try:
+            return faults_main(argv[1:])
         except ReproError as error:
             print(f"error: {error}")
             return 2

@@ -30,6 +30,7 @@ EXTENSIONS = {
     "io_effect": "repro.experiments.io_effect",
     "webserver_scaling": "repro.experiments.webserver_scaling",
     "firmware_studies": "repro.experiments.firmware_studies",
+    "fault_sweep": "repro.experiments.fault_sweep",
 }
 
 __all__ = ["ARTEFACTS", "EXTENSIONS", "ExperimentResult", "ExperimentScale"]

@@ -1,0 +1,125 @@
+"""Fault sweep: how far injected faults move the emulated miss ratio.
+
+The paper's numbers are only worth publishing if the board keeps telling
+the truth while things go wrong underneath it: SDRAM soft errors in the
+tag/state directory, missed snoops on the passive monitor, transaction
+buffers crowded into the retry path, silently wrapped counters.  This
+experiment quantifies that robustness by replaying one captured TPC-C
+trace under :class:`~repro.faults.plan.FaultPlan` rates swept across
+several orders of magnitude, once with the recovery machinery on (SECDED
+ECC + patrol scrubbing, snoop-loss resync) and once on a bare board, and
+plotting the absolute miss-ratio error against the per-tenure fault rate.
+
+Expected shape: the protected curve hugs zero until fault rates become
+absurd, the unprotected curve drifts as flipped tags turn hits into
+misses and vice versa.  A zero-rate plan must sit at exactly 0.0 error on
+both curves (the bit-identity contract the CI smoke job also enforces).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.analysis.ascii_chart import render_chart
+from repro.analysis.report import render_series
+from repro.analysis.stats import MissCurve
+from repro.experiments.params import ExperimentResult, ExperimentScale
+from repro.experiments.pipeline import capture_records
+from repro.faults import FaultCampaign, FaultPlan
+from repro.target.configs import single_node_machine
+from repro.workloads.tpcc import TpccWorkload
+
+#: Per-tenure fault rates swept (every fault site at the same rate).
+DEFAULT_RATES = (0.0, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2)
+
+
+@dataclass(frozen=True)
+class FaultSweepSettings:
+    """Scales, rates and arms for the fault sweep."""
+
+    scale: ExperimentScale = ExperimentScale(scale=2048)
+    rates: Sequence[float] = DEFAULT_RATES
+    records: int = 60_000
+    l3_size: str = "64MB"
+    seed: int = 7
+
+    @classmethod
+    def quick(cls) -> "FaultSweepSettings":
+        return cls(
+            scale=ExperimentScale(scale=8192),
+            rates=(0.0, 1e-3, 1e-2),
+            records=12_000,
+        )
+
+
+def _error_curve(
+    name: str,
+    campaign: FaultCampaign,
+    words,
+    settings: FaultSweepSettings,
+) -> MissCurve:
+    plans = [
+        FaultPlan.uniform(rate, seed=settings.seed) for rate in settings.rates
+    ]
+    curve = MissCurve(name=name)
+    for rate, result in zip(settings.rates, campaign.sweep(words, plans)):
+        curve.add(rate, result.miss_ratio_error, label=f"{rate:g}")
+    return curve
+
+
+def run(settings: Optional[FaultSweepSettings] = None) -> ExperimentResult:
+    """Sweep fault rates against protected and unprotected boards."""
+    settings = settings or FaultSweepSettings()
+    scale = settings.scale
+
+    tpcc = TpccWorkload(
+        db_bytes=scale.scaled_bytes("150GB"),
+        n_cpus=scale.n_cpus,
+        private_bytes=scale.scaled_bytes("8MB"),
+        seed=settings.seed,
+    )
+    trace = capture_records(tpcc, settings.records, scale.host())
+    machine = single_node_machine(
+        scale.cache(settings.l3_size), n_cpus=scale.n_cpus
+    )
+
+    protected = FaultCampaign(machine, seed=settings.seed, ecc=True)
+    unprotected = FaultCampaign(machine, seed=settings.seed, ecc=False)
+    curves = [
+        _error_curve("ECC + scrub + resync", protected, trace.words, settings),
+        _error_curve("unprotected board", unprotected, trace.words, settings),
+    ]
+
+    report = "\n\n".join(
+        [
+            render_series(
+                curves,
+                title=(
+                    "Miss-ratio error vs per-tenure fault rate "
+                    f"(TPC-C, {settings.l3_size} L3, scale 1/{scale.scale})"
+                ),
+                x_header="fault rate",
+            ),
+            render_chart(curves),
+        ]
+    )
+    zero_errors = [curve.ys()[0] for curve in curves if curve.points]
+    notes = [
+        (
+            "each rate drives every fault site (snoop drop, directory bit "
+            "flip, buffer burst, counter saturation) at the same per-tenure "
+            "probability, seeded so reruns hit identical fault sites"
+        ),
+        f"zero-rate error (must be exactly 0.0): {zero_errors}",
+    ]
+    return ExperimentResult(
+        name="fault_sweep",
+        report=report,
+        data={"curves": curves, "rates": list(settings.rates)},
+        notes=notes,
+    )
+
+
+if __name__ == "__main__":
+    print(run(FaultSweepSettings.quick()))

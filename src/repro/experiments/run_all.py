@@ -16,6 +16,7 @@ import time
 
 from repro.experiments import (
     ablations,
+    fault_sweep,
     figure1_growth,
     firmware_studies,
     figure8_tracelen,
@@ -57,6 +58,7 @@ def _runners(quick: bool):
         figure12_breakdown,
         io_effect,
         webserver_scaling,
+        fault_sweep,
     ]
     for module in modules:
         yield module.__name__.rsplit(".", 1)[-1], lambda m=module: m.run(

@@ -1,0 +1,39 @@
+"""Fault injection, recovery measurement and board checkpoints.
+
+The real MemorIES board ran for days at a time attached to a production
+bus; this package reproduces the *failure* side of that story.  A seeded
+:class:`FaultPlan` describes what can go wrong — dropped snoops, directory
+bit flips, transaction-buffer overflow bursts, counter saturation, trace
+corruption — and :class:`FaultInjector` makes it happen deterministically
+against a live or replaying board.  :class:`FaultCampaign` measures how far
+the injected faults (and the ECC/scrub/retry recovery machinery) move the
+emulated miss ratio from a fault-free baseline, and
+:mod:`repro.faults.checkpoint` saves/restores complete board state so long
+campaigns survive interruption.
+"""
+
+from repro.faults.campaign import CampaignResult, FaultCampaign, run_campaign
+from repro.faults.checkpoint import (
+    load_checkpoint,
+    restore_checkpoint,
+    save_checkpoint,
+)
+from repro.faults.plan import (
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    corrupt_trace_bytes,
+)
+
+__all__ = [
+    "CampaignResult",
+    "FaultCampaign",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "corrupt_trace_bytes",
+    "load_checkpoint",
+    "restore_checkpoint",
+    "run_campaign",
+    "save_checkpoint",
+]

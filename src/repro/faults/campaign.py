@@ -1,0 +1,195 @@
+"""Fault campaigns: fault-free baseline vs faulted replay of one trace.
+
+A campaign replays the same captured trace twice through identically
+programmed boards — once bare, once behind a :class:`FaultInjector` — and
+reports how far the injected faults moved the emulated statistics.  With a
+zero-rate plan the two runs are byte-identical (the CI smoke job asserts
+exactly this); with real rates the miss-ratio error quantifies how well
+the recovery machinery (ECC + scrubbing, snoop-loss resync, bounded bus
+retries) contains the damage.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.faults.plan import FaultEvent, FaultInjector, FaultPlan
+from repro.memories.board import (
+    DEFAULT_ASSUMED_UTILIZATION,
+    MemoriesBoard,
+    board_for_machine,
+)
+from repro.target.mapping import TargetMachine
+
+
+def _aggregate_miss_ratio(board: MemoriesBoard) -> float:
+    """Machine-wide emulated miss ratio (cache-emulation firmware only)."""
+    nodes = getattr(board.firmware, "nodes", None)
+    if not nodes:
+        return 0.0
+    references = sum(node.references() for node in nodes)
+    if references == 0:
+        return 0.0
+    return sum(node.misses() for node in nodes) / references
+
+
+@dataclass
+class CampaignResult:
+    """Outcome of one baseline-vs-faulted pair of replays.
+
+    ``baseline`` and ``faulted`` are the boards' merged counter snapshots
+    (:meth:`MemoriesBoard.statistics`); with a zero-rate plan they compare
+    equal key-for-key.
+    """
+
+    plan: FaultPlan
+    records: int
+    baseline: Dict[str, int]
+    faulted: Dict[str, int]
+    baseline_miss_ratio: float
+    faulted_miss_ratio: float
+    fault_counts: Dict[str, int] = field(default_factory=dict)
+    events: List[FaultEvent] = field(default_factory=list)
+
+    @property
+    def miss_ratio_error(self) -> float:
+        """Absolute miss-ratio deviation the faults caused."""
+        return abs(self.faulted_miss_ratio - self.baseline_miss_ratio)
+
+    @property
+    def identical(self) -> bool:
+        """True when the faulted run matched the baseline byte-for-byte."""
+        return json.dumps(self.baseline, sort_keys=True) == json.dumps(
+            self.faulted, sort_keys=True
+        )
+
+    def summary(self) -> str:
+        """One-line human-readable outcome."""
+        faults = sum(self.fault_counts.values())
+        return (
+            f"{self.records:,} records, {faults} faults "
+            f"({', '.join(f'{k}={v}' for k, v in sorted(self.fault_counts.items())) or 'none'}); "
+            f"miss ratio {self.baseline_miss_ratio:.4f} -> "
+            f"{self.faulted_miss_ratio:.4f} "
+            f"(error {self.miss_ratio_error:.4f})"
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form for reports and the CLI."""
+        return {
+            "plan": self.plan.to_dict(),
+            "records": self.records,
+            "baseline_miss_ratio": self.baseline_miss_ratio,
+            "faulted_miss_ratio": self.faulted_miss_ratio,
+            "miss_ratio_error": self.miss_ratio_error,
+            "identical": self.identical,
+            "fault_counts": dict(self.fault_counts),
+            "events": [event.as_dict() for event in self.events],
+            "baseline": dict(self.baseline),
+            "faulted": dict(self.faulted),
+        }
+
+
+class FaultCampaign:
+    """Run seeded fault plans against one target-machine programming.
+
+    Args:
+        machine: the board programming both replays use.
+        seed: replacement-policy seed (distinct from each plan's fault seed).
+        ecc: build ECC-protected directories with patrol scrubbers — the
+            recovery arm.  Pass False to measure the unprotected board.
+        scrub_interval: scrubber cadence override in bus cycles.
+        assumed_utilization: board clock model parameter.
+    """
+
+    def __init__(
+        self,
+        machine: TargetMachine,
+        seed: int = 0,
+        ecc: bool = True,
+        scrub_interval: Optional[float] = None,
+        assumed_utilization: float = DEFAULT_ASSUMED_UTILIZATION,
+    ) -> None:
+        self.machine = machine
+        self.seed = seed
+        self.ecc = ecc
+        self.scrub_interval = scrub_interval
+        self.assumed_utilization = assumed_utilization
+
+    def build_board(self) -> MemoriesBoard:
+        """A fresh identically-programmed board."""
+        return board_for_machine(
+            self.machine,
+            seed=self.seed,
+            assumed_utilization=self.assumed_utilization,
+            ecc=self.ecc,
+            scrub_interval=self.scrub_interval,
+        )
+
+    def run(
+        self,
+        words: np.ndarray,
+        plan: FaultPlan,
+        baseline: Optional[Dict[str, int]] = None,
+        baseline_miss_ratio: Optional[float] = None,
+    ) -> CampaignResult:
+        """Replay ``words`` bare and under ``plan``; compare the outcomes.
+
+        ``baseline`` / ``baseline_miss_ratio`` let sweeps reuse one
+        fault-free replay instead of recomputing it per plan.
+        """
+        if baseline is None:
+            board = self.build_board()
+            board.replay_words(words)
+            baseline = board.statistics()
+            baseline_miss_ratio = _aggregate_miss_ratio(board)
+        faulted_board = self.build_board()
+        injector = FaultInjector(faulted_board, plan)
+        injector.replay_words(words)
+        return CampaignResult(
+            plan=plan,
+            records=int(words.shape[0]),
+            baseline=baseline,
+            faulted=faulted_board.statistics(),
+            baseline_miss_ratio=float(baseline_miss_ratio or 0.0),
+            faulted_miss_ratio=_aggregate_miss_ratio(faulted_board),
+            fault_counts=injector.fault_counts(),
+            events=list(injector.events),
+        )
+
+    def sweep(
+        self, words: np.ndarray, plans: Sequence[FaultPlan]
+    ) -> List[CampaignResult]:
+        """Run several plans against one shared fault-free baseline."""
+        board = self.build_board()
+        board.replay_words(words)
+        baseline = board.statistics()
+        baseline_miss_ratio = _aggregate_miss_ratio(board)
+        return [
+            self.run(
+                words,
+                plan,
+                baseline=baseline,
+                baseline_miss_ratio=baseline_miss_ratio,
+            )
+            for plan in plans
+        ]
+
+
+def run_campaign(
+    words: np.ndarray,
+    machine: TargetMachine,
+    plan: FaultPlan,
+    seed: int = 0,
+    ecc: bool = True,
+    scrub_interval: Optional[float] = None,
+) -> CampaignResult:
+    """One-shot convenience wrapper around :class:`FaultCampaign`."""
+    campaign = FaultCampaign(
+        machine, seed=seed, ecc=ecc, scrub_interval=scrub_interval
+    )
+    return campaign.run(words, plan)

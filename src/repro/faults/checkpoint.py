@@ -1,0 +1,65 @@
+"""Board checkpoint files.
+
+Long campaigns (the paper's multi-day monitoring runs) need to survive
+console restarts.  :func:`save_checkpoint` serialises a board's complete
+mutable state — directories (with ECC check bits), counter banks,
+transaction buffers, SDRAM timing state, scrubber position, replacement
+RNG and the board clock — as JSON; :func:`restore_checkpoint` loads it
+into an identically-programmed board, after which continued emulation
+produces statistics identical to an uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.common.errors import TraceFormatError
+from repro.memories.board import MemoriesBoard
+
+#: Format tag of checkpoint files.
+CHECKPOINT_FORMAT = "memories-checkpoint"
+#: Current checkpoint file revision.
+CHECKPOINT_VERSION = 1
+
+
+def save_checkpoint(board: MemoriesBoard, path: Union[str, Path]) -> None:
+    """Write the board's full mutable state to ``path`` (JSON)."""
+    payload = {
+        "format": CHECKPOINT_FORMAT,
+        "version": CHECKPOINT_VERSION,
+        "state": board.checkpoint(),
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle)
+
+
+def load_checkpoint(path: Union[str, Path]) -> dict:
+    """Read and validate a checkpoint file; returns the board state dict.
+
+    Raises:
+        TraceFormatError: on unreadable JSON, a foreign file, or an
+            unsupported revision.
+    """
+    path = Path(path)
+    try:
+        with open(path) as handle:
+            payload = json.load(handle)
+    except json.JSONDecodeError as exc:
+        raise TraceFormatError(f"{path}: not a checkpoint file: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("format") != CHECKPOINT_FORMAT:
+        raise TraceFormatError(f"{path}: not a MemorIES checkpoint file")
+    if payload.get("version") != CHECKPOINT_VERSION:
+        raise TraceFormatError(
+            f"{path}: unsupported checkpoint version {payload.get('version')!r}"
+        )
+    state = payload.get("state")
+    if not isinstance(state, dict):
+        raise TraceFormatError(f"{path}: checkpoint carries no board state")
+    return state
+
+
+def restore_checkpoint(board: MemoriesBoard, path: Union[str, Path]) -> None:
+    """Load ``path`` into ``board`` (which must be identically programmed)."""
+    board.restore(load_checkpoint(path))

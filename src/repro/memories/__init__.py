@@ -14,7 +14,17 @@ Public surface:
 * :mod:`repro.memories.firmware` — the alternate firmware images of
   Section 2.3 (hot-spot profiling, trace collection, NUMA sparse directory,
   remote cache).
+* :mod:`repro.memories.ecc` — SECDED protection for the tag/state
+  directory plus the background patrol scrubber (the recovery half of
+  :mod:`repro.faults`).
 """
+
+from repro.memories.ecc import (
+    DirectoryScrubber,
+    EccTagStateDirectory,
+    secded_decode,
+    secded_encode,
+)
 
 from repro.memories.board import (
     CacheEmulationFirmware,
@@ -41,6 +51,8 @@ __all__ = [
     "CacheNodeConfig",
     "CacheOp",
     "CounterBank",
+    "DirectoryScrubber",
+    "EccTagStateDirectory",
     "LineState",
     "MemoriesBoard",
     "MemoriesConsole",
@@ -52,4 +64,6 @@ __all__ = [
     "board_for_machine",
     "load_protocol",
     "make_policy",
+    "secded_decode",
+    "secded_encode",
 ]

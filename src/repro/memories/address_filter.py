@@ -88,3 +88,30 @@ class AddressFilter:
         """Console re-initialisation."""
         self.stats = FilterStats()
         self.buffer.reset()
+
+    def state_dict(self) -> dict:
+        """Mutable state for board checkpoints."""
+        return {
+            "stats": {
+                "observed": self.stats.observed,
+                "forwarded": self.stats.forwarded,
+                "filtered_io": self.stats.filtered_io,
+                "filtered_interrupts": self.stats.filtered_interrupts,
+                "filtered_sync": self.stats.filtered_sync,
+                "filtered_retried": self.stats.filtered_retried,
+            },
+            "buffer": self.buffer.state_dict(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a checkpointed filter state."""
+        stats = state["stats"]
+        self.stats = FilterStats(
+            observed=int(stats["observed"]),
+            forwarded=int(stats["forwarded"]),
+            filtered_io=int(stats["filtered_io"]),
+            filtered_interrupts=int(stats["filtered_interrupts"]),
+            filtered_sync=int(stats["filtered_sync"]),
+            filtered_retried=int(stats["filtered_retried"]),
+        )
+        self.buffer.load_state_dict(state["buffer"])

@@ -32,7 +32,7 @@ import numpy as np
 from repro.bus.bus import ADDRESS_TENURE_CYCLES
 from repro.bus.trace import BusTrace, decode_arrays
 from repro.bus.transaction import BusCommand, BusTransaction, SnoopResponse
-from repro.common.errors import ConfigurationError
+from repro.common.errors import ConfigurationError, EmulationError
 from repro.memories.address_filter import AddressFilter
 from repro.memories.global_counter import GlobalEventsCounter
 from repro.memories.node_controller import NodeController
@@ -79,12 +79,26 @@ class CacheEmulationFirmware:
         machine: the target-machine programming (node configs, CPU
             partitioning, coherence groups).
         seed: seed for any random replacement policies.
+        ecc: protect every node's SDRAM directory with SECDED ECC and a
+            background patrol scrubber (see :mod:`repro.memories.ecc`).
+            Off by default — the unprotected directory is bit-identical to
+            the original board model.
+        scrub_interval: scrubber cadence override in bus cycles (only
+            meaningful with ``ecc``).
     """
 
-    def __init__(self, machine: TargetMachine, seed: int = 0) -> None:
+    def __init__(
+        self,
+        machine: TargetMachine,
+        seed: int = 0,
+        ecc: bool = False,
+        scrub_interval: Optional[float] = None,
+    ) -> None:
         self.machine = machine
+        self.ecc = ecc
         self.nodes: List[NodeController] = []
         rng = np.random.default_rng(seed)
+        self._rng = rng
         for index, spec in enumerate(machine.nodes):
             self.nodes.append(
                 NodeController(
@@ -93,6 +107,8 @@ class CacheEmulationFirmware:
                     cpus=spec.cpus,
                     group=spec.group,
                     rng=rng,
+                    ecc=ecc,
+                    scrub_interval=scrub_interval,
                 )
             )
         # Pre-computed routing: per group, cpu -> local controller, and each
@@ -118,6 +134,21 @@ class CacheEmulationFirmware:
         snoop_response: SnoopResponse,
         now_cycle: float,
     ) -> bool:
+        # Admission pre-check: a refusal must be side-effect free so the bus
+        # master can re-issue the tenure and have it processed exactly once.
+        # Every local controller involved is checked *before* any directory
+        # or counter state changes; only the full buffers account the
+        # rejection.  (Remote probes overflowing mid-processing are still
+        # dropped silently — they carry no data in the emulated machine.)
+        rejected = False
+        for local_by_cpu, _peers_of, _controllers in self._groups:
+            local = local_by_cpu.get(cpu_id)
+            if local is not None and not local.can_accept(now_cycle):
+                local.buffer.note_rejection()
+                rejected = True
+        if rejected:
+            return False
+
         accepted = True
         for local_by_cpu, peers_of, controllers in self._groups:
             local = local_by_cpu.get(cpu_id)
@@ -151,11 +182,53 @@ class CacheEmulationFirmware:
         merged: dict = {}
         for node in self.nodes:
             merged.update(node.counters.snapshot())
+            merged.update(node.resilience.snapshot())
+            merged.update(node.buffer_snapshot())
         return merged
+
+    def tick(self, now_cycle: float) -> None:
+        """Advance background machinery (ECC patrol scrubbers)."""
+        for node in self.nodes:
+            node.tick(now_cycle)
+
+    def resync_address(self, address: int, now_cycle: float) -> int:
+        """Recover from a lost snoop: conservatively resync every node.
+
+        Returns how many nodes dropped a (suspect) copy of the line.
+        """
+        dropped = 0
+        for node in self.nodes:
+            if node.resync_address(address, now_cycle):
+                dropped += 1
+        return dropped
 
     def reset(self) -> None:
         for node in self.nodes:
             node.reset()
+
+    def state_dict(self) -> dict:
+        """Mutable firmware state for board checkpoints."""
+        return {
+            "rng": self._rng.bit_generator.state,
+            "nodes": [node.state_dict() for node in self.nodes],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a checkpointed firmware state.
+
+        Raises:
+            EmulationError: when the checkpoint's node count does not match
+                this firmware's programming.
+        """
+        nodes = state["nodes"]
+        if len(nodes) != len(self.nodes):
+            raise EmulationError(
+                f"checkpoint has {len(nodes)} nodes; firmware has "
+                f"{len(self.nodes)}"
+            )
+        self._rng.bit_generator.state = state["rng"]
+        for node, node_state in zip(self.nodes, nodes):
+            node.load_state_dict(node_state)
 
 
 class MemoriesBoard:
@@ -191,6 +264,10 @@ class MemoriesBoard:
         self.cycles_per_tenure = ADDRESS_TENURE_CYCLES / assumed_utilization
         self.now_cycle = 0.0
         self.retries_posted = 0
+        self.snoop_losses = 0
+        # Background-machinery hook (the ECC patrol scrubber); optional so
+        # alternate firmware images need not implement it.
+        self._firmware_tick = getattr(firmware, "tick", None)
 
     # ------------------------------------------------------------------ #
     # Live operation (bus monitor protocol)
@@ -211,6 +288,8 @@ class MemoriesBoard:
     ) -> SnoopResponse:
         self.now_cycle += self.cycles_per_tenure
         now = self.now_cycle
+        if self._firmware_tick is not None:
+            self._firmware_tick(now)
         if not self.address_filter.admit(command, snoop_response, now):
             return SnoopResponse.NULL
         self.global_counter.record(cpu_id, command, self.cycles_per_tenure)
@@ -254,7 +333,24 @@ class MemoriesBoard:
         merged.update(self.global_counter.snapshot())
         merged.update(self.firmware.snapshot())
         merged["board.retries_posted"] = self.retries_posted
+        merged["board.snoop_losses"] = self.snoop_losses
         return merged
+
+    def note_snoop_loss(self, address: int) -> int:
+        """Record a snooped tenure the board failed to latch.
+
+        A passive monitor that misses a bus cycle (the fault injector's
+        ``drop_snoop`` site) cannot reconstruct what the lost tenure did, so
+        the firmware conservatively invalidates any copy of the line and
+        lets the next reference refill it.  Returns how many emulated nodes
+        dropped a suspect copy; firmware images without a
+        ``resync_address`` hook simply count the loss.
+        """
+        self.snoop_losses += 1
+        resync = getattr(self.firmware, "resync_address", None)
+        if resync is None:
+            return 0
+        return int(resync(address, self.now_cycle))
 
     def reset(self) -> None:
         """Power-up initialisation: clear everything, rewind the clock."""
@@ -263,6 +359,54 @@ class MemoriesBoard:
         self.firmware.reset()
         self.now_cycle = 0.0
         self.retries_posted = 0
+        self.snoop_losses = 0
+
+    # ------------------------------------------------------------------ #
+    # Checkpoint / restore
+    # ------------------------------------------------------------------ #
+
+    def checkpoint(self) -> dict:
+        """Capture the board's complete mutable state.
+
+        The returned dict is JSON-serialisable (see
+        :mod:`repro.faults.checkpoint` for the file format) and, restored
+        into an identically-programmed board, continues the emulation with
+        statistics identical to an uninterrupted run.
+        """
+        state = {
+            "version": 1,
+            "name": self.name,
+            "now_cycle": self.now_cycle,
+            "retries_posted": self.retries_posted,
+            "snoop_losses": self.snoop_losses,
+            "address_filter": self.address_filter.state_dict(),
+            "global_counter": self.global_counter.state_dict(),
+        }
+        firmware_state = getattr(self.firmware, "state_dict", None)
+        if firmware_state is not None:
+            state["firmware"] = firmware_state()
+        return state
+
+    def restore(self, state: dict) -> None:
+        """Restore a :meth:`checkpoint` into this (identically-built) board.
+
+        Raises:
+            ConfigurationError: when the checkpoint carries firmware state
+                but the loaded firmware cannot accept it.
+        """
+        self.now_cycle = float(state["now_cycle"])
+        self.retries_posted = int(state["retries_posted"])
+        self.snoop_losses = int(state.get("snoop_losses", 0))
+        self.address_filter.load_state_dict(state["address_filter"])
+        self.global_counter.load_state_dict(state["global_counter"])
+        if "firmware" in state:
+            load = getattr(self.firmware, "load_state_dict", None)
+            if load is None:
+                raise ConfigurationError(
+                    "checkpoint contains firmware state but the loaded "
+                    "firmware image has no load_state_dict()"
+                )
+            load(state["firmware"])
 
 
 _COMMANDS = [BusCommand(i) for i in range(len(BusCommand))]
@@ -273,10 +417,14 @@ def board_for_machine(
     machine: TargetMachine,
     seed: int = 0,
     assumed_utilization: float = DEFAULT_ASSUMED_UTILIZATION,
+    ecc: bool = False,
+    scrub_interval: Optional[float] = None,
 ) -> MemoriesBoard:
     """Convenience: a board running cache-emulation firmware for ``machine``."""
     return MemoriesBoard(
-        CacheEmulationFirmware(machine, seed=seed),
+        CacheEmulationFirmware(
+            machine, seed=seed, ecc=ecc, scrub_interval=scrub_interval
+        ),
         assumed_utilization=assumed_utilization,
         name=machine.name,
     )

@@ -21,6 +21,9 @@ from repro.memories.config import CacheNodeConfig
 from repro.memories.protocol_table import LineState
 from repro.memories.replacement import ReplacementPolicy, make_policy
 
+#: Physical address width bounding the stored tag (the 50-bit trace field).
+_TAG_ADDRESS_BITS = 50
+
 
 class TagStateDirectory:
     """Set-associative tag/state array for one emulated cache.
@@ -116,6 +119,30 @@ class TagStateDirectory:
         """Number of valid lines currently in the directory."""
         return sum(len(tags) for tags in self._tags)
 
+    def ways_in_set(self, set_index: int) -> int:
+        """Number of resident lines in one set (fault injection, console)."""
+        return len(self._tags[set_index])
+
+    @property
+    def stored_bits(self) -> int:
+        """Flippable bits per line exposed to the fault injector.
+
+        The unprotected directory confines injected flips to the tag field
+        (a corrupted tag silently loses or aliases the line — exactly the
+        soft-error symptom ECC exists to catch — while a flipped raw state
+        would be an invalid protocol-table index and crash the emulation
+        rather than skew it).  :class:`repro.memories.ecc.EccTagStateDirectory`
+        overrides this to span the whole protected word.
+        """
+        amap = self.amap
+        return max(1, _TAG_ADDRESS_BITS - amap.offset_bits - amap.index_bits)
+
+    def inject_bit_flip(self, set_index: int, way: int, bit: int) -> None:
+        """Fault injection: flip one stored tag bit of a resident line."""
+        if bit < 0 or bit >= self.stored_bits:
+            raise EmulationError(f"bit index {bit} outside the stored tag")
+        self._tags[set_index][way] ^= 1 << bit
+
     def occupancy(self) -> float:
         """Fraction of line frames in use."""
         return self.resident_lines() / self.config.num_lines
@@ -150,3 +177,38 @@ class TagStateDirectory:
         for states in self._states:
             states.clear()
         self._meta = [self.policy.make_meta()] * self.config.num_sets
+
+    # ------------------------------------------------------------------ #
+    # Checkpoint support
+    # ------------------------------------------------------------------ #
+
+    def state_dict(self) -> dict:
+        """Full mutable contents (tags, states, replacement metadata).
+
+        For an ECC-protected subclass the stored state integers already
+        carry the packed check bits, so this captures them for free.
+        """
+        return {
+            "tags": [list(tags) for tags in self._tags],
+            "states": [list(states) for states in self._states],
+            "meta": list(self._meta),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore checkpointed contents into a same-geometry directory.
+
+        Raises:
+            EmulationError: when the checkpoint's set count does not match
+                this directory's geometry.
+        """
+        tags = state["tags"]
+        states = state["states"]
+        meta = state["meta"]
+        if len(tags) != self.config.num_sets or len(states) != len(tags):
+            raise EmulationError(
+                f"checkpoint has {len(tags)} sets; directory has "
+                f"{self.config.num_sets}"
+            )
+        self._tags = [[int(t) for t in row] for row in tags]
+        self._states = [[int(s) for s in row] for row in states]
+        self._meta = [int(m) for m in meta]

@@ -51,6 +51,8 @@ class MemoriesConsole:
         assumed_utilization: float = DEFAULT_ASSUMED_UTILIZATION,
         enforce_envelope: bool = True,
         force: bool = False,
+        ecc: bool = False,
+        scrub_interval: Optional[float] = None,
     ) -> MemoriesBoard:
         """Initialise a board with cache-emulation firmware for ``machine``.
 
@@ -64,6 +66,9 @@ class MemoriesConsole:
         :mod:`repro.verify` model checker; a machine referencing a table
         that fails verification is refused unless ``force=True`` (the
         real board would run it — straight into silent state corruption).
+
+        ``ecc=True`` builds SECDED-protected tag/state directories with a
+        background patrol scrubber (cadence ``scrub_interval`` bus cycles).
         """
         for spec in machine.nodes:
             if enforce_envelope:
@@ -72,7 +77,9 @@ class MemoriesConsole:
                 spec.config.validate_geometry()
         if not force:
             self._refuse_unverified(machine)
-        firmware = CacheEmulationFirmware(machine, seed=seed)
+        firmware = CacheEmulationFirmware(
+            machine, seed=seed, ecc=ecc, scrub_interval=scrub_interval
+        )
         self.board = MemoriesBoard(
             firmware,
             assumed_utilization=assumed_utilization,
@@ -157,6 +164,47 @@ class MemoriesConsole:
                     wrapped.append(f"{bank.prefix}.{name}")
         return wrapped
 
+    def resilience_report(self) -> str:
+        """Recovery-machinery health: retries, snoop losses, buffers, ECC.
+
+        One screen an operator reads after (or during) a long monitoring
+        run to decide whether the collected statistics can be trusted:
+        how often the bus had to re-issue retried tenures, whether the
+        passive monitor ever missed a snoop, how close the transaction
+        buffers came to overflowing, and what the directory ECC saw.
+        """
+        board = self._require_board()
+        lines = [f"=== resilience: board {board.name!r} ==="]
+        lines.append(f"retries posted            {board.retries_posted}")
+        lines.append(f"snoop losses              {board.snoop_losses}")
+        firmware = board.firmware
+        for node in getattr(firmware, "nodes", []):
+            buf = node.buffer
+            lines.append(
+                f"node {node.index}: buffer high-water {buf.stats.high_water}"
+                f"/{buf.capacity}, rejected {buf.stats.rejected}"
+            )
+            if node.ecc:
+                scrubber = node.scrubber
+                cadence = (
+                    f"scrub every {scrubber.interval_cycles:.0f} cycles, full pass "
+                    f"{scrubber.full_pass_cycles():.0f} cycles, "
+                    f"{node.directory.ecc_stats.scrub_passes} passes done"
+                    if scrubber is not None
+                    else "no scrubber"
+                )
+                lines.append(f"node {node.index}: ECC on ({cadence})")
+            else:
+                lines.append(f"node {node.index}: ECC off")
+            for name, value in sorted(node.resilience.snapshot().items()):
+                lines.append(f"  {name:38s} {value}")
+        wrapped = []
+        if isinstance(firmware, CacheEmulationFirmware):
+            wrapped = self.wrapped_counters()
+        if wrapped:
+            lines.append("WRAPPED counters: " + ", ".join(wrapped))
+        return "\n".join(lines)
+
     def self_test(self) -> "SelfTestResult":
         """Run the power-on diagnostic (resets the board's statistics)."""
         from repro.memories.selftest import run_self_test
@@ -176,11 +224,13 @@ class MemoriesConsole:
 
         Supported commands: ``stats``, ``report``, ``reset``, ``describe``,
         ``log``, ``self-test``, ``protocol <node>``, ``overflows``,
-        ``verify``.
+        ``verify``, ``faults``.
         """
         command = command_line.strip().lower()
         if command == "self-test":
             return self.self_test().render()
+        if command == "faults":
+            return self.resilience_report()
         if command == "verify":
             from repro.verify.machine import check_machine
 

@@ -73,6 +73,14 @@ class CounterBank:
         for name in sorted(self._counts):
             yield name, self._counts[name] & COUNTER_MASK
 
+    def state_dict(self) -> Dict[str, int]:
+        """Raw (un-wrapped) counter values for board checkpoints."""
+        return dict(self._counts)
+
+    def load_state_dict(self, state: Dict[str, int]) -> None:
+        """Restore checkpointed counters, replacing current contents."""
+        self._counts = {str(name): int(value) for name, value in state.items()}
+
     def snapshot(self, qualified: bool = True) -> Dict[str, int]:
         """Dict of wrapped values; with ``qualified`` names get the prefix."""
         if qualified and self.prefix:

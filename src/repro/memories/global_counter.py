@@ -51,3 +51,11 @@ class GlobalEventsCounter:
     def reset(self) -> None:
         """Console re-initialisation."""
         self.counters.reset()
+
+    def state_dict(self) -> dict:
+        """Mutable state for board checkpoints."""
+        return {"counters": self.counters.state_dict()}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a checkpointed counter state."""
+        self.counters.load_state_dict(state["counters"])

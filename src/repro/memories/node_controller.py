@@ -64,6 +64,8 @@ class NodeController:
         rng: Optional[np.random.Generator] = None,
         buffer: Optional[TransactionBuffer] = None,
         sdram: Optional["SdramModel"] = None,
+        ecc: bool = False,
+        scrub_interval: Optional[float] = None,
     ) -> None:
         self.index = index
         self.config = config
@@ -73,7 +75,28 @@ class NodeController:
             config.protocol
         )
         policy = make_policy(config.replacement, config.assoc, rng)
-        self.directory = TagStateDirectory(config, policy)
+        self.ecc = ecc
+        self.scrubber = None
+        self.resilience = CounterBank(prefix=f"node{index}.resilience")
+        if ecc:
+            from repro.memories.ecc import (
+                DEFAULT_SCRUB_INTERVAL,
+                DirectoryScrubber,
+                EccTagStateDirectory,
+            )
+
+            self.directory = EccTagStateDirectory(config, policy)
+            self.scrubber = DirectoryScrubber(
+                self.directory,
+                counters=self.resilience,
+                interval_cycles=(
+                    DEFAULT_SCRUB_INTERVAL
+                    if scrub_interval is None
+                    else scrub_interval
+                ),
+            )
+        else:
+            self.directory = TagStateDirectory(config, policy)
         self.buffer = buffer if buffer is not None else TransactionBuffer()
         self.sdram = sdram
         self.counters = CounterBank(prefix=f"node{index}")
@@ -112,6 +135,8 @@ class NodeController:
         counters = self.counters
         directory = self.directory
         set_index, tag, way = directory.probe(address)
+        if way >= 0 and self.ecc:
+            way = self._verify_probed(address, set_index, way)
 
         if command is BusCommand.READ:
             counters.increment("local.read")
@@ -194,6 +219,51 @@ class NodeController:
             self._attribute_satisfaction(snoop_response, hit=False)
         return True
 
+    def _verify_probed(self, address: int, set_index: int, way: int) -> int:
+        """ECC demand-check of a probed line; returns the post-repair way.
+
+        Real SECDED SDRAM verifies every word it reads.  A corrected flip
+        may change the line's tag back (so the probed hit was false), and
+        an uncorrectable word drops the line — both cases re-probe so the
+        caller always operates on a verified view.
+        """
+        from repro.memories.ecc import EccOutcome
+
+        outcome = self.directory.verify_line(set_index, way, self.resilience)
+        if outcome is EccOutcome.CLEAN:
+            return way
+        _set_index, _tag, way = self.directory.probe(address)
+        return way
+
+    def can_accept(self, now_cycle: float) -> bool:
+        """Whether this controller could admit one more operation now."""
+        return self.buffer.can_accept(now_cycle)
+
+    def tick(self, now_cycle: float) -> None:
+        """Advance background machinery (the ECC patrol scrubber)."""
+        if self.scrubber is not None:
+            self.scrubber.tick(now_cycle)
+
+    def resync_address(self, address: int, now_cycle: float) -> bool:
+        """Conservatively resynchronise after a missed (lost) bus tenure.
+
+        A passive monitor that skipped a cycle cannot know what the lost
+        tenure did to this line, so the only safe repair is to invalidate
+        any copy and let the next reference refill it — over-counting
+        misses slightly rather than silently diverging from the host.
+        Returns True when a line was dropped.
+        """
+        self.resilience.increment("resync.checked")
+        directory = self.directory
+        set_index, _tag, way = directory.probe(address)
+        if way >= 0 and self.ecc:
+            way = self._verify_probed(address, set_index, way)
+        if way < 0:
+            return False
+        directory.invalidate(set_index, way)
+        self.resilience.increment("resync.invalidated")
+        return True
+
     def _attribute_satisfaction(
         self, snoop_response: SnoopResponse, hit: bool
     ) -> None:
@@ -234,6 +304,8 @@ class NodeController:
 
         directory = self.directory
         set_index, _tag, way = directory.probe(address)
+        if way >= 0 and self.ecc:
+            way = self._verify_probed(address, set_index, way)
         if way < 0:
             return False, False
         state = LineState(directory.state_at(set_index, way))
@@ -283,11 +355,58 @@ class NodeController:
             return {name: 0.0 for name in categories}
         return {name: value / total for name, value in categories.items()}
 
+    def buffer_snapshot(self) -> dict:
+        """Per-node transaction-buffer observables for board statistics.
+
+        Surfacing ``high_water`` and ``rejected`` is what lets an operator
+        tell *why* the board posted retries (Section 3.3's overflow case)
+        instead of discovering it post-hoc from skewed miss ratios.
+        """
+        stats = self.buffer.stats
+        prefix = f"node{self.index}.buffer"
+        return {
+            f"{prefix}.accepted": stats.accepted,
+            f"{prefix}.rejected": stats.rejected,
+            f"{prefix}.high_water": stats.high_water,
+        }
+
     def reset(self) -> None:
         """Console re-initialisation: clear directory, buffer and counters."""
         self.directory.clear()
         self.buffer.reset()
         self.counters.reset()
+        self.resilience.reset()
+        if self.scrubber is not None:
+            self.scrubber.reset()
+
+    # ------------------------------------------------------------------ #
+    # Checkpoint support
+    # ------------------------------------------------------------------ #
+
+    def state_dict(self) -> dict:
+        """Mutable controller state for board checkpoints."""
+        state = {
+            "directory": self.directory.state_dict(),
+            "buffer": self.buffer.state_dict(),
+            "counters": self.counters.state_dict(),
+            "resilience": self.resilience.state_dict(),
+        }
+        if self.sdram is not None:
+            state["sdram"] = self.sdram.state_dict()
+        if self.scrubber is not None:
+            state["scrubber"] = self.scrubber.state_dict()
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a checkpointed controller state."""
+        self.directory.load_state_dict(state["directory"])
+        self.buffer.load_state_dict(state["buffer"])
+        self.counters.load_state_dict(state["counters"])
+        self.resilience.load_state_dict(state.get("resilience", {}))
+        if self.sdram is not None and "sdram" in state:
+            self.sdram.load_state_dict(state["sdram"])
+        if self.scrubber is not None and "scrubber" in state:
+            self.scrubber.load_state_dict(state["scrubber"])
 
 
 _OP_KIND = {

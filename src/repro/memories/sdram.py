@@ -126,6 +126,31 @@ class SdramModel:
         self._open_rows = [-1] * self.n_banks
         self._next_refresh = self.refresh_interval
 
+    def state_dict(self) -> dict:
+        """Mutable state (open rows, refresh clock, stats) for checkpoints."""
+        return {
+            "open_rows": list(self._open_rows),
+            "next_refresh": self._next_refresh,
+            "stats": {
+                "accesses": self.stats.accesses,
+                "row_hits": self.stats.row_hits,
+                "row_misses": self.stats.row_misses,
+                "refreshes": self.stats.refreshes,
+            },
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a checkpointed SDRAM timing state."""
+        self._open_rows = [int(r) for r in state["open_rows"]]
+        self._next_refresh = float(state["next_refresh"])
+        stats = state["stats"]
+        self.stats = SdramStats(
+            accesses=int(stats["accesses"]),
+            row_hits=int(stats["row_hits"]),
+            row_misses=int(stats["row_misses"]),
+            refreshes=int(stats["refreshes"]),
+        )
+
 
 def calibration_error(model: SdramModel) -> float:
     """How far the model's observed mean sits from the paper's constant.

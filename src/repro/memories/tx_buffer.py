@@ -54,6 +54,8 @@ class BufferStats:
     accepted: int = 0
     rejected: int = 0
     high_water: int = 0
+    #: Synthetic operations enqueued by the fault injector (not real work).
+    injected: int = 0
 
     @property
     def ever_rejected(self) -> bool:
@@ -92,6 +94,43 @@ class TransactionBuffer:
         """Operations still in flight at ``now_cycle``."""
         self._drain(now_cycle)
         return len(self._finish_times)
+
+    def can_accept(self, now_cycle: float) -> bool:
+        """True when :meth:`offer` would succeed at ``now_cycle``.
+
+        Side-effect free (beyond draining completed operations, which
+        :meth:`offer` would do anyway): the firmware uses this to pre-check
+        admission across every involved buffer so a refused tenure leaves
+        no partial state behind and can be cleanly retried by the bus
+        master.
+        """
+        self._drain(now_cycle)
+        return len(self._finish_times) < self.capacity
+
+    def note_rejection(self) -> None:
+        """Account one refused admission decided by an external pre-check."""
+        self.stats.rejected += 1
+
+    def inject_occupancy(self, now_cycle: float, ops: int) -> int:
+        """Fault injection: enqueue synthetic operations to crowd the queue.
+
+        Models a burst of directory traffic arriving faster than the SDRAM
+        drains — the condition that forces the address filter to post bus
+        retries.  Synthetic operations are tracked separately from real
+        ones (``stats.injected``) so emulation counters stay honest.
+        Returns how many were enqueued (capped at the free capacity).
+        """
+        self._drain(now_cycle)
+        room = self.capacity - len(self._finish_times)
+        injected = min(max(ops, 0), room)
+        start = now_cycle if now_cycle > self._last_finish else self._last_finish
+        for _ in range(injected):
+            start += self.service_cycles
+            self._finish_times.append(start)
+        if injected:
+            self._last_finish = start
+            self.stats.injected += injected
+        return injected
 
     def _drain(self, now_cycle: float) -> None:
         finish_times = self._finish_times
@@ -132,3 +171,32 @@ class TransactionBuffer:
         self._finish_times.clear()
         self._last_finish = 0.0
         self.stats = BufferStats()
+
+    # ------------------------------------------------------------------ #
+    # Checkpoint support
+    # ------------------------------------------------------------------ #
+
+    def state_dict(self) -> dict:
+        """Mutable state for board checkpoints (configuration excluded)."""
+        return {
+            "finish_times": list(self._finish_times),
+            "last_finish": self._last_finish,
+            "stats": {
+                "accepted": self.stats.accepted,
+                "rejected": self.stats.rejected,
+                "high_water": self.stats.high_water,
+                "injected": self.stats.injected,
+            },
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a checkpointed buffer state."""
+        self._finish_times = deque(float(t) for t in state["finish_times"])
+        self._last_finish = float(state["last_finish"])
+        stats = state["stats"]
+        self.stats = BufferStats(
+            accepted=int(stats["accepted"]),
+            rejected=int(stats["rejected"]),
+            high_water=int(stats["high_water"]),
+            injected=int(stats.get("injected", 0)),
+        )

@@ -22,6 +22,12 @@ can be checked against the hardware envelope and the planned run:
 ``protocol``
     Every referenced protocol table passes the full
     :mod:`repro.verify.protocol` model checker.
+``ecc``
+    The directory patrol scrubber, at its default cadence, completes a
+    full sweep of every node's tag/state directory fast enough that a
+    single-bit soft error is unlikely to meet a second flip in the same
+    word before being corrected; very large directories draw a warning
+    telling the operator to raise the scrub rate.
 ``mapping``
     Soft conventions: host CPU 0 should be mapped somewhere (the
     self-test and warm-up traffic originate there), and a coherence group
@@ -50,6 +56,12 @@ DIRECTORY_WARN_FRACTION = 0.9
 
 #: Default planned run length checked against counter wrap (hours).
 DEFAULT_RUN_HOURS = 24.0
+
+#: A full ECC patrol pass slower than this (in hours of bus time) draws a
+#: warning: the longer a line sits unvisited, the better the odds a second
+#: soft error lands in the same word and turns a correctable flip into an
+#: uncorrectable one.
+SCRUB_PASS_WARN_HOURS = 1.0
 
 _SECONDS_PER_HOUR = 3600.0
 
@@ -90,6 +102,7 @@ def check_machine(
     _check_envelope(machine, report)
     _check_counters(machine, report, run_hours, bus_hz, utilization)
     _check_protocols(machine, report)
+    _check_scrub(machine, report, bus_hz)
     _check_mapping(machine, report)
     return report
 
@@ -171,6 +184,42 @@ def _check_protocols(machine: TargetMachine, report: Report) -> None:
         sub_report = checked[name]
         if sub_report is not None and not sub_report.ok:
             report.merge(sub_report, location_prefix=f"node {index}")
+
+
+def _check_scrub(machine: TargetMachine, report: Report, bus_hz: int) -> None:
+    """The ECC/scrub envelope: how long a line can sit unverified."""
+    from repro.memories.ecc import DEFAULT_SCRUB_INTERVAL, DEFAULT_SETS_PER_PASS
+
+    report.ran("ecc")
+    if bus_hz <= 0:
+        report.error("ecc", f"cannot analyse scrub cadence for bus_hz={bus_hz}")
+        return
+    worst_hours = 0.0
+    worst_index = 0
+    for index, spec in enumerate(machine.nodes):
+        num_sets = spec.config.num_sets
+        passes = (num_sets + DEFAULT_SETS_PER_PASS - 1) // DEFAULT_SETS_PER_PASS
+        hours = passes * DEFAULT_SCRUB_INTERVAL / bus_hz / _SECONDS_PER_HOUR
+        if hours > worst_hours:
+            worst_hours, worst_index = hours, index
+        if hours > SCRUB_PASS_WARN_HOURS:
+            report.warning(
+                "ecc",
+                f"a full directory scrub pass takes {hours:.2f} h of bus "
+                f"time at the default cadence ({num_sets:,} sets, "
+                f"{DEFAULT_SETS_PER_PASS}/pass every "
+                f"{DEFAULT_SCRUB_INTERVAL:.0f} cycles); shorten the scrub "
+                f"interval so corrected flips cannot pair up into "
+                f"uncorrectable ones",
+                location=f"node {index}",
+            )
+    if worst_hours <= SCRUB_PASS_WARN_HOURS:
+        report.info(
+            "ecc",
+            f"slowest full scrub pass is {worst_hours * _SECONDS_PER_HOUR:.1f} s "
+            f"of bus time (node {worst_index}); every line is re-verified "
+            f"well inside the {SCRUB_PASS_WARN_HOURS:.0f} h budget",
+        )
 
 
 def _check_mapping(machine: TargetMachine, report: Report) -> None:

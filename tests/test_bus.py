@@ -72,6 +72,74 @@ class TestIssue:
         assert recorder.seen == []
 
 
+class FlakyMonitor:
+    """Posts RETRY for the first ``n`` observations, then NULL."""
+
+    def __init__(self, n):
+        self.remaining = n
+        self.seen = []
+
+    def observe(self, txn):
+        self.seen.append(txn)
+        if self.remaining > 0:
+            self.remaining -= 1
+            return SnoopResponse.RETRY
+        return SnoopResponse.NULL
+
+
+class TestRetryReissue:
+    def test_reissue_succeeds_once_buffers_drain(self):
+        bus = SystemBus()
+        monitor = FlakyMonitor(2)
+        bus.attach_monitor(monitor)
+        completed = bus.issue(read())
+        assert completed.snoop_response is SnoopResponse.NULL
+        assert bus.stats.retries == 1  # one logical retried tenure
+        assert bus.stats.retry_reissues == 2
+        assert bus.stats.retries_abandoned == 0
+        assert len(monitor.seen) == 3
+        assert bus.stats.tenures == 1  # re-issues are not new tenures
+
+    def test_abandoned_at_retry_budget(self):
+        bus = SystemBus(max_retries=3)
+        bus.attach_monitor(Recorder(response=SnoopResponse.RETRY))
+        completed = bus.issue(read())
+        assert completed.snoop_response is SnoopResponse.RETRY
+        assert bus.stats.retry_reissues == 3
+        assert bus.stats.retries_abandoned == 1
+
+    def test_zero_budget_disables_reissue(self):
+        bus = SystemBus(max_retries=0)
+        monitor = FlakyMonitor(1)
+        bus.attach_monitor(monitor)
+        completed = bus.issue(read())
+        assert completed.snoop_response is SnoopResponse.RETRY
+        assert bus.stats.retry_reissues == 0
+        assert bus.stats.retries_abandoned == 1
+        assert len(monitor.seen) == 1
+
+    def test_backoff_and_reissues_folded_into_cycle_accounting(self):
+        bus = SystemBus(idle_cycles_per_tenure=8, retry_backoff_cycles=4)
+        bus.attach_monitor(FlakyMonitor(3))
+        bus.issue(read())
+        per_tenure = ADDRESS_TENURE_CYCLES + 8
+        # Original attempt + 3 re-issues, with exponential backoff 4, 8, 16.
+        assert bus.stats.total_cycles == 4 * per_tenure + (4 + 8 + 16)
+        assert bus.stats.busy_cycles == 4 * ADDRESS_TENURE_CYCLES
+
+    def test_backoff_growth_is_capped(self):
+        from repro.bus.bus import _MAX_BACKOFF_CYCLES
+
+        bus = SystemBus(idle_cycles_per_tenure=0, max_retries=12,
+                        retry_backoff_cycles=4)
+        bus.attach_monitor(Recorder(response=SnoopResponse.RETRY))
+        bus.issue(read())
+        backoffs = bus.stats.total_cycles - 13 * ADDRESS_TENURE_CYCLES
+        uncapped = sum(min(4 * 2 ** i, _MAX_BACKOFF_CYCLES) for i in range(12))
+        assert backoffs == uncapped
+        assert max(4 * 2 ** i for i in range(12)) > _MAX_BACKOFF_CYCLES
+
+
 class TestStats:
     def test_per_command_counts(self):
         bus = SystemBus()

@@ -6,6 +6,10 @@ from hypothesis import given, strategies as st
 
 from repro.bus.trace import (
     ADDRESS_BITS,
+    FILE_VERSION,
+    FILE_VERSION_COMPRESSED,
+    FILE_VERSION_COMPRESSED_CRC,
+    FILE_VERSION_CRC,
     BusTrace,
     TraceReader,
     TraceWriter,
@@ -221,3 +225,102 @@ class TestCompressedFormat:
         path, _ = self.make_file(tmp_path, compress=True)
         with pytest.raises(TraceFormatError, match="compressed"):
             list(TraceReader(path).iter_chunks())
+
+
+class TestCrcFormat:
+    """The v3/v4 CRC32 trailer: corruption raises instead of skewing stats."""
+
+    def make_file(self, tmp_path, compress=False, crc=True, n=500):
+        writer = TraceWriter(capacity=n)
+        words = encode_arrays(
+            np.arange(n, dtype=np.uint64) % np.uint64(8),
+            np.zeros(n, dtype=np.uint64),
+            np.arange(n, dtype=np.uint64) * np.uint64(128),
+        )
+        writer.extend_words(words)
+        path = tmp_path / "trace.mies"
+        writer.save(path, compress=compress, crc=crc)
+        return path, words
+
+    def file_version(self, path):
+        import struct
+
+        return struct.unpack("<4sHHQ", path.read_bytes()[:16])[1]
+
+    @pytest.mark.parametrize("compress", [False, True])
+    def test_default_save_emits_crc_version(self, tmp_path, compress):
+        path, _ = self.make_file(tmp_path, compress=compress)
+        expected = FILE_VERSION_COMPRESSED_CRC if compress else FILE_VERSION_CRC
+        assert self.file_version(path) == expected
+
+    @pytest.mark.parametrize("compress", [False, True])
+    def test_crc_roundtrip(self, tmp_path, compress):
+        path, words = self.make_file(tmp_path, compress=compress)
+        assert (TraceReader(path).load().words == words).all()
+
+    @pytest.mark.parametrize("compress", [False, True])
+    def test_legacy_versions_still_load(self, tmp_path, compress):
+        path, words = self.make_file(tmp_path, compress=compress, crc=False)
+        expected = FILE_VERSION_COMPRESSED if compress else FILE_VERSION
+        assert self.file_version(path) == expected
+        assert (TraceReader(path).load().words == words).all()
+
+    @pytest.mark.parametrize("compress", [False, True])
+    def test_payload_bit_flip_rejected(self, tmp_path, compress):
+        path, _ = self.make_file(tmp_path, compress=compress)
+        data = bytearray(path.read_bytes())
+        data[16 + 5] ^= 0x10  # inside the payload, past the header
+        path.write_bytes(bytes(data))
+        with pytest.raises(TraceFormatError):
+            TraceReader(path).load()
+
+    def test_trailer_bit_flip_rejected(self, tmp_path):
+        path, _ = self.make_file(tmp_path)
+        data = bytearray(path.read_bytes())
+        data[-1] ^= 0x01
+        path.write_bytes(bytes(data))
+        with pytest.raises(TraceFormatError, match="CRC mismatch"):
+            TraceReader(path).load()
+
+    def test_truncated_trailer_rejected(self, tmp_path):
+        path, _ = self.make_file(tmp_path, n=1)
+        data = path.read_bytes()
+        path.write_bytes(data[: 16 + 2])  # header + 2 bytes of payload
+        with pytest.raises(TraceFormatError):
+            TraceReader(path).load()
+
+    def test_short_record_payload_rejected_without_crc(self, tmp_path):
+        path, _ = self.make_file(tmp_path, crc=False)
+        data = path.read_bytes()
+        path.write_bytes(data[:-8])
+        with pytest.raises(TraceFormatError, match="truncated"):
+            TraceReader(path).load()
+
+    def test_seeded_corruption_never_yields_different_data(self, tmp_path):
+        """Any flip or truncation either raises or decodes identically.
+
+        (A flip in the header's reserved field is invisible — the contract
+        is that corruption can never silently *change* the replayed data.)
+        """
+        from repro.faults import corrupt_trace_bytes
+
+        path, words = self.make_file(tmp_path)
+        pristine = path.read_bytes()
+        rng = np.random.default_rng(7)
+        for mode in ("flip", "truncate") * 20:
+            path.write_bytes(corrupt_trace_bytes(pristine, rng, mode=mode))
+            try:
+                loaded = TraceReader(path).load()
+            except TraceFormatError:
+                continue
+            assert (loaded.words == words).all()
+
+    def test_iter_chunks_verifies_rolling_crc(self, tmp_path):
+        path, words = self.make_file(tmp_path)
+        chunks = list(TraceReader(path).iter_chunks(chunk_records=128))
+        assert (np.concatenate(chunks) == words).all()
+        data = bytearray(path.read_bytes())
+        data[-2] ^= 0x40
+        path.write_bytes(bytes(data))
+        with pytest.raises(TraceFormatError, match="CRC mismatch"):
+            list(TraceReader(path).iter_chunks(chunk_records=128))

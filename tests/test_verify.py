@@ -231,7 +231,7 @@ class TestMachineValidator:
         report = check_machine(self.machine())
         assert report.ok, report.render()
         assert set(report.checks_run) == {
-            "structure", "envelope", "counters", "protocol", "mapping",
+            "structure", "envelope", "counters", "protocol", "ecc", "mapping",
         }
 
     def test_directory_near_sdram_ceiling_warns(self):

@@ -1,0 +1,123 @@
+#!/usr/bin/env python
+"""CI smoke test of the fault-injection machinery (repro.faults).
+
+Three contracts are asserted, each with a seeded campaign so CI failures
+reproduce locally byte-for-byte:
+
+1. **Zero-fault identity** — with every fault rate at 0.0, the injected
+   replay must match the bare baseline replay *exactly*, key-for-key and
+   value-for-value, with ECC both off and on.  Any drift here means the
+   injection overlay or the recovery machinery perturbs healthy runs.
+2. **Reproducibility** — rerunning the same non-zero plan must commit the
+   identical fault-event sequence and land on identical statistics.
+3. **Scrub recovery** — every injected single-bit directory flip must be
+   corrected by one full patrol pass, with zero uncorrectable events.
+
+Exit status is non-zero on any violation.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.bus.trace import encode_arrays
+from repro.bus.transaction import BusCommand
+from repro.faults import FaultPlan, run_campaign
+from repro.memories.board import board_for_machine
+from repro.memories.config import CacheNodeConfig
+from repro.target.configs import split_smp_machine
+
+RECORDS = 4000
+SEED = 20000
+
+
+def _machine():
+    config = CacheNodeConfig(size=64 * 1024, assoc=4, line_size=128)
+    return split_smp_machine(config, n_cpus=4, procs_per_node=2)
+
+
+def _words() -> np.ndarray:
+    rng = np.random.default_rng(SEED)
+    cpus = rng.integers(0, 4, RECORDS).astype(np.uint64)
+    commands = rng.choice(
+        [int(BusCommand.READ), int(BusCommand.RWITM)],
+        size=RECORDS,
+        p=[0.8, 0.2],
+    ).astype(np.uint64)
+    addresses = (rng.integers(0, 1024, RECORDS) * np.uint64(128)).astype(
+        np.uint64
+    )
+    return encode_arrays(cpus, commands, addresses)
+
+
+def check(name: str, ok: bool, detail: str = "") -> bool:
+    print(f"[{'ok  ' if ok else 'FAIL'}] {name}" + (f" ({detail})" if detail and not ok else ""))
+    return ok
+
+
+def main() -> int:
+    words = _words()
+    machine = _machine()
+    ok = True
+
+    for ecc in (False, True):
+        result = run_campaign(words, machine, FaultPlan(), ecc=ecc)
+        ok &= check(
+            f"zero-fault campaign identical to baseline (ecc={ecc})",
+            result.identical and result.fault_counts == {},
+            result.summary(),
+        )
+
+    plan = FaultPlan.uniform(0.01, seed=SEED)
+    first = run_campaign(words, machine, plan)
+    second = run_campaign(words, machine, plan)
+    ok &= check(
+        "seeded plan reproduces fault sites",
+        first.events == second.events and len(first.events) > 0,
+        f"{len(first.events)} vs {len(second.events)} events",
+    )
+    ok &= check(
+        "seeded plan reproduces statistics",
+        first.faulted == second.faulted,
+    )
+
+    board = board_for_machine(machine, ecc=True)
+    board.replay_words(words)
+    rng = np.random.default_rng(SEED)
+    flips = 0
+    for node in board.firmware.nodes:
+        directory = node.directory
+        for set_index in range(directory.config.num_sets):
+            if directory.ways_in_set(set_index) == 0:
+                continue
+            directory.inject_bit_flip(
+                set_index, 0, int(rng.integers(directory.stored_bits))
+            )
+            flips += 1
+        node.scrubber.scrub_all()
+    corrected = sum(
+        node.resilience.snapshot().get(
+            f"node{node.index}.resilience.ecc.corrected", 0
+        )
+        for node in board.firmware.nodes
+    )
+    uncorrectable = sum(
+        node.resilience.snapshot().get(
+            f"node{node.index}.resilience.ecc.uncorrectable", 0
+        )
+        for node in board.firmware.nodes
+    )
+    ok &= check(
+        "scrub pass corrects every injected single-bit flip",
+        flips > 0 and corrected == flips and uncorrectable == 0,
+        f"flips={flips} corrected={corrected} uncorrectable={uncorrectable}",
+    )
+
+    print("fault smoke: " + ("PASS" if ok else "FAIL"))
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
