@@ -1,0 +1,106 @@
+"""Benchmark: replay overhead of the telemetry sampler at several cadences.
+
+The acceptance bar for observability is that a sampler pointed at the null
+sink costs under 5% replay throughput at the default cadence (one sample
+per 1024 transactions).  This benchmark replays the same seeded record
+stream bare and instrumented and records the measured overhead ratios in
+``benchmark.extra_info``.
+"""
+
+import time
+
+import numpy as np
+from conftest import run_once
+
+from repro.bus.trace import encode_arrays
+from repro.bus.transaction import BusCommand
+from repro.memories.board import board_for_machine
+from repro.memories.config import CacheNodeConfig
+from repro.target.configs import split_smp_machine
+from repro.telemetry import (
+    DEFAULT_EVERY_TRANSACTIONS,
+    NULL_SINK,
+    CounterSampler,
+    MemorySink,
+)
+
+RECORDS = 60_000
+SEED = 40000
+CADENCES = (DEFAULT_EVERY_TRANSACTIONS, 256, 64)
+
+
+def _machine():
+    config = CacheNodeConfig(size=64 * 1024, assoc=4, line_size=128)
+    return split_smp_machine(config, n_cpus=4, procs_per_node=2)
+
+
+def _words() -> np.ndarray:
+    rng = np.random.default_rng(SEED)
+    cpus = rng.integers(0, 4, RECORDS).astype(np.uint64)
+    commands = rng.choice(
+        [int(BusCommand.READ), int(BusCommand.RWITM)],
+        size=RECORDS,
+        p=[0.8, 0.2],
+    ).astype(np.uint64)
+    addresses = (rng.integers(0, 2048, RECORDS) * np.uint64(128)).astype(
+        np.uint64
+    )
+    return encode_arrays(cpus, commands, addresses)
+
+
+def _time_replay(words, machine, sampler=None) -> float:
+    board = board_for_machine(machine)
+    if sampler is not None:
+        board.attach_telemetry(sampler)
+    begin = time.perf_counter()
+    board.replay_words(words)
+    return time.perf_counter() - begin
+
+
+def test_bench_telemetry_overhead(benchmark):
+    words = _words()
+    machine = _machine()
+
+    def measure():
+        # Interleave bare/instrumented timings so drift hits both equally.
+        bare = min(_time_replay(words, machine) for _ in range(3))
+        results = {}
+        for cadence in CADENCES:
+            null_cost = min(
+                _time_replay(
+                    words,
+                    machine,
+                    CounterSampler(NULL_SINK, every_transactions=cadence),
+                )
+                for _ in range(3)
+            )
+            memory_cost = _time_replay(
+                words,
+                machine,
+                CounterSampler(MemorySink(), every_transactions=cadence),
+            )
+            results[cadence] = {
+                "null_overhead": null_cost / bare - 1.0,
+                "memory_overhead": memory_cost / bare - 1.0,
+            }
+        return bare, results
+
+    bare, results = run_once(benchmark, measure)
+    print()
+    print(f"bare replay of {RECORDS:,} records: {bare * 1e3:.1f} ms")
+    for cadence, entry in results.items():
+        print(
+            f"cadence {cadence:5d}: null sink {entry['null_overhead']:+.2%}, "
+            f"memory sink {entry['memory_overhead']:+.2%}"
+        )
+    benchmark.extra_info["records"] = RECORDS
+    benchmark.extra_info["bare_seconds"] = bare
+    for cadence, entry in results.items():
+        benchmark.extra_info[f"null_overhead_at_{cadence}"] = entry[
+            "null_overhead"
+        ]
+        benchmark.extra_info[f"memory_overhead_at_{cadence}"] = entry[
+            "memory_overhead"
+        ]
+    # The acceptance bar: <5% at the default cadence with the null sink.
+    assert results[DEFAULT_EVERY_TRANSACTIONS]["null_overhead"] < 0.05

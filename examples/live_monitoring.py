@@ -1,0 +1,93 @@
+"""Live monitoring: watch a long run's statistics converge while it runs.
+
+The paper's board is pitched at multi-day, real-time monitoring — which
+means reading the 40-bit counters out *periodically*, not once at the
+end.  This example instruments a board with the telemetry sampler
+(repro.telemetry), polls the console ``watch`` dashboard mid-run the way
+an operator would, and finishes by exporting the recorded time series as
+JSONL and as a Prometheus text-exposition page with wrap-corrected
+counter totals.
+
+Run:  python examples/live_monitoring.py
+"""
+
+from repro import (
+    CacheNodeConfig,
+    CounterSampler,
+    HostConfig,
+    HostSMP,
+    MemorySink,
+    MemoriesConsole,
+    RunTrace,
+    TelemetrySeries,
+    single_node_machine,
+)
+from repro.telemetry import series_exposition
+from repro.workloads.tpcc import TpccWorkload
+
+# Scale: everything (database, caches) divided by 1024 versus the paper.
+SCALE = 1024
+CHUNKS = 6
+REFERENCES_PER_CHUNK = 50_000
+
+
+def main() -> None:
+    # 1. Host + board, as in quickstart.
+    host = HostSMP(
+        HostConfig(n_cpus=8, l2_size=8 * 2**20 // SCALE, l2_assoc=4)
+    )
+    console = MemoriesConsole()
+    l3 = CacheNodeConfig(
+        size=64 * 2**20 // SCALE, assoc=4, line_size=128, name="64MB L3"
+    )
+    board = console.power_up(
+        single_node_machine(l3, n_cpus=8), enforce_envelope=False
+    )
+    host.plug_in(board)
+
+    # 2. Attach the sampler: one delta record per 2048 observed tenures,
+    #    kept in memory, plus a run trace timing each workload phase.
+    sink = MemorySink()
+    board.attach_telemetry(
+        CounterSampler(sink, every_transactions=2048, label=board.name),
+        RunTrace(sink, label="monitoring"),
+    )
+
+    # 3. Run the workload in slices, polling the dashboard between them —
+    #    exactly what the console's interactive `watch` command does.
+    workload = TpccWorkload(
+        db_bytes=150 * 2**30 // SCALE,
+        n_cpus=8,
+        private_bytes=8 * 2**20 // SCALE,
+    )
+    # Chunk size matches the phase length, so each watch frame sits
+    # between exactly one phase's worth of traffic.
+    chunks = workload.chunks(
+        CHUNKS * REFERENCES_PER_CHUNK, REFERENCES_PER_CHUNK
+    )
+    run_trace = board.run_trace
+    for phase, chunk in enumerate(chunks):
+        with run_trace.span("phase", index=phase):
+            host.run([chunk])
+        print(console.watch())
+        print()
+
+    # 4. Final flush, then analyse the full series offline.
+    board.telemetry.finish(board)
+    series = TelemetrySeries(sink.records)
+    print("=== final series summary ===")
+    print(series.summary())
+    ratios = series.window_series("node0.miss_ratio")
+    if ratios:
+        print(
+            f"windowed miss ratio: first {ratios[0]:.4f} -> "
+            f"last {ratios[-1]:.4f} over {len(ratios)} windows"
+        )
+    print()
+    print("=== prometheus exposition (first lines) ===")
+    for line in series_exposition(series.records).splitlines()[:8]:
+        print(line)
+
+
+if __name__ == "__main__":
+    main()

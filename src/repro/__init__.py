@@ -38,6 +38,13 @@ from repro.memories import (
     load_protocol,
 )
 from repro.sim import AugmintModel, TraceSimulator
+from repro.telemetry import (
+    CounterSampler,
+    JsonlSink,
+    MemorySink,
+    RunTrace,
+    TelemetrySeries,
+)
 from repro.target import (
     multi_config_machine,
     single_node_machine,
@@ -58,14 +65,19 @@ __all__ = [
     "AugmintModel",
     "BusTrace",
     "CacheNodeConfig",
+    "CounterSampler",
     "HostConfig",
     "HostSMP",
     "JournalBugOverlay",
+    "JsonlSink",
     "MemoriesBoard",
     "MemoriesConsole",
+    "MemorySink",
     "ProtocolTable",
+    "RunTrace",
     "S7A_HOST",
     "SystemBus",
+    "TelemetrySeries",
     "TpccWorkload",
     "TpchWorkload",
     "TraceReader",

@@ -131,6 +131,7 @@ class SystemBus:
         self._snoopers: List[Snooper] = []
         self._monitors: List[Monitor] = []
         self._seq = 0
+        self._telemetry = None
 
     def attach_snooper(self, snooper: Snooper) -> None:
         """Register an active device (host L2, memory controller)."""
@@ -143,6 +144,48 @@ class SystemBus:
     def detach_monitor(self, monitor: Monitor) -> None:
         """Unplug a passive monitor."""
         self._monitors.remove(monitor)
+
+    def attach_telemetry(self, sampler) -> None:
+        """Wire a :class:`repro.telemetry.CounterSampler` into the bus.
+
+        The sampler observes every completed logical tenure (after retry
+        resolution) and emits windowed bus statistics — the live
+        utilization series of Section 3.3's 2–20% regime.  Like the
+        board's sampler it is a pure observer.
+        """
+        self._telemetry = sampler
+
+    def detach_telemetry(self) -> None:
+        """Return :meth:`issue` to the uninstrumented fast path."""
+        self._telemetry = None
+
+    @property
+    def now_cycle(self) -> float:
+        """Cycle-domain clock for telemetry (elapsed bus cycles)."""
+        return float(self.stats.total_cycles)
+
+    def statistics(self) -> dict:
+        """Key-sorted integer counter snapshot of :class:`BusStats`.
+
+        The same shape the board's :meth:`~repro.memories.board.MemoriesBoard.statistics`
+        has, so one sampler implementation serves both; window-level
+        utilization is derived by the sampler from the cycle deltas.
+        """
+        stats = self.stats
+        return {
+            "bus.busy_cycles": stats.busy_cycles,
+            "bus.castouts": stats.castouts,
+            "bus.dclaims": stats.dclaims,
+            "bus.io_ops": stats.io_ops,
+            "bus.memory_tenures": stats.memory_tenures,
+            "bus.reads": stats.reads,
+            "bus.retries": stats.retries,
+            "bus.retries_abandoned": stats.retries_abandoned,
+            "bus.retry_reissues": stats.retry_reissues,
+            "bus.rwitms": stats.rwitms,
+            "bus.tenures": stats.tenures,
+            "bus.total_cycles": stats.total_cycles,
+        }
 
     def issue(
         self,
@@ -169,23 +212,27 @@ class SystemBus:
         """
         completed = self._attempt(txn, issuer)
         self._account(completed)
-        if completed.snoop_response is not SnoopResponse.RETRY:
-            return completed
-
-        stats = self.stats
-        backoff = self.retry_backoff_cycles
-        for _ in range(self.max_retries):
-            # The master backs off (bus idle), then re-arbitrates: one more
-            # address tenure's worth of occupancy, folded into utilization.
-            stats.total_cycles += backoff
-            backoff = min(backoff * 2, _MAX_BACKOFF_CYCLES)
-            stats.retry_reissues += 1
-            stats.busy_cycles += ADDRESS_TENURE_CYCLES
-            stats.total_cycles += ADDRESS_TENURE_CYCLES + self.idle_cycles_per_tenure
-            completed = self._attempt(txn, issuer)
-            if completed.snoop_response is not SnoopResponse.RETRY:
-                return completed
-        stats.retries_abandoned += 1
+        if completed.snoop_response is SnoopResponse.RETRY:
+            stats = self.stats
+            backoff = self.retry_backoff_cycles
+            for _ in range(self.max_retries):
+                # The master backs off (bus idle), then re-arbitrates: one
+                # more address tenure's worth of occupancy, folded into
+                # utilization.
+                stats.total_cycles += backoff
+                backoff = min(backoff * 2, _MAX_BACKOFF_CYCLES)
+                stats.retry_reissues += 1
+                stats.busy_cycles += ADDRESS_TENURE_CYCLES
+                stats.total_cycles += ADDRESS_TENURE_CYCLES + self.idle_cycles_per_tenure
+                completed = self._attempt(txn, issuer)
+                if completed.snoop_response is not SnoopResponse.RETRY:
+                    break
+            else:
+                stats.retries_abandoned += 1
+        # One sampling opportunity per *logical* tenure, after retry
+        # resolution, so windowed utilization includes re-issue occupancy.
+        if self._telemetry is not None:
+            self._telemetry.maybe_sample(self)
         return completed
 
     def _attempt(

@@ -22,6 +22,7 @@ Commands (also shown by ``help``)::
     save-trace <path> <n_records>                capture and dump a trace
     verify                                       verify the current programming
     faults                                       resilience report for the board
+    watch [every_transactions]                   live telemetry dashboard
     help | quit
 
 Static verification also runs stand-alone, before any board exists::
@@ -36,6 +37,14 @@ So do seeded fault-injection campaigns (see :mod:`repro.faults`)::
         [--flip R] [--burst R] [--burst-ops N] [--saturate R]
         [--no-ecc] [--scrub-interval C] [--out FILE]
     python -m repro.cli faults report <campaign.json>
+
+And counter time-series campaigns (see :mod:`repro.telemetry`)::
+
+    python -m repro.cli telemetry run [--records N] [--seed S] [--cache SIZE]
+        [--every-tx M] [--every-cycles C] [--out FILE] [--deterministic]
+    python -m repro.cli telemetry report <series.jsonl>
+    python -m repro.cli telemetry export <series.jsonl> --format prom|jsonl
+        [--deterministic]
 
 Sizes accept the paper's notation (``64MB``, ``1GB``); everything the CLI
 builds is scaled by the session's scale factor (default 1024) so runs
@@ -90,6 +99,7 @@ class ConsoleSession:
             "describe": self._cmd_console_passthrough,
             "verify": self._cmd_console_passthrough,
             "faults": self._cmd_console_passthrough,
+            "watch": self._cmd_watch,
             "miss-ratios": self._cmd_miss_ratios,
             "save-trace": self._cmd_save_trace,
             "save-machine": self._cmd_save_machine,
@@ -235,6 +245,10 @@ class ConsoleSession:
 
     def _cmd_console_passthrough(self, args: List[str]) -> str:
         raise CliError("internal dispatch error")  # pragma: no cover
+
+    def _cmd_watch(self, args: List[str]) -> str:
+        """One frame of the console's live telemetry dashboard."""
+        return self.console.execute(" ".join(["watch", *args]))
 
     def _cmd_miss_ratios(self, args: List[str]) -> str:
         ratios = self.console.miss_ratios()
@@ -487,9 +501,129 @@ def faults_main(argv: List[str]) -> int:
     return 0 if (not plan.is_zero or result.identical) else 1
 
 
+def telemetry_main(argv: List[str]) -> int:
+    """The ``telemetry`` subcommand: counter time series end to end.
+
+    ``telemetry run`` captures a scaled TPC-C bus trace and replays it
+    through an instrumented board, writing the sampled series (and the
+    capture/replay spans) as JSONL; ``telemetry report`` re-renders a
+    saved series as the text dashboard; ``telemetry export`` re-emits it
+    as canonical JSONL or as a Prometheus text exposition page whose
+    counter totals are wrap-corrected sums of the recorded deltas.
+    """
+    import argparse
+
+    from repro.memories.board import board_for_machine
+    from repro.telemetry import (
+        CounterSampler,
+        JsonlSink,
+        RunTrace,
+        TelemetrySeries,
+        encode_record,
+        series_exposition,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cli telemetry",
+        description="counter time-series sampling and export",
+    )
+    sub = parser.add_subparsers(dest="action")
+    run_parser = sub.add_parser(
+        "run", help="capture a trace and replay it with the sampler on"
+    )
+    run_parser.add_argument(
+        "--records", type=int, default=20_000,
+        help="bus records to capture (default 20000)")
+    run_parser.add_argument(
+        "--seed", type=int, default=0,
+        help="seed shared by workload and replacement policy")
+    run_parser.add_argument(
+        "--cache", default="64MB",
+        help="paper-scale L3 size, scaled 1/1024 (default 64MB)")
+    run_parser.add_argument(
+        "--every-tx", type=int, default=None,
+        help="sampling cadence in replayed transactions (default 1024)")
+    run_parser.add_argument(
+        "--every-cycles", type=float, default=None,
+        help="sampling cadence in emulated bus cycles")
+    run_parser.add_argument(
+        "--out", default="telemetry.jsonl",
+        help="JSONL series output path (default telemetry.jsonl)")
+    run_parser.add_argument(
+        "--deterministic", action="store_true",
+        help="strip wall-clock fields so same-seed runs are byte-identical")
+    report_parser = sub.add_parser(
+        "report", help="render a saved series as the text dashboard"
+    )
+    report_parser.add_argument("path")
+    export_parser = sub.add_parser(
+        "export", help="re-emit a saved series for downstream consumers"
+    )
+    export_parser.add_argument("path")
+    export_parser.add_argument(
+        "--format", choices=("prom", "jsonl"), default="prom",
+        help="prom: Prometheus text exposition; jsonl: canonical JSONL")
+    export_parser.add_argument(
+        "--deterministic", action="store_true",
+        help="strip wall-clock fields from jsonl output")
+    ns = parser.parse_args(argv)
+
+    if ns.action == "report":
+        series = TelemetrySeries.from_jsonl(ns.path)
+        print(series.dashboard())
+        return 0
+    if ns.action == "export":
+        series = TelemetrySeries.from_jsonl(ns.path)
+        if ns.format == "prom":
+            sys.stdout.write(series_exposition(series.records))
+        else:
+            for record in series.records:
+                print(encode_record(record, deterministic=ns.deterministic))
+        return 0
+    if ns.action != "run":
+        parser.print_usage()
+        return 2
+
+    scale = ExperimentScale()
+    workload = TpccWorkload(
+        db_bytes=scale.scaled_bytes("150GB"),
+        n_cpus=scale.n_cpus,
+        private_bytes=scale.scaled_bytes("8MB"),
+        seed=ns.seed,
+    )
+    sink = JsonlSink(ns.out, deterministic=ns.deterministic)
+    run_trace = RunTrace(sink, label="telemetry-run")
+    sampler = CounterSampler(
+        sink,
+        every_transactions=ns.every_tx,
+        every_cycles=ns.every_cycles,
+        label="board",
+    )
+    print(
+        f"capturing {ns.records:,} bus records (TPC-C, scale 1/{scale.scale})..."
+    )
+    trace = capture_records(
+        workload, ns.records, scale.host(), run_trace=run_trace
+    )
+    machine = single_node_machine(scale.cache(ns.cache), n_cpus=scale.n_cpus)
+    board = board_for_machine(machine, seed=ns.seed)
+    board.attach_telemetry(sampler, run_trace=run_trace)
+    board.replay(trace)
+    sampler.finish(board)
+    sink.close()
+    series = TelemetrySeries.from_jsonl(ns.out)
+    print(series.summary())
+    ratios = ", ".join(
+        f"{node.miss_ratio():.4f}" for node in board.firmware.nodes
+    )
+    print(f"final miss ratios: {ratios}")
+    print(f"wrote {ns.out}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
-    """Entry point: interactive prompt, scripted session, ``verify`` or
-    ``faults``."""
+    """Entry point: interactive prompt, scripted session, ``verify``,
+    ``faults`` or ``telemetry``."""
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0].lower() == "verify":
         try:
@@ -500,6 +634,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     if argv and argv[0].lower() == "faults":
         try:
             return faults_main(argv[1:])
+        except ReproError as error:
+            print(f"error: {error}")
+            return 2
+    if argv and argv[0].lower() == "telemetry":
+        try:
+            return telemetry_main(argv[1:])
         except ReproError as error:
             print(f"error: {error}")
             return 2

@@ -9,7 +9,8 @@ encode that pipeline so each experiment module stays declarative.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from contextlib import nullcontext
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
 from repro.bus.trace import BusTrace
 from repro.host.smp import HostConfig, HostSMP
@@ -20,6 +21,10 @@ from repro.target.configs import multi_config_machine
 from repro.target.mapping import MAX_EMULATED_NODES
 from repro.workloads.base import Workload
 
+if TYPE_CHECKING:
+    from repro.telemetry.sink import TelemetrySink
+    from repro.telemetry.spans import RunTrace
+
 
 def capture_records(
     workload: Workload,
@@ -28,6 +33,7 @@ def capture_records(
     chunk_size: int = 65536,
     max_references: Optional[int] = None,
     stats_out: Optional[dict] = None,
+    run_trace: Optional["RunTrace"] = None,
 ) -> BusTrace:
     """Run ``workload`` on the host until ``n_records`` bus records exist.
 
@@ -41,6 +47,9 @@ def capture_records(
             references executed) and ``records_per_reference`` — needed when
             an experiment must convert between the reference and bus-record
             domains (e.g. Figure 10's injection period).
+        run_trace: optional :class:`repro.telemetry.RunTrace`; the whole
+            capture is timed as one ``capture`` span on the host bus's
+            cycle clock.
     """
     host = HostSMP(host_config)
     tracer = TraceCollectorFirmware(capacity=n_records)
@@ -49,11 +58,19 @@ def capture_records(
     references = 0
     limit = max_references if max_references is not None else n_records * 100
     chunks = workload.chunks(limit, chunk_size)
-    for cpu_ids, addresses, is_writes in chunks:
-        host.run_chunk(cpu_ids, addresses, is_writes)
-        references += len(cpu_ids)
-        if tracer.writer.full:
-            break
+    if run_trace is not None:
+        run_trace.bind_clock(lambda: float(host.bus.stats.total_cycles))
+        context = run_trace.span("capture", records=n_records)
+    else:
+        context = nullcontext()
+    with context:
+        for cpu_ids, addresses, is_writes in chunks:
+            host.run_chunk(cpu_ids, addresses, is_writes)
+            references += len(cpu_ids)
+            if tracer.writer.full:
+                break
+    if run_trace is not None:
+        run_trace.bind_clock(None)
     trace = tracer.to_trace()
     if stats_out is not None:
         stats_out["references"] = references
@@ -68,6 +85,8 @@ def l3_size_sweep_nodes(
     configs: Sequence[CacheNodeConfig],
     n_cpus: int = 8,
     seed: int = 0,
+    telemetry_sink: Optional["TelemetrySink"] = None,
+    sample_every: Optional[int] = None,
 ) -> List:
     """Replay one trace against many single-node cache configs.
 
@@ -77,13 +96,28 @@ def l3_size_sweep_nodes(
 
     Returns the node controllers, one per configuration in input order, so
     callers can read any counter (miss ratios, satisfied breakdowns, ...).
+    With ``telemetry_sink`` given, each batch board emits a counter time
+    series (labels ``sweep0``, ``sweep1``, ...) so the sweep's miss
+    ratios can be watched converging instead of only read at the end.
     """
     nodes: List = []
-    for start in range(0, len(configs), MAX_EMULATED_NODES):
+    for batch_index, start in enumerate(range(0, len(configs), MAX_EMULATED_NODES)):
         batch = list(configs[start : start + MAX_EMULATED_NODES])
         machine = multi_config_machine(batch, n_cpus=n_cpus)
         board = board_for_machine(machine, seed=seed)
+        if telemetry_sink is not None:
+            from repro.telemetry import CounterSampler
+
+            board.attach_telemetry(
+                CounterSampler(
+                    telemetry_sink,
+                    every_transactions=sample_every,
+                    label=f"sweep{batch_index}",
+                )
+            )
         board.replay(trace)
+        if board.telemetry is not None:
+            board.telemetry.finish(board)
         nodes.extend(board.firmware.nodes)
     return nodes
 
@@ -105,8 +139,31 @@ def replay_machine(
     trace: BusTrace,
     machine,
     seed: int = 0,
+    telemetry_sink: Optional["TelemetrySink"] = None,
+    sample_every: Optional[int] = None,
+    run_trace: Optional["RunTrace"] = None,
 ) -> MemoriesBoard:
-    """Replay a trace through a board programmed with ``machine``."""
+    """Replay a trace through a board programmed with ``machine``.
+
+    Optional observability: ``telemetry_sink`` attaches a counter sampler
+    (cadence ``sample_every`` transactions) and flushes its final window
+    after the replay; ``run_trace`` times the replay as a span on the
+    board's cycle clock.
+    """
     board = board_for_machine(machine, seed=seed)
+    if telemetry_sink is not None:
+        from repro.telemetry import CounterSampler
+
+        board.attach_telemetry(
+            CounterSampler(
+                telemetry_sink,
+                every_transactions=sample_every,
+                label=machine.name,
+            )
+        )
+    if run_trace is not None:
+        board.attach_telemetry(run_trace=run_trace)
     board.replay(trace)
+    if board.telemetry is not None:
+        board.telemetry.finish(board)
     return board

@@ -104,6 +104,14 @@ class FaultCampaign:
             recovery arm.  Pass False to measure the unprotected board.
         scrub_interval: scrubber cadence override in bus cycles.
         assumed_utilization: board clock model parameter.
+        telemetry_sink: optional :class:`repro.telemetry.TelemetrySink`;
+            when given, every replay of the campaign emits a counter time
+            series into it, labeled ``baseline`` / ``faulted`` (fault
+            sweeps additionally suffix the plan index), so an operator can
+            watch *when* during a run the faults bent the statistics, not
+            just the end-state error.
+        sample_every: sampling cadence in replayed transactions (defaults
+            to the sampler's own default cadence).
     """
 
     def __init__(
@@ -113,22 +121,46 @@ class FaultCampaign:
         ecc: bool = True,
         scrub_interval: Optional[float] = None,
         assumed_utilization: float = DEFAULT_ASSUMED_UTILIZATION,
+        telemetry_sink=None,
+        sample_every: Optional[int] = None,
     ) -> None:
         self.machine = machine
         self.seed = seed
         self.ecc = ecc
         self.scrub_interval = scrub_interval
         self.assumed_utilization = assumed_utilization
+        self.telemetry_sink = telemetry_sink
+        self.sample_every = sample_every
 
-    def build_board(self) -> MemoriesBoard:
-        """A fresh identically-programmed board."""
-        return board_for_machine(
+    def build_board(self, telemetry_label: Optional[str] = None) -> MemoriesBoard:
+        """A fresh identically-programmed board.
+
+        With a campaign sink configured and ``telemetry_label`` given, the
+        board comes up with a sampler already attached.
+        """
+        board = board_for_machine(
             self.machine,
             seed=self.seed,
             assumed_utilization=self.assumed_utilization,
             ecc=self.ecc,
             scrub_interval=self.scrub_interval,
         )
+        if self.telemetry_sink is not None and telemetry_label is not None:
+            from repro.telemetry import CounterSampler
+
+            board.attach_telemetry(
+                CounterSampler(
+                    self.telemetry_sink,
+                    every_transactions=self.sample_every,
+                    label=telemetry_label,
+                )
+            )
+        return board
+
+    def _finish_telemetry(self, board: MemoriesBoard) -> None:
+        """Flush the final partial sampling window, if instrumented."""
+        if board.telemetry is not None:
+            board.telemetry.finish(board)
 
     def run(
         self,
@@ -136,6 +168,7 @@ class FaultCampaign:
         plan: FaultPlan,
         baseline: Optional[Dict[str, int]] = None,
         baseline_miss_ratio: Optional[float] = None,
+        telemetry_label: str = "faulted",
     ) -> CampaignResult:
         """Replay ``words`` bare and under ``plan``; compare the outcomes.
 
@@ -143,13 +176,15 @@ class FaultCampaign:
         fault-free replay instead of recomputing it per plan.
         """
         if baseline is None:
-            board = self.build_board()
+            board = self.build_board(telemetry_label="baseline")
             board.replay_words(words)
+            self._finish_telemetry(board)
             baseline = board.statistics()
             baseline_miss_ratio = _aggregate_miss_ratio(board)
-        faulted_board = self.build_board()
+        faulted_board = self.build_board(telemetry_label=telemetry_label)
         injector = FaultInjector(faulted_board, plan)
         injector.replay_words(words)
+        self._finish_telemetry(faulted_board)
         return CampaignResult(
             plan=plan,
             records=int(words.shape[0]),
@@ -165,8 +200,9 @@ class FaultCampaign:
         self, words: np.ndarray, plans: Sequence[FaultPlan]
     ) -> List[CampaignResult]:
         """Run several plans against one shared fault-free baseline."""
-        board = self.build_board()
+        board = self.build_board(telemetry_label="baseline")
         board.replay_words(words)
+        self._finish_telemetry(board)
         baseline = board.statistics()
         baseline_miss_ratio = _aggregate_miss_ratio(board)
         return [
@@ -175,8 +211,9 @@ class FaultCampaign:
                 plan,
                 baseline=baseline,
                 baseline_miss_ratio=baseline_miss_ratio,
+                telemetry_label=f"faulted{index}",
             )
-            for plan in plans
+            for index, plan in enumerate(plans)
         ]
 
 

@@ -25,7 +25,20 @@ simulators.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Protocol, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+)
+
+if TYPE_CHECKING:
+    from repro.telemetry.sampler import CounterSampler
+    from repro.telemetry.spans import RunTrace
 
 import numpy as np
 
@@ -186,6 +199,12 @@ class CacheEmulationFirmware:
             merged.update(node.buffer_snapshot())
         return merged
 
+    def wrapped_counters(self) -> Iterator[str]:
+        """Qualified names of 40-bit counters that have overflowed."""
+        for node in self.nodes:
+            yield from node.counters.wrapped_counters()
+            yield from node.resilience.wrapped_counters()
+
     def tick(self, now_cycle: float) -> None:
         """Advance background machinery (ECC patrol scrubbers)."""
         for node in self.nodes:
@@ -268,6 +287,41 @@ class MemoriesBoard:
         # Background-machinery hook (the ECC patrol scrubber); optional so
         # alternate firmware images need not implement it.
         self._firmware_tick = getattr(firmware, "tick", None)
+        # Observability (repro.telemetry): with nothing attached the
+        # dispatch path pays exactly one pointer test per tenure.
+        self.telemetry: Optional["CounterSampler"] = None
+        self.run_trace: Optional["RunTrace"] = None
+
+    # ------------------------------------------------------------------ #
+    # Telemetry attachment
+    # ------------------------------------------------------------------ #
+
+    def attach_telemetry(
+        self,
+        sampler: Optional["CounterSampler"] = None,
+        run_trace: Optional["RunTrace"] = None,
+    ) -> None:
+        """Wire a counter sampler and/or a span trace into this board.
+
+        The sampler observes every dispatched tenure (after its effects
+        commit) and emits delta samples on its cadence; the run trace gets
+        this board's cycle clock and wraps :meth:`replay` /
+        :meth:`replay_words` in a ``replay`` span.  Both are pure
+        observers: an instrumented replay's statistics are bit-identical
+        to a bare one.
+        """
+        if sampler is not None:
+            self.telemetry = sampler
+        if run_trace is not None:
+            run_trace.bind_clock(lambda: self.now_cycle)
+            self.run_trace = run_trace
+
+    def detach_telemetry(self) -> None:
+        """Return the dispatch path to the uninstrumented fast path."""
+        self.telemetry = None
+        if self.run_trace is not None:
+            self.run_trace.bind_clock(None)
+            self.run_trace = None
 
     # ------------------------------------------------------------------ #
     # Live operation (bus monitor protocol)
@@ -291,12 +345,25 @@ class MemoriesBoard:
         if self._firmware_tick is not None:
             self._firmware_tick(now)
         if not self.address_filter.admit(command, snoop_response, now):
-            return SnoopResponse.NULL
-        self.global_counter.record(cpu_id, command, self.cycles_per_tenure)
-        if not self.firmware.process(cpu_id, command, address, snoop_response, now):
-            self.retries_posted += 1
-            return SnoopResponse.RETRY
-        return SnoopResponse.NULL
+            response = SnoopResponse.NULL
+        else:
+            self.global_counter.record(cpu_id, command, self.cycles_per_tenure)
+            if self.firmware.process(cpu_id, command, address, snoop_response, now):
+                response = SnoopResponse.NULL
+            else:
+                self.retries_posted += 1
+                response = SnoopResponse.RETRY
+        # Sample *after* the tenure commits so window boundaries land on
+        # exact transaction counts regardless of replay chunking.  The
+        # sampler's countdown is decremented inline (rather than through
+        # maybe_sample) to keep the instrumented fast path at one integer
+        # decrement and compare per tenure.
+        telemetry = self.telemetry
+        if telemetry is not None:
+            telemetry._countdown -= 1
+            if telemetry._countdown <= 0:
+                telemetry.on_countdown(self)
+        return response
 
     # ------------------------------------------------------------------ #
     # Offline replay
@@ -307,7 +374,20 @@ class MemoriesBoard:
         return self.replay_words(trace.words)
 
     def replay_words(self, words: np.ndarray) -> int:
-        """Replay packed 64-bit records (the fast path)."""
+        """Replay packed 64-bit records (the fast path).
+
+        With a run trace attached the whole replay is timed as one
+        ``replay`` span (cycle-domain boundaries plus wall-clock
+        duration); sampling cadence is handled per-tenure by the attached
+        sampler, so chunked and monolithic replays of the same words
+        produce the identical series.
+        """
+        if self.run_trace is None:
+            return self._replay_words(words)
+        with self.run_trace.span("replay", records=int(words.shape[0])):
+            return self._replay_words(words)
+
+    def _replay_words(self, words: np.ndarray) -> int:
         cpu_ids, commands, addresses, responses = decode_arrays(words)
         dispatch = self._dispatch
         command_of = _COMMANDS
@@ -328,13 +408,33 @@ class MemoriesBoard:
         return self.now_cycle / self.bus_hz
 
     def statistics(self) -> dict:
-        """Merged counter snapshot across filter, global FPGA and firmware."""
+        """Merged counter snapshot across filter, global FPGA and firmware.
+
+        Keys are sorted, so the dict is deterministic across runs and
+        Python versions (golden tests and telemetry deltas rely on this),
+        and ``board.wrapped_counters`` flags how many 40-bit counters have
+        overflowed — a non-zero value means the absolute counts below are
+        aliased and only wrap-aware deltas can be trusted.
+        """
         merged = dict(self.address_filter.stats.snapshot())
         merged.update(self.global_counter.snapshot())
         merged.update(self.firmware.snapshot())
         merged["board.retries_posted"] = self.retries_posted
         merged["board.snoop_losses"] = self.snoop_losses
-        return merged
+        merged["board.wrapped_counters"] = len(self.wrapped_counters())
+        return dict(sorted(merged.items()))
+
+    def wrapped_counters(self) -> List[str]:
+        """Qualified names of every overflowed 40-bit counter, sorted.
+
+        Covers the global-events FPGA bank and (when the firmware exposes
+        a ``wrapped_counters`` hook) every firmware counter bank.
+        """
+        wrapped = list(self.global_counter.counters.wrapped_counters())
+        hook = getattr(self.firmware, "wrapped_counters", None)
+        if hook is not None:
+            wrapped.extend(hook())
+        return sorted(wrapped)
 
     def note_snoop_loss(self, address: int) -> int:
         """Record a snooped tenure the board failed to latch.
@@ -360,6 +460,10 @@ class MemoriesBoard:
         self.now_cycle = 0.0
         self.retries_posted = 0
         self.snoop_losses = 0
+        # Counters just dropped to zero; an attached sampler must forget
+        # its previous snapshot or it would misread the drop as a wrap.
+        if self.telemetry is not None:
+            self.telemetry.reset()
 
     # ------------------------------------------------------------------ #
     # Checkpoint / restore
@@ -385,6 +489,8 @@ class MemoriesBoard:
         firmware_state = getattr(self.firmware, "state_dict", None)
         if firmware_state is not None:
             state["firmware"] = firmware_state()
+        if self.telemetry is not None:
+            state["telemetry"] = self.telemetry.state_dict()
         return state
 
     def restore(self, state: dict) -> None:
@@ -407,6 +513,12 @@ class MemoriesBoard:
                     "firmware image has no load_state_dict()"
                 )
             load(state["firmware"])
+        # A checkpointed sampling cursor restores into an attached sampler
+        # so the continued run extends its time series seamlessly; with no
+        # sampler attached the cursor is simply dropped (telemetry is an
+        # observer, never required state).
+        if "telemetry" in state and self.telemetry is not None:
+            self.telemetry.load_state_dict(state["telemetry"])
 
 
 _COMMANDS = [BusCommand(i) for i in range(len(BusCommand))]

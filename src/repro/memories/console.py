@@ -153,16 +153,11 @@ class MemoriesConsole:
 
         The paper sizes the counters for ">30 hours" at 20% bus
         utilization; an operator polling statistics less often than that
-        must check this before trusting absolute counts.
+        must check this before trusting absolute counts.  Covers every
+        bank the board can enumerate — node counters, resilience counters
+        and the global-events FPGA.
         """
-        firmware = self._emulation_firmware()
-        wrapped: List[str] = []
-        for node in firmware.nodes:
-            bank = node.counters
-            for name, _value in bank.items():
-                if bank.wrapped(name):
-                    wrapped.append(f"{bank.prefix}.{name}")
-        return wrapped
+        return self._require_board().wrapped_counters()
 
     def resilience_report(self) -> str:
         """Recovery-machinery health: retries, snoop losses, buffers, ECC.
@@ -198,11 +193,54 @@ class MemoriesConsole:
                 lines.append(f"node {node.index}: ECC off")
             for name, value in sorted(node.resilience.snapshot().items()):
                 lines.append(f"  {name:38s} {value}")
-        wrapped = []
-        if isinstance(firmware, CacheEmulationFirmware):
-            wrapped = self.wrapped_counters()
+        wrapped = board.wrapped_counters()
         if wrapped:
             lines.append("WRAPPED counters: " + ", ".join(wrapped))
+        return "\n".join(lines)
+
+    def watch(self, every_transactions: Optional[int] = None) -> str:
+        """One frame of the live monitoring dashboard.
+
+        The first call attaches an in-memory
+        :class:`~repro.telemetry.CounterSampler` to the board (cadence
+        ``every_transactions``, default
+        :data:`~repro.telemetry.DEFAULT_EVERY_TRANSACTIONS`); every call
+        takes a fresh sample — so polling ``watch`` *is* the periodic
+        readout — and renders the series so far: windowed miss-ratio and
+        utilization sparklines, span profile, wrap flags.
+        """
+        from repro.telemetry import CounterSampler, MemorySink, TelemetrySeries
+
+        board = self._require_board()
+        attached = False
+        if board.telemetry is None:
+            board.attach_telemetry(
+                CounterSampler(
+                    MemorySink(),
+                    every_transactions=every_transactions,
+                    label=board.name,
+                )
+            )
+            self._log.append("watch: telemetry sampler attached")
+            attached = True
+        sampler = board.telemetry
+        records = getattr(sampler.sink, "records", None)
+        if records is None:
+            return (
+                "board sampler writes to an external sink; "
+                "use 'python -m repro.cli telemetry report' on its output"
+            )
+        sampler.sample(board)
+        series = TelemetrySeries(records)
+        lines = [f"=== watch: board {board.name!r} ==="]
+        if attached:
+            lines.append(
+                f"(sampler attached, every "
+                f"{sampler.every_transactions} transactions; dashboard "
+                f"fills as traffic runs)"
+            )
+        lines.append(f"emulated wall-clock: {board.emulated_seconds:.3f}s")
+        lines.append(series.dashboard())
         return "\n".join(lines)
 
     def self_test(self) -> "SelfTestResult":
@@ -224,11 +262,15 @@ class MemoriesConsole:
 
         Supported commands: ``stats``, ``report``, ``reset``, ``describe``,
         ``log``, ``self-test``, ``protocol <node>``, ``overflows``,
-        ``verify``, ``faults``.
+        ``verify``, ``faults``, ``watch [every_transactions]``.
         """
         command = command_line.strip().lower()
         if command == "self-test":
             return self.self_test().render()
+        if command.startswith("watch"):
+            parts = command.split()
+            every = int(parts[1]) if len(parts) > 1 else None
+            return self.watch(every)
         if command == "faults":
             return self.resilience_report()
         if command == "verify":

@@ -58,6 +58,18 @@ class CounterBank:
         """True when the counter has overflowed at least once."""
         return self._counts.get(name, 0) > COUNTER_MASK
 
+    def wrapped_counters(self, qualified: bool = True) -> Iterator[str]:
+        """Names of counters that have overflowed, sorted.
+
+        With ``qualified`` (the default) names carry the bank prefix, the
+        way merged board statistics report them — so samplers and the
+        resilience report can flag aliased 40-bit readouts bank by bank
+        instead of probing :meth:`wrapped` name by name.
+        """
+        for name in sorted(self._counts):
+            if self._counts[name] > COUNTER_MASK:
+                yield f"{self.prefix}.{name}" if qualified and self.prefix else name
+
     def reset(self) -> None:
         """Clear every counter (console 'initialise statistics' command)."""
         self._counts.clear()
@@ -82,13 +94,19 @@ class CounterBank:
         self._counts = {str(name): int(value) for name, value in state.items()}
 
     def snapshot(self, qualified: bool = True) -> Dict[str, int]:
-        """Dict of wrapped values; with ``qualified`` names get the prefix."""
+        """Key-sorted dict of wrapped values; ``qualified`` adds the prefix.
+
+        Deterministic ordering (not insertion order, which varies with the
+        reference stream) keeps golden tests and telemetry delta series
+        stable across runs and Python versions.
+        """
+        counts = self._counts
         if qualified and self.prefix:
             return {
-                f"{self.prefix}.{name}": value & COUNTER_MASK
-                for name, value in self._counts.items()
+                f"{self.prefix}.{name}": counts[name] & COUNTER_MASK
+                for name in sorted(counts)
             }
-        return {name: value & COUNTER_MASK for name, value in self._counts.items()}
+        return {name: counts[name] & COUNTER_MASK for name in sorted(counts)}
 
 
 def seconds_until_wrap(

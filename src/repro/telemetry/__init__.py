@@ -1,0 +1,66 @@
+"""Observability for the emulated board: sampling, tracing, export.
+
+The paper's core promise is *watching a live machine*: 400+ 40-bit
+counters read non-intrusively over 30-hour runs, plus firmware that
+histograms memory traffic in real time.  This package is that measurement
+layer for the reproduction:
+
+* :mod:`repro.telemetry.sink` — pluggable record sinks (null / in-memory
+  / JSONL), with wall-clock fields segregated so deterministic byte-level
+  comparison of series is possible.
+* :mod:`repro.telemetry.sampler` — :class:`CounterSampler`, periodic
+  counter-bank snapshots on a cycle or transaction cadence with
+  wrap-aware 40-bit delta encoding; checkpointable mid-series.
+* :mod:`repro.telemetry.spans` — :class:`RunTrace` nested spans with
+  cycle-domain timestamps plus wall-clock durations.
+* :mod:`repro.telemetry.prom` — Prometheus text-exposition export (and a
+  parser for CI round-trip checks).
+* :mod:`repro.telemetry.series` — loaded-series analysis and the text
+  dashboard behind the console's ``watch`` command.
+
+Attach a sampler with :meth:`repro.memories.board.MemoriesBoard.attach_telemetry`
+(or ``SystemBus.attach_telemetry`` for bus-side utilization series); with
+nothing attached the emulation pays a single pointer test per tenure.
+"""
+
+from repro.telemetry.prom import (
+    parse_exposition,
+    render_exposition,
+    series_exposition,
+)
+from repro.telemetry.sampler import (
+    DEFAULT_EVERY_TRANSACTIONS,
+    CounterSampler,
+    wrap_aware_delta,
+)
+from repro.telemetry.series import TelemetrySeries
+from repro.telemetry.sink import (
+    NULL_SINK,
+    JsonlSink,
+    MemorySink,
+    NullSink,
+    TelemetrySink,
+    encode_record,
+    load_jsonl,
+    strip_wall,
+)
+from repro.telemetry.spans import RunTrace
+
+__all__ = [
+    "CounterSampler",
+    "DEFAULT_EVERY_TRANSACTIONS",
+    "JsonlSink",
+    "MemorySink",
+    "NULL_SINK",
+    "NullSink",
+    "RunTrace",
+    "TelemetrySeries",
+    "TelemetrySink",
+    "encode_record",
+    "load_jsonl",
+    "parse_exposition",
+    "render_exposition",
+    "series_exposition",
+    "strip_wall",
+    "wrap_aware_delta",
+]

@@ -1,0 +1,210 @@
+"""Prometheus text-exposition export of telemetry series.
+
+Long monitoring campaigns (the paper's 30-hour runs) want scraping, not
+log-grepping.  :func:`render_exposition` turns accumulated counter totals
+into the Prometheus `text exposition format
+<https://prometheus.io/docs/instrumenting/exposition_formats/>`_, and
+:func:`series_exposition` does so straight from a recorded time series —
+summing the wrap-aware deltas, so exported totals are the *true* event
+counts even after the 40-bit hardware readouts have aliased.
+
+:func:`parse_exposition` is a minimal reader of the same format, used by
+the CI smoke job to assert the exporter's output round-trips.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.common.errors import TraceFormatError, ValidationError
+
+#: Metric family names.
+COUNTER_METRIC = "memories_counter_total"
+CYCLE_METRIC = "memories_cycle"
+TRANSACTIONS_METRIC = "memories_transactions_total"
+SAMPLES_METRIC = "memories_samples_total"
+WINDOW_METRIC = "memories_window"
+WRAPPED_METRIC = "memories_wrapped_counters"
+
+#: A parsed sample: (metric name, sorted label pairs) -> value.
+MetricKey = Tuple[str, Tuple[Tuple[str, str], ...]]
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, int) or float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _sample_line(metric: str, labels: Mapping[str, str], value: float) -> str:
+    rendered = ",".join(
+        f'{name}="{_escape_label(str(labels[name]))}"' for name in sorted(labels)
+    )
+    return f"{metric}{{{rendered}}} {_format_value(value)}"
+
+
+def render_exposition(
+    totals: Mapping[str, int],
+    label: str = "board",
+    cycle: Optional[float] = None,
+    transactions: Optional[int] = None,
+    samples: Optional[int] = None,
+    window: Optional[Mapping[str, float]] = None,
+    wrapped: Optional[Iterable[str]] = None,
+) -> str:
+    """Render one component's accumulated totals as an exposition page.
+
+    Args:
+        totals: true (un-aliased) cumulative counter values.
+        label: the sampler label, attached to every sample.
+        cycle / transactions / samples: clock position, transactions
+            observed and samples emitted, when known.
+        window: last window's derived rates (miss ratios, utilization).
+        wrapped: names of 40-bit counters whose raw readouts have wrapped.
+    """
+    lines: List[str] = [
+        f"# HELP {COUNTER_METRIC} MemorIES event counters "
+        "(wrap-corrected cumulative totals).",
+        f"# TYPE {COUNTER_METRIC} counter",
+    ]
+    for name in sorted(totals):
+        lines.append(
+            _sample_line(
+                COUNTER_METRIC, {"label": label, "counter": name}, totals[name]
+            )
+        )
+    if cycle is not None:
+        lines.append(f"# TYPE {CYCLE_METRIC} gauge")
+        lines.append(_sample_line(CYCLE_METRIC, {"label": label}, float(cycle)))
+    if transactions is not None:
+        lines.append(f"# TYPE {TRANSACTIONS_METRIC} counter")
+        lines.append(
+            _sample_line(TRANSACTIONS_METRIC, {"label": label}, transactions)
+        )
+    if samples is not None:
+        lines.append(f"# TYPE {SAMPLES_METRIC} counter")
+        lines.append(_sample_line(SAMPLES_METRIC, {"label": label}, samples))
+    if window:
+        lines.append(f"# TYPE {WINDOW_METRIC} gauge")
+        for name in sorted(window):
+            lines.append(
+                _sample_line(
+                    WINDOW_METRIC, {"label": label, "metric": name}, window[name]
+                )
+            )
+    if wrapped is not None:
+        names = sorted(wrapped)
+        lines.append(f"# TYPE {WRAPPED_METRIC} gauge")
+        lines.append(_sample_line(WRAPPED_METRIC, {"label": label}, len(names)))
+    return "\n".join(lines) + "\n"
+
+
+def series_exposition(records: Iterable[dict]) -> str:
+    """Exposition page for a recorded series (all labels it contains).
+
+    Counter totals are reconstructed by summing each label's wrap-aware
+    deltas; gauges take the last sample's values.
+    """
+    per_label: Dict[str, dict] = {}
+    for record in records:
+        if record.get("type") not in ("sample", "final"):
+            continue
+        label = str(record.get("label", "board"))
+        state = per_label.setdefault(
+            label,
+            {
+                "totals": {},
+                "cycle": None,
+                "transactions": None,
+                "samples": 0,
+                "window": {},
+                "wrapped": [],
+            },
+        )
+        for name, delta in record.get("deltas", {}).items():
+            state["totals"][name] = state["totals"].get(name, 0) + int(delta)
+        state["cycle"] = record.get("cycle", state["cycle"])
+        state["transactions"] = record.get("transactions", state["transactions"])
+        state["samples"] += 1
+        state["window"] = record.get("window", state["window"])
+        state["wrapped"] = record.get("wrapped", state["wrapped"])
+    pages = [
+        render_exposition(
+            state["totals"],
+            label=label,
+            cycle=state["cycle"],
+            transactions=state["transactions"],
+            samples=state["samples"],
+            window=state["window"],
+            wrapped=state["wrapped"],
+        )
+        for label, state in sorted(per_label.items())
+    ]
+    return "".join(pages)
+
+
+def parse_exposition(text: str) -> Dict[MetricKey, float]:
+    """Parse exposition text back into ``{(metric, labels): value}``.
+
+    Minimal on purpose (no exemplars, no timestamps) — enough to validate
+    our own exporter's output and to let tests assert on scraped values.
+
+    Raises:
+        TraceFormatError: on a malformed sample line.
+    """
+    parsed: Dict[MetricKey, float] = {}
+    for number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            name_part, value_part = line.rsplit(" ", 1)
+            value = float(value_part)
+            if "{" in name_part:
+                metric, label_part = name_part.split("{", 1)
+                if not label_part.endswith("}"):
+                    raise ValidationError("unterminated label set")
+                labels = _parse_labels(label_part[:-1])
+            else:
+                metric, labels = name_part, []
+            if not metric.replace("_", "").replace(":", "").isalnum():
+                raise ValidationError(f"bad metric name {metric!r}")
+        except ValueError as exc:
+            raise TraceFormatError(
+                f"exposition line {number} is malformed: {raw!r} ({exc})"
+            ) from exc
+        parsed[(metric, tuple(labels))] = value
+    return parsed
+
+
+def _parse_labels(body: str) -> List[Tuple[str, str]]:
+    """Parse ``name="value",...`` with backslash escapes."""
+    labels: List[Tuple[str, str]] = []
+    index = 0
+    while index < len(body):
+        equals = body.index("=", index)
+        name = body[index:equals].strip().lstrip(",").strip()
+        if body[equals + 1] != '"':
+            raise ValidationError(f"label {name!r} value is not quoted")
+        value_chars: List[str] = []
+        cursor = equals + 2
+        while cursor < len(body):
+            char = body[cursor]
+            if char == "\\" and cursor + 1 < len(body):
+                escaped = body[cursor + 1]
+                value_chars.append({"n": "\n"}.get(escaped, escaped))
+                cursor += 2
+                continue
+            if char == '"':
+                break
+            value_chars.append(char)
+            cursor += 1
+        else:
+            raise ValidationError(f"label {name!r} value is unterminated")
+        labels.append((name, "".join(value_chars)))
+        index = cursor + 1
+    return sorted(labels)

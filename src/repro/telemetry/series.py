@@ -1,0 +1,153 @@
+"""Loaded telemetry series: totals, window series, text dashboards.
+
+:class:`TelemetrySeries` wraps a list of telemetry records (from a
+:class:`~repro.telemetry.sink.MemorySink` or re-read from a JSONL file)
+and answers the questions an operator watching a long run asks: what are
+the true cumulative totals (wrap-corrected), how is each window metric
+trending, where did the wall-clock time go, and did any counter wrap.
+:meth:`dashboard` renders the live ``watch`` screen of the console using
+the same sparklines the experiment harness prints for Figure 10.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Union
+
+from repro.analysis.ascii_chart import render_sparkline
+from repro.telemetry.sink import load_jsonl
+
+
+class TelemetrySeries:
+    """An in-memory view over one recorded telemetry stream."""
+
+    def __init__(self, records: Iterable[dict]) -> None:
+        self.records: List[dict] = list(records)
+
+    @classmethod
+    def from_jsonl(cls, path: Union[str, Path]) -> "TelemetrySeries":
+        """Load a series previously written by a ``JsonlSink``."""
+        return cls(load_jsonl(path))
+
+    # ------------------------------------------------------------------ #
+    # Views
+    # ------------------------------------------------------------------ #
+
+    def samples(self, label: Optional[str] = None) -> List[dict]:
+        """Sample records (including the final partial window), in order."""
+        return [
+            record
+            for record in self.records
+            if record.get("type") in ("sample", "final")
+            and (label is None or record.get("label") == label)
+        ]
+
+    def spans(self, label: Optional[str] = None) -> List[dict]:
+        """Span records, in emission (close) order."""
+        return [
+            record
+            for record in self.records
+            if record.get("type") == "span"
+            and (label is None or record.get("label") == label)
+        ]
+
+    def labels(self) -> List[str]:
+        """Distinct sampler labels present, sorted."""
+        return sorted(
+            {str(record.get("label", "")) for record in self.records if record}
+        )
+
+    def totals(self, label: Optional[str] = None) -> Dict[str, int]:
+        """True cumulative counter totals: the summed wrap-aware deltas."""
+        totals: Dict[str, int] = {}
+        for record in self.samples(label):
+            for name, delta in record.get("deltas", {}).items():
+                totals[name] = totals.get(name, 0) + int(delta)
+        return dict(sorted(totals.items()))
+
+    def window_keys(self, label: Optional[str] = None) -> List[str]:
+        """Every derived window metric the series ever reported."""
+        keys = set()
+        for record in self.samples(label):
+            keys.update(record.get("window", {}))
+        return sorted(keys)
+
+    def window_series(
+        self, key: str, label: Optional[str] = None
+    ) -> List[float]:
+        """One window metric over time (samples missing the key skipped)."""
+        return [
+            float(record["window"][key])
+            for record in self.samples(label)
+            if key in record.get("window", {})
+        ]
+
+    def wrapped(self, label: Optional[str] = None) -> List[str]:
+        """Counters flagged as wrapped by the most recent sample."""
+        samples = self.samples(label)
+        return list(samples[-1].get("wrapped", [])) if samples else []
+
+    def span_summary(self, label: Optional[str] = None) -> Dict[str, dict]:
+        """Per-span-path aggregate: count, total wall seconds, cycles."""
+        summary: Dict[str, dict] = {}
+        for span in self.spans(label):
+            path = str(span.get("path", span.get("name", "?")))
+            entry = summary.setdefault(
+                path, {"count": 0, "wall_seconds": 0.0, "cycles": 0.0}
+            )
+            entry["count"] += 1
+            entry["wall_seconds"] += float(span.get("wall", {}).get("seconds", 0.0))
+            entry["cycles"] += float(span.get("end_cycle", 0.0)) - float(
+                span.get("begin_cycle", 0.0)
+            )
+        return dict(sorted(summary.items()))
+
+    # ------------------------------------------------------------------ #
+    # Rendering
+    # ------------------------------------------------------------------ #
+
+    def summary(self) -> str:
+        """A few lines an operator reads first: volume, labels, wraps."""
+        samples = self.samples()
+        lines = [
+            f"{len(self.records)} records: {len(samples)} samples, "
+            f"{len(self.spans())} spans; labels: "
+            + (", ".join(self.labels()) or "none")
+        ]
+        if samples:
+            first, last = samples[0], samples[-1]
+            lines.append(
+                f"cycles {first.get('cycle', 0.0):.0f} .. "
+                f"{last.get('cycle', 0.0):.0f}, "
+                f"{last.get('transactions', 0):,} transactions observed"
+            )
+        wrapped = self.wrapped()
+        if wrapped:
+            lines.append(
+                "WRAPPED 40-bit counters (raw readouts aliased): "
+                + ", ".join(wrapped)
+            )
+        return "\n".join(lines)
+
+    def dashboard(self, width: int = 48, label: Optional[str] = None) -> str:
+        """The ``watch`` screen: one sparkline per window metric + spans."""
+        lines = [self.summary()]
+        for key in self.window_keys(label):
+            series = self.window_series(key, label)
+            if not series:
+                continue
+            spark = render_sparkline(series, width=width)
+            lines.append(
+                f"{key:28s} last {series[-1]:.4f}  peak {max(series):.4f}"
+            )
+            lines.append(f"{'':28s} [{spark}]")
+        span_summary = self.span_summary(label)
+        if span_summary:
+            lines.append("spans (wall-clock profile):")
+            for path, entry in span_summary.items():
+                lines.append(
+                    f"  {path:26s} x{entry['count']:<4d} "
+                    f"{entry['wall_seconds'] * 1e3:9.2f} ms  "
+                    f"{entry['cycles']:.0f} cycles"
+                )
+        return "\n".join(lines)

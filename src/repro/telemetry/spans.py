@@ -1,0 +1,99 @@
+"""Span-based run tracing: where does replay wall-clock time go?
+
+A :class:`RunTrace` records nested, named spans — ``capture``, ``replay``,
+per-phase sub-spans — each with *two* clocks: the deterministic
+cycle-domain timestamp of the component under test (so span boundaries
+are reproducible from a seed) and the host wall-clock duration (so the
+reproduction itself can be profiled, the way Tables 3/4 profile the
+simulators the paper compares against).  Wall-clock fields live under the
+reserved ``"wall"`` record key and are stripped by determinism checks
+(see :mod:`repro.telemetry.sink`).
+
+Span records are emitted when a span *closes*, so children precede their
+parents in the stream; ``path`` ("replay/dispatch") and ``depth`` make
+the hierarchy trivial to rebuild.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Callable, Iterator, List, Optional
+
+from repro.telemetry.sink import NULL_SINK, TelemetrySink
+
+#: Current span-record schema revision.
+SPAN_VERSION = 1
+
+
+class RunTrace:
+    """Collects nested timing spans into a telemetry sink.
+
+    Args:
+        sink: where closed-span records go.
+        clock: optional zero-argument callable returning the current
+            cycle-domain timestamp (e.g. ``lambda: board.now_cycle``);
+            without one, cycle fields are 0.0 and only wall durations are
+            meaningful.
+        label: tags every record, like the sampler's label.
+    """
+
+    def __init__(
+        self,
+        sink: TelemetrySink = NULL_SINK,
+        clock: Optional[Callable[[], float]] = None,
+        label: str = "run",
+    ) -> None:
+        self.sink = sink
+        self.label = label
+        self._clock = clock
+        self._stack: List[str] = []
+        self._seq = 0
+
+    def bind_clock(self, clock: Optional[Callable[[], float]]) -> None:
+        """Attach (or detach) the cycle-domain clock after construction."""
+        self._clock = clock
+
+    def _now_cycle(self) -> float:
+        return float(self._clock()) if self._clock is not None else 0.0
+
+    @contextmanager
+    def span(self, name: str, **attrs: object) -> Iterator[None]:
+        """Time one named phase; extra keyword attributes ride along.
+
+        Attribute values must be JSON-serialisable and deterministic
+        (record counts, configuration names — not timings; wall clock is
+        recorded separately).
+        """
+        self._stack.append(name)
+        path = "/".join(self._stack)
+        depth = len(self._stack) - 1
+        begin_cycle = self._now_cycle()
+        begin_wall = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - begin_wall
+            end_cycle = self._now_cycle()
+            self._stack.pop()
+            record = {
+                "type": "span",
+                "v": SPAN_VERSION,
+                "label": self.label,
+                "seq": self._seq,
+                "name": name,
+                "path": path,
+                "depth": depth,
+                "begin_cycle": begin_cycle,
+                "end_cycle": end_cycle,
+                "wall": {"seconds": elapsed},
+            }
+            if attrs:
+                record["attrs"] = dict(attrs)
+            self._seq += 1
+            self.sink.emit(record)
+
+    @property
+    def depth(self) -> int:
+        """How many spans are currently open."""
+        return len(self._stack)

@@ -55,6 +55,27 @@ class TestCounterBank:
         assert len(bank) == 0
         assert bank.read("x") == 0
 
+    def test_snapshot_key_sorted(self):
+        bank = CounterBank(prefix="node0")
+        bank.increment("zeta")
+        bank.increment("alpha")
+        bank.increment("mid")
+        assert list(bank.snapshot()) == ["node0.alpha", "node0.mid", "node0.zeta"]
+        assert list(bank.snapshot(qualified=False)) == ["alpha", "mid", "zeta"]
+
+    def test_wrapped_counters_iterator(self):
+        bank = CounterBank(prefix="node1")
+        bank.increment("fine", 10)
+        bank.increment("zz.over", (1 << 40) + 1)
+        bank.increment("aa.over", (1 << 41) + 5)
+        assert list(bank.wrapped_counters()) == ["node1.aa.over", "node1.zz.over"]
+        assert list(bank.wrapped_counters(qualified=False)) == ["aa.over", "zz.over"]
+
+    def test_wrapped_counters_empty_when_none_wrapped(self):
+        bank = CounterBank()
+        bank.increment("small", COUNTER_MASK)
+        assert list(bank.wrapped_counters()) == []
+
 
 class TestWrapTime:
     def test_paper_claim_over_30_hours(self):

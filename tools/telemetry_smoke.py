@@ -1,0 +1,199 @@
+#!/usr/bin/env python
+"""CI smoke test of the observability machinery (repro.telemetry).
+
+Four contracts are asserted, each seeded so CI failures reproduce locally
+byte-for-byte:
+
+1. **Null-sink identity** — a replay with a sampler and run trace attached
+   (pointed at the null sink) must land on statistics bit-identical to a
+   bare replay.  Any drift means the samplers mutate emulation state.
+2. **JSONL round-trip** — a deterministic JSONL series re-read from disk
+   must re-encode to the identical bytes, and two same-seed runs must
+   write byte-identical files (wall-clock fields segregated and stripped).
+3. **Prometheus export** — the exposition page must parse with our own
+   minimal reader, and every exported counter total must equal the summed
+   wrap-aware deltas of the recorded series.
+4. **Checkpoint continuity** — splitting a replay across a checkpoint /
+   restore must produce the identical record stream as the straight run.
+
+Exit status is non-zero on any violation.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+import numpy as np
+
+from repro.bus.trace import encode_arrays
+from repro.bus.transaction import BusCommand
+from repro.memories.board import board_for_machine
+from repro.memories.config import CacheNodeConfig
+from repro.target.configs import split_smp_machine
+from repro.telemetry import (
+    NULL_SINK,
+    CounterSampler,
+    JsonlSink,
+    MemorySink,
+    RunTrace,
+    TelemetrySeries,
+    encode_record,
+    load_jsonl,
+    parse_exposition,
+    series_exposition,
+)
+
+RECORDS = 4000
+SEED = 30000
+CADENCE = 512
+
+
+def _machine():
+    config = CacheNodeConfig(size=64 * 1024, assoc=4, line_size=128)
+    return split_smp_machine(config, n_cpus=4, procs_per_node=2)
+
+
+def _words() -> np.ndarray:
+    rng = np.random.default_rng(SEED)
+    cpus = rng.integers(0, 4, RECORDS).astype(np.uint64)
+    commands = rng.choice(
+        [int(BusCommand.READ), int(BusCommand.RWITM)],
+        size=RECORDS,
+        p=[0.8, 0.2],
+    ).astype(np.uint64)
+    addresses = (rng.integers(0, 1024, RECORDS) * np.uint64(128)).astype(
+        np.uint64
+    )
+    return encode_arrays(cpus, commands, addresses)
+
+
+def check(name: str, ok: bool, detail: str = "") -> bool:
+    print(f"[{'ok  ' if ok else 'FAIL'}] {name}" + (f" ({detail})" if detail and not ok else ""))
+    return ok
+
+
+def _run_jsonl(path, words, machine) -> bytes:
+    sink = JsonlSink(path, deterministic=True)
+    board = board_for_machine(machine)
+    trace = RunTrace(sink, label="smoke")
+    board.attach_telemetry(
+        CounterSampler(sink, every_transactions=CADENCE), trace
+    )
+    board.replay_words(words)
+    board.telemetry.finish(board)
+    sink.close()
+    with open(path, "rb") as handle:
+        return handle.read()
+
+
+def main() -> int:
+    import tempfile
+    from pathlib import Path
+
+    words = _words()
+    machine = _machine()
+    ok = True
+
+    # 1. Null-sink identity.
+    bare = board_for_machine(machine)
+    bare.replay_words(words)
+    instrumented = board_for_machine(machine)
+    instrumented.attach_telemetry(
+        CounterSampler(NULL_SINK, every_transactions=CADENCE),
+        RunTrace(NULL_SINK),
+    )
+    instrumented.replay_words(words)
+    ok &= check(
+        "null-sink instrumented replay bit-identical to bare",
+        json.dumps(bare.statistics(), sort_keys=True)
+        == json.dumps(instrumented.statistics(), sort_keys=True),
+    )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        # 2. JSONL round-trip + same-seed byte identity.
+        first_path = Path(tmp) / "first.jsonl"
+        second_path = Path(tmp) / "second.jsonl"
+        first_bytes = _run_jsonl(first_path, words, machine)
+        second_bytes = _run_jsonl(second_path, words, machine)
+        ok &= check(
+            "same-seed deterministic runs write byte-identical JSONL",
+            first_bytes == second_bytes and len(first_bytes) > 0,
+            f"{len(first_bytes)} vs {len(second_bytes)} bytes",
+        )
+        records = load_jsonl(first_path)
+        reencoded = (
+            "\n".join(encode_record(r) for r in records) + "\n"
+        ).encode()
+        ok &= check(
+            "JSONL series round-trips through load_jsonl/encode_record",
+            reencoded == first_bytes,
+            f"{len(reencoded)} vs {len(first_bytes)} bytes",
+        )
+
+    # 3. Prometheus export parses and totals match the summed deltas.
+    sink = MemorySink()
+    board = board_for_machine(machine)
+    sampler = CounterSampler(sink, every_transactions=CADENCE)
+    board.attach_telemetry(sampler)
+    board.replay_words(words)
+    sampler.finish(board)
+    page = series_exposition(sink.records)
+    parsed = parse_exposition(page)
+    totals = TelemetrySeries(sink.records).totals()
+    mismatches = [
+        name
+        for name, value in totals.items()
+        if parsed.get(
+            ("memories_counter_total", (("counter", name), ("label", "board")))
+        )
+        != value
+    ]
+    ok &= check(
+        "prometheus exposition parses and totals match summed deltas",
+        bool(parsed) and not mismatches,
+        f"mismatched: {mismatches[:5]}",
+    )
+
+    # 4. Checkpoint / restore continuity of the record stream.
+    straight_sink = MemorySink()
+    straight = board_for_machine(machine)
+    straight.attach_telemetry(
+        CounterSampler(straight_sink, every_transactions=CADENCE)
+    )
+    straight.replay_words(words)
+    half = RECORDS // 2
+    first_sink = MemorySink()
+    first_board = board_for_machine(machine)
+    first_board.attach_telemetry(
+        CounterSampler(first_sink, every_transactions=CADENCE)
+    )
+    first_board.replay_words(words[:half])
+    state = json.loads(json.dumps(first_board.checkpoint()))
+    second_sink = MemorySink()
+    second_board = board_for_machine(machine)
+    second_board.attach_telemetry(
+        CounterSampler(second_sink, every_transactions=CADENCE)
+    )
+    second_board.restore(state)
+    second_board.replay_words(words[half:])
+    combined = [
+        encode_record(r) for r in first_sink.records + second_sink.records
+    ]
+    straight_lines = [encode_record(r) for r in straight_sink.records]
+    ok &= check(
+        "checkpoint/restore mid-series continues the identical stream",
+        combined == straight_lines and len(combined) > 0,
+        f"{len(combined)} vs {len(straight_lines)} records",
+    )
+    ok &= check(
+        "restored run lands on the straight run's statistics",
+        second_board.statistics() == straight.statistics(),
+    )
+
+    print("telemetry smoke: " + ("PASS" if ok else "FAIL"))
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
