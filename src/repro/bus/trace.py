@@ -20,7 +20,7 @@ import io
 import struct
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, Iterator, List, Union
+from typing import Iterable, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -42,15 +42,22 @@ _CPU_MASK = 0xFF
 #: are highly regular, so compression routinely reaches 3-6x).  Versions 3
 #: and 4 are the same two layouts followed by a CRC32 trailer over the
 #: stored payload bytes, so disk corruption or truncation is detected at
-#: load time instead of silently skewing replayed statistics.  Writers emit
-#: the CRC formats by default; all four versions load.
+#: load time instead of silently skewing replayed statistics.  Version 5 is
+#: the *segmented* layout used by crash-safe supervised runs
+#: (:mod:`repro.supervisor`): fixed-size runs of raw records, each followed
+#: by its own CRC32 trailer, so a reader can seek straight to segment *i*
+#: and verify exactly the bytes it replays — one rotted segment is
+#: quarantinable instead of poisoning the whole file.  Writers emit the
+#: CRC formats by default; all five versions load.
 FILE_MAGIC = b"MIES"
 FILE_VERSION = 1
 FILE_VERSION_COMPRESSED = 2
 FILE_VERSION_CRC = 3
 FILE_VERSION_COMPRESSED_CRC = 4
+FILE_VERSION_SEGMENTED = 5
 _HEADER = struct.Struct("<4sHHQ")  # magic, version, reserved, record count
 _CRC_TRAILER = struct.Struct("<I")  # CRC32 of the stored payload bytes
+_SEGMENT_HEADER = struct.Struct("<I")  # records per segment (v5 only)
 
 #: On-board SDRAM capacity of the current board revision, in records.
 BOARD_TRACE_CAPACITY = 1_000_000_000
@@ -235,7 +242,11 @@ class TraceWriter:
         return BusTrace(np.concatenate(self._chunks))
 
     def save(
-        self, path: Union[str, Path], compress: bool = False, crc: bool = True
+        self,
+        path: Union[str, Path],
+        compress: bool = False,
+        crc: bool = True,
+        segment_records: Optional[int] = None,
     ) -> None:
         """Write the trace file (header + packed records, little-endian).
 
@@ -244,10 +255,37 @@ class TraceWriter:
                 version automatically.
             crc: append the CRC32 trailer (the current on-disk format);
                 pass False to emit the legacy v1/v2 layouts.
+            segment_records: write the segmented v5 layout, ``segment_records``
+                records per independently-CRC'd segment (raw only; the
+                supervised-run on-disk format).
         """
         import zlib
 
         trace = self.to_trace()
+        if segment_records is not None:
+            if compress or not crc:
+                raise TraceFormatError(
+                    "the segmented trace format is raw with per-segment CRCs; "
+                    "compress/crc options do not apply"
+                )
+            if not 1 <= segment_records <= 0xFFFFFFFF:
+                raise TraceFormatError(
+                    f"segment_records {segment_records} outside [1, 2^32)"
+                )
+            with open(path, "wb") as f:
+                f.write(
+                    _HEADER.pack(FILE_MAGIC, FILE_VERSION_SEGMENTED, 0, len(trace))
+                )
+                f.write(_SEGMENT_HEADER.pack(segment_records))
+                for start in range(0, len(trace), segment_records):
+                    payload = (
+                        trace.words[start : start + segment_records]
+                        .astype("<u8")
+                        .tobytes()
+                    )
+                    f.write(payload)
+                    f.write(_CRC_TRAILER.pack(zlib.crc32(payload) & 0xFFFFFFFF))
+            return
         payload = trace.words.astype("<u8").tobytes()
         if compress:
             payload = zlib.compress(payload, level=6)
@@ -267,6 +305,73 @@ class TraceReader:
     def __init__(self, path: Union[str, Path]) -> None:
         self._path = Path(path)
 
+    def _read_header(self, f) -> Tuple[int, int]:
+        """Parse the common header; returns (version, record count)."""
+        header = f.read(_HEADER.size)
+        if len(header) < _HEADER.size:
+            raise TraceFormatError(f"{self._path}: truncated header")
+        magic, version, _reserved, count = _HEADER.unpack(header)
+        if magic != FILE_MAGIC:
+            raise TraceFormatError(f"{self._path}: bad magic {magic!r}")
+        return version, count
+
+    def segment_info(self) -> Tuple[int, int, int]:
+        """v5 layout parameters: (segment_records, n_segments, record count).
+
+        Raises:
+            TraceFormatError: when the file is not the segmented format.
+        """
+        with open(self._path, "rb") as f:
+            version, count = self._read_header(f)
+            if version != FILE_VERSION_SEGMENTED:
+                raise TraceFormatError(
+                    f"{self._path}: version {version} is not the segmented "
+                    "(v5) format"
+                )
+            seg_header = f.read(_SEGMENT_HEADER.size)
+            if len(seg_header) < _SEGMENT_HEADER.size:
+                raise TraceFormatError(f"{self._path}: truncated segment header")
+            (segment_records,) = _SEGMENT_HEADER.unpack(seg_header)
+        if segment_records < 1:
+            raise TraceFormatError(f"{self._path}: zero-record segments")
+        n_segments = -(-count // segment_records) if count else 0
+        return segment_records, n_segments, count
+
+    def read_segment(self, index: int) -> np.ndarray:
+        """Random-access read of one v5 segment, verifying its own CRC.
+
+        A corrupt or truncated segment raises :class:`TraceFormatError`
+        identifying the segment — the unit a supervised run quarantines —
+        while every other segment of the file stays readable.
+        """
+        import zlib
+
+        segment_records, n_segments, count = self.segment_info()
+        if not 0 <= index < n_segments:
+            raise TraceFormatError(
+                f"{self._path}: segment {index} outside [0, {n_segments})"
+            )
+        records = min(segment_records, count - index * segment_records)
+        offset = (
+            _HEADER.size
+            + _SEGMENT_HEADER.size
+            + index * (segment_records * 8 + _CRC_TRAILER.size)
+        )
+        with open(self._path, "rb") as f:
+            f.seek(offset)
+            payload = f.read(records * 8)
+            trailer = f.read(_CRC_TRAILER.size)
+        if len(payload) != records * 8 or len(trailer) < _CRC_TRAILER.size:
+            raise TraceFormatError(
+                f"{self._path}: segment {index} is truncated"
+            )
+        (expected,) = _CRC_TRAILER.unpack(trailer)
+        if zlib.crc32(payload) & 0xFFFFFFFF != expected:
+            raise TraceFormatError(
+                f"{self._path}: segment {index} CRC mismatch — segment is corrupt"
+            )
+        return np.frombuffer(payload, dtype="<u8").astype(np.uint64)
+
     def load(self) -> BusTrace:
         """Load the whole file into memory as a :class:`BusTrace`.
 
@@ -279,12 +384,16 @@ class TraceReader:
         import zlib
 
         with open(self._path, "rb") as f:
-            header = f.read(_HEADER.size)
-            if len(header) < _HEADER.size:
-                raise TraceFormatError(f"{self._path}: truncated header")
-            magic, version, _reserved, count = _HEADER.unpack(header)
-            if magic != FILE_MAGIC:
-                raise TraceFormatError(f"{self._path}: bad magic {magic!r}")
+            version, count = self._read_header(f)
+            if version == FILE_VERSION_SEGMENTED:
+                _seg_records, n_segments, _count = self.segment_info()
+                if n_segments == 0:
+                    return BusTrace()
+                return BusTrace(
+                    np.concatenate(
+                        [self.read_segment(i) for i in range(n_segments)]
+                    )
+                )
             if version not in (
                 FILE_VERSION,
                 FILE_VERSION_COMPRESSED,
@@ -319,19 +428,21 @@ class TraceReader:
     def iter_chunks(self, chunk_records: int = 1 << 20) -> Iterator[np.ndarray]:
         """Stream the file in chunks of packed records (replay path).
 
-        Works on the raw formats (v1 and v3); v3's CRC is accumulated
-        chunk-by-chunk and verified after the final chunk, so a corrupt
-        tail raises before the caller treats the replay as complete.
+        Works on the raw formats (v1, v3 and segmented v5); v3's CRC is
+        accumulated chunk-by-chunk and verified after the final chunk, so a
+        corrupt tail raises before the caller treats the replay as
+        complete, while v5 yields one verified segment at a time (a bad
+        segment raises when reached).
         """
         import zlib
 
         with open(self._path, "rb") as f:
-            header = f.read(_HEADER.size)
-            if len(header) < _HEADER.size:
-                raise TraceFormatError(f"{self._path}: truncated header")
-            magic, version, _reserved, count = _HEADER.unpack(header)
-            if magic != FILE_MAGIC:
-                raise TraceFormatError(f"{self._path}: bad header")
+            version, count = self._read_header(f)
+            if version == FILE_VERSION_SEGMENTED:
+                _seg_records, n_segments, _count = self.segment_info()
+                for index in range(n_segments):
+                    yield self.read_segment(index)
+                return
             if version not in (FILE_VERSION, FILE_VERSION_CRC):
                 raise TraceFormatError(
                     f"{self._path}: chunked reads need a raw (v1/v3) format; "

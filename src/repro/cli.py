@@ -23,6 +23,7 @@ Commands (also shown by ``help``)::
     verify                                       verify the current programming
     faults                                       resilience report for the board
     watch [every_transactions]                   live telemetry dashboard
+    supervise <run_dir>                          supervised-run journal status
     help | quit
 
 Static verification also runs stand-alone, before any board exists::
@@ -45,6 +46,18 @@ And counter time-series campaigns (see :mod:`repro.telemetry`)::
     python -m repro.cli telemetry report <series.jsonl>
     python -m repro.cli telemetry export <series.jsonl> --format prom|jsonl
         [--deterministic]
+
+And crash-safe supervised runs (see :mod:`repro.supervisor`)::
+
+    python -m repro.cli supervise run <run_dir> [--records N] [--seed S]
+        [--cache SIZE] [--trace FILE] [--segment-records N] [--ecc]
+        [--keep N] [--max-restarts N] [--deadline SECONDS]
+    python -m repro.cli supervise resume <run_dir>
+    python -m repro.cli supervise status <run_dir>
+
+Exit codes are disciplined for unattended use: 0 success, 1 a check ran
+and failed, 2 validation error, 3 runtime fault, 4 run completed but
+degraded (see docs/resilience.md).
 
 Sizes accept the paper's notation (``64MB``, ``1GB``); everything the CLI
 builds is scaled by the session's scale factor (default 1024) so runs
@@ -79,6 +92,31 @@ class CliError(ReproError):
     """A command was malformed or issued out of order."""
 
 
+#: Exit-code discipline for unattended (cron/CI) runs; documented in
+#: docs/resilience.md.  1 is reserved for "a check ran and failed"
+#: (verify reports, zero-fault mismatch), so wrappers can branch on the
+#: *class* of failure without parsing output.
+EXIT_OK = 0
+EXIT_CHECK_FAILED = 1
+EXIT_VALIDATION = 2
+EXIT_RUNTIME = 3
+EXIT_DEGRADED = 4
+
+
+def classify_error(error: ReproError) -> int:
+    """Map an error to the exit-code taxonomy.
+
+    Validation errors (bad arguments, malformed specs/programmings) exit
+    :data:`EXIT_VALIDATION`; runtime faults (corrupt files, emulation or
+    supervision failures) exit :data:`EXIT_RUNTIME`.
+    """
+    from repro.common.errors import ConfigurationError, ValidationError
+
+    if isinstance(error, (CliError, ValidationError, ConfigurationError)):
+        return EXIT_VALIDATION
+    return EXIT_RUNTIME
+
+
 class ConsoleSession:
     """State of one console session: host, board, workload."""
 
@@ -100,6 +138,7 @@ class ConsoleSession:
             "verify": self._cmd_console_passthrough,
             "faults": self._cmd_console_passthrough,
             "watch": self._cmd_watch,
+            "supervise": self._cmd_supervise,
             "miss-ratios": self._cmd_miss_ratios,
             "save-trace": self._cmd_save_trace,
             "save-machine": self._cmd_save_machine,
@@ -249,6 +288,10 @@ class ConsoleSession:
     def _cmd_watch(self, args: List[str]) -> str:
         """One frame of the console's live telemetry dashboard."""
         return self.console.execute(" ".join(["watch", *args]))
+
+    def _cmd_supervise(self, args: List[str]) -> str:
+        """Journal status of a supervised run directory."""
+        return self.console.execute(" ".join(["supervise", *args]))
 
     def _cmd_miss_ratios(self, args: List[str]) -> str:
         ratios = self.console.miss_ratios()
@@ -621,28 +664,149 @@ def telemetry_main(argv: List[str]) -> int:
     return 0
 
 
+def supervise_main(argv: List[str]) -> int:
+    """The ``supervise`` subcommand: crash-safe segmented runs.
+
+    ``supervise run <run_dir>`` captures a scaled TPC-C bus trace (or
+    takes one via ``--trace``), stages it into ``run_dir`` as a segmented
+    trace plus run spec and journal, and executes it under the
+    :class:`~repro.supervisor.RunSupervisor` watchdog.  ``supervise
+    resume <run_dir>`` continues an interrupted run from its last
+    journaled checkpoint — killing a run at any point and resuming it
+    yields counters bit-identical to an uninterrupted run.  ``supervise
+    status <run_dir>`` renders the journal without touching the board.
+
+    Exit codes follow the module taxonomy: 0 clean completion, 4 when
+    the run completed but degraded (quarantined segments or offlined
+    nodes), 2/3 for validation/runtime failures.
+    """
+    import argparse
+
+    from repro.supervisor import (
+        RunSupervisor,
+        SupervisedRunSpec,
+        render_status,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cli supervise",
+        description="crash-safe supervised replay with durable checkpoints",
+    )
+    sub = parser.add_subparsers(dest="action")
+    run_parser = sub.add_parser(
+        "run", help="stage a run directory and execute it under supervision"
+    )
+    run_parser.add_argument("run_dir")
+    run_parser.add_argument(
+        "--records", type=int, default=20_000,
+        help="bus records to capture (default 20000)")
+    run_parser.add_argument(
+        "--seed", type=int, default=0,
+        help="seed shared by workload and replacement policy")
+    run_parser.add_argument(
+        "--cache", default="64MB",
+        help="paper-scale L3 size, scaled 1/1024 (default 64MB)")
+    run_parser.add_argument(
+        "--trace", default=None,
+        help="replay this saved .mies trace instead of capturing one")
+    run_parser.add_argument(
+        "--segment-records", type=int, default=5_000,
+        help="records per committed segment (default 5000)")
+    run_parser.add_argument(
+        "--ecc", action="store_true",
+        help="protect tag/state directories with ECC (enables the "
+             "pre-segment self-check degradation rung)")
+    run_parser.add_argument(
+        "--keep", type=int, default=3,
+        help="checkpoints kept in the rotation (default 3)")
+    run_parser.add_argument(
+        "--max-restarts", type=int, default=3,
+        help="worker restart budget before the run fails (default 3)")
+    run_parser.add_argument(
+        "--deadline", type=float, default=60.0,
+        help="minimum per-segment watchdog deadline in seconds")
+    resume_parser = sub.add_parser(
+        "resume", help="continue an interrupted run from its journal"
+    )
+    resume_parser.add_argument("run_dir")
+    status_parser = sub.add_parser(
+        "status", help="render a run directory's journal state"
+    )
+    status_parser.add_argument("run_dir")
+    ns = parser.parse_args(argv)
+
+    if ns.action == "status":
+        supervisor = RunSupervisor.open(ns.run_dir)
+        print(render_status(supervisor.status()))
+        return EXIT_OK
+    if ns.action == "resume":
+        supervisor = RunSupervisor.open(ns.run_dir)
+        result = supervisor.run()
+        print(render_status(supervisor.status()))
+        print(f"digest {result.digest[:16]}…")
+        return EXIT_DEGRADED if result.degraded else EXIT_OK
+    if ns.action != "run":
+        parser.print_usage()
+        return EXIT_VALIDATION
+
+    scale = ExperimentScale()
+    if ns.trace is not None:
+        trace_source = ns.trace
+        print(f"staging saved trace {ns.trace}...")
+    else:
+        workload = TpccWorkload(
+            db_bytes=scale.scaled_bytes("150GB"),
+            n_cpus=scale.n_cpus,
+            private_bytes=scale.scaled_bytes("8MB"),
+            seed=ns.seed,
+        )
+        print(
+            f"capturing {ns.records:,} bus records "
+            f"(TPC-C, scale 1/{scale.scale})..."
+        )
+        trace_source = capture_records(
+            workload, ns.records, scale.host()
+        ).words
+    machine = single_node_machine(scale.cache(ns.cache), n_cpus=scale.n_cpus)
+    spec = SupervisedRunSpec(
+        machine=machine,
+        seed=ns.seed,
+        ecc=ns.ecc,
+        segment_records=ns.segment_records,
+        keep_checkpoints=ns.keep,
+        max_restarts=ns.max_restarts,
+        segment_deadline=ns.deadline,
+    )
+    supervisor = RunSupervisor.create(spec, trace_source, ns.run_dir)
+    result = supervisor.run()
+    print(render_status(supervisor.status()))
+    ratios = ", ".join(
+        f"{ratio:.4f}" for _, ratio in sorted(result.miss_ratios.items())
+    )
+    print(f"final miss ratios: {ratios}")
+    print(f"digest {result.digest[:16]}…")
+    return EXIT_DEGRADED if result.degraded else EXIT_OK
+
+
+#: Stand-alone subcommands dispatched before the console session starts.
+_SUBCOMMANDS: Dict[str, Callable[[List[str]], int]] = {
+    "verify": verify_main,
+    "faults": faults_main,
+    "telemetry": telemetry_main,
+    "supervise": supervise_main,
+}
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point: interactive prompt, scripted session, ``verify``,
-    ``faults`` or ``telemetry``."""
+    ``faults``, ``telemetry`` or ``supervise``."""
     argv = list(sys.argv[1:] if argv is None else argv)
-    if argv and argv[0].lower() == "verify":
+    if argv and argv[0].lower() in _SUBCOMMANDS:
         try:
-            return verify_main(argv[1:])
+            return _SUBCOMMANDS[argv[0].lower()](argv[1:])
         except ReproError as error:
             print(f"error: {error}")
-            return 2
-    if argv and argv[0].lower() == "faults":
-        try:
-            return faults_main(argv[1:])
-        except ReproError as error:
-            print(f"error: {error}")
-            return 2
-    if argv and argv[0].lower() == "telemetry":
-        try:
-            return telemetry_main(argv[1:])
-        except ReproError as error:
-            print(f"error: {error}")
-            return 2
+            return classify_error(error)
     session = ConsoleSession()
     if argv:
         source = open(argv[0])

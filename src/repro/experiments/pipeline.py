@@ -22,6 +22,7 @@ from repro.target.mapping import MAX_EMULATED_NODES
 from repro.workloads.base import Workload
 
 if TYPE_CHECKING:
+    from repro.supervisor import SupervisedRunResult
     from repro.telemetry.sink import TelemetrySink
     from repro.telemetry.spans import RunTrace
 
@@ -167,3 +168,39 @@ def replay_machine(
     if board.telemetry is not None:
         board.telemetry.finish(board)
     return board
+
+
+def supervised_replay(
+    trace: BusTrace,
+    machine,
+    run_dir,
+    seed: int = 0,
+    ecc: bool = False,
+    segment_records: int = 5_000,
+) -> "SupervisedRunResult":
+    """Crash-safe variant of :func:`replay_machine` for long runs.
+
+    Stages ``trace`` into ``run_dir`` and replays it in journaled,
+    checkpointed segments under a :class:`~repro.supervisor.RunSupervisor`
+    (see :mod:`repro.supervisor`).  Interrupted runs resume from the last
+    committed checkpoint when called again with the same ``run_dir``;
+    the final counters are bit-identical to :func:`replay_machine` either
+    way.  Returns the :class:`~repro.supervisor.SupervisedRunResult`
+    (statistics snapshot, per-node miss ratios, degradation accounting).
+    """
+    from pathlib import Path
+
+    from repro.supervisor import RunSupervisor, SupervisedRunSpec
+
+    run_dir = Path(run_dir)
+    if (run_dir / RunSupervisor.JOURNAL_NAME).exists():
+        supervisor = RunSupervisor.open(run_dir)
+    else:
+        spec = SupervisedRunSpec(
+            machine=machine,
+            seed=seed,
+            ecc=ecc,
+            segment_records=segment_records,
+        )
+        supervisor = RunSupervisor.create(spec, trace, run_dir)
+    return supervisor.run()

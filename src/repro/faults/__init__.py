@@ -12,9 +12,17 @@ emulated miss ratio from a fault-free baseline, and
 campaigns survive interruption.
 """
 
-from repro.faults.campaign import CampaignResult, FaultCampaign, run_campaign
+from repro.faults.campaign import (
+    CampaignResult,
+    FaultCampaign,
+    run_campaign,
+    supervised_campaign,
+)
 from repro.faults.checkpoint import (
+    CheckpointRotation,
+    find_latest_checkpoint,
     load_checkpoint,
+    load_checkpoint_payload,
     restore_checkpoint,
     save_checkpoint,
 )
@@ -27,13 +35,17 @@ from repro.faults.plan import (
 
 __all__ = [
     "CampaignResult",
+    "CheckpointRotation",
     "FaultCampaign",
     "FaultEvent",
     "FaultInjector",
     "FaultPlan",
     "corrupt_trace_bytes",
+    "find_latest_checkpoint",
     "load_checkpoint",
+    "load_checkpoint_payload",
     "restore_checkpoint",
     "run_campaign",
     "save_checkpoint",
+    "supervised_campaign",
 ]

@@ -230,3 +230,87 @@ def run_campaign(
         machine, seed=seed, ecc=ecc, scrub_interval=scrub_interval
     )
     return campaign.run(words, plan)
+
+
+def supervised_campaign(
+    words: np.ndarray,
+    machine: TargetMachine,
+    plan: FaultPlan,
+    run_dir,
+    seed: int = 0,
+    ecc: bool = True,
+    segment_records: int = 5_000,
+    max_restarts: int = 3,
+) -> CampaignResult:
+    """Crash-safe variant of :func:`run_campaign`.
+
+    The faulted arm runs under a :class:`~repro.supervisor.RunSupervisor`
+    in ``run_dir``: the trace is staged as a segmented file and replayed
+    in journaled, checkpointed segments by a watchdog-supervised worker
+    process.  Kill the campaign at any point and call this again with the
+    same ``run_dir`` — it resumes from the last committed checkpoint and
+    the result is bit-identical to an uninterrupted run.
+
+    The final board state (counters *and* injector RNG streams) is
+    rebuilt from the run's last checkpoint and cross-checked against the
+    journaled statistics digest, so the returned :class:`CampaignResult`
+    carries the same fault events and counter snapshots the in-process
+    :class:`FaultCampaign` would have produced.
+    """
+    from pathlib import Path
+
+    from repro.faults.checkpoint import CheckpointRotation, restore_checkpoint
+    from repro.supervisor import (
+        RunSupervisor,
+        SupervisedRunSpec,
+        SupervisorError,
+        statistics_digest,
+    )
+
+    spec = SupervisedRunSpec(
+        machine=machine,
+        seed=seed,
+        ecc=ecc,
+        fault_plan=plan,
+        segment_records=segment_records,
+        max_restarts=max_restarts,
+    )
+    run_dir = Path(run_dir)
+    if (run_dir / RunSupervisor.JOURNAL_NAME).exists():
+        supervisor = RunSupervisor.open(run_dir)
+    else:
+        supervisor = RunSupervisor.create(spec, words, run_dir)
+    result = supervisor.run()
+
+    baseline_board = spec.build_board()
+    baseline_board.replay_words(words)
+    baseline = baseline_board.statistics()
+    baseline_miss_ratio = _aggregate_miss_ratio(baseline_board)
+
+    faulted_board = spec.build_board()
+    injector = spec.build_injector(faulted_board)
+    events: List[FaultEvent] = []
+    latest = CheckpointRotation(
+        run_dir / "checkpoints", keep=spec.keep_checkpoints
+    ).latest()
+    if latest is not None:
+        extra = restore_checkpoint(faulted_board, latest[1])
+        if injector is not None and extra and "injector" in extra:
+            injector.load_state_dict(extra["injector"])
+            events = list(injector.events)
+    faulted = faulted_board.statistics()
+    if statistics_digest(faulted) != result.digest:
+        raise SupervisorError(
+            f"{run_dir}: final checkpoint does not match the journaled "
+            f"run result"
+        )
+    return CampaignResult(
+        plan=plan,
+        records=int(words.shape[0]),
+        baseline=baseline,
+        faulted=faulted,
+        baseline_miss_ratio=baseline_miss_ratio,
+        faulted_miss_ratio=_aggregate_miss_ratio(faulted_board),
+        fault_counts=dict(result.fault_counts),
+        events=events,
+    )

@@ -265,6 +265,52 @@ class FaultInjector:
         """Committed faults by kind."""
         return dict(Counter(event.kind for event in self.events))
 
+    # ------------------------------------------------------------------ #
+    # Checkpoint support (supervised fault campaigns)
+    # ------------------------------------------------------------------ #
+
+    def state_dict(self) -> dict:
+        """Mutable injector state, JSON-serialisable.
+
+        Rides in a checkpoint's ``extra`` sidecar so a supervised fault
+        campaign resumed mid-run draws the *same* remaining fault sites as
+        an uninterrupted one (the RNG cursors are the state; the plan
+        itself is immutable and travels in the run spec).
+        """
+        return {
+            "rngs": {
+                "drop": self._drop_rng.bit_generator.state,
+                "flip": self._flip_rng.bit_generator.state,
+                "burst": self._burst_rng.bit_generator.state,
+                "saturate": self._saturate_rng.bit_generator.state,
+            },
+            "tenures_seen": self.tenures_seen,
+            "events": [event.as_dict() for event in self.events],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a checkpointed injector state."""
+        rngs = state["rngs"]
+        self._drop_rng.bit_generator.state = rngs["drop"]
+        self._flip_rng.bit_generator.state = rngs["flip"]
+        self._burst_rng.bit_generator.state = rngs["burst"]
+        self._saturate_rng.bit_generator.state = rngs["saturate"]
+        self.tenures_seen = int(state["tenures_seen"])
+        self.events = [
+            FaultEvent(
+                tenure=int(entry["tenure"]),
+                kind=str(entry["kind"]),
+                detail=tuple(
+                    sorted(
+                        (key, value)
+                        for key, value in entry.items()
+                        if key not in ("tenure", "kind")
+                    )
+                ),
+            )
+            for entry in state.get("events", [])
+        ]
+
 
 def corrupt_trace_bytes(
     data: bytes, rng: np.random.Generator, mode: str = "flip"

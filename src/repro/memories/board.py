@@ -124,11 +124,23 @@ class CacheEmulationFirmware:
                     scrub_interval=scrub_interval,
                 )
             )
+        # Nodes taken out of service by the degradation ladder (see
+        # offline_node); excluded from routing, ticks and resyncs.
+        self.offline: set = set()
         # Pre-computed routing: per group, cpu -> local controller, and each
         # controller's peer list within the group.
         self._groups: List[Tuple[Dict[int, NodeController], Dict[int, Tuple[NodeController, ...]], Tuple[NodeController, ...]]] = []
-        for group, indices in machine.groups().items():
-            controllers = [self.nodes[i] for i in indices]
+        self._rebuild_groups()
+
+    def _rebuild_groups(self) -> None:
+        """Recompute routing over the nodes still in service."""
+        groups: List[Tuple[Dict[int, NodeController], Dict[int, Tuple[NodeController, ...]], Tuple[NodeController, ...]]] = []
+        for group, indices in self.machine.groups().items():
+            controllers = [
+                self.nodes[i] for i in indices if i not in self.offline
+            ]
+            if not controllers:
+                continue
             local_by_cpu: Dict[int, NodeController] = {}
             peers_of: Dict[int, Tuple[NodeController, ...]] = {}
             for controller in controllers:
@@ -137,7 +149,26 @@ class CacheEmulationFirmware:
                 peers_of[controller.index] = tuple(
                     c for c in controllers if c is not controller
                 )
-            self._groups.append((local_by_cpu, peers_of, tuple(controllers)))
+            groups.append((local_by_cpu, peers_of, tuple(controllers)))
+        self._groups = groups
+
+    def offline_node(self, index: int) -> None:
+        """Take one emulated node out of service (degraded-mode operation).
+
+        The node's counters freeze at their current values (they stay in
+        statistics snapshots — the history up to the failure is still
+        real data); its CPUs fall through to the unmapped-master path, so
+        their traffic keeps driving coherence on the surviving nodes, the
+        same way an uninstantiated target node's would.  Idempotent.
+        """
+        if not 0 <= index < len(self.nodes):
+            raise ConfigurationError(
+                f"cannot offline node {index}; board has {len(self.nodes)}"
+            )
+        if index in self.offline:
+            return
+        self.offline.add(index)
+        self._rebuild_groups()
 
     def process(
         self,
@@ -208,7 +239,8 @@ class CacheEmulationFirmware:
     def tick(self, now_cycle: float) -> None:
         """Advance background machinery (ECC patrol scrubbers)."""
         for node in self.nodes:
-            node.tick(now_cycle)
+            if node.index not in self.offline:
+                node.tick(now_cycle)
 
     def resync_address(self, address: int, now_cycle: float) -> int:
         """Recover from a lost snoop: conservatively resync every node.
@@ -217,6 +249,8 @@ class CacheEmulationFirmware:
         """
         dropped = 0
         for node in self.nodes:
+            if node.index in self.offline:
+                continue
             if node.resync_address(address, now_cycle):
                 dropped += 1
         return dropped
@@ -224,11 +258,15 @@ class CacheEmulationFirmware:
     def reset(self) -> None:
         for node in self.nodes:
             node.reset()
+        if self.offline:
+            self.offline.clear()
+            self._rebuild_groups()
 
     def state_dict(self) -> dict:
         """Mutable firmware state for board checkpoints."""
         return {
             "rng": self._rng.bit_generator.state,
+            "offline": sorted(self.offline),
             "nodes": [node.state_dict() for node in self.nodes],
         }
 
@@ -246,6 +284,10 @@ class CacheEmulationFirmware:
                 f"{len(self.nodes)}"
             )
         self._rng.bit_generator.state = state["rng"]
+        offline = set(state.get("offline", ()))
+        if offline != self.offline:
+            self.offline = offline
+            self._rebuild_groups()
         for node, node_state in zip(self.nodes, nodes):
             node.load_state_dict(node_state)
 
@@ -284,6 +326,11 @@ class MemoriesBoard:
         self.now_cycle = 0.0
         self.retries_posted = 0
         self.snoop_losses = 0
+        # Degraded-mode accounting (repro.supervisor): trace segments the
+        # run skipped because their payload failed CRC, and the records
+        # those segments would have replayed.
+        self.segments_quarantined = 0
+        self.records_skipped = 0
         # Background-machinery hook (the ECC patrol scrubber); optional so
         # alternate firmware images need not implement it.
         self._firmware_tick = getattr(firmware, "tick", None)
@@ -422,6 +469,9 @@ class MemoriesBoard:
         merged["board.retries_posted"] = self.retries_posted
         merged["board.snoop_losses"] = self.snoop_losses
         merged["board.wrapped_counters"] = len(self.wrapped_counters())
+        merged["board.segments_quarantined"] = self.segments_quarantined
+        merged["board.records_skipped"] = self.records_skipped
+        merged["board.offline_nodes"] = len(self.offline_nodes())
         return dict(sorted(merged.items()))
 
     def wrapped_counters(self) -> List[str]:
@@ -435,6 +485,38 @@ class MemoriesBoard:
         if hook is not None:
             wrapped.extend(hook())
         return sorted(wrapped)
+
+    def note_segment_quarantined(self, records: int) -> None:
+        """Account one skipped (quarantined) trace segment.
+
+        The supervisor calls this instead of replaying a segment whose
+        payload failed its CRC: the run continues, but the gap is explicit
+        in ``board.segments_quarantined`` / ``board.records_skipped`` so
+        downstream analysis knows the counters under-count reality.
+        """
+        self.segments_quarantined += 1
+        self.records_skipped += int(records)
+
+    def offline_node(self, index: int) -> None:
+        """Take one emulated node out of service (degraded-mode operation).
+
+        Delegates to the firmware's ``offline_node`` hook; see
+        :meth:`CacheEmulationFirmware.offline_node` for semantics.
+
+        Raises:
+            ConfigurationError: when the loaded firmware image has no
+                offline support, or ``index`` is out of range.
+        """
+        hook = getattr(self.firmware, "offline_node", None)
+        if hook is None:
+            raise ConfigurationError(
+                "the loaded firmware image cannot offline nodes"
+            )
+        hook(index)
+
+    def offline_nodes(self) -> List[int]:
+        """Indices of nodes currently out of service, sorted."""
+        return sorted(getattr(self.firmware, "offline", ()))
 
     def note_snoop_loss(self, address: int) -> int:
         """Record a snooped tenure the board failed to latch.
@@ -460,6 +542,8 @@ class MemoriesBoard:
         self.now_cycle = 0.0
         self.retries_posted = 0
         self.snoop_losses = 0
+        self.segments_quarantined = 0
+        self.records_skipped = 0
         # Counters just dropped to zero; an attached sampler must forget
         # its previous snapshot or it would misread the drop as a wrap.
         if self.telemetry is not None:
@@ -483,6 +567,8 @@ class MemoriesBoard:
             "now_cycle": self.now_cycle,
             "retries_posted": self.retries_posted,
             "snoop_losses": self.snoop_losses,
+            "segments_quarantined": self.segments_quarantined,
+            "records_skipped": self.records_skipped,
             "address_filter": self.address_filter.state_dict(),
             "global_counter": self.global_counter.state_dict(),
         }
@@ -503,6 +589,8 @@ class MemoriesBoard:
         self.now_cycle = float(state["now_cycle"])
         self.retries_posted = int(state["retries_posted"])
         self.snoop_losses = int(state.get("snoop_losses", 0))
+        self.segments_quarantined = int(state.get("segments_quarantined", 0))
+        self.records_skipped = int(state.get("records_skipped", 0))
         self.address_filter.load_state_dict(state["address_filter"])
         self.global_counter.load_state_dict(state["global_counter"])
         if "firmware" in state:

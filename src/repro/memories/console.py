@@ -262,7 +262,8 @@ class MemoriesConsole:
 
         Supported commands: ``stats``, ``report``, ``reset``, ``describe``,
         ``log``, ``self-test``, ``protocol <node>``, ``overflows``,
-        ``verify``, ``faults``, ``watch [every_transactions]``.
+        ``verify``, ``faults``, ``watch [every_transactions]``,
+        ``supervise <run_dir>``.
         """
         command = command_line.strip().lower()
         if command == "self-test":
@@ -271,6 +272,19 @@ class MemoriesConsole:
             parts = command.split()
             every = int(parts[1]) if len(parts) > 1 else None
             return self.watch(every)
+        if command.startswith("supervise"):
+            # Needs no board: reads the run directory's journal only.
+            parts = command_line.strip().split()
+            if len(parts) < 2:
+                raise ConfigurationError("usage: supervise <run_dir>")
+            from repro.supervisor import RunSupervisor, render_status
+
+            supervisor = RunSupervisor.open(parts[1])
+            try:
+                self._log.append(f"supervise: inspected {parts[1]}")
+                return render_status(supervisor.status())
+            finally:
+                supervisor.close()
         if command == "faults":
             return self.resilience_report()
         if command == "verify":

@@ -321,6 +321,43 @@ class EccTagStateDirectory(TagStateDirectory):
             return False
         return True
 
+    def self_check(self) -> int:
+        """Count resident lines whose stored word is beyond repair.
+
+        A strictly read-only probe: unlike :meth:`verify_line` it never
+        repairs, invalidates or counts anything, so running it changes no
+        state whatsoever.  The run supervisor calls it between replay
+        segments to decide whether a directory bank has failed hard
+        enough to take the node offline; *repair* of correctable damage
+        stays with the patrol scrubber at its own cadence, which keeps
+        supervised runs bit-identical to unsupervised ones even while
+        faults are being injected.
+
+        Counts the same conditions :meth:`verify_line` would invalidate
+        for: uncorrectable words, and corrections that would collide with
+        another way's tag or land outside the state alphabet.
+        """
+        uncorrectable = 0
+        for set_index in range(len(self._tags)):
+            tags = self._tags[set_index]
+            states = self._states[set_index]
+            for way in range(len(tags)):
+                stored = states[way]
+                word = (tags[way] << STATE_BITS) | (stored & STATE_MASK)
+                corrected, outcome = self._codec.decode(
+                    word, stored >> self._check_shift
+                )
+                if outcome is EccOutcome.CLEAN:
+                    continue
+                if outcome is EccOutcome.UNCORRECTABLE:
+                    uncorrectable += 1
+                    continue
+                new_tag = corrected >> STATE_BITS
+                duplicate = new_tag != tags[way] and new_tag in tags
+                if duplicate or not self._state_is_valid(corrected & STATE_MASK):
+                    uncorrectable += 1
+        return uncorrectable
+
     def scrub_set(
         self, set_index: int, counters: Optional[CounterBank] = None
     ) -> int:

@@ -235,6 +235,20 @@ class NodeController:
         _set_index, _tag, way = self.directory.probe(address)
         return way
 
+    def ecc_self_check(self) -> int:
+        """Sweep the whole directory through ECC; returns uncorrectable lines.
+
+        The supervisor's per-segment health check: a node reporting
+        uncorrectable directory corruption here is a candidate for being
+        taken offline.  The sweep is strictly read-only — no counters
+        move, no lines drop, no repairs happen (that stays with the
+        patrol scrubber) — so running it never perturbs bit-identity
+        with an unsupervised replay.
+        """
+        if not self.ecc:
+            return 0
+        return self.directory.self_check()
+
     def can_accept(self, now_cycle: float) -> bool:
         """Whether this controller could admit one more operation now."""
         return self.buffer.can_accept(now_cycle)

@@ -1,0 +1,159 @@
+"""The append-only run journal: the supervisor's write-ahead log.
+
+One JSONL file per supervised run.  Every line is a self-checking record::
+
+    {"seq": 12, "crc": 309128375, "type": "segment_commit", ...}
+
+``crc`` is the CRC32 of the record's canonical JSON encoding with the
+``crc`` key removed; ``seq`` increments by one per line.  Appends are
+fsynced, so once :meth:`RunJournal.append` returns, the record survives a
+power cut.
+
+The commit protocol the supervisor builds on this (checkpoint first, then
+journal) means the journal is the single source of truth for resume: the
+last ``segment_commit`` line names the checkpoint to restart from, and any
+work the worker did after that line is simply redone — deterministically,
+so the final counters cannot tell the difference.
+
+Read-side tolerance is asymmetric, as a WAL's must be:
+
+* a **torn tail** (partial last line, or a last line failing its CRC) is
+  what a crash mid-append legitimately leaves behind — it is dropped, and
+  :attr:`RunJournal.torn_tail` records that it happened;
+* corruption **before** the tail means the log itself cannot be trusted
+  and raises :class:`~repro.common.errors.TraceFormatError`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from pathlib import Path
+from typing import List, Optional, Union
+
+from repro.common.errors import TraceFormatError
+
+
+def _encode(record: dict) -> str:
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+class _CorruptLine(ValueError):
+    """Internal: a journal line failed validation (shape, CRC, or seq)."""
+
+
+class RunJournal:
+    """Append-only, CRC-per-line, fsync-per-append JSONL log.
+
+    Args:
+        path: the journal file; created empty on first append.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self.records: List[dict] = []
+        self.torn_tail = False
+        self._handle = None
+        self._load()
+
+    # ------------------------------------------------------------------ #
+    # Reading
+    # ------------------------------------------------------------------ #
+
+    def _load(self) -> None:
+        if not self.path.exists():
+            return
+        raw_lines = self.path.read_text().splitlines()
+        for number, line in enumerate(raw_lines, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            is_tail = number == len(raw_lines)
+            try:
+                record = json.loads(line)
+                if not isinstance(record, dict):
+                    raise _CorruptLine("not an object")
+                recorded_crc = int(record.pop("crc"))
+                if zlib.crc32(_encode(record).encode("utf-8")) & 0xFFFFFFFF != recorded_crc:
+                    raise _CorruptLine("CRC mismatch")
+                if int(record["seq"]) != len(self.records):
+                    raise _CorruptLine(
+                        f"sequence gap: expected {len(self.records)}, "
+                        f"got {record['seq']}"
+                    )
+            except (ValueError, KeyError, TypeError) as exc:
+                if is_tail:
+                    # A crash mid-append tears exactly the last line; that
+                    # record was never acknowledged, so dropping it is the
+                    # correct (and only safe) recovery.
+                    self.torn_tail = True
+                    return
+                raise TraceFormatError(
+                    f"{self.path}: journal line {number} is corrupt "
+                    f"({exc}) and is not the tail — the log cannot be "
+                    f"trusted"
+                ) from exc
+            self.records.append(record)
+
+    def entries(self, record_type: Optional[str] = None) -> List[dict]:
+        """All records, or just those of one ``type``, in append order."""
+        if record_type is None:
+            return list(self.records)
+        return [r for r in self.records if r.get("type") == record_type]
+
+    def last(self, record_type: str) -> Optional[dict]:
+        """Newest record of one ``type``, or None."""
+        for record in reversed(self.records):
+            if record.get("type") == record_type:
+                return record
+        return None
+
+    @property
+    def next_seq(self) -> int:
+        return len(self.records)
+
+    # ------------------------------------------------------------------ #
+    # Appending
+    # ------------------------------------------------------------------ #
+
+    def append(self, record_type: str, **fields) -> dict:
+        """Durably append one record; returns it (with seq filled in).
+
+        The line only exists on disk in full or not at all from the
+        reader's perspective: a torn write fails the line CRC and is
+        dropped as tail damage on the next open.
+        """
+        record = {"type": record_type, "seq": len(self.records), **fields}
+        line = _encode(record)
+        crc = zlib.crc32(line.encode("utf-8")) & 0xFFFFFFFF
+        full = _encode({**record, "crc": crc})
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            # If the previous incarnation tore its tail, truncate it away
+            # before appending so the file holds only validated records.
+            if self.torn_tail:
+                rewrite = "".join(
+                    _encode(
+                        {
+                            **r,
+                            "crc": zlib.crc32(_encode(r).encode("utf-8"))
+                            & 0xFFFFFFFF,
+                        }
+                    )
+                    + "\n"
+                    for r in self.records
+                )
+                self.path.write_text(rewrite)
+                self.torn_tail = False
+            self._handle = open(self.path, "a")
+        self._handle.write(full + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self.records.append(record)
+        return record
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None

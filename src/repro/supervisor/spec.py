@@ -1,0 +1,231 @@
+"""Supervised-run specification, board construction, and digests.
+
+A :class:`SupervisedRunSpec` is the complete, JSON-serialisable recipe for
+one supervised run: the target-machine programming, the (staged, v5
+segmented) trace, segmentation and retention parameters, watchdog budgets,
+and an optional fault plan.  It is written to ``spec.json`` in the run
+directory when the run is created and re-read on every resume, so a
+``supervise resume`` after a crash — or on a different console — rebuilds
+exactly the same board.
+
+:class:`ChaosPlan` is the test-only failure schedule the chaos harness
+uses to make crashes deterministic (kill after N records, kill at a
+commit boundary, corrupt one node's directory at a segment start).  It
+lives here rather than in the tests so ``tools/chaos_smoke.py`` and CI
+exercise the very same hooks.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Tuple, Union
+
+from repro.common.errors import ValidationError
+from repro.faults.plan import FaultPlan
+from repro.memories.board import MemoriesBoard, board_for_machine
+from repro.target.mapping import TargetMachine
+
+#: Default records per replay segment (one commit per segment).
+DEFAULT_SEGMENT_RECORDS = 100_000
+
+
+def statistics_digest(statistics: dict) -> str:
+    """Stable digest of a board statistics snapshot.
+
+    The journal stores this per segment commit; resume cross-checks the
+    restored board against it, so a checkpoint that restores into
+    different counters is caught before any further replay.
+    """
+    canonical = json.dumps(statistics, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """Deterministic failure schedule for chaos testing.
+
+    Applied only to the *first* worker launch of a supervisor's run()
+    (restarted workers run clean), so a test gets exactly one induced
+    failure per scheduled site.
+
+    Attributes:
+        kill_after_records: SIGKILL the worker after replaying this many
+            records of its first segment — a mid-segment crash.
+        kill_at_commit: SIGKILL the worker immediately after committing
+            segment N — a crash precisely on a commit boundary.
+        fail_node: ``(segment, node)``: at the start of that segment,
+            plant an uncorrectable double bit flip in that node's ECC
+            directory so the per-segment self-check reports it.
+    """
+
+    kill_after_records: Optional[int] = None
+    kill_at_commit: Optional[int] = None
+    fail_node: Optional[Tuple[int, int]] = None
+
+    def to_dict(self) -> dict:
+        return {
+            "kill_after_records": self.kill_after_records,
+            "kill_at_commit": self.kill_at_commit,
+            "fail_node": list(self.fail_node) if self.fail_node else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ChaosPlan":
+        fail_node = data.get("fail_node")
+        return cls(
+            kill_after_records=data.get("kill_after_records"),
+            kill_at_commit=data.get("kill_at_commit"),
+            fail_node=tuple(fail_node) if fail_node else None,
+        )
+
+
+@dataclass(frozen=True)
+class SupervisedRunSpec:
+    """Everything needed to (re)build and drive one supervised run.
+
+    Attributes:
+        machine: the target-machine programming (dict form rebuilds it).
+        seed: board seed (replacement-policy RNG).
+        ecc: protect directories with SECDED ECC (required for the
+            node-offline rung of the degradation ladder to ever fire).
+        segment_records: records per segment — the commit granularity.
+        keep_checkpoints: checkpoint generations retained by rotation.
+        max_restarts: restart budget before degradation kicks in.
+        backoff_base: first restart delay, seconds (doubles per restart).
+        heartbeat_every: worker heartbeat cadence, in replayed records.
+        segment_deadline: hard per-segment wall deadline, seconds; the
+            watchdog also derives a throughput-based deadline and uses
+            whichever is larger.
+        max_offline_nodes: how many nodes degradation may take offline
+            before the run is declared failed rather than degraded.
+        fault_plan: optional fault-injection overlay for the whole run.
+        assumed_utilization: board clock model parameter.
+    """
+
+    machine: TargetMachine
+    seed: int = 0
+    ecc: bool = False
+    segment_records: int = DEFAULT_SEGMENT_RECORDS
+    keep_checkpoints: int = 3
+    max_restarts: int = 3
+    backoff_base: float = 0.05
+    heartbeat_every: int = 10_000
+    segment_deadline: float = 60.0
+    max_offline_nodes: int = 1
+    fault_plan: Optional[FaultPlan] = None
+    assumed_utilization: float = 0.20
+    chaos: Optional[ChaosPlan] = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.segment_records < 1:
+            raise ValidationError(
+                f"segment_records must be >= 1, got {self.segment_records}"
+            )
+        if self.keep_checkpoints < 1:
+            raise ValidationError(
+                f"keep_checkpoints must be >= 1, got {self.keep_checkpoints}"
+            )
+        if self.max_restarts < 0:
+            raise ValidationError(
+                f"max_restarts must be >= 0, got {self.max_restarts}"
+            )
+        if self.heartbeat_every < 1:
+            raise ValidationError(
+                f"heartbeat_every must be >= 1, got {self.heartbeat_every}"
+            )
+        if self.segment_deadline <= 0:
+            raise ValidationError(
+                f"segment_deadline must be positive, got {self.segment_deadline}"
+            )
+        if self.fault_plan is not None:
+            self.fault_plan.validate()
+
+    # ------------------------------------------------------------------ #
+    # Board construction
+    # ------------------------------------------------------------------ #
+
+    def build_board(self) -> MemoriesBoard:
+        """A fresh board programmed exactly as this spec describes."""
+        return board_for_machine(
+            self.machine,
+            seed=self.seed,
+            assumed_utilization=self.assumed_utilization,
+            ecc=self.ecc,
+        )
+
+    def build_injector(self, board: MemoriesBoard):
+        """The fault overlay for ``board``, or None for clean runs."""
+        if self.fault_plan is None or self.fault_plan.is_zero:
+            return None
+        from repro.faults.plan import FaultInjector
+
+        return FaultInjector(board, self.fault_plan)
+
+    # ------------------------------------------------------------------ #
+    # Serialisation (spec.json in the run directory)
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> dict:
+        data = {
+            "machine": self.machine.to_dict(),
+            "seed": self.seed,
+            "ecc": self.ecc,
+            "segment_records": self.segment_records,
+            "keep_checkpoints": self.keep_checkpoints,
+            "max_restarts": self.max_restarts,
+            "backoff_base": self.backoff_base,
+            "heartbeat_every": self.heartbeat_every,
+            "segment_deadline": self.segment_deadline,
+            "max_offline_nodes": self.max_offline_nodes,
+            "assumed_utilization": self.assumed_utilization,
+            "fault_plan": (
+                self.fault_plan.to_dict() if self.fault_plan else None
+            ),
+        }
+        # The chaos schedule deliberately does NOT serialise: it applies to
+        # one launch of one process, never to a resumed run.
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SupervisedRunSpec":
+        try:
+            machine = TargetMachine.from_dict(data["machine"])
+            fault_plan = (
+                FaultPlan.from_dict(data["fault_plan"])
+                if data.get("fault_plan")
+                else None
+            )
+            return cls(
+                machine=machine,
+                seed=int(data.get("seed", 0)),
+                ecc=bool(data.get("ecc", False)),
+                segment_records=int(
+                    data.get("segment_records", DEFAULT_SEGMENT_RECORDS)
+                ),
+                keep_checkpoints=int(data.get("keep_checkpoints", 3)),
+                max_restarts=int(data.get("max_restarts", 3)),
+                backoff_base=float(data.get("backoff_base", 0.05)),
+                heartbeat_every=int(data.get("heartbeat_every", 10_000)),
+                segment_deadline=float(data.get("segment_deadline", 60.0)),
+                max_offline_nodes=int(data.get("max_offline_nodes", 1)),
+                assumed_utilization=float(
+                    data.get("assumed_utilization", 0.20)
+                ),
+                fault_plan=fault_plan,
+            )
+        except (KeyError, TypeError) as exc:
+            raise ValidationError(f"malformed run spec: {exc}") from exc
+
+    def save(self, path: Union[str, Path]) -> None:
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2))
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "SupervisedRunSpec":
+        try:
+            data = json.loads(Path(path).read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ValidationError(f"unreadable run spec {path}: {exc}") from exc
+        return cls.from_dict(data)

@@ -163,6 +163,20 @@ class TargetMachine:
             )
         return "\n".join(lines)
 
+    def fingerprint(self) -> str:
+        """Stable digest of the complete programming.
+
+        Checkpoint files carry this so a restore into a board programmed
+        with a *different* machine is refused outright instead of silently
+        mis-replaying (the node counts may match while geometry differs).
+        """
+        import hashlib
+
+        canonical = json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
     # ------------------------------------------------------------------ #
     # Programming files
     # ------------------------------------------------------------------ #

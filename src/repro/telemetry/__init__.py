@@ -39,6 +39,7 @@ from repro.telemetry.sink import (
     JsonlSink,
     MemorySink,
     NullSink,
+    TeeSink,
     TelemetrySink,
     encode_record,
     load_jsonl,
@@ -54,6 +55,7 @@ __all__ = [
     "NULL_SINK",
     "NullSink",
     "RunTrace",
+    "TeeSink",
     "TelemetrySeries",
     "TelemetrySink",
     "encode_record",

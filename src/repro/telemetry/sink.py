@@ -137,6 +137,26 @@ class JsonlSink:
             self._handle.flush()
 
 
+class TeeSink:
+    """Fans every record out to several sinks, in order.
+
+    The supervisor's worker shards use this to feed one sampler both a
+    durable JSONL series and the heartbeat channel back to the watchdog —
+    telemetry stays a single attachment point on the board.
+    """
+
+    def __init__(self, *sinks: TelemetrySink) -> None:
+        self.sinks = list(sinks)
+
+    def emit(self, record: dict) -> None:
+        for sink in self.sinks:
+            sink.emit(record)
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            sink.close()
+
+
 def load_jsonl(source: Union[str, Path, Iterable[str]]) -> List[dict]:
     """Read a JSONL time series back into a list of records.
 

@@ -95,6 +95,25 @@ class TestSinks:
         assert len(sink) == 2
         assert [r["seq"] for r in sink.records] == [0, 1]
 
+    def test_tee_sink_fans_out_in_order_and_closes_all(self):
+        from repro.telemetry import TeeSink
+
+        first, second = MemorySink(), MemorySink()
+        closed = []
+
+        class ClosableSink(MemorySink):
+            def close(self):
+                closed.append(self)
+
+        third = ClosableSink()
+        tee = TeeSink(first, second, third)
+        tee.emit({"seq": 0})
+        tee.emit({"seq": 1})
+        assert first.records == second.records == third.records
+        assert [r["seq"] for r in first.records] == [0, 1]
+        tee.close()
+        assert closed == [third]
+
     def test_strip_wall(self):
         record = {"seq": 3, "wall": {"seconds": 0.5}}
         assert strip_wall(record) == {"seq": 3}
