@@ -123,6 +123,30 @@ def decode_arrays(words: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray
     return cpu_ids, commands, addresses, responses
 
 
+def iter_rows(*columns: np.ndarray) -> Iterator[tuple]:
+    """Row-iterate parallel numpy columns as native Python scalars.
+
+    ``zip(a.tolist(), b.tolist(), ...)`` is the fastest way to walk numpy
+    columns from Python — one bulk conversion instead of a boxed scalar per
+    element — but spelling it out at every replay loop invites drift.  All
+    scalar per-record loops (board dispatch, fault injection, the trace
+    simulator, the host SMP) go through here or :func:`iter_decoded`.
+    """
+    return zip(*(np.asarray(column).tolist() for column in columns))
+
+
+def iter_decoded(words: np.ndarray) -> Iterator[Tuple[int, int, int, int]]:
+    """Decode packed records and iterate ``(cpu_id, command, address,
+    response)`` rows as plain Python ints.
+
+    The single shared consumer-side decode loop: any change to the record
+    layout or to the decode fast path lands in every replay consumer at
+    once.  Command/response fields are raw ints; callers needing enums wrap
+    them (``BusCommand(command)``) or index a lookup table.
+    """
+    return iter_rows(*decode_arrays(words))
+
+
 @dataclass
 class BusTrace:
     """An in-memory bus trace: a numpy array of packed 64-bit records.

@@ -788,12 +788,78 @@ def supervise_main(argv: List[str]) -> int:
     return EXIT_DEGRADED if result.degraded else EXIT_OK
 
 
+def bench_main(argv: List[str]) -> int:
+    """The ``bench`` subcommand: replay-engine throughput A/B.
+
+    Replays one deterministic synthetic trace through the scalar
+    reference loop, the batched engine and the sharded worker pool (see
+    :mod:`repro.experiments.replay_bench`), prints records/sec for each,
+    and optionally writes the JSON report CI archives as
+    ``BENCH_replay.json``.  The digests are the point: a non-zero exit
+    means the engines' statistics diverged, which is a correctness
+    failure, not a slow run.
+    """
+    import argparse
+    import json
+    from pathlib import Path
+
+    from repro.experiments.replay_bench import (
+        DEFAULT_RECORDS,
+        run_replay_benchmark,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cli bench",
+        description="replay throughput: scalar vs batched vs sharded engines",
+    )
+    parser.add_argument(
+        "--records", type=int, default=DEFAULT_RECORDS,
+        help=f"bus records to replay (default {DEFAULT_RECORDS})")
+    parser.add_argument(
+        "--seed", type=int, default=2000,
+        help="workload and replacement-policy seed (default 2000)")
+    parser.add_argument(
+        "--shards", type=int, default=4,
+        help="worker shards for the sharded engine (default 4)")
+    parser.add_argument(
+        "--inline-shards", action="store_true",
+        help="replay the shards inline instead of in worker processes")
+    parser.add_argument(
+        "--out", default=None,
+        help="write the JSON report here (e.g. BENCH_replay.json)")
+    ns = parser.parse_args(argv)
+
+    report = run_replay_benchmark(
+        ns.records, seed=ns.seed, shards=ns.shards,
+        sharded_processes=not ns.inline_shards,
+    )
+    for name, entry in report["engines"].items():
+        print(
+            f"{name:8s} {entry['records_per_second']:12,.0f} records/s  "
+            f"digest {entry['statistics_digest'][:16]}…"
+        )
+    print(f"batched speedup over scalar: {report['batched_speedup']:.2f}x")
+    if ns.out:
+        Path(ns.out).write_text(
+            json.dumps(report, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote {ns.out}")
+    if not report["identical"]:
+        print(
+            "error: engine statistics digests differ — a fast path is "
+            "not bit-identical to the scalar reference"
+        )
+        return EXIT_VALIDATION
+    return EXIT_OK
+
+
 #: Stand-alone subcommands dispatched before the console session starts.
 _SUBCOMMANDS: Dict[str, Callable[[List[str]], int]] = {
     "verify": verify_main,
     "faults": faults_main,
     "telemetry": telemetry_main,
     "supervise": supervise_main,
+    "bench": bench_main,
 }
 
 

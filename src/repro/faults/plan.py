@@ -183,15 +183,12 @@ class FaultInjector:
 
     def replay_words(self, words: np.ndarray) -> int:
         """Replay packed records through the fault overlay (offline path)."""
-        from repro.bus.trace import decode_arrays
+        from repro.bus.trace import iter_decoded
 
-        cpu_ids, commands, addresses, responses = decode_arrays(words)
         dispatch = self.dispatch
         command_of = _COMMANDS
         response_of = _RESPONSES
-        for cpu_id, command, address, response in zip(
-            cpu_ids.tolist(), commands.tolist(), addresses.tolist(), responses.tolist()
-        ):
+        for cpu_id, command, address, response in iter_decoded(words):
             dispatch(cpu_id, command_of[command], address, response_of[response])
         return int(words.shape[0])
 

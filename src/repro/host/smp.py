@@ -15,6 +15,7 @@ from typing import Iterable, List, Optional, Tuple
 import numpy as np
 
 from repro.bus.bus import Monitor, SystemBus
+from repro.bus.trace import iter_rows
 from repro.bus.transaction import BusCommand, BusTransaction
 from repro.common.errors import ConfigurationError
 from repro.common.units import GB, MB
@@ -162,9 +163,7 @@ class HostSMP:
         access_of = [
             (p.l1.access if p.l1 is not None else p.l2.access) for p in processors
         ]
-        for cpu_id, address, is_write in zip(
-            cpu_ids.tolist(), addresses.tolist(), is_writes.tolist()
-        ):
+        for cpu_id, address, is_write in iter_rows(cpu_ids, addresses, is_writes):
             if cpu_id >= n_cpus:
                 raise ConfigurationError(
                     f"workload references CPU {cpu_id} on a {n_cpus}-way host"

@@ -43,7 +43,7 @@ if TYPE_CHECKING:
 import numpy as np
 
 from repro.bus.bus import ADDRESS_TENURE_CYCLES
-from repro.bus.trace import BusTrace, decode_arrays
+from repro.bus.trace import BusTrace, iter_decoded
 from repro.bus.transaction import BusCommand, BusTransaction, SnoopResponse
 from repro.common.errors import ConfigurationError, EmulationError
 from repro.memories.address_filter import AddressFilter
@@ -242,6 +242,21 @@ class CacheEmulationFirmware:
             if node.index not in self.offline:
                 node.tick(now_cycle)
 
+    def tick_active(self) -> bool:
+        """Whether :meth:`tick` currently does any work.
+
+        The batched replay engine cannot interleave time-driven machinery
+        (the ECC patrol scrubber) between tenures, so it asks this hint and
+        falls back to the scalar path whenever any in-service node has a
+        scrubber.  With none, per-tenure ticks are pure no-ops and skipping
+        them is bit-exact.
+        """
+        return any(
+            node.scrubber is not None
+            for node in self.nodes
+            if node.index not in self.offline
+        )
+
     def resync_address(self, address: int, now_cycle: float) -> int:
         """Recover from a lost snoop: conservatively resync every node.
 
@@ -334,6 +349,12 @@ class MemoriesBoard:
         # Background-machinery hook (the ECC patrol scrubber); optional so
         # alternate firmware images need not implement it.
         self._firmware_tick = getattr(firmware, "tick", None)
+        # Offline-replay engine selector.  True routes replay_words through
+        # the vectorised batched engine (repro.memories.batch), which is
+        # bit-identical to the scalar loop and falls back to it on its own
+        # whenever an active feature rules batching out.  False forces the
+        # scalar reference path (tests, A/B benchmarks).
+        self.batched_replay = True
         # Observability (repro.telemetry): with nothing attached the
         # dispatch path pays exactly one pointer test per tenure.
         self.telemetry: Optional["CounterSampler"] = None
@@ -364,8 +385,18 @@ class MemoriesBoard:
             self.run_trace = run_trace
 
     def detach_telemetry(self) -> None:
-        """Return the dispatch path to the uninstrumented fast path."""
-        self.telemetry = None
+        """Return the dispatch path to the uninstrumented fast path.
+
+        The sampler's cadence cursor is checkpointed on the way out
+        (:meth:`~repro.telemetry.sampler.CounterSampler.detach`): an armed
+        countdown computed against *this* board's clock would otherwise
+        survive the detachment and delay the first window after a later
+        reattach — e.g. when the board keeps replaying uninstrumented, or
+        the sampler moves to another board.
+        """
+        if self.telemetry is not None:
+            self.telemetry.detach()
+            self.telemetry = None
         if self.run_trace is not None:
             self.run_trace.bind_clock(None)
             self.run_trace = None
@@ -435,13 +466,25 @@ class MemoriesBoard:
             return self._replay_words(words)
 
     def _replay_words(self, words: np.ndarray) -> int:
-        cpu_ids, commands, addresses, responses = decode_arrays(words)
+        if self.batched_replay:
+            from repro.memories.batch import replay_words_batched
+
+            count = replay_words_batched(self, words)
+            if count is not None:
+                return count
+        return self._replay_words_scalar(words)
+
+    def _replay_words_scalar(self, words: np.ndarray) -> int:
+        """Reference replay path: one :meth:`_dispatch` per record.
+
+        The batched engine (:mod:`repro.memories.batch`) must stay
+        bit-identical to this loop; it falls back here whenever a board
+        feature it cannot vectorise is active.
+        """
         dispatch = self._dispatch
         command_of = _COMMANDS
         response_of = _RESPONSES
-        for cpu_id, command, address, response in zip(
-            cpu_ids.tolist(), commands.tolist(), addresses.tolist(), responses.tolist()
-        ):
+        for cpu_id, command, address, response in iter_decoded(words):
             dispatch(cpu_id, command_of[command], address, response_of[response])
         return int(words.shape[0])
 
@@ -464,14 +507,26 @@ class MemoriesBoard:
         aliased and only wrap-aware deltas can be trusted.
         """
         merged = dict(self.address_filter.stats.snapshot())
-        merged.update(self.global_counter.snapshot())
-        merged.update(self.firmware.snapshot())
-        merged["board.retries_posted"] = self.retries_posted
-        merged["board.snoop_losses"] = self.snoop_losses
-        merged["board.wrapped_counters"] = len(self.wrapped_counters())
-        merged["board.segments_quarantined"] = self.segments_quarantined
-        merged["board.records_skipped"] = self.records_skipped
-        merged["board.offline_nodes"] = len(self.offline_nodes())
+        board_keys = {
+            "board.retries_posted": self.retries_posted,
+            "board.snoop_losses": self.snoop_losses,
+            "board.wrapped_counters": len(self.wrapped_counters()),
+            "board.segments_quarantined": self.segments_quarantined,
+            "board.records_skipped": self.records_skipped,
+            "board.offline_nodes": len(self.offline_nodes()),
+        }
+        for source, part in (
+            ("global counter", self.global_counter.snapshot()),
+            ("firmware", self.firmware.snapshot()),
+            ("board", board_keys),
+        ):
+            for key, value in part.items():
+                if key in merged:
+                    raise EmulationError(
+                        f"duplicate statistics key {key!r} from {source}: "
+                        "a counter bank is shadowing another bank's counter"
+                    )
+                merged[key] = value
         return dict(sorted(merged.items()))
 
     def wrapped_counters(self) -> List[str]:

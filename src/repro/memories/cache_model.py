@@ -48,7 +48,27 @@ class TagStateDirectory:
         num_sets = config.num_sets
         self._tags: list[list[int]] = [[] for _ in range(num_sets)]
         self._states: list[list[int]] = [[] for _ in range(num_sets)]
-        self._meta: list[int] = [self.policy.make_meta()] * num_sets
+        # One make_meta() call per set: a policy is free to return mutable
+        # metadata, and replicating a single instance across sets would
+        # alias every set's replacement state onto one object.
+        self._meta: list = [self.policy.make_meta() for _ in range(num_sets)]
+        # Per-set tag -> way index, the O(1) replacement for scanning
+        # tags.index(tag) on every probe.  Kept coherent by every mutator;
+        # rare paths that edit tags in place (fault injection, ECC repair)
+        # rebuild their set via _rebuild_way_map.
+        self._ways: list[dict[int, int]] = [{} for _ in range(num_sets)]
+
+    def _rebuild_way_map(self, set_index: int) -> None:
+        """Recompute one set's tag->way map from its tag list.
+
+        First occurrence wins when (corrupted) duplicate tags exist, the
+        same line ``list.index`` used to return.
+        """
+        tags = self._tags[set_index]
+        ways: dict[int, int] = {}
+        for way in range(len(tags) - 1, -1, -1):
+            ways[tags[way]] = way
+        self._ways[set_index] = ways
 
     # ------------------------------------------------------------------ #
     # Hot-path operations
@@ -59,10 +79,7 @@ class TagStateDirectory:
         amap = self.amap
         set_index = amap.set_index(address)
         tag = amap.tag(address)
-        try:
-            way = self._tags[set_index].index(tag)
-        except ValueError:
-            way = -1
+        way = self._ways[set_index].get(tag, -1)
         return set_index, tag, way
 
     def state_at(self, set_index: int, way: int) -> int:
@@ -79,6 +96,16 @@ class TagStateDirectory:
             self._tags[set_index], self._states[set_index], way, self._meta[set_index]
         )
         self._meta[set_index] = meta
+        if new_way != way:
+            if new_way == 0:
+                # Promotion to MRU rotates positions 0..way one step; no
+                # entry beyond the hit way moves.
+                tags = self._tags[set_index]
+                ways = self._ways[set_index]
+                for position in range(way + 1):
+                    ways[tags[position]] = position
+            else:
+                self._rebuild_way_map(set_index)
         return new_way
 
     def install(
@@ -94,6 +121,9 @@ class TagStateDirectory:
             self._meta[set_index],
         )
         self._meta[set_index] = meta
+        # insert() may rotate, replace or evict anywhere in the set, so the
+        # miss path pays one O(assoc) map rebuild.
+        self._rebuild_way_map(set_index)
         if victim is None:
             return None
         victim_tag, victim_state = victim
@@ -101,8 +131,15 @@ class TagStateDirectory:
 
     def invalidate(self, set_index: int, way: int) -> int:
         """Drop the line at (set, way); returns its former state."""
-        self._tags[set_index].pop(way)
-        return self._states[set_index].pop(way)
+        tags = self._tags[set_index]
+        tag = tags.pop(way)
+        state = self._states[set_index].pop(way)
+        ways = self._ways[set_index]
+        if ways.get(tag) == way:
+            del ways[tag]
+        for position in range(way, len(tags)):
+            ways[tags[position]] = position
+        return state
 
     # ------------------------------------------------------------------ #
     # Whole-directory queries (console, tests, peers)
@@ -142,6 +179,7 @@ class TagStateDirectory:
         if bit < 0 or bit >= self.stored_bits:
             raise EmulationError(f"bit index {bit} outside the stored tag")
         self._tags[set_index][way] ^= 1 << bit
+        self._rebuild_way_map(set_index)
 
     def occupancy(self) -> float:
         """Fraction of line frames in use."""
@@ -169,6 +207,11 @@ class TagStateDirectory:
                 raise EmulationError(f"set {set_index}: {len(tags)} lines > {assoc}-way")
             if len(set(tags)) != len(tags):
                 raise EmulationError(f"set {set_index}: duplicate tags")
+            ways = self._ways[set_index]
+            if len(ways) != len(tags) or any(
+                way >= len(tags) or tags[way] != tag for tag, way in ways.items()
+            ):
+                raise EmulationError(f"set {set_index}: tag->way map out of sync")
 
     def clear(self) -> None:
         """Invalidate the whole directory (console power-up initialisation)."""
@@ -176,7 +219,9 @@ class TagStateDirectory:
             tags.clear()
         for states in self._states:
             states.clear()
-        self._meta = [self.policy.make_meta()] * self.config.num_sets
+        for ways in self._ways:
+            ways.clear()
+        self._meta = [self.policy.make_meta() for _ in range(self.config.num_sets)]
 
     # ------------------------------------------------------------------ #
     # Checkpoint support
@@ -212,3 +257,6 @@ class TagStateDirectory:
         self._tags = [[int(t) for t in row] for row in tags]
         self._states = [[int(s) for s in row] for row in states]
         self._meta = [int(m) for m in meta]
+        self._ways = [{} for _ in range(len(self._tags))]
+        for set_index in range(len(self._tags)):
+            self._rebuild_way_map(set_index)

@@ -9,6 +9,8 @@ reads to report bus utilization and read/write ratios.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.bus.transaction import BusCommand
 from repro.memories.counters import CounterBank
 
@@ -18,6 +20,14 @@ _COMMAND_COUNTER = {
     BusCommand.DCLAIM: "bus.dclaims",
     BusCommand.CASTOUT: "bus.castouts",
 }
+
+#: Command-counter names indexed by raw command int (None = uncounted).
+_COMMAND_COUNTER_BY_INT = [
+    _COMMAND_COUNTER.get(command)
+    for command in (
+        BusCommand(i) for i in range(max(int(c) for c in BusCommand) + 1)
+    )
+]
 
 
 class GlobalEventsCounter:
@@ -35,6 +45,34 @@ class GlobalEventsCounter:
         if name is not None:
             counters.increment(name)
         counters.increment(f"cpu.{cpu_id}")
+
+    def record_batch(
+        self,
+        cpu_ids: np.ndarray,
+        commands: np.ndarray,
+        cycles_per_tenure: float,
+    ) -> None:
+        """Account a batch of forwarded tenures sharing one tenure length.
+
+        Counter increments commute, so this is exactly ``record`` applied
+        per element — one bulk add per touched counter instead of four
+        dict updates per tenure.
+        """
+        count = int(cpu_ids.shape[0])
+        if count == 0:
+            return
+        counters = self.counters
+        counters.increment("bus.tenures", count)
+        counters.increment("bus.cycles", count * int(cycles_per_tenure))
+        command_counts = np.bincount(
+            commands.astype(np.int64), minlength=len(_COMMAND_COUNTER_BY_INT)
+        )
+        for command, name in enumerate(_COMMAND_COUNTER_BY_INT):
+            if name is not None and command_counts[command]:
+                counters.increment(name, int(command_counts[command]))
+        cpu_counts = np.bincount(cpu_ids.astype(np.int64))
+        for cpu_id in np.nonzero(cpu_counts)[0].tolist():
+            counters.increment(f"cpu.{cpu_id}", int(cpu_counts[cpu_id]))
 
     def read_write_ratio(self) -> float:
         """Reads per write-intent tenure (RWITM + DCLAIM)."""

@@ -18,8 +18,11 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from repro.common.errors import ValidationError
 from typing import Optional
+
+import numpy as np
+
+from repro.common.errors import ValidationError
 
 #: SDRAM directory throughput as a fraction of peak bus tenure bandwidth.
 SDRAM_BANDWIDTH_FRACTION = 0.42
@@ -165,6 +168,47 @@ class TransactionBuffer:
         if depth > self.stats.high_water:
             self.stats.high_water = depth
         return True
+
+    def offer_batch(self, now_cycles) -> int:
+        """Enqueue a batch of operations; exactly ``offer`` per element.
+
+        ``now_cycles`` must be ascending (replay time is monotonic).  The
+        fast path applies when the queue is idle at the first arrival and
+        consecutive arrivals are spaced at least one service time apart —
+        then every operation is accepted at depth one and only the last
+        finish time survives, so the whole batch collapses to O(1) state
+        updates.  Any other shape falls back to the per-element loop.
+        Returns the number accepted.
+        """
+        arrivals = np.asarray(now_cycles, dtype=np.float64)
+        count = int(arrivals.shape[0])
+        if count == 0:
+            return 0
+        first = float(arrivals[0])
+        self._drain(first)
+        service = self.service_cycles
+        # Spacing test mirrors the serial drain comparison bit for bit:
+        # operation i-1 (finishing at now[i-1] + service) has left the
+        # queue by arrival i.
+        if (
+            not self._finish_times
+            and self._last_finish <= first
+            and bool(np.all(arrivals[:-1] + service <= arrivals[1:]))
+        ):
+            stats = self.stats
+            stats.accepted += count
+            if stats.high_water < 1:
+                stats.high_water = 1
+            finish = float(arrivals[-1]) + service
+            self._finish_times.append(finish)
+            self._last_finish = finish
+            return count
+        accepted = 0
+        offer = self.offer
+        for now_cycle in arrivals.tolist():
+            if offer(now_cycle):
+                accepted += 1
+        return accepted
 
     def reset(self) -> None:
         """Clear in-flight operations and statistics."""

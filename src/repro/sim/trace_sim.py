@@ -22,7 +22,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
-from repro.bus.trace import BusTrace, decode_arrays
+from repro.bus.trace import BusTrace, iter_decoded
 from repro.bus.transaction import BusCommand
 from repro.common.addr import log2_int
 from repro.common.errors import ConfigurationError
@@ -151,11 +151,8 @@ class TraceSimulator:
         sets = self._sets
 
         local_cpus = self.local_cpus
-        cpu_ids, commands, addresses, responses = trace.arrays()
         started = time.perf_counter()
-        for cpu_id, command, address, response in zip(
-            cpu_ids.tolist(), commands.tolist(), addresses.tolist(), responses.tolist()
-        ):
+        for cpu_id, command, address, response in iter_decoded(trace.words):
             if command not in _MEMORY_COMMANDS or response == _RETRY:
                 result.filtered += 1
                 continue

@@ -219,6 +219,24 @@ class CounterSampler:
         """Emit the final (possibly partial) window, tagged ``"final"``."""
         return self.sample(source, kind="final")
 
+    def detach(self) -> None:
+        """Checkpoint the cadence cursor on detachment from a source.
+
+        An armed countdown is a *prediction* — ``_rearm`` converted "next
+        window boundary" into a transaction count using the source's clock
+        position at arm time.  Once the sampler is detached that prediction
+        goes stale: the source may keep running uninstrumented, be reset,
+        or the sampler may be reattached to a different source, and a
+        stale (too-large) countdown would push the first post-reattach
+        window past its boundary.  Folding the elapsed transactions in and
+        re-arming at 1 makes the first observed transaction after reattach
+        re-derive the cadence from the live source — the same contract
+        :meth:`load_state_dict` uses after a checkpoint restore.
+        """
+        self._flush_pending()
+        self._issued = 1
+        self._countdown = 1
+
     def _deltas(self, counters: dict) -> Dict[str, int]:
         """Wrap-aware per-counter deltas since the previous snapshot.
 

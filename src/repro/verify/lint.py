@@ -23,6 +23,13 @@ walking every source file under ``src/repro`` with :mod:`ast`:
 ``mutable-default``
     No function parameter defaults to a mutable literal (``[]``, ``{}``,
     ``set()`` ...); the shared instance aliases across calls.
+``call-replication``
+    No ``[make_thing()] * n`` (or tuple equivalent): the call runs once
+    and the list holds ``n`` references to the *same* object, so mutating
+    one slot mutates them all.  Replicating per-set/per-way metadata this
+    way silently couples every cache set (the bug class fixed in
+    :class:`~repro.memories.cache_model.TagStateDirectory`).  Use a
+    comprehension — ``[make_thing() for _ in range(n)]`` — instead.
 """
 
 from __future__ import annotations
@@ -89,7 +96,8 @@ def check_repo(root: Optional[Union[str, Path]] = None) -> Report:
     root_path = Path(root).resolve() if root is not None else default_root()
     report = Report(subject=f"repo {root_path}")
     for check in ("rng-discipline", "time-discipline",
-                  "exception-hierarchy", "mutable-default"):
+                  "exception-hierarchy", "mutable-default",
+                  "call-replication"):
         report.ran(check)
 
     sources = sorted(root_path.rglob("*.py"))
@@ -178,6 +186,8 @@ def _lint_file(
                 _flag_random(relative, node.lineno, report)
         elif isinstance(node, ast.Call):
             _lint_time_call(node, relative, report)
+        elif isinstance(node, ast.BinOp):
+            _lint_replication(node, relative, report)
         elif isinstance(node, ast.Raise):
             _lint_raise(node, relative, derived, report)
         elif isinstance(node, ast.ClassDef):
@@ -273,6 +283,27 @@ def _lint_defaults(
                 f"None (or a tuple) instead",
                 location=f"{relative}:{default.lineno}",
             )
+
+
+def _lint_replication(node: ast.BinOp, relative: str, report: Report) -> None:
+    """Flag ``[expr()] * n``: n references to one shared call result."""
+    if not isinstance(node.op, ast.Mult):
+        return
+    for operand in (node.left, node.right):
+        if not isinstance(operand, (ast.List, ast.Tuple)):
+            continue
+        if any(
+            isinstance(element, ast.Call) for element in operand.elts
+        ):
+            report.error(
+                "call-replication",
+                "sequence-of-calls replicated with '*': every slot shares "
+                "the one object the call produced, so mutating any slot "
+                "mutates all — build per-slot instances with a "
+                "comprehension instead",
+                location=f"{relative}:{node.lineno}",
+            )
+            return
 
 
 def _is_mutable_default(node: ast.expr) -> bool:

@@ -1,0 +1,260 @@
+"""Bit-identity of the batched replay engine against the scalar path.
+
+The batched engine (:mod:`repro.memories.batch`) is only allowed to be
+fast — never different.  These tests replay identical traces through both
+paths and require the full board checkpoint (directories, buffers,
+counters, clock, sampler cursor) to come out equal, across firmware
+shapes, replacement policies, telemetry cadences and degraded starting
+states; a property-based sweep drives randomized mixes through the same
+comparison.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bus.trace import BusTrace, encode_arrays
+from repro.memories.batch import replay_words_batched
+from repro.memories.board import MemoriesBoard, board_for_machine
+from repro.memories.config import CacheNodeConfig
+from repro.target.configs import (
+    multi_config_machine,
+    single_node_machine,
+    split_smp_machine,
+)
+from repro.telemetry import CounterSampler, MemorySink
+
+N_CPUS = 8
+
+
+def full_mix_words(
+    n: int,
+    seed: int = 0,
+    n_cpus: int = N_CPUS,
+    max_cpu: int = N_CPUS,
+    address_space: int = 1 << 24,
+) -> np.ndarray:
+    """Records covering every command and response, ~1/3 filtered.
+
+    ``max_cpu`` above the machine's CPU count exercises the unmapped-master
+    paths (remote probes from uninstantiated nodes, I/O bridge DMA).
+    """
+    rng = np.random.default_rng(seed)
+    cpu_ids = rng.integers(0, max_cpu, n).astype(np.uint64)
+    commands = rng.choice(
+        np.arange(8, dtype=np.uint64),
+        size=n,
+        p=[0.40, 0.12, 0.06, 0.10, 0.08, 0.08, 0.08, 0.08],
+    )
+    responses = rng.choice(
+        np.arange(4, dtype=np.uint64), size=n, p=[0.55, 0.20, 0.10, 0.15]
+    )
+    addresses = (
+        rng.integers(0, address_space // 64, n).astype(np.uint64)
+    ) * np.uint64(64)
+    return encode_arrays(cpu_ids, commands, addresses, responses)
+
+
+def machine_for(kind: str, replacement: str = "lru"):
+    config = CacheNodeConfig(
+        size=128 * 1024, assoc=4, line_size=128, replacement=replacement
+    )
+    if kind == "single":
+        return single_node_machine(config, N_CPUS)
+    if kind == "split":
+        return split_smp_machine(config, N_CPUS, 2)
+    other = CacheNodeConfig(
+        size=64 * 1024, assoc=2, line_size=64, replacement=replacement
+    )
+    return multi_config_machine([config, other], N_CPUS)
+
+
+def assert_paths_identical(make_board, words, chunks=None):
+    """Replay scalar and batched; require identical full board checkpoints."""
+    scalar = make_board()
+    scalar.batched_replay = False
+    batched = make_board()
+    assert batched.batched_replay
+    parts = np.array_split(words, chunks) if chunks else [words]
+    for part in parts:
+        scalar.replay_words(part)
+        batched.replay_words(part)
+    assert scalar.statistics() == batched.statistics()
+    assert scalar.now_cycle == batched.now_cycle
+    assert scalar.retries_posted == batched.retries_posted
+    assert scalar.checkpoint() == batched.checkpoint()
+    return scalar, batched
+
+
+class TestBatchedBitIdentity:
+    @pytest.mark.parametrize("kind", ["single", "split", "multi"])
+    @pytest.mark.parametrize("replacement", ["lru", "fifo", "random", "plru"])
+    def test_every_machine_and_policy(self, kind, replacement):
+        words = full_mix_words(4000, seed=7)
+        machine = machine_for(kind, replacement)
+        assert_paths_identical(
+            lambda: board_for_machine(machine, seed=3), words
+        )
+
+    def test_chunked_replay_matches(self):
+        words = full_mix_words(3000, seed=11)
+        machine = machine_for("split")
+        assert_paths_identical(
+            lambda: board_for_machine(machine, seed=1), words, chunks=7
+        )
+
+    def test_empty_and_all_filtered_traces(self):
+        machine = machine_for("single")
+        empty = np.zeros(0, dtype=np.uint64)
+        assert_paths_identical(lambda: board_for_machine(machine), empty)
+        rng = np.random.default_rng(5)
+        n = 500
+        filtered = encode_arrays(
+            rng.integers(0, N_CPUS, n).astype(np.uint64),
+            rng.integers(4, 8, n).astype(np.uint64),  # IO/interrupt/sync only
+            rng.integers(0, 1 << 20, n).astype(np.uint64),
+        )
+        assert_paths_identical(lambda: board_for_machine(machine), filtered)
+
+    def test_resumes_from_degraded_state(self):
+        """The engine must be exact from any starting state, not just reset."""
+        words = full_mix_words(2500, seed=13)
+        machine = machine_for("split")
+
+        def make_board():
+            board = board_for_machine(machine, seed=9)
+            board.batched_replay = False
+            board.replay_words(full_mix_words(800, seed=21))
+            board.firmware.offline_node(1)
+            board.note_snoop_loss(0x1000)
+            board.batched_replay = True
+            return board
+
+        assert_paths_identical(make_board, words)
+
+
+class TestTelemetryChunking:
+    @pytest.mark.parametrize("cadence", [1, 7, 64, 1024])
+    def test_transaction_cadence_identical(self, cadence):
+        words = full_mix_words(2000, seed=17)
+        machine = machine_for("split")
+
+        def make_board(sink):
+            board = board_for_machine(machine, seed=2)
+            board.attach_telemetry(
+                CounterSampler(sink, every_transactions=cadence)
+            )
+            return board
+
+        scalar_sink, batched_sink = MemorySink(), MemorySink()
+        scalar = make_board(scalar_sink)
+        scalar.batched_replay = False
+        batched = make_board(batched_sink)
+        scalar.replay_words(words)
+        batched.replay_words(words)
+        scalar.telemetry.finish(scalar)
+        batched.telemetry.finish(batched)
+        assert scalar_sink.records == batched_sink.records
+        assert len(batched_sink.records) > 0
+        assert scalar.statistics() == batched.statistics()
+        assert scalar.checkpoint() == batched.checkpoint()
+
+    def test_cycle_cadence_identical(self):
+        words = full_mix_words(1500, seed=19)
+        machine = machine_for("single")
+        sinks = []
+
+        def make_board():
+            sink = MemorySink()
+            sinks.append(sink)
+            board = board_for_machine(machine, seed=2)
+            board.attach_telemetry(CounterSampler(sink, every_cycles=730.0))
+            return board
+
+        assert_paths_identical(make_board, words, chunks=3)
+        scalar_sink, batched_sink = sinks
+        assert scalar_sink.records == batched_sink.records
+        assert len(batched_sink.records) > 0
+
+
+class TestEngineSelection:
+    def test_flag_forces_scalar(self, monkeypatch):
+        words = full_mix_words(200, seed=23)
+        board = board_for_machine(machine_for("single"))
+        board.batched_replay = False
+        calls = []
+        monkeypatch.setattr(
+            "repro.memories.batch.replay_words_batched",
+            lambda *a: calls.append(a) or None,
+        )
+        board.replay_words(words)
+        assert not calls
+
+    def test_ecc_scrubber_declines_batching(self):
+        words = full_mix_words(600, seed=29)
+        machine = machine_for("single")
+        board = board_for_machine(machine, ecc=True, scrub_interval=500.0)
+        assert replay_words_batched(board, words) is None
+        # replay_words still works (scalar fallback) and matches a forced
+        # scalar run exactly.
+        assert_paths_identical(
+            lambda: board_for_machine(machine, seed=4, ecc=True,
+                                      scrub_interval=500.0),
+            words,
+        )
+
+    def test_sdram_node_uses_generic_runner(self):
+        """SDRAM-priced buffers exclude the fused loop, not batching."""
+        from repro.memories.sdram import SdramModel
+
+        words = full_mix_words(1200, seed=31)
+        machine = machine_for("split")
+
+        def make_board():
+            board = board_for_machine(machine, seed=6)
+            board.firmware.nodes[0].sdram = SdramModel()
+            return board
+
+        assert_paths_identical(make_board, words)
+
+    def test_tracer_firmware_generic_runner(self):
+        from repro.memories.firmware.tracer import TraceCollectorFirmware
+
+        words = full_mix_words(800, seed=37)
+
+        def make_board():
+            return MemoriesBoard(
+                TraceCollectorFirmware(capacity=2000), name="t"
+            )
+
+        scalar, batched = assert_paths_identical(make_board, words)
+        assert np.array_equal(
+            scalar.firmware.to_trace().words, batched.firmware.to_trace().words
+        )
+
+
+class TestBatchedProperty:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(0, 2**16),
+        n=st.integers(1, 600),
+        kind=st.sampled_from(["single", "split", "multi"]),
+        replacement=st.sampled_from(["lru", "fifo", "random", "plru"]),
+        cadence=st.sampled_from([None, 1, 13, 256]),
+    )
+    def test_randomized_mix_identical(self, seed, n, kind, replacement, cadence):
+        words = full_mix_words(n, seed=seed)
+        machine = machine_for(kind, replacement)
+
+        def make_board():
+            board = board_for_machine(machine, seed=seed % 17)
+            if cadence is not None:
+                board.attach_telemetry(
+                    CounterSampler(MemorySink(), every_transactions=cadence)
+                )
+            return board
+
+        assert_paths_identical(make_board, words, chunks=min(3, n))

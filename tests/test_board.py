@@ -5,7 +5,7 @@ import pytest
 
 from repro.bus.trace import BusTrace, encode_arrays
 from repro.bus.transaction import BusCommand, BusTransaction, SnoopResponse
-from repro.common.errors import ConfigurationError
+from repro.common.errors import ConfigurationError, EmulationError
 from repro.memories.board import (
     CacheEmulationFirmware,
     MemoriesBoard,
@@ -161,3 +161,44 @@ class TestReplay:
         assert "global.bus.tenures" in stats
         assert "node0.local.read" in stats
         assert "board.retries_posted" in stats
+
+
+class _ShadowFirmware:
+    """Minimal firmware image whose counter bank shadows another bank's key."""
+
+    def __init__(self, key):
+        self._key = key
+
+    def snapshot(self):
+        return {self._key: 1}
+
+
+class TestStatisticsCollisionGuard:
+    """statistics() must refuse to merge shadowed counter keys silently.
+
+    The merged snapshot is a flat dict; before the guard, a firmware bank
+    reusing a filter or global-FPGA key overwrote (or was overwritten by)
+    the other bank's value with no diagnostic, corrupting golden
+    comparisons and telemetry deltas.
+    """
+
+    def test_firmware_shadowing_filter_key_raises(self):
+        board = MemoriesBoard(_ShadowFirmware("filter.observed"))
+        with pytest.raises(EmulationError, match="duplicate statistics key"):
+            board.statistics()
+
+    def test_firmware_shadowing_global_bank_raises(self):
+        board = MemoriesBoard(_ShadowFirmware("global.bus.tenures"))
+        # The global bank materialises keys on first increment.
+        board.global_counter.counters.increment("bus.tenures", 1)
+        with pytest.raises(EmulationError, match="duplicate statistics key"):
+            board.statistics()
+
+    def test_firmware_shadowing_board_key_raises(self):
+        board = MemoriesBoard(_ShadowFirmware("board.retries_posted"))
+        with pytest.raises(EmulationError, match="duplicate statistics key"):
+            board.statistics()
+
+    def test_distinct_keys_merge_cleanly(self):
+        board = MemoriesBoard(_ShadowFirmware("shadow.free"))
+        assert board.statistics()["shadow.free"] == 1

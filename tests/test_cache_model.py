@@ -163,3 +163,125 @@ class TestPropertyBased:
                 directory.invalidate(set_index, way)
         directory.check_invariants()
         assert directory.resident_lines() <= directory.config.num_lines
+
+
+class MutableMetaPolicy:
+    """Test double: a policy whose per-set metadata is a mutable log.
+
+    The built-in policies use integer metadata, where accidental sharing
+    across sets is invisible (rebinding an int never aliases).  This
+    policy makes the per-set-instance contract observable.
+    """
+
+    name = "log"
+    needs_meta = True
+
+    def make_meta(self):
+        return []
+
+    def touch(self, tags, states, way, meta):
+        meta.append(way)
+        return way, meta
+
+    def insert(self, tags, states, tag, state, assoc, meta):
+        victim = None
+        if len(tags) >= assoc:
+            victim = (tags.pop(), states.pop())
+        tags.insert(0, tag)
+        states.insert(0, state)
+        meta.append(-1)
+        return victim, meta
+
+
+class TestPerSetMetadata:
+    def make_logging_directory(self):
+        config = CacheNodeConfig(size=8 * 128, assoc=2, line_size=128)
+        return TagStateDirectory(config, policy=MutableMetaPolicy())
+
+    def test_meta_instances_distinct_per_set(self):
+        directory = self.make_logging_directory()
+        metas = directory._meta
+        assert len({id(meta) for meta in metas}) == len(metas)
+
+    def test_mutating_one_set_does_not_leak(self):
+        directory = self.make_logging_directory()
+        set_index, tag, _ = directory.probe(0)
+        directory.install(set_index, tag, 1)
+        _, _, way = directory.probe(0)
+        directory.touch(set_index, way)
+        assert directory._meta[set_index] == [-1, way]
+        for other, meta in enumerate(directory._meta):
+            if other != set_index:
+                assert meta == []
+
+    def test_clear_rebuilds_distinct_meta(self):
+        directory = self.make_logging_directory()
+        set_index, tag, _ = directory.probe(0)
+        directory.install(set_index, tag, 1)
+        directory.clear()
+        metas = directory._meta
+        assert all(meta == [] for meta in metas)
+        assert len({id(meta) for meta in metas}) == len(metas)
+
+
+class TestWayMapCoherence:
+    """The O(1) tag->way map must agree with the tag lists at all times."""
+
+    def assert_map_matches_scan(self, directory):
+        directory.check_invariants()
+        for set_index, tags in enumerate(directory._tags):
+            for tag in tags:
+                assert directory._ways[set_index][tag] == tags.index(tag)
+
+    @pytest.mark.parametrize("replacement", ["lru", "fifo", "random", "plru"])
+    def test_map_tracks_mixed_traffic(self, replacement):
+        import numpy as np
+
+        rng = np.random.default_rng(11)
+        directory = make_directory(size=8 * 128, assoc=4, replacement=replacement)
+        for step in range(600):
+            address = int(rng.integers(0, 96)) * 128
+            set_index, tag, way = directory.probe(address)
+            roll = rng.random()
+            if way < 0:
+                directory.install(set_index, tag, int(rng.integers(1, 4)))
+            elif roll < 0.7:
+                directory.touch(set_index, way)
+            else:
+                directory.invalidate(set_index, way)
+            if step % 50 == 0:
+                self.assert_map_matches_scan(directory)
+        self.assert_map_matches_scan(directory)
+
+    def test_map_survives_bit_flip(self):
+        directory = make_directory(size=4 * 128, assoc=4)
+        for i in range(3):
+            set_index, tag, _ = directory.probe(i * 128 * directory.config.num_sets)
+            directory.install(set_index, tag, 1)
+        directory.inject_bit_flip(0, 1, 3)
+        self.assert_map_matches_scan(directory)
+        # The flipped tag is findable at its corrupted value.
+        corrupted = directory._tags[0][1]
+        assert directory._ways[0][corrupted] == 1
+
+    def test_map_rebuilt_by_state_roundtrip(self):
+        directory = make_directory(size=8 * 128, assoc=2)
+        for i in range(10):
+            set_index, tag, way = directory.probe(i * 128)
+            if way < 0:
+                directory.install(set_index, tag, 1)
+        fresh = make_directory(size=8 * 128, assoc=2)
+        fresh.load_state_dict(directory.state_dict())
+        self.assert_map_matches_scan(fresh)
+        for i in range(10):
+            assert fresh.probe(i * 128) == directory.probe(i * 128)
+
+    def test_check_invariants_detects_stale_map(self):
+        from repro.common.errors import EmulationError
+
+        directory = make_directory(size=4 * 128, assoc=2)
+        set_index, tag, _ = directory.probe(0)
+        directory.install(set_index, tag, 1)
+        directory._ways[set_index][tag] = 1  # corrupt: points past the line
+        with pytest.raises(EmulationError, match="out of sync"):
+            directory.check_invariants()

@@ -142,3 +142,24 @@ class TestMain:
         script.write_text("frobnicate\n")
         assert main([str(script)]) == 1
         assert "error:" in capsys.readouterr().out
+
+
+class TestBenchSubcommand:
+    def test_bench_reports_and_writes_json(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_replay.json"
+        status = main(
+            [
+                "bench", "--records", "1500", "--shards", "2",
+                "--inline-shards", "--out", str(out),
+            ]
+        )
+        assert status == 0
+        printed = capsys.readouterr().out
+        assert "batched speedup over scalar" in printed
+        import json
+
+        report = json.loads(out.read_text())
+        assert report["identical"] is True
+        assert set(report["engines"]) == {"scalar", "batched", "sharded"}
+        for entry in report["engines"].values():
+            assert entry["records_per_second"] > 0

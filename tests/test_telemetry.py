@@ -757,3 +757,56 @@ class TestExperimentPipelines:
         assert board.telemetry is not None
         kinds = {r["type"] for r in sink.records}
         assert kinds == {"sample", "final", "span"}
+
+
+class TestDetachReattach:
+    def test_detach_reattach_stays_on_cycle_grid(self):
+        """Regression: a countdown armed before detach must not delay the
+        first window after reattach.
+
+        The sampler arms its countdown by converting "cycles until the next
+        window boundary" into a transaction count against the board clock at
+        arm time.  Detaching used to leave that stale countdown in place, so
+        after uninstrumented replay advanced the clock, the first
+        post-reattach sample landed a partial window late — off the
+        ``every_cycles`` grid.  ``detach()`` now checkpoints the cursor and
+        re-arms at 1, so the first observed transaction re-derives the
+        cadence from the live clock.
+        """
+        sink = MemorySink()
+        board = board_for_machine(machine(), seed=0)  # 10 cycles per tenure
+        sampler = CounterSampler(sink, every_cycles=1000.0)
+        board.attach_telemetry(sampler)
+        board.replay_words(synthetic_words(130, seed=1))  # sample at 1000
+        board.detach_telemetry()
+        # 87 tenures pass unobserved; the clock crosses the 2000 boundary
+        # (now = 2170) while nobody is watching.
+        board.replay_words(synthetic_words(87, seed=2))
+        board.attach_telemetry(sampler)
+        board.replay_words(synthetic_words(200, seed=3))  # now = 4170
+        cycles = [r["cycle"] for r in sink.records if r["type"] == "sample"]
+        # The missed 2000 window surfaces as a catch-up sample at the first
+        # reattached transaction (cycle 2180), after which sampling returns
+        # to the monolithic 1000-cycle grid.  A stale countdown (70) would
+        # instead fire the catch-up 69 transactions late, at cycle 2870.
+        assert cycles == [1000.0, 2180.0, 3000.0, 4000.0]
+
+    def test_transaction_cadence_survives_detach_window(self):
+        """Transaction windows count *observed* tenures only, exactly.
+
+        Detach folds the partially-elapsed countdown into the transaction
+        totals, so a detach/reattach cycle changes nothing about a
+        transaction cadence: windows still close after every 100 observed
+        tenures, and unobserved replay does not advance them.
+        """
+        sink = MemorySink()
+        board = board_for_machine(machine(), seed=0)
+        sampler = CounterSampler(sink, every_transactions=100)
+        board.attach_telemetry(sampler)
+        board.replay_words(synthetic_words(130, seed=1))
+        board.detach_telemetry()
+        board.replay_words(synthetic_words(500, seed=2))  # unobserved
+        board.attach_telemetry(sampler)
+        board.replay_words(synthetic_words(70, seed=3))
+        samples = [r for r in sink.records if r["type"] == "sample"]
+        assert [r["transactions"] for r in samples] == [100, 200]

@@ -99,3 +99,62 @@ class TestPaperDesignPoint:
         # A 512-tenure burst at full bus rate fits exactly.
         for i in range(NODE_BUFFER_ENTRIES):
             assert buffer.offer(2.0 * i)
+
+
+class TestOfferBatch:
+    """offer_batch must be exactly offer() per element, only faster."""
+
+    def assert_batch_matches_loop(self, arrivals, capacity=4, service=10.0,
+                                  prime=None):
+        import numpy as np
+
+        batch = TransactionBuffer(capacity=capacity, service_cycles=service)
+        loop = TransactionBuffer(capacity=capacity, service_cycles=service)
+        if prime:
+            for t in prime:
+                batch.offer(t)
+                loop.offer(t)
+        accepted_batch = batch.offer_batch(np.asarray(arrivals, dtype=np.float64))
+        accepted_loop = sum(1 for t in arrivals if loop.offer(t))
+        assert accepted_batch == accepted_loop
+        assert batch.stats == loop.stats
+        assert list(batch._finish_times) == list(loop._finish_times)
+        assert batch._last_finish == loop._last_finish
+
+    def test_well_spaced_fast_path(self):
+        self.assert_batch_matches_loop([0.0, 15.0, 30.0, 45.0])
+
+    def test_exact_service_spacing_is_fast_path(self):
+        # arrival[i-1] + service == arrival[i]: the previous op has just
+        # finished (finish <= now drains), so depth stays at one.
+        self.assert_batch_matches_loop([0.0, 10.0, 20.0, 30.0])
+
+    def test_tight_spacing_falls_back(self):
+        self.assert_batch_matches_loop([0.0, 1.0, 2.0, 3.0, 50.0, 51.0])
+
+    def test_overflow_rejections_match(self):
+        arrivals = [0.0] * 7  # burst: fills capacity 4, rejects 3
+        self.assert_batch_matches_loop(arrivals)
+
+    def test_busy_queue_falls_back(self):
+        self.assert_batch_matches_loop(
+            [5.0, 20.0, 35.0], prime=[0.0, 0.0, 0.0]
+        )
+
+    def test_drained_queue_uses_fast_path(self):
+        self.assert_batch_matches_loop([100.0, 115.0], prime=[0.0])
+
+    def test_empty_batch(self):
+        import numpy as np
+
+        buffer = TransactionBuffer(capacity=2, service_cycles=10.0)
+        assert buffer.offer_batch(np.zeros(0)) == 0
+        assert buffer.stats.accepted == 0
+
+    def test_high_water_floor_on_fast_path(self):
+        import numpy as np
+
+        buffer = TransactionBuffer(capacity=4, service_cycles=1.0)
+        buffer.offer_batch(np.asarray([0.0, 5.0, 10.0]))
+        assert buffer.stats.high_water == 1
+        assert buffer.stats.accepted == 3

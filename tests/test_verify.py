@@ -415,6 +415,34 @@ class TestRepoLint:
         )
         assert any(f.check == "mutable-default" for f in report.errors)
 
+    def test_call_replication_flagged(self, tmp_path):
+        report = self.lint_source(
+            tmp_path, "mod.py",
+            "def f(make, n):\n    return [make()] * n\n",
+        )
+        assert any(f.check == "call-replication" for f in report.errors)
+
+    def test_call_replication_reversed_operands_flagged(self, tmp_path):
+        report = self.lint_source(
+            tmp_path, "mod.py",
+            "def f(make, n):\n    return n * (make(),)\n",
+        )
+        assert any(f.check == "call-replication" for f in report.errors)
+
+    def test_scalar_replication_clean(self, tmp_path):
+        report = self.lint_source(
+            tmp_path, "mod.py",
+            "def f(n):\n    return [0] * n\n",
+        )
+        assert report.ok, report.render()
+
+    def test_call_replication_comprehension_clean(self, tmp_path):
+        report = self.lint_source(
+            tmp_path, "mod.py",
+            "def f(make, n):\n    return [make() for _ in range(n)]\n",
+        )
+        assert report.ok, report.render()
+
     def test_syntax_error_reported_not_raised(self, tmp_path):
         report = self.lint_source(tmp_path, "mod.py", "def broken(:\n")
         assert any(f.check == "structure" for f in report.errors)

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""CI smoke gate for the batched replay engine (repro.memories.batch).
+
+Runs the replay throughput benchmark at CI scale and enforces the hard
+contract — **scalar, batched and sharded replay must produce bit-identical
+board statistics** — plus a loose sanity floor on the batched speedup
+(CI machines are noisy, so the strict >= 3x bar lives in
+``benchmarks/bench_replay_throughput.py``; here the speedup merely has to
+be > 1x to prove the fast path engaged at all).  The full report is
+written to ``BENCH_replay.json`` for the artifact upload.
+
+Exit status is non-zero on any violation.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+from repro.experiments.replay_bench import run_replay_benchmark
+
+RECORDS = 60_000
+SEED = 2000
+SHARDS = 2
+
+
+def check(name: str, ok: bool, detail: str = "") -> bool:
+    print(f"[{'ok  ' if ok else 'FAIL'}] {name}" + (f" ({detail})" if detail and not ok else ""))
+    return ok
+
+
+def main() -> int:
+    report = run_replay_benchmark(
+        RECORDS, seed=SEED, shards=SHARDS, sharded_processes=True
+    )
+    for name, entry in report["engines"].items():
+        print(
+            f"{name:8s}: {entry['records_per_second']:12,.0f} records/s "
+            f"digest {entry['statistics_digest'][:16]}…"
+        )
+    ok = True
+    ok &= check(
+        "scalar, batched and sharded statistics bit-identical",
+        report["identical"],
+        ", ".join(
+            f"{name}={entry['statistics_digest'][:12]}"
+            for name, entry in report["engines"].items()
+        ),
+    )
+    ok &= check(
+        "batched path faster than scalar",
+        report["batched_speedup"] > 1.0,
+        f"{report['batched_speedup']:.2f}x",
+    )
+    out = Path(__file__).resolve().parent.parent / "BENCH_replay.json"
+    out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out}")
+    print("bench smoke: " + ("PASS" if ok else "FAIL"))
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
