@@ -21,6 +21,7 @@ Commands (also shown by ``help``)::
     miss-ratios                                  per-node miss ratios
     save-trace <path> <n_records>                capture and dump a trace
     verify                                       verify the current programming
+    engines [shards]                             replay-engine capability decisions
     faults                                       resilience report for the board
     watch [every_transactions]                   live telemetry dashboard
     supervise <run_dir>                          supervised-run journal status
@@ -30,7 +31,11 @@ Static verification also runs stand-alone, before any board exists::
 
     python -m repro.cli verify protocol [name|map.json ...]
     python -m repro.cli verify machine <programming.json> [run_hours]
-    python -m repro.cli verify repo [package_dir]
+    python -m repro.cli verify repo [dir ...] [--profile P]
+        [--format text|json|sarif] [--output FILE]
+        [--baseline FILE] [--update-baseline]
+    python -m repro.cli verify engines [programming.json] [--shards N]
+        [--cache SIZE] [--expect a,b]
 
 So do seeded fault-injection campaigns (see :mod:`repro.faults`)::
 
@@ -136,6 +141,7 @@ class ConsoleSession:
             "reset": self._cmd_console_passthrough,
             "describe": self._cmd_console_passthrough,
             "verify": self._cmd_console_passthrough,
+            "engines": self._cmd_engines,
             "faults": self._cmd_console_passthrough,
             "watch": self._cmd_watch,
             "supervise": self._cmd_supervise,
@@ -289,6 +295,10 @@ class ConsoleSession:
         """One frame of the console's live telemetry dashboard."""
         return self.console.execute(" ".join(["watch", *args]))
 
+    def _cmd_engines(self, args: List[str]) -> str:
+        """Replay-engine capability decisions for the attached board."""
+        return self.console.execute(" ".join(["engines", *args]))
+
     def _cmd_supervise(self, args: List[str]) -> str:
         """Journal status of a supervised run directory."""
         return self.console.execute(" ".join(["supervise", *args]))
@@ -355,18 +365,191 @@ class ConsoleSession:
         return __doc__.split("Commands", 1)[1]
 
 
+def _verify_repo_main(args: List[str]) -> int:
+    """``verify repo``: lint + determinism analysis with CI output formats.
+
+    With no directory arguments every default target is linted —
+    ``src/repro`` under the full ``library`` profile and the repository's
+    ``tests``/``tools``/``benchmarks`` trees under their relaxed
+    profiles.  ``--format json|sarif`` emits the machine-readable
+    document (to ``--output`` or stdout); ``--baseline`` subtracts the
+    committed baseline so only *new* findings fail;
+    ``--update-baseline`` re-records it.
+    """
+    import argparse
+    from pathlib import Path
+
+    from repro.verify import (
+        apply_baseline,
+        check_repo,
+        default_targets,
+        load_baseline,
+        render_sarif,
+        stale_fingerprints,
+        write_baseline,
+    )
+    from repro.verify.lint import PROFILES
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cli verify repo",
+        description="lint + determinism analysis over the source trees",
+    )
+    parser.add_argument(
+        "roots", nargs="*",
+        help="directories to lint (default: src/repro, tests, tools, "
+             "benchmarks)")
+    parser.add_argument(
+        "--profile", choices=sorted(PROFILES), default="library",
+        help="rule profile for explicitly given roots (default library)")
+    parser.add_argument(
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="output format (default text)")
+    parser.add_argument(
+        "--output", default=None,
+        help="write json/sarif output to this file (text summary still "
+             "prints to stdout)")
+    parser.add_argument(
+        "--baseline", default=None,
+        help="baseline file of known findings; only new findings fail")
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="re-record the --baseline file from the current findings")
+    ns = parser.parse_args(args)
+
+    if ns.roots:
+        targets = [(root, ns.profile) for root in ns.roots]
+    else:
+        targets = default_targets()
+    raw_reports = [check_repo(root, profile) for root, profile in targets]
+
+    if ns.update_baseline:
+        if ns.baseline is None:
+            raise CliError("--update-baseline requires --baseline FILE")
+        count = write_baseline(raw_reports, ns.baseline)
+        print(f"baseline {ns.baseline} recorded with {count} finding(s)")
+
+    reports = raw_reports
+    if ns.baseline is not None:
+        baseline = load_baseline(ns.baseline)
+        reports = [apply_baseline(report, baseline) for report in raw_reports]
+        for key in stale_fingerprints(raw_reports, baseline):
+            print(
+                f"note: baseline entry {key} no longer matches any finding "
+                f"(fixed — re-record with --update-baseline)"
+            )
+
+    if ns.format == "json":
+        import json
+
+        document = json.dumps(
+            {
+                "ok": all(report.ok for report in reports),
+                "reports": [report.to_dict() for report in reports],
+            },
+            indent=2,
+            sort_keys=True,
+        ) + "\n"
+    elif ns.format == "sarif":
+        document = render_sarif(reports)
+    else:
+        document = None
+
+    if document is not None and ns.output:
+        Path(ns.output).write_text(document, encoding="utf-8")
+        print(f"wrote {ns.output}")
+    status = EXIT_OK
+    for report in reports:
+        if document is None or ns.output:
+            print(report.render() if document is None else report.summary())
+        if not report.ok:
+            status = EXIT_CHECK_FAILED
+    if document is not None and not ns.output:
+        sys.stdout.write(document)
+    return status
+
+
+def _verify_engines_main(args: List[str]) -> int:
+    """``verify engines``: audit replay-engine capability decisions.
+
+    Proves every registered engine's declared capability requirements
+    against a board programming — a saved ``programming.json``, or the
+    default single-node machine the replay benchmark uses — and prints
+    each decision's report.  Exits 0 only when every engine is eligible,
+    so CI can assert that the benchmarked configuration actually
+    exercises all engines; pass ``--expect`` to assert a subset instead.
+    """
+    import argparse
+
+    from repro.engines import decide_all
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cli verify engines",
+        description="static capability decisions for every replay engine",
+    )
+    parser.add_argument(
+        "programming", nargs="?", default=None,
+        help="saved board programming JSON (default: the bench machine)")
+    parser.add_argument(
+        "--shards", type=int, default=4,
+        help="shard spec to prove the sharded engine against (default 4)")
+    parser.add_argument(
+        "--cache", default="64MB",
+        help="paper-scale L3 size for the default machine (default 64MB)")
+    parser.add_argument(
+        "--expect", default=None,
+        help="comma-separated engines that must be eligible "
+             "(default: all registered)")
+    ns = parser.parse_args(args)
+
+    if ns.programming is not None:
+        from repro.target.mapping import TargetMachine
+
+        machine = TargetMachine.load(ns.programming)
+    else:
+        scale = ExperimentScale()
+        machine = single_node_machine(
+            scale.cache(ns.cache), n_cpus=scale.n_cpus
+        )
+    decisions = decide_all(machine=machine, shards=ns.shards)
+    expected = (
+        {name.strip() for name in ns.expect.split(",") if name.strip()}
+        if ns.expect is not None
+        else {decision.spec.name for decision in decisions}
+    )
+    unknown = expected - {decision.spec.name for decision in decisions}
+    if unknown:
+        raise CliError(
+            f"--expect names unregistered engine(s): {', '.join(sorted(unknown))}"
+        )
+    status = EXIT_OK
+    for decision in decisions:
+        spec = decision.spec
+        verdict = "eligible" if decision.eligible else "REJECTED"
+        requires = (
+            ", ".join(sorted(str(c) for c in spec.requires)) or "(nothing)"
+        )
+        print(f"engine {spec.name:8s} [{verdict}] requires {requires}")
+        for finding in decision.report.findings:
+            print(f"  {finding.render()}")
+        if not decision.eligible and spec.name in expected:
+            status = EXIT_CHECK_FAILED
+    return status
+
+
 def verify_main(argv: List[str]) -> int:
     """The ``verify`` subcommand: static analysis before power-up.
 
     ``verify protocol [name|map.json ...]`` model-checks protocol tables
     (all firmware builtins when no argument is given); ``verify machine
     <programming.json> [run_hours]`` validates a saved board programming;
-    ``verify repo [package_dir]`` lints the source tree.  Exit status is 0
-    only when every report passes.
+    ``verify repo [dir ...]`` lints the source trees (see
+    :func:`_verify_repo_main` for formats/baselines); ``verify engines``
+    audits replay-engine capability decisions.  Exit status is 0 only
+    when every report passes.
     """
     from pathlib import Path
 
-    from repro.verify import check_machine, check_protocol, check_repo
+    from repro.verify import check_machine, check_protocol
 
     def load_json(path: str) -> object:
         import json
@@ -405,10 +588,12 @@ def verify_main(argv: List[str]) -> int:
         else:
             reports.append(check_machine(data))
     elif kind == "repo":
-        reports.append(check_repo(args[0] if args else None))
+        return _verify_repo_main(args)
+    elif kind == "engines":
+        return _verify_engines_main(args)
     else:
         raise CliError(f"unknown verify target {kind!r}; "
-                       f"expected protocol, machine or repo")
+                       f"expected protocol, machine, repo or engines")
     status = 0
     for report in reports:
         print(report.render())

@@ -189,52 +189,20 @@ def validate_sharding(machine, shards: int, board: Optional[MemoriesBoard] = Non
       history depend on global arrival order;
     * a shard field wider than some node's set-index field would split one
       of that node's sets across workers.
+
+    Those arguments are no longer checked here: the engine registry's
+    static capability prover (:func:`repro.engines.registry.decide`)
+    evaluates the ``sharded`` engine's declared requirements against the
+    board, and this helper raises from the resulting decision — so the
+    CLI's ``verify engines`` shows exactly the verdict replay will act on.
     """
     from repro.common.errors import ConfigurationError
+    from repro.engines.registry import decide
 
-    if shards < 1 or (shards & (shards - 1)) != 0:
-        raise ConfigurationError(f"shard count must be a power of two, got {shards}")
-    if board is None:
-        board = board_for_machine(machine)
-    shard_bits = shards.bit_length() - 1
-    shard_shift = 0
-    for node in board.firmware.nodes:
-        shard_shift = max(shard_shift, node.directory.amap.offset_bits)
-    for node in board.firmware.nodes:
-        if node.config.replacement == "random":
-            raise ConfigurationError(
-                "sharded replay cannot reproduce 'random' replacement: "
-                "victim draws come from one board-wide RNG stream"
-            )
-        if node.sdram is not None:
-            raise ConfigurationError(
-                "sharded replay does not support the SDRAM timing model: "
-                "per-operation service times depend on global access order"
-            )
-        if node.buffer.service_cycles > board.cycles_per_tenure:
-            raise ConfigurationError(
-                f"node{node.index} buffer service "
-                f"({node.buffer.service_cycles:g} cycles) exceeds the bus "
-                f"tenure ({board.cycles_per_tenure:g} cycles): queue depth "
-                "would depend on global arrival order; raise "
-                "assumed_utilization's tenure spacing or replay serially"
-            )
-        amap = node.directory.amap
-        index_top = amap.offset_bits + amap.index_bits
-        if shard_shift + shard_bits > index_top:
-            raise ConfigurationError(
-                f"{shards} shards need address bits "
-                f"[{shard_shift}, {shard_shift + shard_bits}) but "
-                f"node{node.index}'s set-index field ends at bit "
-                f"{index_top}; use at most "
-                f"{1 << max(index_top - shard_shift, 0)} shard(s)"
-            )
-    if board.address_filter.buffer.service_cycles > board.cycles_per_tenure:
-        raise ConfigurationError(
-            "address-filter buffer service exceeds the bus tenure; "
-            "occupancy would depend on global arrival order"
-        )
-    return shard_shift
+    decision = decide("sharded", board=board, machine=machine, shards=shards)
+    if not decision.eligible:
+        raise ConfigurationError(decision.reason())
+    return decision.shard_shift
 
 
 def sharded_replay(

@@ -26,9 +26,12 @@ counter increments commute within a chunk, buffer and directory mutations
 are applied in tenure order, and chunks are split at telemetry countdown
 boundaries so every sampler observation sees exactly the state the scalar
 path would show it.  Whenever an active feature breaks one of those
-arguments (a live ECC patrol scrubber, an SDRAM timing model, an unknown
-replacement policy), the engine declines and the board falls back to the
-scalar loop.
+arguments (a live ECC patrol scrubber that must tick between tenures),
+the engine registry (:mod:`repro.engines`) proves the capability missing
+and routes the board to the scalar loop instead — the decision is made
+statically, before replay, not inside this module.  (An SDRAM timing
+model or an unknown replacement policy merely demotes the *fused* runner
+to the generic one; both stay bit-exact.)
 """
 
 from __future__ import annotations
@@ -438,20 +441,19 @@ def _generic_runner(firmware):
     return run
 
 
-def replay_words_batched(board, words: np.ndarray) -> Optional[int]:
-    """Replay packed records through the batched engine.
+def replay_words_batched(board, words: np.ndarray) -> int:
+    """Replay packed records through the batched engine; returns the count.
 
-    Returns the record count, or None when the board must use the scalar
-    path (a time-driven firmware tick is active and would have to run
-    between tenures).
+    Precondition (proven statically, not checked here): the board grants
+    ``INERT_BACKGROUND_TICK`` — no time-driven firmware machinery needs
+    to interleave between tenures.  The engine registry
+    (:func:`repro.engines.registry.select_board_engine`) only routes a
+    board here after the capability prover establishes that, so this
+    function carries no refusal logic of its own.
     """
     count = int(words.shape[0])
     if count == 0:
         return 0
-    if board._firmware_tick is not None:
-        tick_active = getattr(board.firmware, "tick_active", None)
-        if tick_active is None or tick_active():
-            return None
     runner = _fused_runner(board.firmware)
     if runner is None:
         runner = _generic_runner(board.firmware)

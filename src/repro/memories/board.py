@@ -349,11 +349,12 @@ class MemoriesBoard:
         # Background-machinery hook (the ECC patrol scrubber); optional so
         # alternate firmware images need not implement it.
         self._firmware_tick = getattr(firmware, "tick", None)
-        # Offline-replay engine selector.  True routes replay_words through
-        # the vectorised batched engine (repro.memories.batch), which is
-        # bit-identical to the scalar loop and falls back to it on its own
-        # whenever an active feature rules batching out.  False forces the
-        # scalar reference path (tests, A/B benchmarks).
+        # Offline-replay engine preference.  True lets the engine registry
+        # (repro.engines) pick the best engine whose capabilities this
+        # board provably grants (normally the vectorised batched engine);
+        # False restricts selection to the scalar reference path (tests,
+        # A/B benchmarks).  Correctness never depends on this flag — the
+        # registry's capability prover handles that.
         self.batched_replay = True
         # Observability (repro.telemetry): with nothing attached the
         # dispatch path pays exactly one pointer test per tenure.
@@ -466,20 +467,21 @@ class MemoriesBoard:
             return self._replay_words(words)
 
     def _replay_words(self, words: np.ndarray) -> int:
-        if self.batched_replay:
-            from repro.memories.batch import replay_words_batched
+        # Engine selection is the registry's job (repro.engines): the
+        # static capability prover picks the best engine whose
+        # bit-identity preconditions this board provably grants, honouring
+        # the batched_replay preference flag.  No refusal logic lives here.
+        from repro.engines.registry import select_board_engine
 
-            count = replay_words_batched(self, words)
-            if count is not None:
-                return count
-        return self._replay_words_scalar(words)
+        return select_board_engine(self).replay(self, words)
 
     def _replay_words_scalar(self, words: np.ndarray) -> int:
         """Reference replay path: one :meth:`_dispatch` per record.
 
         The batched engine (:mod:`repro.memories.batch`) must stay
-        bit-identical to this loop; it falls back here whenever a board
-        feature it cannot vectorise is active.
+        bit-identical to this loop; the registry selects this path
+        whenever a board feature the batched engine cannot vectorise is
+        active.
         """
         dispatch = self._dispatch
         command_of = _COMMANDS

@@ -262,8 +262,8 @@ class MemoriesConsole:
 
         Supported commands: ``stats``, ``report``, ``reset``, ``describe``,
         ``log``, ``self-test``, ``protocol <node>``, ``overflows``,
-        ``verify``, ``faults``, ``watch [every_transactions]``,
-        ``supervise <run_dir>``.
+        ``verify``, ``engines [shards]``, ``faults``,
+        ``watch [every_transactions]``, ``supervise <run_dir>``.
         """
         command = command_line.strip().lower()
         if command == "self-test":
@@ -294,6 +294,20 @@ class MemoriesConsole:
             report = check_machine(machine)
             self._log.append(f"verify: {report.summary()}")
             return report.render(verbose=True)
+        if command.startswith("engines"):
+            parts = command.split()
+            shards = int(parts[1]) if len(parts) > 1 else None
+            from repro.engines import decide_all
+
+            board = self._require_board()
+            lines = [f"=== engines: board {board.name!r} ==="]
+            for decision in decide_all(board=board, shards=shards):
+                verdict = "eligible" if decision.eligible else "REJECTED"
+                lines.append(f"{decision.spec.name:8s} [{verdict}]")
+                for finding in decision.report.findings:
+                    lines.append(f"  {finding.render()}")
+            self._log.append("engines: capability decisions rendered")
+            return "\n".join(lines)
         if command.startswith("protocol"):
             parts = command.split()
             node_index = int(parts[1]) if len(parts) > 1 else 0

@@ -90,7 +90,13 @@ def shard_worker_main(task: dict) -> dict:
     ``spawn`` start method.  ``task`` carries the target machine, the
     board parameters, and this shard's packed records (original bus
     order preserved within the shard).
+
+    The per-shard board engine comes from the registry's capability
+    prover (the same selection point as
+    :meth:`~repro.memories.board.MemoriesBoard.replay_words`), so a
+    worker can never run an engine the configuration does not grant.
     """
+    from repro.engines.registry import select_board_engine
     from repro.memories.board import board_for_machine
 
     board = board_for_machine(
@@ -98,7 +104,7 @@ def shard_worker_main(task: dict) -> dict:
         seed=task["seed"],
         assumed_utilization=task["assumed_utilization"],
     )
-    board.replay_words(task["words"])
+    select_board_engine(board).replay(board, task["words"])
     return shard_payload(board)
 
 

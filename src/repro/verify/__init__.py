@@ -13,15 +13,31 @@ artifacts, so this package proves properties about them *before* power-up:
   programming against the hardware envelope, the 40-bit counter wrap
   horizon and the protocol checker.
 * :mod:`repro.verify.lint` — AST lint of repository invariants
-  (rng/time discipline, the ReproError hierarchy, mutable defaults).
+  (rng/time discipline, the ReproError hierarchy, mutable defaults,
+  call replication) with per-tree profiles and inline suppressions.
+* :mod:`repro.verify.determinism` — determinism analyzer (unsorted
+  serialization, wall-clock/entropy escapes, ``hash()`` dependence,
+  unordered float reductions, worker closure capture).
+* :mod:`repro.verify.baseline` / :mod:`repro.verify.sarif` — the
+  grandfathering baseline and the SARIF/JSON CI output formats.
 
 Results are uniform :class:`repro.verify.findings.Report` objects; the
 console's :meth:`~repro.memories.console.MemoriesConsole.power_up`
 refuses to program the board from a failing report unless forced.
+Every rule carries a stable ID (:mod:`repro.verify.rules`) documented
+in ``docs/static-analysis.md``.
 """
 
+from repro.verify.baseline import (
+    apply_baseline,
+    load_baseline,
+    stale_fingerprints,
+    write_baseline,
+)
 from repro.verify.findings import Finding, Report, Severity
-from repro.verify.lint import check_repo
+from repro.verify.lint import PROFILES, check_repo, default_targets
+from repro.verify.rules import RULES, RuleInfo, resolve_rule
+from repro.verify.sarif import render_sarif, to_sarif
 from repro.verify.machine import check_machine
 from repro.verify.model import Exploration, ProtocolModel
 from repro.verify.protocol import (
@@ -33,12 +49,23 @@ from repro.verify.protocol import (
 __all__ = [
     "Exploration",
     "Finding",
+    "PROFILES",
     "ProtocolModel",
     "Report",
+    "RULES",
+    "RuleInfo",
     "Severity",
+    "apply_baseline",
     "certify_builtin",
     "check_machine",
     "check_protocol",
     "check_repo",
+    "default_targets",
+    "load_baseline",
+    "render_sarif",
     "require_verified",
+    "resolve_rule",
+    "stale_fingerprints",
+    "to_sarif",
+    "write_baseline",
 ]

@@ -1,0 +1,146 @@
+"""Finding baselines: accept today's debt, fail on anything new.
+
+A baseline file records the fingerprints of every known (grandfathered)
+finding.  CI runs the analyzers, subtracts the baseline, and fails only
+on findings that are *not* in it — so a rule can be introduced (or
+tightened) without first fixing every historical hit, while any newly
+written defect still breaks the build.
+
+Fingerprints (:meth:`repro.verify.findings.Finding.fingerprint`) hash
+the rule, the file and the message but *not* the line number, so a
+baseline survives unrelated edits above a grandfathered finding.  Fixing
+a finding leaves a stale entry behind; runs report stale entries so the
+baseline can be re-recorded (``--update-baseline``) and monotonically
+shrink.
+
+File format (JSON, sorted, newline-terminated — diff-friendly)::
+
+    {
+      "version": 1,
+      "findings": {
+        "<fingerprint>": {"rule": "...", "location": "...", "message": "..."}
+      }
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Union
+
+from repro.common.errors import ValidationError
+from repro.verify.findings import Finding, Report, Severity
+
+#: Current baseline file schema version.
+BASELINE_VERSION = 1
+
+
+def _baselined(report: Report) -> List[Finding]:
+    """The findings a baseline tracks: ERROR and WARNING only."""
+    return [
+        finding
+        for finding in report.sorted_findings()
+        if finding.severity is not Severity.INFO
+    ]
+
+
+def baseline_payload(reports: Iterable[Report]) -> dict:
+    """The JSON-ready baseline document for a set of reports."""
+    findings: Dict[str, dict] = {}
+    for report in reports:
+        for finding in _baselined(report):
+            findings[finding.fingerprint()] = {
+                "rule": finding.rule or finding.check,
+                "location": finding.location,
+                "message": finding.message,
+            }
+    return {
+        "version": BASELINE_VERSION,
+        "findings": {key: findings[key] for key in sorted(findings)},
+    }
+
+
+def write_baseline(
+    reports: Iterable[Report], path: Union[str, Path]
+) -> int:
+    """Record the reports' findings as the new baseline; returns count."""
+    payload = baseline_payload(reports)
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return len(payload["findings"])
+
+
+def load_baseline(path: Union[str, Path]) -> Dict[str, dict]:
+    """Load a baseline file, returning fingerprint -> recorded entry."""
+    source = Path(path)
+    try:
+        payload = json.loads(source.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        raise ValidationError(f"baseline file not found: {source}")
+    except json.JSONDecodeError as exc:
+        raise ValidationError(f"baseline file {source} is not JSON: {exc}")
+    if not isinstance(payload, dict) or "findings" not in payload:
+        raise ValidationError(
+            f"baseline file {source} has no 'findings' object"
+        )
+    version = payload.get("version")
+    if version != BASELINE_VERSION:
+        raise ValidationError(
+            f"baseline file {source} has version {version!r}; this tool "
+            f"reads version {BASELINE_VERSION} — re-record it with "
+            f"--update-baseline"
+        )
+    findings = payload["findings"]
+    if not isinstance(findings, dict):
+        raise ValidationError(
+            f"baseline file {source}: 'findings' must be an object"
+        )
+    return findings
+
+
+def apply_baseline(report: Report, baseline: Dict[str, dict]) -> Report:
+    """Subtract baselined findings from a report.
+
+    Returns a new report containing only findings absent from the
+    baseline (plus the original INFO notes), with bookkeeping notes for
+    how many findings the baseline absorbed.  Stale-entry detection is
+    cross-report, so it lives in :func:`stale_fingerprints`.
+    """
+    filtered = Report(subject=report.subject)
+    absorbed = 0
+    for finding in report.findings:
+        if (
+            finding.severity is not Severity.INFO
+            and finding.fingerprint() in baseline
+        ):
+            absorbed += 1
+            continue
+        filtered.findings.append(finding)
+    for check in report.checks_run:
+        filtered.ran(check)
+    if absorbed:
+        filtered.info(
+            "baseline",
+            f"{absorbed} known finding(s) absorbed by baseline",
+            rule="RP100",
+        )
+    return filtered
+
+
+def stale_fingerprints(
+    reports: Iterable[Report], baseline: Dict[str, dict]
+) -> List[str]:
+    """Baseline entries no current finding matches (fixed debt).
+
+    Stale entries do not fail a run, but surfacing them lets the
+    baseline be re-recorded and shrink toward empty.
+    """
+    seen = {
+        finding.fingerprint()
+        for report in reports
+        for finding in _baselined(report)
+    }
+    return [key for key in sorted(baseline) if key not in seen]

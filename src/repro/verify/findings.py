@@ -10,6 +10,7 @@ demonstrates the violation.
 from __future__ import annotations
 
 import enum
+import hashlib
 from dataclasses import dataclass, field
 from typing import Iterable, List, Tuple
 
@@ -20,6 +21,9 @@ class Severity(enum.IntEnum):
     ``ERROR`` findings make a report fail (the console refuses to program
     the board); ``WARNING`` findings are surfaced but do not block;
     ``INFO`` findings are purely informational.
+
+    The enum totally orders severities (``ERROR > WARNING > INFO``), so
+    findings sort most-severe-first via :meth:`Finding.sort_key`.
     """
 
     INFO = 0
@@ -41,6 +45,9 @@ class Finding:
             lint findings.
         trace: counterexample event trace for model-checked invariants;
             each entry is one step ("event -> resulting system state").
+        rule: stable rule ID (``RP105``, ``DT201`` ...) for suppression,
+            baseline and SARIF keying; empty for analysers that predate
+            rule IDs (the protocol/machine checkers key on ``check``).
     """
 
     check: str
@@ -48,10 +55,12 @@ class Finding:
     message: str
     location: str = ""
     trace: Tuple[str, ...] = ()
+    rule: str = ""
 
     def render(self) -> str:
         """One- or multi-line rendering used by reports and the CLI."""
-        prefix = f"[{self.severity.name}] {self.check}: {self.message}"
+        label = f"{self.check}[{self.rule}]" if self.rule else self.check
+        prefix = f"[{self.severity.name}] {label}: {self.message}"
         if self.location:
             prefix += f"  ({self.location})"
         if not self.trace:
@@ -60,6 +69,51 @@ class Finding:
             f"    {index}. {step}" for index, step in enumerate(self.trace, 1)
         )
         return f"{prefix}\n  counterexample:\n{steps}"
+
+    @property
+    def path(self) -> str:
+        """The file part of a ``path:line`` location ('' if not file-shaped)."""
+        head, _, tail = self.location.rpartition(":")
+        if head and tail.isdigit():
+            return head
+        return ""
+
+    @property
+    def line(self) -> int:
+        """The line part of a ``path:line`` location (0 if not file-shaped)."""
+        _, _, tail = self.location.rpartition(":")
+        return int(tail) if self.path else 0
+
+    def sort_key(self) -> tuple:
+        """Most-severe-first, then by location/rule for stable output."""
+        return (-int(self.severity), self.path, self.line,
+                self.rule or self.check, self.message)
+
+    def fingerprint(self) -> str:
+        """Stable identity for baseline matching.
+
+        Deliberately excludes the line number so findings survive
+        unrelated edits above them; a defect is identified by its rule,
+        its file and its message.
+        """
+        basis = "\x1f".join(
+            (self.rule or self.check, self.path or self.location, self.message)
+        )
+        return hashlib.sha256(basis.encode("utf-8")).hexdigest()[:16]
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (the ``verify repo --format json`` record)."""
+        data = {
+            "rule": self.rule,
+            "check": self.check,
+            "severity": self.severity.name,
+            "message": self.message,
+            "location": self.location,
+            "fingerprint": self.fingerprint(),
+        }
+        if self.trace:
+            data["trace"] = list(self.trace)
+        return data
 
 
 @dataclass
@@ -89,6 +143,7 @@ class Report:
         message: str,
         location: str = "",
         trace: Iterable[str] = (),
+        rule: str = "",
     ) -> Finding:
         """Record one finding and return it."""
         finding = Finding(
@@ -97,19 +152,22 @@ class Report:
             message=message,
             location=location,
             trace=tuple(trace),
+            rule=rule,
         )
         self.findings.append(finding)
         return finding
 
     def error(self, check: str, message: str, location: str = "",
-              trace: Iterable[str] = ()) -> Finding:
-        return self.add(check, Severity.ERROR, message, location, trace)
+              trace: Iterable[str] = (), rule: str = "") -> Finding:
+        return self.add(check, Severity.ERROR, message, location, trace, rule)
 
-    def warning(self, check: str, message: str, location: str = "") -> Finding:
-        return self.add(check, Severity.WARNING, message, location)
+    def warning(self, check: str, message: str, location: str = "",
+                rule: str = "") -> Finding:
+        return self.add(check, Severity.WARNING, message, location, rule=rule)
 
-    def info(self, check: str, message: str, location: str = "") -> Finding:
-        return self.add(check, Severity.INFO, message, location)
+    def info(self, check: str, message: str, location: str = "",
+             rule: str = "") -> Finding:
+        return self.add(check, Severity.INFO, message, location, rule=rule)
 
     def ran(self, check: str) -> None:
         """Record that an invariant was evaluated (even if it held)."""
@@ -132,6 +190,7 @@ class Report:
                     message=finding.message,
                     location=location,
                     trace=finding.trace,
+                    rule=finding.rule,
                 )
             )
         for check in other.checks_run:
@@ -157,6 +216,31 @@ class Report:
     def by_check(self, check: str) -> List[Finding]:
         """Findings for one invariant."""
         return [f for f in self.findings if f.check == check]
+
+    def by_rule(self, rule: str) -> List[Finding]:
+        """Findings for one rule ID."""
+        return [f for f in self.findings if f.rule == rule]
+
+    def sorted_findings(self) -> List[Finding]:
+        """Findings ordered most-severe-first (then by file, line, rule).
+
+        Discovery order is kept in :attr:`findings`; serialized output
+        (JSON, SARIF, baselines) uses this ordering so two runs over the
+        same tree emit byte-identical artifacts regardless of analyser
+        scheduling.
+        """
+        return sorted(self.findings, key=Finding.sort_key)
+
+    def to_dict(self) -> dict:
+        """JSON-ready form of the whole report, findings most-severe-first."""
+        return {
+            "subject": self.subject,
+            "ok": self.ok,
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+            "checks_run": list(self.checks_run),
+            "findings": [f.to_dict() for f in self.sorted_findings()],
+        }
 
     def summary(self) -> str:
         """One-line verdict."""

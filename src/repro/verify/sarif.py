@@ -1,0 +1,104 @@
+"""SARIF 2.1.0 output for verify reports.
+
+CI code-scanning services ingest SARIF (Static Analysis Results
+Interchange Format); emitting it lets ``verify repo`` findings annotate
+pull requests directly.  The document here is deliberately minimal — one
+``run`` with the rule table from :mod:`repro.verify.rules`, one
+``result`` per finding, locations mapped from the ``path:line`` finding
+locations, and the repo's baseline fingerprint carried under
+``partialFingerprints`` so scanning services track findings across
+commits the same way the committed baseline file does.
+
+Output is fully canonical: findings are ordered by
+:meth:`~repro.verify.findings.Finding.sort_key` and keys are sorted at
+serialization time, so identical trees produce byte-identical SARIF.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, List
+
+from repro.verify.findings import Finding, Report, Severity
+from repro.verify.rules import RULES
+
+#: SARIF schema pin.
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: Severity -> SARIF result level.
+_LEVELS = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.INFO: "note",
+}
+
+
+def _result(finding: Finding) -> dict:
+    result = {
+        "ruleId": finding.rule or finding.check,
+        "level": _LEVELS[finding.severity],
+        "message": {"text": finding.message},
+        "partialFingerprints": {
+            "reproFingerprint/v1": finding.fingerprint(),
+        },
+    }
+    if finding.path:
+        result["locations"] = [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": finding.path},
+                    "region": {"startLine": finding.line},
+                }
+            }
+        ]
+    elif finding.location:
+        result["locations"] = [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": finding.location},
+                }
+            }
+        ]
+    return result
+
+
+def to_sarif(reports: Iterable[Report]) -> dict:
+    """One SARIF document covering every report."""
+    findings: List[Finding] = []
+    for report in reports:
+        findings.extend(report.sorted_findings())
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-verify",
+                        "informationUri": (
+                            "https://example.invalid/repro/docs/"
+                            "static-analysis"
+                        ),
+                        "rules": [
+                            {
+                                "id": info.rule,
+                                "name": info.check,
+                                "shortDescription": {"text": info.summary},
+                            }
+                            for info in RULES.values()
+                        ],
+                    }
+                },
+                "results": [_result(finding) for finding in findings],
+            }
+        ],
+    }
+
+
+def render_sarif(reports: Iterable[Report]) -> str:
+    """Serialized SARIF (sorted keys, newline-terminated)."""
+    return json.dumps(to_sarif(reports), indent=2, sort_keys=True) + "\n"

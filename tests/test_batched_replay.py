@@ -194,11 +194,20 @@ class TestEngineSelection:
         assert not calls
 
     def test_ecc_scrubber_declines_batching(self):
+        from repro.engines import Capability, decide, select_board_engine
+
         words = full_mix_words(600, seed=29)
         machine = machine_for("single")
         board = board_for_machine(machine, ecc=True, scrub_interval=500.0)
-        assert replay_words_batched(board, words) is None
-        # replay_words still works (scalar fallback) and matches a forced
+        # The capability prover denies INERT_BACKGROUND_TICK (the patrol
+        # scrubber must tick between tenures), so the registry rejects the
+        # batched engine and routes the board to the scalar path.
+        decision = decide("batched", board=board)
+        assert not decision.eligible
+        assert Capability.INERT_BACKGROUND_TICK in decision.missing
+        assert "scrubber" in decision.reason()
+        assert select_board_engine(board).name == "scalar"
+        # replay_words still works (scalar selection) and matches a forced
         # scalar run exactly.
         assert_paths_identical(
             lambda: board_for_machine(machine, seed=4, ecc=True,

@@ -1,0 +1,77 @@
+"""Shared harness for the CI smoke tools.
+
+The four ``*_smoke.py`` entry points (bench, fault, chaos, telemetry)
+share the same shape: run a handful of seeded contracts, print one
+``[ok  ]``/``[FAIL]`` line per contract, print a final verdict, and exit
+with the repo's disciplined exit codes (:data:`repro.cli.EXIT_OK` /
+:data:`repro.cli.EXIT_CHECK_FAILED` — a smoke failure is "a check ran
+and failed", never a validation or runtime error).  This module holds
+that boilerplate once.
+
+Usage::
+
+    from _smoke import SmokeChecks, synthetic_words
+
+    def main() -> int:
+        smoke = SmokeChecks("bench")
+        smoke.check("contract holds", value == expected, f"got {value}")
+        return smoke.finish()
+
+    if __name__ == "__main__":
+        sys.exit(main())
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bus.trace import encode_arrays
+from repro.bus.transaction import BusCommand
+from repro.cli import EXIT_CHECK_FAILED, EXIT_OK
+
+
+class SmokeChecks:
+    """Accumulates named pass/fail checks and renders the verdict."""
+
+    def __init__(self, label: str) -> None:
+        self.label = label
+        self.ok = True
+
+    def check(self, name: str, ok: bool, detail: str = "") -> bool:
+        """Record one contract; detail prints only on failure."""
+        suffix = f" ({detail})" if detail and not ok else ""
+        print(f"[{'ok  ' if ok else 'FAIL'}] {name}{suffix}")
+        self.ok = self.ok and bool(ok)
+        return bool(ok)
+
+    def finish(self) -> int:
+        """Print the final verdict; return the disciplined exit code."""
+        print(f"{self.label} smoke: " + ("PASS" if self.ok else "FAIL"))
+        return EXIT_OK if self.ok else EXIT_CHECK_FAILED
+
+
+def synthetic_words(
+    records: int,
+    seed: int,
+    n_cpus: int = 4,
+    n_lines: int = 1024,
+    line_size: int = 128,
+    rwitm_fraction: float = 0.2,
+) -> np.ndarray:
+    """The smoke tools' seeded synthetic bus trace.
+
+    A read/RWITM mix over ``n_lines`` line-aligned addresses — enough
+    traffic shape to exercise hits, misses, interventions and
+    replacement without a workload model.  Same seed, same bytes.
+    """
+    rng = np.random.default_rng(seed)
+    cpus = rng.integers(0, n_cpus, records).astype(np.uint64)
+    commands = rng.choice(
+        [int(BusCommand.READ), int(BusCommand.RWITM)],
+        size=records,
+        p=[1.0 - rwitm_fraction, rwitm_fraction],
+    ).astype(np.uint64)
+    addresses = (
+        rng.integers(0, n_lines, records) * np.uint64(line_size)
+    ).astype(np.uint64)
+    return encode_arrays(cpus, commands, addresses)

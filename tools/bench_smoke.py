@@ -18,6 +18,8 @@ import json
 import sys
 from pathlib import Path
 
+from _smoke import SmokeChecks
+
 from repro.experiments.replay_bench import run_replay_benchmark
 
 RECORDS = 60_000
@@ -25,12 +27,8 @@ SEED = 2000
 SHARDS = 2
 
 
-def check(name: str, ok: bool, detail: str = "") -> bool:
-    print(f"[{'ok  ' if ok else 'FAIL'}] {name}" + (f" ({detail})" if detail and not ok else ""))
-    return ok
-
-
 def main() -> int:
+    smoke = SmokeChecks("bench")
     report = run_replay_benchmark(
         RECORDS, seed=SEED, shards=SHARDS, sharded_processes=True
     )
@@ -39,8 +37,7 @@ def main() -> int:
             f"{name:8s}: {entry['records_per_second']:12,.0f} records/s "
             f"digest {entry['statistics_digest'][:16]}…"
         )
-    ok = True
-    ok &= check(
+    smoke.check(
         "scalar, batched and sharded statistics bit-identical",
         report["identical"],
         ", ".join(
@@ -48,7 +45,7 @@ def main() -> int:
             for name, entry in report["engines"].items()
         ),
     )
-    ok &= check(
+    smoke.check(
         "batched path faster than scalar",
         report["batched_speedup"] > 1.0,
         f"{report['batched_speedup']:.2f}x",
@@ -56,8 +53,7 @@ def main() -> int:
     out = Path(__file__).resolve().parent.parent / "BENCH_replay.json"
     out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     print(f"wrote {out}")
-    print("bench smoke: " + ("PASS" if ok else "FAIL"))
-    return 0 if ok else 1
+    return smoke.finish()
 
 
 if __name__ == "__main__":

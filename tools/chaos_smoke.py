@@ -31,8 +31,8 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.bus.trace import encode_arrays
-from repro.bus.transaction import BusCommand
+from _smoke import SmokeChecks, synthetic_words
+
 from repro.memories.config import CacheNodeConfig
 from repro.supervisor import (
     ChaosPlan,
@@ -58,20 +58,6 @@ def _spec(**overrides) -> SupervisedRunSpec:
     return SupervisedRunSpec(**defaults)
 
 
-def _words() -> np.ndarray:
-    rng = np.random.default_rng(SEED)
-    cpus = rng.integers(0, 4, RECORDS).astype(np.uint64)
-    commands = rng.choice(
-        [int(BusCommand.READ), int(BusCommand.RWITM)],
-        size=RECORDS,
-        p=[0.8, 0.2],
-    ).astype(np.uint64)
-    addresses = (rng.integers(0, 1024, RECORDS) * np.uint64(128)).astype(
-        np.uint64
-    )
-    return encode_arrays(cpus, commands, addresses)
-
-
 def _bare_statistics(spec: SupervisedRunSpec, words: np.ndarray) -> dict:
     board = spec.build_board()
     board.replay_words(words)
@@ -87,14 +73,9 @@ def _corrupt_segment(run_dir: Path, segment: int) -> None:
     path.write_bytes(data)
 
 
-def check(name: str, ok: bool, detail: str = "") -> bool:
-    print(f"[{'ok  ' if ok else 'FAIL'}] {name}" + (f" ({detail})" if detail and not ok else ""))
-    return ok
-
-
 def main() -> int:
-    words = _words()
-    ok = True
+    smoke = SmokeChecks("chaos")
+    words = synthetic_words(RECORDS, SEED)
 
     with tempfile.TemporaryDirectory(prefix="chaos-smoke-") as tmp:
         tmp = Path(tmp)
@@ -103,14 +84,14 @@ def main() -> int:
         bare = _bare_statistics(spec, words)
 
         result = RunSupervisor.create(spec, words, tmp / "clean").run()
-        ok &= check(
+        smoke.check(
             "zero-fault supervised run identical to bare replay",
             result.statistics == bare and not result.degraded,
         )
 
         supervisor = RunSupervisor.create(spec, words, tmp / "midkill")
         result = supervisor.run(chaos=ChaosPlan(kill_after_records=1500))
-        ok &= check(
+        smoke.check(
             "mid-segment SIGKILL: restarted run identical to bare replay",
             result.statistics == bare and result.restarts == 1,
             f"restarts={result.restarts}",
@@ -126,7 +107,7 @@ def main() -> int:
         resumed = RunSupervisor.open(tmp / "commitkill")
         result = resumed.run()
         status = resumed.status()
-        ok &= check(
+        smoke.check(
             "commit-boundary SIGKILL + cold resume identical to bare replay",
             budget_hit
             and result.statistics == bare
@@ -138,7 +119,7 @@ def main() -> int:
         supervisor = RunSupervisor.create(spec, words, tmp / "quarantine")
         _corrupt_segment(tmp / "quarantine", 2)
         result = supervisor.run()
-        ok &= check(
+        smoke.check(
             "corrupt trace segment quarantined; run completes degraded",
             result.degraded
             and result.segments_quarantined == 1
@@ -151,7 +132,7 @@ def main() -> int:
         ecc_spec = _spec(ecc=True)
         supervisor = RunSupervisor.create(ecc_spec, words, tmp / "badnode")
         result = supervisor.run(chaos=ChaosPlan(fail_node=(1, 0)))
-        ok &= check(
+        smoke.check(
             "uncorrectable directory damage offlines the node; run completes",
             result.degraded
             and result.offline_nodes == [0]
@@ -159,8 +140,7 @@ def main() -> int:
             f"offline={result.offline_nodes}",
         )
 
-    print("chaos smoke: " + ("PASS" if ok else "FAIL"))
-    return 0 if ok else 1
+    return smoke.finish()
 
 
 if __name__ == "__main__":

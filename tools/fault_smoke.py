@@ -22,8 +22,8 @@ import sys
 
 import numpy as np
 
-from repro.bus.trace import encode_arrays
-from repro.bus.transaction import BusCommand
+from _smoke import SmokeChecks, synthetic_words
+
 from repro.faults import FaultPlan, run_campaign
 from repro.memories.board import board_for_machine
 from repro.memories.config import CacheNodeConfig
@@ -38,33 +38,14 @@ def _machine():
     return split_smp_machine(config, n_cpus=4, procs_per_node=2)
 
 
-def _words() -> np.ndarray:
-    rng = np.random.default_rng(SEED)
-    cpus = rng.integers(0, 4, RECORDS).astype(np.uint64)
-    commands = rng.choice(
-        [int(BusCommand.READ), int(BusCommand.RWITM)],
-        size=RECORDS,
-        p=[0.8, 0.2],
-    ).astype(np.uint64)
-    addresses = (rng.integers(0, 1024, RECORDS) * np.uint64(128)).astype(
-        np.uint64
-    )
-    return encode_arrays(cpus, commands, addresses)
-
-
-def check(name: str, ok: bool, detail: str = "") -> bool:
-    print(f"[{'ok  ' if ok else 'FAIL'}] {name}" + (f" ({detail})" if detail and not ok else ""))
-    return ok
-
-
 def main() -> int:
-    words = _words()
+    smoke = SmokeChecks("fault")
+    words = synthetic_words(RECORDS, SEED)
     machine = _machine()
-    ok = True
 
     for ecc in (False, True):
         result = run_campaign(words, machine, FaultPlan(), ecc=ecc)
-        ok &= check(
+        smoke.check(
             f"zero-fault campaign identical to baseline (ecc={ecc})",
             result.identical and result.fault_counts == {},
             result.summary(),
@@ -73,12 +54,12 @@ def main() -> int:
     plan = FaultPlan.uniform(0.01, seed=SEED)
     first = run_campaign(words, machine, plan)
     second = run_campaign(words, machine, plan)
-    ok &= check(
+    smoke.check(
         "seeded plan reproduces fault sites",
         first.events == second.events and len(first.events) > 0,
         f"{len(first.events)} vs {len(second.events)} events",
     )
-    ok &= check(
+    smoke.check(
         "seeded plan reproduces statistics",
         first.faulted == second.faulted,
     )
@@ -109,14 +90,13 @@ def main() -> int:
         )
         for node in board.firmware.nodes
     )
-    ok &= check(
+    smoke.check(
         "scrub pass corrects every injected single-bit flip",
         flips > 0 and corrected == flips and uncorrectable == 0,
         f"flips={flips} corrected={corrected} uncorrectable={uncorrectable}",
     )
 
-    print("fault smoke: " + ("PASS" if ok else "FAIL"))
-    return 0 if ok else 1
+    return smoke.finish()
 
 
 if __name__ == "__main__":

@@ -24,10 +24,8 @@ from __future__ import annotations
 import json
 import sys
 
-import numpy as np
+from _smoke import SmokeChecks, synthetic_words
 
-from repro.bus.trace import encode_arrays
-from repro.bus.transaction import BusCommand
 from repro.memories.board import board_for_machine
 from repro.memories.config import CacheNodeConfig
 from repro.target.configs import split_smp_machine
@@ -54,25 +52,6 @@ def _machine():
     return split_smp_machine(config, n_cpus=4, procs_per_node=2)
 
 
-def _words() -> np.ndarray:
-    rng = np.random.default_rng(SEED)
-    cpus = rng.integers(0, 4, RECORDS).astype(np.uint64)
-    commands = rng.choice(
-        [int(BusCommand.READ), int(BusCommand.RWITM)],
-        size=RECORDS,
-        p=[0.8, 0.2],
-    ).astype(np.uint64)
-    addresses = (rng.integers(0, 1024, RECORDS) * np.uint64(128)).astype(
-        np.uint64
-    )
-    return encode_arrays(cpus, commands, addresses)
-
-
-def check(name: str, ok: bool, detail: str = "") -> bool:
-    print(f"[{'ok  ' if ok else 'FAIL'}] {name}" + (f" ({detail})" if detail and not ok else ""))
-    return ok
-
-
 def _run_jsonl(path, words, machine) -> bytes:
     sink = JsonlSink(path, deterministic=True)
     board = board_for_machine(machine)
@@ -91,9 +70,9 @@ def main() -> int:
     import tempfile
     from pathlib import Path
 
-    words = _words()
+    smoke = SmokeChecks("telemetry")
+    words = synthetic_words(RECORDS, SEED)
     machine = _machine()
-    ok = True
 
     # 1. Null-sink identity.
     bare = board_for_machine(machine)
@@ -104,7 +83,7 @@ def main() -> int:
         RunTrace(NULL_SINK),
     )
     instrumented.replay_words(words)
-    ok &= check(
+    smoke.check(
         "null-sink instrumented replay bit-identical to bare",
         json.dumps(bare.statistics(), sort_keys=True)
         == json.dumps(instrumented.statistics(), sort_keys=True),
@@ -116,7 +95,7 @@ def main() -> int:
         second_path = Path(tmp) / "second.jsonl"
         first_bytes = _run_jsonl(first_path, words, machine)
         second_bytes = _run_jsonl(second_path, words, machine)
-        ok &= check(
+        smoke.check(
             "same-seed deterministic runs write byte-identical JSONL",
             first_bytes == second_bytes and len(first_bytes) > 0,
             f"{len(first_bytes)} vs {len(second_bytes)} bytes",
@@ -125,7 +104,7 @@ def main() -> int:
         reencoded = (
             "\n".join(encode_record(r) for r in records) + "\n"
         ).encode()
-        ok &= check(
+        smoke.check(
             "JSONL series round-trips through load_jsonl/encode_record",
             reencoded == first_bytes,
             f"{len(reencoded)} vs {len(first_bytes)} bytes",
@@ -149,7 +128,7 @@ def main() -> int:
         )
         != value
     ]
-    ok &= check(
+    smoke.check(
         "prometheus exposition parses and totals match summed deltas",
         bool(parsed) and not mismatches,
         f"mismatched: {mismatches[:5]}",
@@ -181,18 +160,17 @@ def main() -> int:
         encode_record(r) for r in first_sink.records + second_sink.records
     ]
     straight_lines = [encode_record(r) for r in straight_sink.records]
-    ok &= check(
+    smoke.check(
         "checkpoint/restore mid-series continues the identical stream",
         combined == straight_lines and len(combined) > 0,
         f"{len(combined)} vs {len(straight_lines)} records",
     )
-    ok &= check(
+    smoke.check(
         "restored run lands on the straight run's statistics",
         second_board.statistics() == straight.statistics(),
     )
 
-    print("telemetry smoke: " + ("PASS" if ok else "FAIL"))
-    return 0 if ok else 1
+    return smoke.finish()
 
 
 if __name__ == "__main__":

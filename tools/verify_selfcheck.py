@@ -1,21 +1,33 @@
 #!/usr/bin/env python
-"""Self-check of the protocol model checker against a broken-table corpus.
+"""Self-check of the static verifiers against broken-input corpora.
 
-CI runs this after ``verify protocol`` certifies the shipped tables: a
-checker that passes everything is worse than no checker, so each seeded
-mutation of a known-good table must be *rejected*, and rejected for the
-right reason — the expected invariant name must appear among the ERROR
-findings.  Exit status is non-zero on any miss.
+CI runs this after ``verify protocol`` / ``verify repo`` certify the
+shipped artifacts: a checker that passes everything is worse than no
+checker, so every corpus entry must be *rejected*, and rejected for the
+right reason — the expected invariant or rule must appear among the
+ERROR findings.  Two corpora are exercised:
+
+* ``CORPUS`` — seeded mutations of known-good protocol tables against
+  the model checker.
+* ``LINT_CORPUS`` / ``CLEAN_CORPUS`` — source snippets against the repo
+  lint + determinism analyzer: each defective snippet must fire exactly
+  its rule, and each clean (or suppressed) snippet must stay quiet, so
+  the rules neither miss nor cry wolf.
+
+Exit status is non-zero on any miss.
 """
 
 from __future__ import annotations
 
 import copy
 import sys
+import tempfile
+from pathlib import Path
 from typing import Callable, List, Tuple
 
 from repro.memories.config import BUILTIN_PROTOCOLS
 from repro.memories.protocol_table import load_protocol
+from repro.verify.lint import check_repo
 from repro.verify.protocol import check_protocol
 
 
@@ -93,6 +105,197 @@ CORPUS: List[Tuple[str, str, Callable[[dict], None], str]] = [
 ]
 
 
+#: (description, source snippet, rule ID expected to flag it).  Each
+#: snippet is one seeded defect; the repo lint must reject it and name
+#: the right rule.
+LINT_CORPUS: List[Tuple[str, str, str]] = [
+    (
+        "mutable default argument",
+        "def extend(item, acc=[]):\n"
+        "    acc.append(item)\n"
+        "    return acc\n",
+        "RP104",
+    ),
+    (
+        "list-of-calls replicated with '*'",
+        "def build_rows(n):\n"
+        "    return [dict()] * n\n",
+        "RP105",
+    ),
+    (
+        "dict.fromkeys sharing one mutable value",
+        "def empty_queues(names):\n"
+        "    return dict.fromkeys(names, [])\n",
+        "RP105",
+    ),
+    (
+        "constructor instance replicated with '*'",
+        "def build_sets(n):\n"
+        "    meta = LineMeta()\n"
+        "    return [meta] * n\n",
+        "RP105",
+    ),
+    (
+        "set iteration in a serialization routine",
+        "def write_rows(stream, items):\n"
+        "    seen = set(items)\n"
+        "    for item in seen:\n"
+        "        stream.write(item)\n",
+        "DT201",
+    ),
+    (
+        "wall-clock read outside the timing shim",
+        "import time\n\n"
+        "def stamp():\n"
+        "    return time.monotonic()\n",
+        "DT202",
+    ),
+    (
+        "calendar clock read",
+        "import datetime\n\n"
+        "def label():\n"
+        "    return datetime.datetime.now().isoformat()\n",
+        "DT202",
+    ),
+    (
+        "unseeded kernel entropy",
+        "import os\n\n"
+        "def token():\n"
+        "    return os.urandom(8)\n",
+        "DT203",
+    ),
+    (
+        "default_rng without a seed",
+        "import numpy as np\n\n"
+        "def stream():\n"
+        "    return np.random.default_rng()\n",
+        "DT203",
+    ),
+    (
+        "builtin hash() in emulation state",
+        "def bucket(key):\n"
+        "    return hash(key) % 64\n",
+        "DT204",
+    ),
+    (
+        "float sum over a set",
+        "def total(values):\n"
+        "    return sum({float(v) for v in values})\n",
+        "DT205",
+    ),
+    (
+        "lambda handed to a pool dispatch",
+        "def run(pool, items):\n"
+        "    return pool.map(lambda x: x + 1, items)\n",
+        "DT206",
+    ),
+    (
+        "nested function handed to a pool dispatch",
+        "def run(pool, items):\n"
+        "    def work(x):\n"
+        "        return x + 1\n"
+        "    return pool.map(work, items)\n",
+        "DT206",
+    ),
+]
+
+#: (description, source snippet) pairs the lint must pass untouched —
+#: the deterministic spelling of each defect above, plus an inline
+#: suppression.  These prove the rules stay quiet on correct code.
+CLEAN_CORPUS: List[Tuple[str, str]] = [
+    (
+        "sorted set iteration in a serialization routine",
+        "def write_rows(stream, items):\n"
+        "    for item in sorted(set(items)):\n"
+        "        stream.write(item)\n",
+    ),
+    (
+        "perf_counter is exempt from the wall-clock rule",
+        "import time\n\n"
+        "def measure():\n"
+        "    return time.perf_counter()\n",
+    ),
+    (
+        "seeded default_rng",
+        "import numpy as np\n\n"
+        "def stream(seed):\n"
+        "    return np.random.default_rng(seed)\n",
+    ),
+    (
+        "per-slot instances via comprehension",
+        "def build_rows(n):\n"
+        "    return [dict() for _ in range(n)]\n",
+    ),
+    (
+        "float sum over dict values (insertion-ordered)",
+        "def total(counters):\n"
+        "    return sum(counters.values())\n",
+    ),
+    (
+        "module-level worker function",
+        "def work(x):\n"
+        "    return x + 1\n\n"
+        "def run(pool, items):\n"
+        "    return pool.map(work, items)\n",
+    ),
+    (
+        "inline suppression silences the named rule",
+        "def bucket(key):\n"
+        "    return hash(key) % 64  # repro: ignore[DT204]\n",
+    ),
+]
+
+
+def _check_lint_corpus() -> int:
+    """Run the defect + clean snippets through ``check_repo``; count misses."""
+    failures = 0
+    with tempfile.TemporaryDirectory(prefix="lint-selfcheck-") as tmp:
+        root = Path(tmp)
+        defect_files = {}
+        for index, (description, source, expected) in enumerate(LINT_CORPUS):
+            name = f"defect_{index:02d}.py"
+            (root / name).write_text(source, encoding="utf-8")
+            defect_files[name] = (description, expected)
+        clean_files = {}
+        for index, (description, source) in enumerate(CLEAN_CORPUS):
+            name = f"clean_{index:02d}.py"
+            (root / name).write_text(source, encoding="utf-8")
+            clean_files[name] = description
+
+        report = check_repo(root, profile="library")
+
+        for name, (description, expected) in sorted(defect_files.items()):
+            fired = {
+                finding.rule for finding in report.errors
+                if finding.path == name
+            }
+            if expected in fired:
+                print(f"flagged: {description} [{expected}]")
+            elif fired:
+                print(
+                    f"WRONG RULE: {description} "
+                    f"(expected {expected}, got {sorted(fired)})"
+                )
+                failures += 1
+            else:
+                print(f"MISSED: {description} (expected {expected}, got PASS)")
+                failures += 1
+
+        for name, description in sorted(clean_files.items()):
+            noisy = [
+                finding for finding in report.errors + report.warnings
+                if finding.path == name
+            ]
+            if noisy:
+                print(f"FALSE POSITIVE: {description}")
+                for finding in noisy:
+                    print("  " + finding.render())
+                failures += 1
+            else:
+                print(f"quiet: {description}")
+    return failures
+
+
 def main() -> int:
     failures = 0
 
@@ -123,11 +326,15 @@ def main() -> int:
         else:
             print(f"rejected: {description} [{expected}]")
 
+    failures += _check_lint_corpus()
+
     if failures:
         print(f"\nself-check FAILED: {failures} case(s)")
         return 1
     print(f"\nself-check passed: {len(BUILTIN_PROTOCOLS)} shipped tables "
-          f"certified, {len(CORPUS)} broken tables rejected")
+          f"certified, {len(CORPUS)} broken tables rejected, "
+          f"{len(LINT_CORPUS)} lint defects flagged, "
+          f"{len(CLEAN_CORPUS)} clean snippets quiet")
     return 0
 
 
