@@ -25,6 +25,7 @@ Commands (also shown by ``help``)::
     faults                                       resilience report for the board
     watch [every_transactions]                   live telemetry dashboard
     supervise <run_dir>                          supervised-run journal status
+    service <service_root>                       service manifest status
     help | quit
 
 Static verification also runs stand-alone, before any board exists::
@@ -60,9 +61,22 @@ And crash-safe supervised runs (see :mod:`repro.supervisor`)::
     python -m repro.cli supervise resume <run_dir>
     python -m repro.cli supervise status <run_dir>
 
+And the multi-session emulation service (see :mod:`repro.service` and
+docs/service.md)::
+
+    python -m repro.cli service serve <root> [--host H] [--port P]
+        [--max-workers N] [--tenant-workers N] [--queue-depth N]
+        [--tenant-queue N] [--wall-deadline S] [--ingest-buffer N]
+    python -m repro.cli service submit <host:port> [--records N] [--seed S]
+        [--cache SIZE] [--tenant T] [--priority 0|1|2] [--label L]
+        [--wall-deadline S] [--cycle-deadline C] [--wait]
+    python -m repro.cli service status <host:port> [session]
+    python -m repro.cli service tail <host:port> <session> [--limit N]
+
 Exit codes are disciplined for unattended use: 0 success, 1 a check ran
 and failed, 2 validation error, 3 runtime fault, 4 run completed but
-degraded (see docs/resilience.md).
+degraded, 5 a structured resource refusal — quota denied, queue full,
+deadline exceeded (see docs/resilience.md and docs/service.md).
 
 Sizes accept the paper's notation (``64MB``, ``1GB``); everything the CLI
 builds is scaled by the session's scale factor (default 1024) so runs
@@ -106,6 +120,7 @@ EXIT_CHECK_FAILED = 1
 EXIT_VALIDATION = 2
 EXIT_RUNTIME = 3
 EXIT_DEGRADED = 4
+EXIT_RESOURCE = 5
 
 
 def classify_error(error: ReproError) -> int:
@@ -113,10 +128,19 @@ def classify_error(error: ReproError) -> int:
 
     Validation errors (bad arguments, malformed specs/programmings) exit
     :data:`EXIT_VALIDATION`; runtime faults (corrupt files, emulation or
-    supervision failures) exit :data:`EXIT_RUNTIME`.
+    supervision failures) exit :data:`EXIT_RUNTIME`; structured service
+    refusals — quota denied, queue full, deadline exceeded — exit
+    :data:`EXIT_RESOURCE` so fleet drivers can distinguish "resubmit
+    later" from "fix your input".
     """
-    from repro.common.errors import ConfigurationError, ValidationError
+    from repro.common.errors import (
+        ConfigurationError,
+        ResourceError,
+        ValidationError,
+    )
 
+    if isinstance(error, ResourceError):
+        return EXIT_RESOURCE
     if isinstance(error, (CliError, ValidationError, ConfigurationError)):
         return EXIT_VALIDATION
     return EXIT_RUNTIME
@@ -145,6 +169,7 @@ class ConsoleSession:
             "faults": self._cmd_console_passthrough,
             "watch": self._cmd_watch,
             "supervise": self._cmd_supervise,
+            "service": self._cmd_service,
             "miss-ratios": self._cmd_miss_ratios,
             "save-trace": self._cmd_save_trace,
             "save-machine": self._cmd_save_machine,
@@ -302,6 +327,10 @@ class ConsoleSession:
     def _cmd_supervise(self, args: List[str]) -> str:
         """Journal status of a supervised run directory."""
         return self.console.execute(" ".join(["supervise", *args]))
+
+    def _cmd_service(self, args: List[str]) -> str:
+        """Manifest status of a multi-session service root."""
+        return self.console.execute(" ".join(["service", *args]))
 
     def _cmd_miss_ratios(self, args: List[str]) -> str:
         ratios = self.console.miss_ratios()
@@ -973,6 +1002,220 @@ def supervise_main(argv: List[str]) -> int:
     return EXIT_DEGRADED if result.degraded else EXIT_OK
 
 
+def service_main(argv: List[str]) -> int:
+    """The ``service`` subcommand: the multi-session emulation server.
+
+    ``service serve <root>`` boots the asyncio HTTP/WebSocket server on a
+    service root directory and runs until SIGTERM (or ``POST /drain``),
+    then drains gracefully: in-flight runs suspend at their last durable
+    segment and the journaled manifest lets the next ``serve`` on the
+    same root re-adopt and finish them bit-identically.
+
+    ``service submit`` builds a synthetic-trace session request and
+    submits it; with ``--wait`` it polls to a terminal state.  Structured
+    refusals — queue full, tenant quota, deadline exceeded — exit with
+    code :data:`EXIT_RESOURCE` (5), distinct from validation (2) and
+    runtime (3) failures, so fleet drivers know a resubmit-later from a
+    fix-your-input.  ``service status`` and ``service tail`` observe a
+    running server over HTTP and WebSocket respectively.
+    """
+    import argparse
+    import asyncio
+    import json
+
+    from repro.service import (
+        EmulationService,
+        ServiceClient,
+        ServiceConfig,
+        ServiceServer,
+        SessionRequest,
+        serve_forever,
+    )
+    from repro.supervisor import SupervisedRunSpec
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cli service",
+        description="multi-session emulation service (HTTP + WebSocket)",
+    )
+    sub = parser.add_subparsers(dest="action")
+    serve_parser = sub.add_parser(
+        "serve", help="run the service until SIGTERM, then drain"
+    )
+    serve_parser.add_argument("root", help="service root directory")
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument(
+        "--port", type=int, default=8764,
+        help="listen port (0 picks a free one; default 8764)")
+    serve_parser.add_argument(
+        "--max-workers", type=int, default=4,
+        help="concurrent sessions executing (default 4)")
+    serve_parser.add_argument(
+        "--tenant-workers", type=int, default=2,
+        help="concurrent sessions per tenant (default 2)")
+    serve_parser.add_argument(
+        "--queue-depth", type=int, default=64,
+        help="admitted-but-not-running bound (default 64)")
+    serve_parser.add_argument(
+        "--tenant-queue", type=int, default=16,
+        help="queued sessions per tenant (default 16)")
+    serve_parser.add_argument(
+        "--wall-deadline", type=float, default=None,
+        help="default per-session wall deadline in seconds")
+    serve_parser.add_argument(
+        "--ingest-buffer", type=int, default=65_536,
+        help="ingest back-pressure bound, in records (default 65536)")
+    submit_parser = sub.add_parser(
+        "submit", help="submit a synthetic-trace session"
+    )
+    submit_parser.add_argument("server", help="host:port of a running server")
+    submit_parser.add_argument(
+        "--records", type=int, default=20_000,
+        help="synthetic bus records (default 20000)")
+    submit_parser.add_argument(
+        "--seed", type=int, default=0,
+        help="workload and replacement-policy seed")
+    submit_parser.add_argument(
+        "--cache", default="64MB",
+        help="paper-scale L3 size, scaled 1/1024 (default 64MB)")
+    submit_parser.add_argument(
+        "--segment-records", type=int, default=5_000,
+        help="records per committed segment (default 5000)")
+    submit_parser.add_argument("--tenant", default="default")
+    submit_parser.add_argument(
+        "--priority", type=int, default=1, choices=(0, 1, 2),
+        help="0 high / 1 normal / 2 low")
+    submit_parser.add_argument("--label", default="")
+    submit_parser.add_argument(
+        "--wall-deadline", type=float, default=None,
+        help="seconds from admission to completion")
+    submit_parser.add_argument(
+        "--cycle-deadline", type=float, default=None,
+        help="emulated-cycle budget")
+    submit_parser.add_argument(
+        "--wait", action="store_true",
+        help="poll until the session reaches a terminal state")
+    status_parser = sub.add_parser(
+        "status", help="service (or one session's) status over HTTP"
+    )
+    status_parser.add_argument("server")
+    status_parser.add_argument("session", nargs="?", default=None)
+    tail_parser = sub.add_parser(
+        "tail", help="stream a session's live telemetry over WebSocket"
+    )
+    tail_parser.add_argument("server")
+    tail_parser.add_argument("session")
+    tail_parser.add_argument(
+        "--limit", type=int, default=None,
+        help="stop after this many events")
+    ns = parser.parse_args(argv)
+
+    def endpoint(server: str) -> ServiceClient:
+        host, _, port = server.rpartition(":")
+        if not host or not port.isdigit():
+            raise CliError(
+                f"server must be host:port, got {server!r}"
+            )
+        return ServiceClient(host, int(port))
+
+    if ns.action == "serve":
+        config = ServiceConfig(
+            max_workers=ns.max_workers,
+            max_workers_per_tenant=ns.tenant_workers,
+            max_queue_depth=ns.queue_depth,
+            max_queued_per_tenant=ns.tenant_queue,
+            default_wall_deadline=ns.wall_deadline,
+            ingest_buffer_records=ns.ingest_buffer,
+        )
+
+        async def _serve() -> None:
+            server = ServiceServer(
+                EmulationService(ns.root, config), ns.host, ns.port
+            )
+            await server.start()
+            print(
+                f"serving on {ns.host}:{server.port} "
+                f"(root {ns.root}; SIGTERM drains)"
+            )
+            await serve_forever(server)
+            print("drained; manifest journaled for re-adoption")
+
+        asyncio.run(_serve())
+        return EXIT_OK
+
+    if ns.action == "submit":
+        client = endpoint(ns.server)
+        scale = ExperimentScale()
+        spec = SupervisedRunSpec(
+            machine=single_node_machine(
+                scale.cache(ns.cache), n_cpus=scale.n_cpus
+            ),
+            seed=ns.seed,
+            segment_records=ns.segment_records,
+        )
+        request = SessionRequest(
+            run_spec=spec,
+            trace={
+                "kind": "synthetic",
+                "records": ns.records,
+                "seed": ns.seed,
+                "n_cpus": scale.n_cpus,
+            },
+            tenant=ns.tenant,
+            priority=ns.priority,
+            label=ns.label,
+            wall_deadline=ns.wall_deadline,
+            cycle_deadline=ns.cycle_deadline,
+        )
+
+        async def _submit() -> int:
+            session_id = await client.submit(request.to_dict())
+            print(f"admitted {session_id}")
+            if not ns.wait:
+                return EXIT_OK
+            view = await client.wait(
+                session_id,
+                timeout=(ns.wall_deadline or 0) + 600.0,
+            )
+            print(json.dumps(view, indent=2, sort_keys=True))
+            if view["state"] == "completed":
+                return EXIT_DEGRADED if view["degraded"] else EXIT_OK
+            if view["state"] == "expired":
+                print(f"error: session expired ({view['reason']})")
+                return EXIT_RESOURCE
+            print(f"error: session {view['state']}: {view['error']}")
+            return EXIT_RUNTIME
+
+        return asyncio.run(_submit())
+
+    if ns.action == "status":
+        client = endpoint(ns.server)
+
+        async def _status() -> int:
+            if ns.session:
+                view = await client.session(ns.session)
+                print(json.dumps(view, indent=2, sort_keys=True))
+            else:
+                print(json.dumps(
+                    await client.status(), indent=2, sort_keys=True
+                ))
+            return EXIT_OK
+
+        return asyncio.run(_status())
+
+    if ns.action == "tail":
+        client = endpoint(ns.server)
+
+        async def _tail() -> int:
+            async for record in client.tail(ns.session, limit=ns.limit):
+                print(json.dumps(record, sort_keys=True))
+            return EXIT_OK
+
+        return asyncio.run(_tail())
+
+    parser.print_usage()
+    return EXIT_VALIDATION
+
+
 def bench_main(argv: List[str]) -> int:
     """The ``bench`` subcommand: replay-engine throughput A/B.
 
@@ -1044,6 +1287,7 @@ _SUBCOMMANDS: Dict[str, Callable[[List[str]], int]] = {
     "faults": faults_main,
     "telemetry": telemetry_main,
     "supervise": supervise_main,
+    "service": service_main,
     "bench": bench_main,
 }
 

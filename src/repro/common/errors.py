@@ -42,6 +42,17 @@ class ProtocolError(ReproError):
     an (operation, state, snoop-response) triple it does not define."""
 
 
+class ResourceError(ReproError):
+    """An explicit resource budget denied the request.
+
+    The emulation service's structured refusals — admission quotas, queue
+    depth, deadlines — derive from this class so unattended callers can
+    branch on "the system said no, and said why" (CLI exit code 5)
+    without parsing messages.  Subclasses carry the machine-readable
+    ``reason`` and the exhausted budget.
+    """
+
+
 class EmulationError(ReproError):
     """The emulated hardware reached a state the real board could not.
 

@@ -32,6 +32,7 @@ from repro.faults.plan import (
     FaultPlan,
     corrupt_trace_bytes,
 )
+from repro.faults.service_chaos import ServiceChaosPlan
 
 __all__ = [
     "CampaignResult",
@@ -40,6 +41,7 @@ __all__ = [
     "FaultEvent",
     "FaultInjector",
     "FaultPlan",
+    "ServiceChaosPlan",
     "corrupt_trace_bytes",
     "find_latest_checkpoint",
     "load_checkpoint",

@@ -1,0 +1,92 @@
+"""Deterministic chaos schedule for the multi-session emulation service.
+
+The per-run :class:`~repro.supervisor.ChaosPlan` makes *one* supervised
+run fail on cue; a :class:`ServiceChaosPlan` scripts failures across a
+whole fleet of sessions, keyed by session label, so the service chaos
+test (``tools/service_smoke.py``, ``tests/test_service.py``) can assert
+the tentpole guarantee: under worker kills and ingest loss, every
+admitted session either completes bit-identical to an undisturbed run or
+terminates with a structured reason — nothing silently hangs.
+
+Three failure families:
+
+* ``kill_worker`` — SIGKILL the session's replay worker after N records
+  of its first segment (delegates to the supervisor's own ChaosPlan, so
+  the restart is a journaled, bit-identical resume).
+* ``drop_ingest`` — sever the session's ingest connection after N chunks
+  without an end marker: the staged prefix is discarded and the session
+  must expire with a deadline reason, not hang.
+* ``stall_ingest`` — stop consuming the session's ingest after N chunks:
+  the bounded buffer fills, back-pressure holds the producer, and the
+  session's wall deadline resolves the stalemate.
+
+Like every fault schedule in :mod:`repro.faults`, the plan is pure data:
+same plan, same labels, same failures — a CI chaos run reproduces
+locally byte-for-byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass(frozen=True)
+class ServiceChaosPlan:
+    """Failure schedule for a service fleet, keyed by session label.
+
+    Attributes:
+        kill_worker: label → kill the replay worker after this many
+            records of its first segment (first attempt only; the
+            supervisor restart runs clean).
+        drop_ingest: label → close the ingest stream after this many
+            chunks, without an end marker.
+        stall_ingest: label → stop draining ingest after this many
+            chunks (the buffer fills; back-pressure engages).
+    """
+
+    kill_worker: Dict[str, int] = field(default_factory=dict)
+    drop_ingest: Dict[str, int] = field(default_factory=dict)
+    stall_ingest: Dict[str, int] = field(default_factory=dict)
+
+    def kill_after_records(self, label: str) -> Optional[int]:
+        """Worker-kill point for ``label``, or None for a clean launch."""
+        value = self.kill_worker.get(label)
+        return int(value) if value is not None else None
+
+    def ingest_drop_after(self, label: str) -> Optional[int]:
+        value = self.drop_ingest.get(label)
+        return int(value) if value is not None else None
+
+    def ingest_stall_after(self, label: str) -> Optional[int]:
+        value = self.stall_ingest.get(label)
+        return int(value) if value is not None else None
+
+    @property
+    def is_zero(self) -> bool:
+        """A zero plan perturbs nothing — the identity baseline."""
+        return not (self.kill_worker or self.drop_ingest or self.stall_ingest)
+
+    def to_dict(self) -> dict:
+        return {
+            "kill_worker": {
+                label: int(self.kill_worker[label])
+                for label in sorted(self.kill_worker)
+            },
+            "drop_ingest": {
+                label: int(self.drop_ingest[label])
+                for label in sorted(self.drop_ingest)
+            },
+            "stall_ingest": {
+                label: int(self.stall_ingest[label])
+                for label in sorted(self.stall_ingest)
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ServiceChaosPlan":
+        return cls(
+            kill_worker=dict(data.get("kill_worker", {})),
+            drop_ingest=dict(data.get("drop_ingest", {})),
+            stall_ingest=dict(data.get("stall_ingest", {})),
+        )

@@ -263,7 +263,8 @@ class MemoriesConsole:
         Supported commands: ``stats``, ``report``, ``reset``, ``describe``,
         ``log``, ``self-test``, ``protocol <node>``, ``overflows``,
         ``verify``, ``engines [shards]``, ``faults``,
-        ``watch [every_transactions]``, ``supervise <run_dir>``.
+        ``watch [every_transactions]``, ``supervise <run_dir>``,
+        ``service <service_root>``.
         """
         command = command_line.strip().lower()
         if command == "self-test":
@@ -285,6 +286,15 @@ class MemoriesConsole:
                 return render_status(supervisor.status())
             finally:
                 supervisor.close()
+        if command.startswith("service"):
+            # Needs no board: reads the service root's manifest only.
+            parts = command_line.strip().split()
+            if len(parts) < 2:
+                raise ConfigurationError("usage: service <service_root>")
+            from repro.service import render_service_manifest
+
+            self._log.append(f"service: inspected {parts[1]}")
+            return render_service_manifest(parts[1])
         if command == "faults":
             return self.resilience_report()
         if command == "verify":

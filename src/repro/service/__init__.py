@@ -1,0 +1,77 @@
+"""The multi-session emulation service.
+
+A long-running control plane over the crash-safe run machinery: many
+tenants submit machine configurations and trace sources, the service
+queues them by priority under explicit admission budgets, executes each
+as a journaled :class:`~repro.supervisor.RunSupervisor` run, streams
+live telemetry over WebSocket, and sheds load gracefully — structured
+refusals, wall/cycle deadlines, bounded ingest buffers, and a SIGTERM
+drain whose suspended sessions the next server incarnation re-adopts and
+finishes bit-identically.  See ``docs/service.md`` for the API and the
+operational runbook.
+"""
+
+from repro.service.admission import (
+    AdmissionController,
+    ServiceConfig,
+    ServiceState,
+)
+from repro.service.client import ServiceClient, ServiceHttpError
+from repro.service.http import ServiceServer, serve_forever
+from repro.service.ingest import (
+    IngestBuffer,
+    IngestClosedError,
+    chunk_from_bytes,
+    load_staged,
+    stage_stream,
+)
+from repro.service.metrics import service_exposition
+from repro.service.service import (
+    EmulationService,
+    Session,
+    render_service_manifest,
+)
+from repro.service.spec import (
+    PRIORITY_HIGH,
+    PRIORITY_LOW,
+    PRIORITY_NORMAL,
+    AdmissionError,
+    DeadlineError,
+    SessionRequest,
+    SessionState,
+    SessionView,
+    synthetic_words,
+    validate_trace_spec,
+)
+from repro.service.ws import WsClient, WsError
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionError",
+    "DeadlineError",
+    "EmulationService",
+    "IngestBuffer",
+    "IngestClosedError",
+    "PRIORITY_HIGH",
+    "PRIORITY_LOW",
+    "PRIORITY_NORMAL",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceHttpError",
+    "ServiceServer",
+    "ServiceState",
+    "Session",
+    "SessionRequest",
+    "SessionState",
+    "SessionView",
+    "WsClient",
+    "WsError",
+    "chunk_from_bytes",
+    "load_staged",
+    "render_service_manifest",
+    "serve_forever",
+    "service_exposition",
+    "stage_stream",
+    "synthetic_words",
+    "validate_trace_spec",
+]

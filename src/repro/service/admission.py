@@ -1,0 +1,248 @@
+"""Admission control and the load-shedding ladder.
+
+The service's first line of robustness: every submission passes through
+:meth:`AdmissionController.admit`, which either grants a queue slot or
+raises a structured :class:`~repro.service.spec.AdmissionError` naming
+the exhausted budget.  Budgets are explicit and bounded:
+
+* global queue depth (``max_queue_depth``);
+* per-tenant queued jobs (``max_queued_per_tenant``);
+* per-tenant concurrent worker processes (``max_workers_per_tenant``,
+  enforced at launch — an over-quota tenant's jobs *wait*, they are not
+  rejected);
+* global concurrent workers (``max_workers``).
+
+The shedding ladder describes the service itself, one rung at a time::
+
+    ACCEPT  →  QUEUE_ONLY  →  DRAIN  →  REJECT
+
+``ACCEPT`` is normal operation.  ``QUEUE_ONLY`` (entered automatically
+when queue occupancy crosses the watermark, left when it recedes) keeps
+admitting and executing but reports not-ready on ``/readyz`` so load
+balancers steer traffic away before hard rejections start.  ``DRAIN``
+(SIGTERM, or an explicit stop) refuses admissions, suspends in-flight
+runs at their next safe point and journals them for re-adoption.
+``REJECT`` refuses everything — the overload/maintenance stance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Optional
+
+from repro.common.errors import ValidationError
+from repro.service.spec import AdmissionError, SessionRequest
+
+
+class ServiceState(str, Enum):
+    """The shedding-ladder rung the service currently occupies."""
+
+    ACCEPT = "accept"
+    QUEUE_ONLY = "queue-only"
+    DRAIN = "drain"
+    REJECT = "reject"
+
+    @property
+    def admits(self) -> bool:
+        return self in (ServiceState.ACCEPT, ServiceState.QUEUE_ONLY)
+
+    @property
+    def launches(self) -> bool:
+        return self in (ServiceState.ACCEPT, ServiceState.QUEUE_ONLY)
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Bounds and budgets of one service instance.
+
+    Attributes:
+        max_workers: concurrent sessions executing (worker processes).
+        max_workers_per_tenant: concurrent sessions per tenant.
+        max_queue_depth: queued (admitted, not yet running) sessions.
+        max_queued_per_tenant: queued sessions per tenant.
+        queue_only_watermark: queue occupancy fraction at which the
+            service escalates ACCEPT → QUEUE_ONLY (and half of which
+            de-escalates back).
+        ingest_buffer_records: bound of each session's ingest chunk
+            buffer — the back-pressure knob between trace upload and the
+            staging writer.
+        retry_backoff_base: first service-level retry delay, seconds
+            (doubles per attempt, seeded jitter on top).
+        default_wall_deadline: wall deadline applied to sessions that do
+            not set one (None = unbounded).
+        drain_grace: seconds a drain waits for in-flight sessions to
+            reach a safe suspend point before the server exits anyway.
+    """
+
+    max_workers: int = 4
+    max_workers_per_tenant: int = 2
+    max_queue_depth: int = 64
+    max_queued_per_tenant: int = 16
+    queue_only_watermark: float = 0.75
+    ingest_buffer_records: int = 65_536
+    retry_backoff_base: float = 0.05
+    default_wall_deadline: Optional[float] = None
+    drain_grace: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.max_workers < 1:
+            raise ValidationError(
+                f"max_workers must be >= 1, got {self.max_workers}"
+            )
+        if self.max_workers_per_tenant < 1:
+            raise ValidationError(
+                f"max_workers_per_tenant must be >= 1, got "
+                f"{self.max_workers_per_tenant}"
+            )
+        if self.max_queue_depth < 1:
+            raise ValidationError(
+                f"max_queue_depth must be >= 1, got {self.max_queue_depth}"
+            )
+        if self.max_queued_per_tenant < 1:
+            raise ValidationError(
+                f"max_queued_per_tenant must be >= 1, got "
+                f"{self.max_queued_per_tenant}"
+            )
+        if not 0.0 < self.queue_only_watermark <= 1.0:
+            raise ValidationError(
+                f"queue_only_watermark must be in (0, 1], got "
+                f"{self.queue_only_watermark}"
+            )
+        if self.ingest_buffer_records < 1:
+            raise ValidationError(
+                f"ingest_buffer_records must be >= 1, got "
+                f"{self.ingest_buffer_records}"
+            )
+        if self.retry_backoff_base <= 0:
+            raise ValidationError(
+                f"retry_backoff_base must be positive, got "
+                f"{self.retry_backoff_base}"
+            )
+        if (
+            self.default_wall_deadline is not None
+            and self.default_wall_deadline <= 0
+        ):
+            raise ValidationError(
+                f"default_wall_deadline must be positive, got "
+                f"{self.default_wall_deadline}"
+            )
+
+
+class AdmissionController:
+    """Budget bookkeeping behind :meth:`EmulationService.submit`.
+
+    Purely synchronous state — the asyncio service mutates it from the
+    event loop only, so no locking is needed; tests can drive it
+    directly.
+    """
+
+    def __init__(self, config: ServiceConfig) -> None:
+        self.config = config
+        self.queued_total = 0
+        self.running_total = 0
+        self.queued_by_tenant: Dict[str, int] = {}
+        self.running_by_tenant: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # Admission (queue budgets)
+    # ------------------------------------------------------------------ #
+
+    def admit(self, request: SessionRequest, state: ServiceState) -> None:
+        """Grant a queue slot or raise a structured refusal.
+
+        Checks, in order: the shedding state, the global queue bound,
+        the tenant's queued-job quota.  On success the session counts as
+        queued until :meth:`launch` or a terminal :meth:`forget_queued`.
+        """
+        if state == ServiceState.DRAIN:
+            raise AdmissionError(
+                "draining",
+                detail="service is draining; resubmit to its successor",
+            )
+        if state == ServiceState.REJECT:
+            raise AdmissionError(
+                "shedding",
+                detail="service is shedding load; retry with backoff",
+            )
+        if self.queued_total >= self.config.max_queue_depth:
+            raise AdmissionError(
+                "queue-full",
+                budget="max_queue_depth",
+                limit=self.config.max_queue_depth,
+                value=self.queued_total,
+            )
+        tenant_queued = self.queued_by_tenant.get(request.tenant, 0)
+        if tenant_queued >= self.config.max_queued_per_tenant:
+            raise AdmissionError(
+                "tenant-queue-quota",
+                budget="max_queued_per_tenant",
+                limit=self.config.max_queued_per_tenant,
+                value=tenant_queued,
+                detail=f"tenant {request.tenant!r}",
+            )
+        self.queued_total += 1
+        self.queued_by_tenant[request.tenant] = tenant_queued + 1
+
+    def forget_queued(self, tenant: str) -> None:
+        """Release a queue slot (session expired or launched)."""
+        self.queued_total = max(0, self.queued_total - 1)
+        held = self.queued_by_tenant.get(tenant, 0)
+        if held > 1:
+            self.queued_by_tenant[tenant] = held - 1
+        else:
+            self.queued_by_tenant.pop(tenant, None)
+
+    # ------------------------------------------------------------------ #
+    # Launch (worker budgets)
+    # ------------------------------------------------------------------ #
+
+    def may_launch(self, tenant: str) -> bool:
+        """Whether a queued session of ``tenant`` can start right now.
+
+        A ``False`` here is back-pressure, not refusal: the session
+        keeps its queue slot and is reconsidered when a worker frees up.
+        """
+        if self.running_total >= self.config.max_workers:
+            return False
+        return (
+            self.running_by_tenant.get(tenant, 0)
+            < self.config.max_workers_per_tenant
+        )
+
+    def launch(self, tenant: str) -> None:
+        """Move one session from queued to running."""
+        self.forget_queued(tenant)
+        self.running_total += 1
+        self.running_by_tenant[tenant] = (
+            self.running_by_tenant.get(tenant, 0) + 1
+        )
+
+    def release(self, tenant: str) -> None:
+        """Return a worker slot (session reached a terminal state)."""
+        self.running_total = max(0, self.running_total - 1)
+        held = self.running_by_tenant.get(tenant, 0)
+        if held > 1:
+            self.running_by_tenant[tenant] = held - 1
+        else:
+            self.running_by_tenant.pop(tenant, None)
+
+    # ------------------------------------------------------------------ #
+    # Shedding ladder (automatic rungs)
+    # ------------------------------------------------------------------ #
+
+    def suggested_state(self, current: ServiceState) -> ServiceState:
+        """ACCEPT ↔ QUEUE_ONLY escalation from queue occupancy.
+
+        DRAIN and REJECT are deliberate operator/lifecycle states and are
+        never entered or left automatically.
+        """
+        if current not in (ServiceState.ACCEPT, ServiceState.QUEUE_ONLY):
+            return current
+        high = self.config.queue_only_watermark * self.config.max_queue_depth
+        low = high / 2.0
+        if self.queued_total >= high:
+            return ServiceState.QUEUE_ONLY
+        if current == ServiceState.QUEUE_ONLY and self.queued_total > low:
+            return ServiceState.QUEUE_ONLY
+        return ServiceState.ACCEPT

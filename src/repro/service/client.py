@@ -1,0 +1,259 @@
+"""Asyncio client for the emulation service (CLI, tests, smoke tool).
+
+Mirrors the transport in :mod:`repro.service.http`: one HTTP/1.1 request
+per connection plus the two WebSocket endpoints.  Raises the same
+structured exceptions the server maps onto its status codes, so a CLI
+caller gets :class:`AdmissionError`/:class:`DeadlineError` (exit code 5)
+from a refusal without ever parsing prose.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import AsyncIterator, Iterable, Optional, Tuple
+
+import numpy as np
+
+from repro.common.errors import EmulationError, ValidationError
+from repro.service.spec import AdmissionError, DeadlineError
+from repro.service.ws import OP_CLOSE, OP_TEXT, WsClient
+
+
+class ServiceHttpError(EmulationError):
+    """A non-2xx service response that maps to no structured refusal."""
+
+    def __init__(self, status: int, payload: dict) -> None:
+        super().__init__(f"service returned {status}: {payload}")
+        self.status = status
+        self.payload = payload
+
+
+def _raise_structured(status: int, payload: dict) -> None:
+    """Re-raise a structured error body as its client-side exception."""
+    detail = payload.get("error", {})
+    if isinstance(detail, dict) and detail.get("type") == "admission":
+        raise AdmissionError(
+            detail.get("reason", "rejected"),
+            budget=detail.get("budget", ""),
+            limit=detail.get("limit", 0),
+            value=detail.get("value", 0),
+        )
+    if isinstance(detail, dict) and detail.get("type") == "deadline":
+        raise DeadlineError(detail.get("reason", "wall-deadline"))
+    if status == 400:
+        raise ValidationError(f"service rejected request: {payload}")
+    raise ServiceHttpError(status, payload)
+
+
+class ServiceClient:
+    """Talk to one :class:`~repro.service.http.ServiceServer`."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = int(port)
+
+    # ------------------------------------------------------------------ #
+    # Raw HTTP
+    # ------------------------------------------------------------------ #
+
+    async def request(
+        self,
+        method: str,
+        path: str,
+        body: bytes = b"",
+        content_type: str = "application/json",
+    ) -> Tuple[int, bytes]:
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {self.host}:{self.port}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: close\r\n"
+            "\r\n"
+        ).encode("latin-1")
+        writer.write(head + body)
+        await writer.drain()
+        status_line = await reader.readline()
+        parts = status_line.decode("latin-1").split()
+        if len(parts) < 2:
+            writer.close()
+            raise ValidationError(
+                f"malformed service response {status_line!r}"
+            )
+        status = int(parts[1])
+        length = 0
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                length = int(value.strip())
+        payload = await reader.readexactly(length) if length else b""
+        writer.close()
+        return status, payload
+
+    async def request_json(
+        self, method: str, path: str, body: Optional[dict] = None
+    ) -> dict:
+        raw = (
+            json.dumps(body, sort_keys=True).encode("utf-8")
+            if body is not None
+            else b""
+        )
+        status, payload = await self.request(method, path, raw)
+        try:
+            decoded = json.loads(payload.decode("utf-8")) if payload else {}
+        except ValueError:
+            decoded = {"raw": payload.decode("latin-1")}
+        if status >= 400:
+            _raise_structured(status, decoded)
+        return decoded
+
+    # ------------------------------------------------------------------ #
+    # Endpoints
+    # ------------------------------------------------------------------ #
+
+    async def healthz(self) -> dict:
+        return await self.request_json("GET", "/healthz")
+
+    async def readyz(self) -> Tuple[bool, dict]:
+        status, payload = await self.request("GET", "/readyz")
+        return status == 200, json.loads(payload.decode("utf-8"))
+
+    async def status(self) -> dict:
+        return await self.request_json("GET", "/status")
+
+    async def metrics(self) -> str:
+        status, payload = await self.request("GET", "/metrics")
+        if status != 200:
+            raise ServiceHttpError(status, {"raw": payload.decode("latin-1")})
+        return payload.decode("utf-8")
+
+    async def submit(self, request: dict) -> str:
+        """Submit a session request dict; return the session id."""
+        response = await self.request_json("POST", "/sessions", request)
+        return str(response["session"])
+
+    async def session(self, session_id: str) -> dict:
+        return await self.request_json("GET", f"/sessions/{session_id}")
+
+    async def sessions(self) -> list:
+        response = await self.request_json("GET", "/sessions")
+        return list(response["sessions"])
+
+    async def result(self, session_id: str) -> dict:
+        return await self.request_json(
+            "GET", f"/sessions/{session_id}/result"
+        )
+
+    async def drain(self) -> dict:
+        return await self.request_json("POST", "/drain")
+
+    async def wait(
+        self,
+        session_id: str,
+        timeout: float = 60.0,
+        poll: float = 0.1,
+    ) -> dict:
+        """Poll until the session is terminal or suspended."""
+        elapsed = 0.0
+        while True:
+            view = await self.session(session_id)
+            if view["state"] in (
+                "completed", "failed", "expired", "suspended",
+            ):
+                return view
+            await asyncio.sleep(poll)
+            elapsed += poll
+            if elapsed >= timeout:
+                raise DeadlineError(
+                    "wall-deadline",
+                    detail=f"client wait for {session_id} "
+                    f"exceeded {timeout}s",
+                )
+
+    # ------------------------------------------------------------------ #
+    # Ingest
+    # ------------------------------------------------------------------ #
+
+    async def ingest_http(
+        self, session_id: str, words: np.ndarray
+    ) -> dict:
+        body = np.asarray(words, dtype=np.uint64).astype("<u8").tobytes()
+        return await self.request_json_body(
+            "POST", f"/sessions/{session_id}/ingest", body,
+            "application/octet-stream",
+        )
+
+    async def request_json_body(
+        self, method: str, path: str, body: bytes, content_type: str
+    ) -> dict:
+        status, payload = await self.request(method, path, body, content_type)
+        decoded = json.loads(payload.decode("utf-8")) if payload else {}
+        if status >= 400:
+            _raise_structured(status, decoded)
+        return decoded
+
+    async def ingest_ws(
+        self,
+        session_id: str,
+        chunks: Iterable[np.ndarray],
+        drop_after: Optional[int] = None,
+    ) -> Optional[int]:
+        """Stream chunks over the ingest WebSocket; return records staged.
+
+        Args:
+            drop_after: sever the connection after this many chunks
+                without sending the end marker (chaos hook) — returns
+                None in that case.
+        """
+        client = await WsClient.connect(
+            self.host, self.port, f"/sessions/{session_id}/ingest-ws"
+        )
+        try:
+            sent = 0
+            for chunk in chunks:
+                await client.send_binary(
+                    np.asarray(chunk, dtype=np.uint64)
+                    .astype("<u8")
+                    .tobytes()
+                )
+                sent += 1
+                if drop_after is not None and sent >= drop_after:
+                    return None
+            await client.send_text("end")
+            opcode, payload = await client.recv()
+            if opcode != OP_TEXT:
+                raise ValidationError(
+                    f"unexpected ingest reply opcode {opcode:#x}"
+                )
+            return int(json.loads(payload.decode("utf-8"))["staged"])
+        finally:
+            await client.close()
+
+    # ------------------------------------------------------------------ #
+    # Telemetry feed
+    # ------------------------------------------------------------------ #
+
+    async def tail(
+        self, session_id: str, limit: Optional[int] = None
+    ) -> AsyncIterator[dict]:
+        """Yield the session's live event records until its feed closes."""
+        client = await WsClient.connect(
+            self.host, self.port, f"/sessions/{session_id}/events"
+        )
+        try:
+            seen = 0
+            while True:
+                opcode, payload = await client.recv()
+                if opcode == OP_CLOSE:
+                    return
+                yield json.loads(payload.decode("utf-8"))
+                seen += 1
+                if limit is not None and seen >= limit:
+                    return
+        finally:
+            await client.close()

@@ -1,0 +1,167 @@
+"""Bounded trace ingest: back-pressure between upload and replay.
+
+A streamed trace flows ``socket → IngestBuffer → staging file → replay
+worker``.  The buffer is the only elastic element and it is *bounded*:
+when the staging side (or anything downstream) is slow, ``put()`` simply
+does not return, the HTTP/WebSocket handler stops reading the socket,
+and TCP flow control pushes the pause all the way back to the client.
+Ingest never balloons memory to absorb a fast producer — the paper's
+board has the same discipline in hardware (fixed transaction buffers
+with explicit overflow accounting), and the service mirrors it in the
+control plane.
+
+``high_water`` and ``producer_waits`` are exported through the service
+metrics so a capacity problem is visible as numbers, not as OOM kills.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.common.errors import TraceFormatError, ValidationError
+
+#: Staged-ingest dtype: packed bus words, little-endian, 8 bytes each.
+WORD_DTYPE = "<u8"
+
+
+class IngestClosedError(TraceFormatError):
+    """The ingest stream was torn down before its end marker arrived."""
+
+
+class IngestBuffer:
+    """A bounded, awaitable chunk buffer with back-pressure accounting.
+
+    Args:
+        max_records: the bound.  ``put`` of a chunk that would exceed it
+            waits until the consumer catches up (an oversized single
+            chunk is admitted alone into an empty buffer rather than
+            deadlocking).
+    """
+
+    def __init__(self, max_records: int) -> None:
+        if max_records < 1:
+            raise ValidationError(
+                f"max_records must be >= 1, got {max_records}"
+            )
+        self.max_records = int(max_records)
+        self._chunks: deque = deque()
+        self._records = 0
+        self._cond = asyncio.Condition()
+        self._ended = False
+        self._closed = False
+        #: Peak buffered records — must never exceed ``max_records``
+        #: (plus one oversized chunk admitted alone).
+        self.high_water = 0
+        #: Times a producer had to wait: the back-pressure event counter.
+        self.producer_waits = 0
+        #: Total records accepted.
+        self.records_in = 0
+
+    @property
+    def buffered_records(self) -> int:
+        return self._records
+
+    async def put(self, chunk: np.ndarray) -> None:
+        """Append one chunk, waiting while the buffer is full."""
+        count = int(chunk.shape[0])
+        async with self._cond:
+            waited = False
+            while (
+                self._records > 0
+                and self._records + count > self.max_records
+                and not self._closed
+            ):
+                if not waited:
+                    self.producer_waits += 1
+                    waited = True
+                await self._cond.wait()
+            if self._closed:
+                raise IngestClosedError("ingest buffer closed mid-stream")
+            if self._ended:
+                raise TraceFormatError(
+                    "ingest chunk arrived after the end marker"
+                )
+            self._chunks.append(chunk)
+            self._records += count
+            self.records_in += count
+            if self._records > self.high_water:
+                self.high_water = self._records
+            self._cond.notify_all()
+
+    async def end(self) -> None:
+        """Mark the stream complete; ``get`` drains then returns None."""
+        async with self._cond:
+            self._ended = True
+            self._cond.notify_all()
+
+    async def close(self) -> None:
+        """Tear the stream down (connection lost before its end marker)."""
+        async with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    async def get(self) -> Optional[np.ndarray]:
+        """Next chunk, or None when the stream ended cleanly.
+
+        Raises:
+            IngestClosedError: the producer vanished mid-stream — the
+                staged prefix is incomplete and must not be replayed.
+        """
+        async with self._cond:
+            while not self._chunks and not self._ended and not self._closed:
+                await self._cond.wait()
+            if self._chunks:
+                chunk = self._chunks.popleft()
+                self._records -= int(chunk.shape[0])
+                self._cond.notify_all()
+                return chunk
+            if self._closed:
+                raise IngestClosedError(
+                    "ingest stream closed before its end marker"
+                )
+            return None
+
+
+def chunk_from_bytes(data: bytes) -> np.ndarray:
+    """Decode one ingest chunk (raw little-endian packed words)."""
+    if len(data) % 8 != 0:
+        raise TraceFormatError(
+            f"ingest chunk of {len(data)} bytes is not a whole number of "
+            f"8-byte bus words"
+        )
+    return np.frombuffer(data, dtype=WORD_DTYPE).astype(np.uint64)
+
+
+async def stage_stream(
+    buffer: IngestBuffer, path: Union[str, Path]
+) -> int:
+    """Drain ``buffer`` into the staging file; return records staged.
+
+    The consumer side of the back-pressure pair: chunks leave the buffer
+    as fast as the disk accepts them, so memory held is bounded by the
+    buffer, never by the trace length.
+    """
+    staged = 0
+    target = Path(path)
+    with open(target, "wb") as handle:
+        while True:
+            chunk = await buffer.get()
+            if chunk is None:
+                return staged
+            handle.write(chunk.astype(WORD_DTYPE).tobytes())
+            staged += int(chunk.shape[0])
+
+
+def load_staged(path: Union[str, Path]) -> np.ndarray:
+    """Read a fully-staged ingest file back as packed words."""
+    data = Path(path).read_bytes()
+    if len(data) % 8 != 0:
+        raise TraceFormatError(
+            f"staged ingest file {path} is torn ({len(data)} bytes)"
+        )
+    return np.frombuffer(data, dtype=WORD_DTYPE).astype(np.uint64)

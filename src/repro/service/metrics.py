@@ -1,0 +1,58 @@
+"""Prometheus exposition for the emulation service's own vitals.
+
+Board counters already export through :mod:`repro.telemetry.prom`; this
+module adds the *service* plane — queue depth, running workers, retry
+and rejection counters, ingest back-pressure — in the same minimal text
+exposition format, so :func:`repro.telemetry.prom.parse_exposition`
+round-trips it and the smoke job can assert on scraped values.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+QUEUE_DEPTH_METRIC = "memories_service_queue_depth"
+RUNNING_METRIC = "memories_service_running"
+READY_METRIC = "memories_service_ready"
+SESSIONS_METRIC = "memories_service_sessions"
+EVENTS_METRIC = "memories_service_events_total"
+INGEST_HIGH_WATER_METRIC = "memories_service_ingest_high_water"
+INGEST_WAITS_METRIC = "memories_service_ingest_producer_waits"
+
+
+def service_exposition(status: dict, ingest: dict) -> str:
+    """Render one scrape page from :meth:`EmulationService.status`.
+
+    Args:
+        status: the service status snapshot (already sorted).
+        ingest: aggregate ingest stats ``{"high_water": .., "waits": ..}``.
+    """
+    lines: List[str] = [
+        f"# TYPE {QUEUE_DEPTH_METRIC} gauge",
+        f"{QUEUE_DEPTH_METRIC} {int(status['queued'])}",
+        f"# TYPE {RUNNING_METRIC} gauge",
+        f"{RUNNING_METRIC} {int(status['running'])}",
+        f"# TYPE {READY_METRIC} gauge",
+        f"{READY_METRIC} {1 if status['ready'] else 0}",
+        f"# TYPE {SESSIONS_METRIC} gauge",
+    ]
+    for state in sorted(status["sessions"]):
+        lines.append(
+            f'{SESSIONS_METRIC}{{state="{state}"}} '
+            f"{int(status['sessions'][state])}"
+        )
+    lines.append(f"# TYPE {EVENTS_METRIC} counter")
+    for event in sorted(status["metrics"]):
+        lines.append(
+            f'{EVENTS_METRIC}{{event="{event}"}} '
+            f"{int(status['metrics'][event])}"
+        )
+    lines.append(f"# TYPE {INGEST_HIGH_WATER_METRIC} gauge")
+    lines.append(
+        f"{INGEST_HIGH_WATER_METRIC} {int(ingest.get('high_water', 0))}"
+    )
+    lines.append(f"# TYPE {INGEST_WAITS_METRIC} counter")
+    lines.append(
+        f"{INGEST_WAITS_METRIC} {int(ingest.get('producer_waits', 0))}"
+    )
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,212 @@
+"""A minimal RFC 6455 WebSocket layer over asyncio streams.
+
+The service streams live telemetry (heartbeats, state transitions) and
+accepts trace ingest over WebSocket.  The container deliberately carries
+no third-party HTTP stack, so this module implements the slice of RFC
+6455 the service needs — handshake, unfragmented text/binary frames,
+ping/pong, close — directly on ``asyncio`` streams.  Both sides live
+here: the server upgrade (:func:`accept_handshake`) and the test/CLI
+client (:class:`WsClient`).
+
+Client frame masks are drawn from a Weyl sequence, not an entropy
+source: RFC 6455 requires *a* mask, not an unpredictable one, and the
+repo's determinism rules (DT203/RP101) apply to every byte this package
+emits.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import hashlib
+import struct
+from typing import Optional, Tuple
+
+from repro.common.errors import ReproError, ValidationError
+
+#: RFC 6455 handshake GUID.
+_WS_GUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+OP_TEXT = 0x1
+OP_BINARY = 0x2
+OP_CLOSE = 0x8
+OP_PING = 0x9
+OP_PONG = 0xA
+
+#: Refuse absurd frames before allocating for them.
+MAX_FRAME = 64 * 1024 * 1024
+
+
+class WsError(ReproError):
+    """A WebSocket handshake or framing violation."""
+
+
+def accept_key(client_key: str) -> str:
+    """The ``Sec-WebSocket-Accept`` value for a client's key."""
+    digest = hashlib.sha1((client_key + _WS_GUID).encode("ascii")).digest()
+    return base64.b64encode(digest).decode("ascii")
+
+
+def handshake_response(client_key: str) -> bytes:
+    return (
+        "HTTP/1.1 101 Switching Protocols\r\n"
+        "Upgrade: websocket\r\n"
+        "Connection: Upgrade\r\n"
+        f"Sec-WebSocket-Accept: {accept_key(client_key)}\r\n"
+        "\r\n"
+    ).encode("ascii")
+
+
+def encode_frame(
+    opcode: int, payload: bytes, mask_word: Optional[int] = None
+) -> bytes:
+    """One unfragmented frame; ``mask_word`` set = client-to-server."""
+    header = bytearray([0x80 | (opcode & 0x0F)])
+    masked = 0x80 if mask_word is not None else 0x00
+    length = len(payload)
+    if length < 126:
+        header.append(masked | length)
+    elif length < 1 << 16:
+        header.append(masked | 126)
+        header += struct.pack(">H", length)
+    else:
+        header.append(masked | 127)
+        header += struct.pack(">Q", length)
+    if mask_word is None:
+        return bytes(header) + payload
+    mask = struct.pack(">I", mask_word & 0xFFFFFFFF)
+    header += mask
+    body = bytes(b ^ mask[i % 4] for i, b in enumerate(payload))
+    return bytes(header) + body
+
+
+async def read_frame(
+    reader: asyncio.StreamReader,
+) -> Tuple[int, bytes]:
+    """Read one frame; returns ``(opcode, unmasked payload)``.
+
+    Raises:
+        WsError: fragmented/oversized frames or a torn stream.
+    """
+    try:
+        head = await reader.readexactly(2)
+    except (asyncio.IncompleteReadError, ConnectionError) as error:
+        raise WsError(f"websocket stream closed mid-frame: {error}")
+    fin = head[0] & 0x80
+    opcode = head[0] & 0x0F
+    if not fin or opcode == 0x0:
+        raise WsError("fragmented websocket frames are not supported")
+    masked = head[1] & 0x80
+    length = head[1] & 0x7F
+    try:
+        if length == 126:
+            (length,) = struct.unpack(">H", await reader.readexactly(2))
+        elif length == 127:
+            (length,) = struct.unpack(">Q", await reader.readexactly(8))
+        if length > MAX_FRAME:
+            raise WsError(f"websocket frame of {length} bytes exceeds bound")
+        mask = await reader.readexactly(4) if masked else b""
+        payload = await reader.readexactly(length) if length else b""
+    except (asyncio.IncompleteReadError, ConnectionError) as error:
+        raise WsError(f"websocket stream closed mid-frame: {error}")
+    if masked:
+        payload = bytes(b ^ mask[i % 4] for i, b in enumerate(payload))
+    return opcode, payload
+
+
+async def send_frame(
+    writer: asyncio.StreamWriter,
+    opcode: int,
+    payload: bytes,
+    mask_word: Optional[int] = None,
+) -> None:
+    writer.write(encode_frame(opcode, payload, mask_word))
+    await writer.drain()
+
+
+class WsClient:
+    """Client side of the service's WebSocket endpoints.
+
+    Used by the CLI (``repro service tail``/``ingest``), the smoke tool
+    and the tests; connect with :meth:`connect`, then ``send_text`` /
+    ``send_binary`` / ``recv``.
+    """
+
+    #: Weyl-sequence step for mask words (odd constant → full period).
+    _MASK_STEP = 0x9E3779B9
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.reader = reader
+        self.writer = writer
+        self._mask_word = 0x5EED5EED
+
+    @classmethod
+    async def connect(cls, host: str, port: int, path: str) -> "WsClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        key = base64.b64encode(b"repro-service-ws").decode("ascii")
+        request = (
+            f"GET {path} HTTP/1.1\r\n"
+            f"Host: {host}:{port}\r\n"
+            "Upgrade: websocket\r\n"
+            "Connection: Upgrade\r\n"
+            f"Sec-WebSocket-Key: {key}\r\n"
+            "Sec-WebSocket-Version: 13\r\n"
+            "\r\n"
+        ).encode("ascii")
+        writer.write(request)
+        await writer.drain()
+        status = await reader.readline()
+        if b"101" not in status:
+            body = await reader.read(512)
+            writer.close()
+            raise WsError(
+                f"websocket upgrade refused: "
+                f"{status.decode('latin-1').strip()} {body.decode('latin-1')}"
+            )
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+        return cls(reader, writer)
+
+    def _next_mask(self) -> int:
+        self._mask_word = (self._mask_word + self._MASK_STEP) & 0xFFFFFFFF
+        return self._mask_word
+
+    async def send_text(self, text: str) -> None:
+        await send_frame(
+            self.writer, OP_TEXT, text.encode("utf-8"), self._next_mask()
+        )
+
+    async def send_binary(self, data: bytes) -> None:
+        await send_frame(self.writer, OP_BINARY, data, self._next_mask())
+
+    async def recv(self) -> Tuple[int, bytes]:
+        """Next data frame (pings are answered transparently)."""
+        while True:
+            opcode, payload = await read_frame(self.reader)
+            if opcode == OP_PING:
+                await send_frame(
+                    self.writer, OP_PONG, payload, self._next_mask()
+                )
+                continue
+            return opcode, payload
+
+    async def close(self) -> None:
+        try:
+            await send_frame(self.writer, OP_CLOSE, b"", self._next_mask())
+        except (ConnectionError, WsError):
+            pass
+        self.writer.close()
+
+
+def parse_upgrade(headers: dict) -> str:
+    """Validate an upgrade request's headers; return the client key."""
+    if headers.get("upgrade", "").lower() != "websocket":
+        raise ValidationError("not a websocket upgrade request")
+    key = headers.get("sec-websocket-key", "")
+    if not key:
+        raise WsError("websocket upgrade without Sec-WebSocket-Key")
+    return key

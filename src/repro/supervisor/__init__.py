@@ -32,7 +32,9 @@ from repro.supervisor.spec import (
 from repro.supervisor.supervisor import (
     RunSupervisor,
     SupervisedRunResult,
+    SupervisorAbort,
     SupervisorError,
+    backoff_delay,
     render_status,
 )
 
@@ -42,7 +44,9 @@ __all__ = [
     "RunSupervisor",
     "SupervisedRunResult",
     "SupervisedRunSpec",
+    "SupervisorAbort",
     "SupervisorError",
+    "backoff_delay",
     "render_status",
     "statistics_digest",
 ]

@@ -40,10 +40,11 @@ expected time, floored by the spec's hard ``segment_deadline``.
 from __future__ import annotations
 
 import multiprocessing
+import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import List, Optional, Union
+from typing import Callable, List, Optional, Union
 
 import numpy as np
 
@@ -70,9 +71,57 @@ DEADLINE_SCALE = 4.0
 #: Throughput EMA smoothing (weight of the newest observation).
 _EMA_ALPHA = 0.3
 
+#: Poll slice while an abort event is armed: the supervisor notices an
+#: abort request within this many seconds even mid-watchdog-wait.
+_ABORT_POLL = 0.05
+
+#: Fractional spread of the seeded restart-backoff jitter: the n-th
+#: restart sleeps ``base * 2**(n-1) * (1 + JITTER * u)`` with ``u`` drawn
+#: from the run's seed (see :func:`backoff_delay`).
+BACKOFF_JITTER = 0.25
+
+#: Domain tag separating the backoff jitter stream from every other
+#: consumer of the run seed (workloads, replacement policy, faults).
+_BACKOFF_STREAM_TAG = 0xB0FF
+
 
 class SupervisorError(ReproError):
     """A supervised run failed beyond its degradation budgets."""
+
+
+class SupervisorAbort(ReproError):
+    """The run was aborted by its controlling service (drain/deadline).
+
+    Not a failure of the run itself: everything up to the last journaled
+    commit stays durable, and ``RunSupervisor.open(run_dir).run()``
+    continues the run bit-identically.  ``reason`` carries the structured
+    cause (``"drain"``, ``"wall-deadline"``, ``"cycle-deadline"``).
+    """
+
+    def __init__(self, reason: str) -> None:
+        super().__init__(f"run aborted: {reason}")
+        self.reason = reason
+
+
+def backoff_delay(
+    seed: int,
+    base: float,
+    attempt: int,
+    jitter: float = BACKOFF_JITTER,
+) -> float:
+    """Deterministic exponential backoff with seed-derived jitter.
+
+    Jitter decorrelates retry storms when many sessions share a host, but
+    it must never make a kill-resume chaos run diverge — so the jitter for
+    restart ``attempt`` of a run is a pure function of (run seed, attempt)
+    and is captured in the journal's ``restart`` record.  Unseeded
+    ``random`` in a backoff path is flagged by determinism rule DT207.
+    """
+    rng = np.random.default_rng(
+        np.random.SeedSequence([int(seed) & 0x7FFF_FFFF,
+                                _BACKOFF_STREAM_TAG, int(attempt)])
+    )
+    return float(base * 2 ** (attempt - 1) * (1.0 + jitter * rng.random()))
 
 
 class _WorkerFailure(Exception):
@@ -172,6 +221,15 @@ class RunSupervisor:
         self._last_cycle_wall: Optional[float] = None
         self._events: Optional[JsonlSink] = None
         self._trace: Optional[RunTrace] = None
+        #: Service plumbing (set by the owning service, never serialized):
+        #: when ``abort_event`` is set the supervisor reaps its worker at
+        #: the next poll slice and raises :class:`SupervisorAbort` with
+        #: ``abort_reason``; ``heartbeat_hook`` sees every worker
+        #: heartbeat payload (cycle, transactions) — the service uses it
+        #: for cycle-deadline enforcement and live telemetry fan-out.
+        self.abort_event: Optional[threading.Event] = None
+        self.abort_reason: str = "abort"
+        self.heartbeat_hook: Optional[Callable[[dict], None]] = None
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -301,9 +359,16 @@ class RunSupervisor:
                 except _WorkerFailure as failure:
                     chaos = None
                     restarts += 1
-                    self._event("restart", reason=str(failure), n=restarts)
+                    delay = backoff_delay(
+                        self.spec.seed, self.spec.backoff_base, restarts
+                    )
+                    self._event(
+                        "restart", reason=str(failure), n=restarts,
+                        delay=delay,
+                    )
                     self.journal.append(
-                        "restart", reason=str(failure), n=restarts
+                        "restart", reason=str(failure), n=restarts,
+                        delay=delay,
                     )
                     if restarts > self.spec.max_restarts:
                         raise SupervisorError(
@@ -311,9 +376,7 @@ class RunSupervisor:
                             f"restarts: {failure}"
                         ) from failure
                     with self._trace.span("restart_backoff", n=restarts):
-                        time.sleep(
-                            self.spec.backoff_base * 2 ** (restarts - 1)
-                        )
+                        self._sleep(delay)
         finally:
             self._events.close()
             events_handle.close()
@@ -513,7 +576,7 @@ class RunSupervisor:
         while True:
             deadline = self._deadline()
             try:
-                if not conn.poll(deadline):
+                if not self._poll(conn, deadline):
                     raise _WorkerFailure(
                         f"watchdog: no worker progress within "
                         f"{deadline:.1f}s"
@@ -535,7 +598,46 @@ class RunSupervisor:
                 f"protocol error: unexpected worker message {tag!r}"
             )
 
+    def _poll(self, conn, deadline: float) -> bool:
+        """``conn.poll(deadline)``, sliced so an armed abort fires promptly.
+
+        Without an abort event this is a single poll — byte-identical
+        behaviour to the pre-service supervisor.  With one, the wait is
+        chopped into :data:`_ABORT_POLL` slices and a set event raises
+        :class:`SupervisorAbort` (the caller's ``finally`` reaps the
+        worker; everything after the last journaled commit is redone on
+        resume, deterministically).
+        """
+        if self.abort_event is None:
+            return conn.poll(deadline)
+        waited = 0.0
+        while True:
+            if self.abort_event.is_set():
+                raise SupervisorAbort(self.abort_reason)
+            remaining = deadline - waited
+            if remaining <= 0:
+                return False
+            step = min(_ABORT_POLL, remaining)
+            if conn.poll(step):
+                return True
+            waited += step
+
+    def _sleep(self, delay: float) -> None:
+        """Backoff sleep that an armed abort event can interrupt."""
+        if self.abort_event is None:
+            time.sleep(delay)
+            return
+        slept = 0.0
+        while slept < delay:
+            if self.abort_event.is_set():
+                raise SupervisorAbort(self.abort_reason)
+            step = min(_ABORT_POLL, delay - slept)
+            time.sleep(step)
+            slept += step
+
     def _note_heartbeat(self, payload: dict) -> None:
+        if self.heartbeat_hook is not None:
+            self.heartbeat_hook(payload)
         cycle = float(payload.get("cycle", 0.0))
         now = time.perf_counter()
         if (

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import io
 import json
+import threading
 from pathlib import Path
 from typing import Iterable, List, Optional, Protocol, Union
 
@@ -107,6 +108,12 @@ def encode_record(record: dict, deterministic: bool = False) -> str:
 class JsonlSink:
     """Writes one canonical JSON line per record.
 
+    Safe for concurrent same-process writers: the line is serialised
+    first and written with a single locked ``write()`` call, so several
+    sessions teeing telemetry into one shared service log can never
+    interleave torn lines.  (Distinct *processes* must still use
+    distinct files — the lock is per sink object.)
+
     Args:
         target: a path (opened for writing) or an existing text handle
             (left open on :meth:`close` — the caller owns it).
@@ -120,6 +127,7 @@ class JsonlSink:
         deterministic: bool = False,
     ) -> None:
         self.deterministic = deterministic
+        self._lock = threading.Lock()
         if isinstance(target, (str, Path)):
             self._handle: io.TextIOBase = open(target, "w")
             self._owns_handle = True
@@ -128,13 +136,15 @@ class JsonlSink:
             self._owns_handle = False
 
     def emit(self, record: dict) -> None:
-        self._handle.write(encode_record(record, self.deterministic) + "\n")
+        line = encode_record(record, self.deterministic) + "\n"
+        with self._lock:
+            self._handle.write(line)
 
     def close(self) -> None:
-        if self._owns_handle:
-            self._handle.close()
-        else:
+        with self._lock:
             self._handle.flush()
+            if self._owns_handle:
+                self._handle.close()
 
 
 class TeeSink:

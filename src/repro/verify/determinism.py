@@ -41,6 +41,15 @@ shapes that silently break that contract:
     and under ``spawn`` the submission fails outright.  Workers must be
     module-level functions taking explicit picklable arguments (the
     :mod:`repro.supervisor.worker` pattern).
+``unseeded-backoff`` (DT207)
+    Process-global entropy — any ``random.*`` call, or a draw on the
+    legacy ``numpy.random`` module-level RNG — inside the
+    ``supervisor/`` or ``service/`` trees.  Restart/retry backoff there
+    is journaled and replayed on resume: jitter must come from the run's
+    seeded stream (:func:`repro.supervisor.backoff_delay` derives it
+    from ``SeedSequence([seed, tag, attempt])``), or a drained run's
+    timeline can never be reproduced from its journal.  Scoped by path,
+    not by function name, so no helper rename can smuggle entropy in.
 
 All rules report through the :class:`repro.verify.lint.FileLint` context,
 so profiles and ``# repro: ignore[rule]`` suppressions apply uniformly.
@@ -96,6 +105,32 @@ _WORKER_DISPATCH_ATTRS = frozenset(
     }
 )
 
+#: Path prefixes (relative to the lint root) where DT207 applies: the
+#: trees whose retry/backoff timing is journaled and replayed on resume.
+BACKOFF_SCOPE = ("supervisor/", "service/")
+
+#: Draw functions of the legacy module-level numpy RNG (seeded only via
+#: hidden global state, which a resumed process does not share).
+_NP_GLOBAL_DRAWS = frozenset(
+    {
+        "random",
+        "random_sample",
+        "rand",
+        "randn",
+        "randint",
+        "uniform",
+        "normal",
+        "standard_normal",
+        "exponential",
+        "poisson",
+        "beta",
+        "gamma",
+        "choice",
+        "shuffle",
+        "permutation",
+    }
+)
+
 _FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
 
 
@@ -112,6 +147,7 @@ def lint_tree(tree: ast.AST, ctx) -> None:
             _lint_hash(node, ctx)
             _lint_float_reduction(node, ctx)
             _lint_worker_dispatch(node, ctx)
+            _lint_backoff_entropy(node, ctx)
         elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
             _lint_serialization_order(node, ctx)
             _lint_nested_workers(node, ctx)
@@ -303,6 +339,55 @@ def _lint_serialization_order(node: _FunctionNode, ctx) -> None:
                     f"sorted(...) instead",
                     iterable.lineno,
                 )
+
+
+# ---------------------------------------------------------------------- #
+# DT207 unseeded-backoff
+# ---------------------------------------------------------------------- #
+
+def _lint_backoff_entropy(node: ast.Call, ctx) -> None:
+    """Flag process-global entropy inside the supervisor/service trees.
+
+    Restart and retry backoff in these trees is journaled (the delay
+    rides on the ``restart`` record) and re-derived on resume; drawing
+    it from the stdlib ``random`` module or the legacy module-level
+    ``numpy.random`` RNG makes the journaled timeline unreproducible.
+    The rule is path-scoped: anywhere else, RP101/DT203 already govern
+    entropy use.
+    """
+    if not ctx.relative.startswith(BACKOFF_SCOPE):
+        return
+    func = node.func
+    if not isinstance(func, ast.Attribute):
+        return
+    owner = func.value
+    # random.<anything>(...) — the process-global stdlib RNG.
+    if isinstance(owner, ast.Name) and owner.id == "random":
+        ctx.error(
+            "unseeded-backoff",
+            f"random.{func.attr}() draws the process-global stdlib RNG; "
+            f"backoff jitter in supervisor/service code must replay from "
+            f"the run seed — use repro.supervisor.backoff_delay",
+            node.lineno,
+        )
+        return
+    # np.random.<draw>(...) / numpy.random.<draw>(...) — the legacy
+    # module-level numpy RNG (global hidden state).
+    if (
+        isinstance(owner, ast.Attribute)
+        and owner.attr == "random"
+        and isinstance(owner.value, ast.Name)
+        and owner.value.id in ("np", "numpy")
+        and func.attr in _NP_GLOBAL_DRAWS
+    ):
+        ctx.error(
+            "unseeded-backoff",
+            f"{owner.value.id}.random.{func.attr}() draws the legacy "
+            f"module-level numpy RNG; backoff jitter in supervisor/service "
+            f"code must replay from the run seed — use "
+            f"repro.supervisor.backoff_delay",
+            node.lineno,
+        )
 
 
 # ---------------------------------------------------------------------- #

@@ -120,6 +120,7 @@ ALL_CHECKS: Tuple[str, ...] = (
     "hash-order-dependence",
     "unordered-float-reduction",
     "worker-closure-capture",
+    "unseeded-backoff",
 )
 
 #: Named rule sets.  ``library`` is the full set (``src/repro``);

@@ -68,6 +68,10 @@ RULES: Dict[str, RuleInfo] = {
         RuleInfo("DT206", "worker-closure-capture",
                  "closure over enclosing-scope state passed to a "
                  "multiprocessing worker"),
+        RuleInfo("DT207", "unseeded-backoff",
+                 "supervisor/service code draws process-global entropy "
+                 "(stdlib random, legacy numpy.random) — retry backoff "
+                 "jitter must replay from the run seed"),
         # -------------------------------------------------------------- #
         # Engine capability prover (repro.engines)
         # -------------------------------------------------------------- #

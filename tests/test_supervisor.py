@@ -435,6 +435,31 @@ class TestSupervisedRuns:
         assert result.statistics == bare_statistics(spec, words)
         assert len(supervisor.journal.entries("restart")) == 1
 
+    def test_backoff_delay_is_seeded_and_journaled(self, tmp_path):
+        """Restart backoff jitter is a pure function of (run seed,
+        attempt) and the journal records the exact delay slept — the
+        replayable spelling DT207 enforces."""
+        from repro.supervisor import backoff_delay
+
+        # Deterministic: same inputs, same delay, bit for bit.
+        assert backoff_delay(42, 0.05, 1) == backoff_delay(42, 0.05, 1)
+        # Decorrelated across attempts and seeds.
+        assert backoff_delay(42, 0.05, 1) != backoff_delay(42, 0.05, 2)
+        assert backoff_delay(42, 0.05, 1) != backoff_delay(43, 0.05, 1)
+        # Bounded: base * 2**(n-1) * [1, 1 + jitter].
+        for attempt in (1, 2, 3):
+            floor = 0.05 * 2 ** (attempt - 1)
+            delay = backoff_delay(7, 0.05, attempt)
+            assert floor <= delay <= floor * 1.25
+
+        words = synthetic_words(1500)
+        spec = self._spec(seed=9, backoff_base=0.01)
+        supervisor = RunSupervisor.create(spec, words, tmp_path / "run")
+        result = supervisor.run(chaos=ChaosPlan(kill_after_records=600))
+        assert result.restarts == 1
+        (record,) = supervisor.journal.entries("restart")
+        assert record["delay"] == backoff_delay(9, 0.01, 1)
+
     def test_commit_boundary_kill_then_resume_is_identical(self, tmp_path):
         words = synthetic_words(2000)
         spec = self._spec(max_restarts=0)
@@ -604,6 +629,32 @@ class TestCliExitCodes:
         assert classify_error(ConfigurationError("x")) == EXIT_VALIDATION
         assert classify_error(TraceFormatError("x")) == EXIT_RUNTIME
         assert classify_error(SupervisorError("x")) == EXIT_RUNTIME
+
+    def test_resource_refusals_are_exit_code_5(self):
+        """Quota/queue/deadline refusals must classify as EXIT_RESOURCE,
+        not validation or runtime — fleet drivers key resubmit-later
+        behaviour on it."""
+        from repro.cli import EXIT_RESOURCE, classify_error
+        from repro.common.errors import ResourceError
+        from repro.service import AdmissionError, DeadlineError
+
+        assert EXIT_RESOURCE == 5
+        assert classify_error(ResourceError("x")) == EXIT_RESOURCE
+        assert classify_error(
+            AdmissionError("queue-full", budget="max_queue_depth",
+                           limit=2, value=2)
+        ) == EXIT_RESOURCE
+        assert classify_error(DeadlineError("wall-deadline")) \
+            == EXIT_RESOURCE
+
+    def test_service_usage_and_bad_endpoint(self, tmp_path, capsys):
+        from repro.cli import EXIT_VALIDATION, main
+
+        assert main(["service"]) == EXIT_VALIDATION
+        capsys.readouterr()
+        assert main(["service", "status", "not-an-endpoint"]) \
+            == EXIT_VALIDATION
+        assert "error:" in capsys.readouterr().out
 
     def test_supervise_usage_and_missing_run(self, tmp_path, capsys):
         from repro.cli import EXIT_VALIDATION, main

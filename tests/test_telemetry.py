@@ -51,6 +51,13 @@ def synthetic_words(n=2000, n_cpus=4, seed=0):
     return encode_arrays(cpus, commands, addresses)
 
 
+def _emit_burst(sink, worker, count):
+    """One concurrent writer's share of the shared-sink stress test."""
+    for seq in range(count):
+        sink.emit({"worker": worker, "seq": seq,
+                   "pad": "x" * (17 * (seq % 7))})
+
+
 class FakeSource:
     """A minimal SampleSource with settable counters and clock."""
 
@@ -155,6 +162,36 @@ class TestSinks:
     def test_load_jsonl_rejects_non_object(self):
         with pytest.raises(TraceFormatError, match="not a JSON object"):
             load_jsonl(["[1, 2, 3]"])
+
+    def test_jsonl_sink_concurrent_writers_never_interleave(self, tmp_path):
+        """Many threads sharing one sink (the service's manifest/telemetry
+        pattern) must produce one whole JSON object per line — torn or
+        interleaved lines would corrupt the journal they feed."""
+        import threading
+
+        path = tmp_path / "shared.jsonl"
+        sink = JsonlSink(path)
+        threads, per_thread = 8, 200
+        pool = [
+            threading.Thread(
+                target=_emit_burst, args=(sink, worker, per_thread)
+            )
+            for worker in range(threads)
+        ]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        sink.close()
+
+        records = load_jsonl(path)  # every line parses, none torn
+        assert len(records) == threads * per_thread
+        seen = {(r["worker"], r["seq"]) for r in records}
+        assert len(seen) == threads * per_thread
+        # Per-writer order is preserved even though writers interleave.
+        for worker in range(threads):
+            sequence = [r["seq"] for r in records if r["worker"] == worker]
+            assert sequence == sorted(sequence)
 
 
 class TestCounterSampler:

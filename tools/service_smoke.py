@@ -1,0 +1,177 @@
+#!/usr/bin/env python
+"""CI smoke for the multi-session emulation service.
+
+Boots a real :class:`repro.service.http.ServiceServer` on a loopback
+port, submits two concurrent sessions — one of which has its worker
+SIGKILLed mid-run by a :class:`ServiceChaosPlan` — and asserts the
+service contract end to end over the wire:
+
+* both sessions complete, and both digests are bit-identical to a
+  direct, undisturbed :class:`RunSupervisor` run of the same work;
+* the chaos victim reports exactly the expected worker restart;
+* ``/metrics`` parses with :func:`repro.telemetry.prom.parse_exposition`
+  and exposes queue depth, per-state session gauges and the restart
+  counter the chaos run incremented;
+* ``/drain`` walks the shedding ladder and the drained manifest renders.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import sys
+import tempfile
+from pathlib import Path
+
+from _smoke import SmokeChecks, synthetic_words
+
+from repro.faults import ServiceChaosPlan
+from repro.memories.config import CacheNodeConfig
+from repro.service import (
+    EmulationService,
+    ServiceClient,
+    ServiceConfig,
+    ServiceServer,
+    render_service_manifest,
+)
+from repro.service.metrics import (
+    EVENTS_METRIC,
+    QUEUE_DEPTH_METRIC,
+    SESSIONS_METRIC,
+)
+from repro.supervisor import RunSupervisor, SupervisedRunSpec
+from repro.target.configs import single_node_machine
+from repro.telemetry.prom import parse_exposition
+
+RECORDS = 3000
+CFG = CacheNodeConfig(size=64 * 1024, assoc=4, line_size=128)
+
+
+def spec(seed: int) -> SupervisedRunSpec:
+    return SupervisedRunSpec(
+        machine=single_node_machine(CFG, n_cpus=4),
+        seed=seed,
+        segment_records=500,
+        heartbeat_every=500,
+    )
+
+
+def reference_digest(seed: int, scratch: Path) -> str:
+    words = synthetic_words(RECORDS, seed, n_lines=512)
+    return RunSupervisor.create(
+        spec(seed), words, scratch / f"ref-{seed}"
+    ).run().digest
+
+
+def submission(seed: int, label: str) -> dict:
+    return {
+        "run_spec": spec(seed).to_dict(),
+        "trace": {
+            "kind": "synthetic", "records": RECORDS, "seed": seed,
+            "n_lines": 512,
+        },
+        "label": label,
+    }
+
+
+async def drive(root: Path) -> dict:
+    """Boot, run the two sessions, scrape, drain; return observations."""
+    service = EmulationService(
+        root,
+        ServiceConfig(max_workers=2),
+        chaos=ServiceChaosPlan(kill_worker={"victim": 900}),
+    )
+    server = ServiceServer(service)
+    await server.start()
+    client = ServiceClient(server.host, server.port)
+
+    health = await client.healthz()
+    victim = await client.submit(submission(101, "victim"))
+    steady = await client.submit(submission(202, "steady"))
+    views = {
+        victim: await client.wait(victim, timeout=120),
+        steady: await client.wait(steady, timeout=120),
+    }
+    results = {
+        victim: await client.result(victim),
+        steady: await client.result(steady),
+    }
+    metrics = parse_exposition(await client.metrics())
+    await client.drain()
+    await server.stop(drain=True)
+    return {
+        "health": health,
+        "victim": victim,
+        "steady": steady,
+        "views": views,
+        "results": results,
+        "metrics": metrics,
+        "rendered": render_service_manifest(root),
+    }
+
+
+def main() -> int:
+    smoke = SmokeChecks("service")
+    with tempfile.TemporaryDirectory(prefix="service-smoke-") as tmp:
+        scratch = Path(tmp)
+        seen = asyncio.run(drive(scratch / "svc"))
+
+        smoke.check(
+            "server reports healthy",
+            seen["health"].get("state") in ("accept", "queue-only"),
+            str(seen["health"]),
+        )
+
+        victim, steady = seen["victim"], seen["steady"]
+        for session_id, label in ((victim, "victim"), (steady, "steady")):
+            view = seen["views"][session_id]
+            smoke.check(
+                f"{label} session completed",
+                view.get("state") == "completed",
+                str(view),
+            )
+
+        expected = {
+            victim: reference_digest(101, scratch),
+            steady: reference_digest(202, scratch),
+        }
+        for session_id, label in ((victim, "victim"), (steady, "steady")):
+            digest = seen["results"][session_id]["result"]["digest"]
+            smoke.check(
+                f"{label} digest bit-identical to direct supervised run",
+                digest == expected[session_id],
+                f"{digest} != {expected[session_id]}",
+            )
+        smoke.check(
+            "chaos victim restarted exactly once",
+            seen["views"][victim].get("restarts") == 1,
+            str(seen["views"][victim]),
+        )
+
+        metrics = seen["metrics"]
+        smoke.check(
+            "metrics expose queue depth",
+            (QUEUE_DEPTH_METRIC, ()) in metrics,
+            str(sorted(name for name, _ in metrics)[:8]),
+        )
+        smoke.check(
+            "metrics count both completions",
+            metrics.get((SESSIONS_METRIC, (("state", "completed"),))) == 2.0,
+            str({k: v for k, v in metrics.items() if k[0] == SESSIONS_METRIC}),
+        )
+        smoke.check(
+            "metrics count the chaos worker restart",
+            metrics.get(
+                (EVENTS_METRIC, (("event", "worker_restarts"),))
+            ) == 1.0,
+            str({k: v for k, v in metrics.items() if k[0] == EVENTS_METRIC}),
+        )
+        smoke.check(
+            "drained manifest renders for the console",
+            "completed" in seen["rendered"],
+            seen["rendered"],
+        )
+    return smoke.finish()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

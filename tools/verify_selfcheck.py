@@ -105,10 +105,13 @@ CORPUS: List[Tuple[str, str, Callable[[dict], None], str]] = [
 ]
 
 
-#: (description, source snippet, rule ID expected to flag it).  Each
-#: snippet is one seeded defect; the repo lint must reject it and name
-#: the right rule.
-LINT_CORPUS: List[Tuple[str, str, str]] = [
+#: (description, source snippet, rule ID expected to flag it[, subdir]).
+#: Each snippet is one seeded defect; the repo lint must reject it and
+#: name the right rule.  The optional fourth element places the snippet
+#: in a subdirectory of the lint root — path-scoped rules (DT207 applies
+#: only under ``supervisor/``/``service/``) need their defects planted
+#: inside the scoped tree.
+LINT_CORPUS: List[Tuple[str, ...]] = [
     (
         "mutable default argument",
         "def extend(item, acc=[]):\n"
@@ -197,12 +200,28 @@ LINT_CORPUS: List[Tuple[str, str, str]] = [
         "    return pool.map(work, items)\n",
         "DT206",
     ),
+    (
+        "stdlib-random backoff jitter in supervisor code",
+        "import random\n\n"
+        "def backoff(base, attempt):\n"
+        "    return base * 2 ** attempt * (1.0 + random.random())\n",
+        "DT207",
+        "supervisor",
+    ),
+    (
+        "legacy numpy global-RNG jitter in service code",
+        "import numpy as np\n\n"
+        "def retry_delay(base):\n"
+        "    return base * (1.0 + 0.25 * np.random.uniform())\n",
+        "DT207",
+        "service",
+    ),
 ]
 
-#: (description, source snippet) pairs the lint must pass untouched —
-#: the deterministic spelling of each defect above, plus an inline
-#: suppression.  These prove the rules stay quiet on correct code.
-CLEAN_CORPUS: List[Tuple[str, str]] = [
+#: (description, source snippet[, subdir]) pairs the lint must pass
+#: untouched — the deterministic spelling of each defect above, plus an
+#: inline suppression.  These prove the rules stay quiet on correct code.
+CLEAN_CORPUS: List[Tuple[str, ...]] = [
     (
         "sorted set iteration in a serialization routine",
         "def write_rows(stream, items):\n"
@@ -243,6 +262,15 @@ CLEAN_CORPUS: List[Tuple[str, str]] = [
         "def bucket(key):\n"
         "    return hash(key) % 64  # repro: ignore[DT204]\n",
     ),
+    (
+        "seed-derived backoff jitter in supervisor code",
+        "import numpy as np\n\n"
+        "def backoff(seed, base, attempt):\n"
+        "    rng = np.random.default_rng(\n"
+        "        np.random.SeedSequence([seed, attempt]))\n"
+        "    return base * 2 ** attempt * (1.0 + 0.25 * rng.random())\n",
+        "supervisor",
+    ),
 ]
 
 
@@ -252,14 +280,26 @@ def _check_lint_corpus() -> int:
     with tempfile.TemporaryDirectory(prefix="lint-selfcheck-") as tmp:
         root = Path(tmp)
         defect_files = {}
-        for index, (description, source, expected) in enumerate(LINT_CORPUS):
+        for index, entry in enumerate(LINT_CORPUS):
+            description, source, expected = entry[0], entry[1], entry[2]
+            subdir = entry[3] if len(entry) > 3 else ""
             name = f"defect_{index:02d}.py"
-            (root / name).write_text(source, encoding="utf-8")
+            if subdir:
+                name = f"{subdir}/{name}"
+            path = root / name
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(source, encoding="utf-8")
             defect_files[name] = (description, expected)
         clean_files = {}
-        for index, (description, source) in enumerate(CLEAN_CORPUS):
+        for index, entry in enumerate(CLEAN_CORPUS):
+            description, source = entry[0], entry[1]
+            subdir = entry[2] if len(entry) > 2 else ""
             name = f"clean_{index:02d}.py"
-            (root / name).write_text(source, encoding="utf-8")
+            if subdir:
+                name = f"{subdir}/{name}"
+            path = root / name
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(source, encoding="utf-8")
             clean_files[name] = description
 
         report = check_repo(root, profile="library")
