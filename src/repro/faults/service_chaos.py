@@ -12,13 +12,19 @@ Three failure families:
 
 * ``kill_worker`` — SIGKILL the session's replay worker after N records
   of its first segment (delegates to the supervisor's own ChaosPlan, so
-  the restart is a journaled, bit-identical resume).
-* ``drop_ingest`` — sever the session's ingest connection after N chunks
-  without an end marker: the staged prefix is discarded and the session
-  must expire with a deadline reason, not hang.
-* ``stall_ingest`` — stop consuming the session's ingest after N chunks:
-  the bounded buffer fills, back-pressure holds the producer, and the
-  session's wall deadline resolves the stalemate.
+  the restart is a journaled, bit-identical resume).  Consumed by the
+  service's launch path.
+* ``drop_ingest`` — sever the session's ingest TCP stream after N
+  chunks, with neither an end marker nor a close frame: the staged
+  prefix is discarded and the session expires in place as
+  ``orphaned-ingest``, never hangs.  The server cannot sever its own
+  incoming connection, so this family is consumed by the client driver
+  (``ServiceClient.ingest_ws(drop_after=...)``) in the tests.
+* ``stall_ingest`` — stop consuming the session's ingest after N chunks
+  (consumed by the service's stager via
+  :func:`~repro.service.ingest.stage_stream`): the bounded buffer fills,
+  back-pressure holds the producer, and the session's wall deadline
+  resolves the stalemate.
 
 Like every fault schedule in :mod:`repro.faults`, the plan is pure data:
 same plan, same labels, same failures — a CI chaos run reproduces

@@ -206,13 +206,16 @@ class ServiceClient:
         """Stream chunks over the ingest WebSocket; return records staged.
 
         Args:
-            drop_after: sever the connection after this many chunks
-                without sending the end marker (chaos hook) — returns
-                None in that case.
+            drop_after: sever the TCP stream after this many chunks —
+                no end marker *and no close frame*, mimicking a crashed
+                client or a reset connection (the chaos hook behind
+                ``ServiceChaosPlan.drop_ingest``) — returns None in
+                that case.
         """
         client = await WsClient.connect(
             self.host, self.port, f"/sessions/{session_id}/ingest-ws"
         )
+        torn = False
         try:
             sent = 0
             for chunk in chunks:
@@ -223,6 +226,8 @@ class ServiceClient:
                 )
                 sent += 1
                 if drop_after is not None and sent >= drop_after:
+                    torn = True
+                    client.writer.close()
                     return None
             await client.send_text("end")
             opcode, payload = await client.recv()
@@ -232,7 +237,8 @@ class ServiceClient:
                 )
             return int(json.loads(payload.decode("utf-8"))["staged"])
         finally:
-            await client.close()
+            if not torn:
+                await client.close()
 
     # ------------------------------------------------------------------ #
     # Telemetry feed

@@ -123,6 +123,12 @@ class ServiceServer:
             status, body, content_type = await self._route(
                 reader, method, path, headers
             )
+        except (asyncio.IncompleteReadError, ConnectionError):
+            # The client vanished mid-request: there is no one left to
+            # answer.  Ingest handlers have already aborted their stream
+            # (see _http_ingest) so nothing is left hanging.
+            writer.close()
+            return
         except ValidationError as error:
             status, body, content_type = self._error_payload(400, error)
         except AdmissionError as error:
@@ -294,6 +300,11 @@ class ServiceServer:
         await honours the buffer bound — while the staging side is slow
         the socket is simply not read, which is the back-pressure
         contract end to end.
+
+        A body torn mid-stream (client disconnect before the promised
+        Content-Length arrived) aborts the session's ingest before the
+        error propagates: the stream cannot be reconstructed, so the
+        session must expire with a structured reason, never hang QUEUED.
         """
         length = int(headers.get("content-length", "0") or "0")
         if length % 8 != 0:
@@ -301,12 +312,18 @@ class ServiceServer:
                 f"ingest body of {length} bytes is not whole bus words"
             )
         remaining = length
-        while remaining > 0:
-            piece = await reader.readexactly(min(_INGEST_SLICE, remaining))
-            remaining -= len(piece)
-            await self.service.ingest_chunk(
-                session_id, chunk_from_bytes(piece)
-            )
+        try:
+            while remaining > 0:
+                piece = await reader.readexactly(
+                    min(_INGEST_SLICE, remaining)
+                )
+                remaining -= len(piece)
+                await self.service.ingest_chunk(
+                    session_id, chunk_from_bytes(piece)
+                )
+        except (asyncio.IncompleteReadError, ConnectionError):
+            await self.service.ingest_abort(session_id)
+            raise
         return await self.service.ingest_end(session_id)
 
     # ------------------------------------------------------------------ #
@@ -379,29 +396,41 @@ class ServiceServer:
 
         ``ingest_chunk`` awaiting on a full buffer stops this loop from
         reading further frames — TCP back-pressure reaches the client.
+
+        A stream torn *without* an OP_CLOSE frame (TCP reset, EOF
+        mid-frame) surfaces as ``WsError``/``ConnectionError`` from the
+        frame loop; that must abort the session's ingest just like a
+        polite close, or the session would hang QUEUED forever while
+        holding its tenant queue-quota slot.
         """
-        while True:
-            opcode, payload = await read_frame(reader)
-            if opcode == OP_BINARY:
-                await self.service.ingest_chunk(
-                    session_id, chunk_from_bytes(payload)
+        try:
+            while True:
+                opcode, payload = await read_frame(reader)
+                if opcode == OP_BINARY:
+                    await self.service.ingest_chunk(
+                        session_id, chunk_from_bytes(payload)
+                    )
+                    continue
+                if opcode == OP_TEXT and payload == b"end":
+                    staged = await self.service.ingest_end(session_id)
+                    await send_frame(
+                        writer,
+                        OP_TEXT,
+                        json.dumps(
+                            {"staged": staged}, sort_keys=True
+                        ).encode("utf-8"),
+                    )
+                    await send_frame(writer, OP_CLOSE, b"")
+                    return
+                if opcode == OP_CLOSE:
+                    await self.service.ingest_abort(session_id)
+                    return
+                raise WsError(
+                    f"unexpected ingest frame opcode {opcode:#x}"
                 )
-                continue
-            if opcode == OP_TEXT and payload == b"end":
-                staged = await self.service.ingest_end(session_id)
-                await send_frame(
-                    writer,
-                    OP_TEXT,
-                    json.dumps(
-                        {"staged": staged}, sort_keys=True
-                    ).encode("utf-8"),
-                )
-                await send_frame(writer, OP_CLOSE, b"")
-                return
-            if opcode == OP_CLOSE:
-                await self.service.ingest_abort(session_id)
-                return
-            raise WsError(f"unexpected ingest frame opcode {opcode:#x}")
+        except (WsError, ConnectionError, asyncio.IncompleteReadError):
+            await self.service.ingest_abort(session_id)
+            raise
 
 
 def _parse_json(body: bytes) -> dict:

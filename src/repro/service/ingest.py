@@ -105,6 +105,17 @@ class IngestBuffer:
             self._closed = True
             self._cond.notify_all()
 
+    async def wait_closed(self) -> None:
+        """Block until :meth:`close` tears the stream down.
+
+        The stalled-consumer chaos path parks here: nothing is drained,
+        the bound fills, back-pressure holds the producer, and only the
+        teardown (deadline expiry, abort, drain) releases the wait.
+        """
+        async with self._cond:
+            while not self._closed:
+                await self._cond.wait()
+
     async def get(self) -> Optional[np.ndarray]:
         """Next chunk, or None when the stream ended cleanly.
 
@@ -138,23 +149,45 @@ def chunk_from_bytes(data: bytes) -> np.ndarray:
 
 
 async def stage_stream(
-    buffer: IngestBuffer, path: Union[str, Path]
+    buffer: IngestBuffer,
+    path: Union[str, Path],
+    stall_after_chunks: Optional[int] = None,
 ) -> int:
     """Drain ``buffer`` into the staging file; return records staged.
 
     The consumer side of the back-pressure pair: chunks leave the buffer
     as fast as the disk accepts them, so memory held is bounded by the
     buffer, never by the trace length.
+
+    Args:
+        stall_after_chunks: chaos hook (``ServiceChaosPlan.stall_ingest``)
+            — stop consuming after this many chunks and park on
+            :meth:`IngestBuffer.wait_closed`, so the bound fills and
+            back-pressure holds the producer until a deadline or abort
+            closes the buffer.
+
+    Raises:
+        IngestClosedError: the buffer was closed mid-stream (including
+            the close that resolves a chaos stall) — the staged prefix
+            is incomplete and the caller must discard it.
     """
     staged = 0
+    chunks = 0
     target = Path(path)
     with open(target, "wb") as handle:
         while True:
+            if stall_after_chunks is not None and chunks >= stall_after_chunks:
+                await buffer.wait_closed()
+                raise IngestClosedError(
+                    f"ingest staging stalled by chaos after {chunks} "
+                    f"chunk(s); buffer closed under the stall"
+                )
             chunk = await buffer.get()
             if chunk is None:
                 return staged
             handle.write(chunk.astype(WORD_DTYPE).tobytes())
             staged += int(chunk.shape[0])
+            chunks += 1
 
 
 def load_staged(path: Union[str, Path]) -> np.ndarray:

@@ -38,7 +38,7 @@ import heapq
 import threading
 import time
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, List, Optional, TextIO, Tuple, Union
 
 import numpy as np
 
@@ -213,10 +213,16 @@ class EmulationService:
         self._seq = 0
         self._manifest: Optional[RunJournal] = None
         self._sink: Optional[JsonlSink] = None
+        self._telemetry_handle: Optional[TextIO] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._wake = asyncio.Event()
         self._tasks: List[asyncio.Task] = []
         self._runners: Dict[str, asyncio.Task] = {}
+        #: Every live stager task, reaped in stop() — a stager detached
+        #: from its session mid-collect (watchdog cancelled while
+        #: awaiting it) must still finish its .part cleanup before the
+        #: loop closes underneath it.
+        self._stagers: set = set()
         self._stopping = False
 
     # ------------------------------------------------------------------ #
@@ -229,8 +235,11 @@ class EmulationService:
         self.root.mkdir(parents=True, exist_ok=True)
         (self.root / "runs").mkdir(exist_ok=True)
         self._manifest = RunJournal(self.root / self.MANIFEST_NAME)
-        handle = open(self.root / self.TELEMETRY_NAME, "a")
-        self._sink = JsonlSink(handle)
+        # Opened in append mode (the shared log survives restarts), so
+        # the sink cannot own it via a path; the service closes it in
+        # stop() — JsonlSink.close() only flushes handles it borrows.
+        self._telemetry_handle = open(self.root / self.TELEMETRY_NAME, "a")
+        self._sink = JsonlSink(self._telemetry_handle)
         self._adopt_from_manifest()
         self._manifest.append("service_start", adopted=self.metrics["adopted"])
         self._tasks = [
@@ -308,6 +317,14 @@ class EmulationService:
             if session.ingest is not None:
                 await session.ingest.close()
                 await self._collect_stager(session)
+        if self._stagers:
+            # Stagers detached from their sessions (a watchdog expiry
+            # interrupted mid-collect) still owe their torn-stage
+            # cleanup; every buffer is closed by now, so they all
+            # terminate promptly.
+            await asyncio.gather(
+                *list(self._stagers), return_exceptions=True
+            )
         for task in self._tasks:
             task.cancel()
         await asyncio.gather(*self._tasks, return_exceptions=True)
@@ -325,6 +342,9 @@ class EmulationService:
         if self._sink is not None:
             self._sink.close()
             self._sink = None
+        if self._telemetry_handle is not None:
+            self._telemetry_handle.close()
+            self._telemetry_handle = None
 
     # ------------------------------------------------------------------ #
     # Submission / admission
@@ -368,8 +388,13 @@ class EmulationService:
             # never on end-of-stream staging.
             assert self._loop is not None
             session.stager = self._loop.create_task(
-                self._stage_session(session, buffer)
+                self._stage_session(
+                    session, buffer,
+                    stall_after=self.chaos.ingest_stall_after(session.label),
+                )
             )
+            self._stagers.add(session.stager)
+            session.stager.add_done_callback(self._stagers.discard)
         self.sessions[session_id] = session
         self._manifest.append(
             "session_queued",
@@ -451,16 +476,21 @@ class EmulationService:
         return staged
 
     async def _stage_session(self, session: Session,
-                             buffer: IngestBuffer) -> int:
+                             buffer: IngestBuffer,
+                             stall_after: Optional[int] = None) -> int:
         """Drain one session's ingest buffer to disk as chunks arrive.
 
         Writes to a ``.part`` file and renames on clean end-of-stream, so
         a server killed mid-ingest never leaves a torn staging file that
-        adoption would mistake for a complete trace.
+        adoption would mistake for a complete trace.  ``stall_after`` is
+        the chaos plan's stalled-consumer schedule (see
+        :func:`~repro.service.ingest.stage_stream`).
         """
         part = session.run_dir / (INGEST_NAME + ".part")
         try:
-            staged = await stage_stream(buffer, part)
+            staged = await stage_stream(
+                buffer, part, stall_after_chunks=stall_after
+            )
         except ReproError:
             try:
                 part.unlink()
@@ -518,14 +548,36 @@ class EmulationService:
         return {"high_water": high_water, "producer_waits": waits}
 
     async def ingest_abort(self, session_id: str) -> None:
-        """The ingest connection died before its end marker."""
+        """The ingest connection died before its end marker.
+
+        A torn stream cannot be reconstructed — re-streaming into the
+        same session is impossible once the buffer is closed — so the
+        session is expired *in place* with the same structured reason
+        the adoption path uses (``orphaned-ingest``), releasing its
+        tenant queue-quota slot.  Leaving it QUEUED would let it hang
+        forever whenever no wall deadline is set.
+        """
         session = self.sessions.get(session_id)
-        if session is not None and session.ingest is not None:
-            await session.ingest.close()
-            await self._collect_stager(session)
-            self._absorb_ingest(session.ingest)
-            session.ingest = None
-            self._emit(session, "ingest-lost")
+        if session is None or session.ingest is None:
+            return
+        buffer = session.ingest
+        await buffer.close()
+        await self._collect_stager(session)
+        self._absorb_ingest(buffer)
+        session.ingest = None
+        self._emit(session, "ingest-lost")
+        if session.state == SessionState.QUEUED:
+            session.state = SessionState.EXPIRED
+            session.reason = "orphaned-ingest"
+            self.admission.forget_queued(session.request.tenant)
+            self.metrics["expired"] += 1
+            self._manifest_safe(
+                "session_expired", session=session.id,
+                reason="orphaned-ingest",
+            )
+            self._emit(session, "expired", reason="orphaned-ingest")
+            self._close_subscribers(session)
+            self._reconsider_state()
 
     # ------------------------------------------------------------------ #
     # Scheduler

@@ -417,6 +417,63 @@ class TestServiceSessions:
             spec, words, tmp_path / "ref"
         )
 
+    def test_stall_ingest_chaos_holds_bound_and_expires(self, tmp_path):
+        """A stalled stager (chaos) fills the bounded buffer; the bound
+        holds, back-pressure parks the producer, and the wall deadline
+        resolves the stalemate with a structured expiry."""
+        words = np.arange(640, dtype=np.uint64)
+
+        async def scenario():
+            service = EmulationService(
+                tmp_path / "svc",
+                ServiceConfig(ingest_buffer_records=64),
+                chaos=ServiceChaosPlan(stall_ingest={"stalled": 2}),
+            )
+            await service.start()
+            session = service.submit(request(
+                trace={"kind": "stream"}, wall_deadline=0.5,
+                label="stalled",
+            ))
+
+            async def produce():
+                try:
+                    for start in range(0, 640, 32):
+                        await service.ingest_chunk(
+                            session.id, words[start:start + 32]
+                        )
+                except IngestClosedError:
+                    return "torn"
+                return "fed-all"
+
+            outcome = await produce()
+            await wait_done(session, timeout=10.0)
+            snapshot = service.ingest_snapshot()
+            await service.stop()
+            return session, outcome, snapshot
+
+        session, outcome, snapshot = asyncio.run(scenario())
+        assert outcome == "torn"  # deadline close released the producer
+        assert session.state == SessionState.EXPIRED
+        assert session.reason == "wall-deadline"
+        assert snapshot["high_water"] <= 64  # the bound held under stall
+        assert snapshot["producer_waits"] >= 1
+        run_dir = tmp_path / "svc" / "runs" / session.id
+        assert not (run_dir / "ingest.words").exists()
+        assert not (run_dir / "ingest.words.part").exists()
+
+    def test_stop_closes_telemetry_handle(self, tmp_path):
+        async def scenario():
+            service = EmulationService(tmp_path / "svc", ServiceConfig())
+            await service.start()
+            handle = service._telemetry_handle
+            assert handle is not None and not handle.closed
+            await service.stop()
+            return service, handle
+
+        service, handle = asyncio.run(scenario())
+        assert handle.closed
+        assert service._telemetry_handle is None
+
     def test_service_retry_resumes_after_budget_exhaustion(self, tmp_path):
         """When the *supervisor* gives up, the service-level retry
         re-opens the journal and finishes the same run bit-identically."""
@@ -548,6 +605,83 @@ class TestHttpApi:
         assert result["result"]["digest"] == reference_digest(
             spec, words, tmp_path / "ref"
         )
+
+
+    def test_torn_ws_ingest_expires_session_live(self, tmp_path):
+        """A WS ingest stream severed without a close frame (TCP tear)
+        must expire the session in place — structured reason, quota slot
+        released — not leave it QUEUED forever."""
+        from repro.service import ServiceClient, ServiceServer
+
+        async def scenario():
+            plan = ServiceChaosPlan(drop_ingest={"torn": 2})
+            server = ServiceServer(EmulationService(
+                tmp_path / "svc", ServiceConfig(), chaos=plan,
+            ))
+            await server.start()
+            client = ServiceClient(server.host, server.port)
+            session_id = await client.submit({
+                "run_spec": run_spec().to_dict(),
+                "trace": {"kind": "stream"},
+                "label": "torn",
+            })
+            words = np.arange(96, dtype=np.uint64)
+            chunks = [words[i:i + 32] for i in range(0, 96, 32)]
+            staged = await client.ingest_ws(
+                session_id, chunks,
+                drop_after=plan.ingest_drop_after("torn"),
+            )
+            view = await client.wait(session_id, timeout=10)
+            queued = server.service.admission.queued_total
+            await server.stop(drain=True)
+            return staged, view, queued
+
+        staged, view, queued = asyncio.run(scenario())
+        assert staged is None
+        assert view["state"] == "expired"
+        assert view["reason"] == "orphaned-ingest"
+        assert queued == 0  # the tenant's queue-quota slot was released
+
+    def test_torn_http_ingest_expires_session_live(self, tmp_path):
+        """A client that dies mid-POST (fewer body bytes than promised)
+        must not strand the session: the torn body aborts ingest and the
+        session expires with a structured reason."""
+        from repro.service import ServiceClient, ServiceServer
+
+        async def scenario():
+            server = ServiceServer(
+                EmulationService(tmp_path / "svc", ServiceConfig())
+            )
+            await server.start()
+            client = ServiceClient(server.host, server.port)
+            session_id = await client.submit({
+                "run_spec": run_spec().to_dict(),
+                "trace": {"kind": "stream"},
+                "label": "torn-http",
+            })
+            reader, writer = await asyncio.open_connection(
+                server.host, server.port
+            )
+            head = (
+                f"POST /sessions/{session_id}/ingest HTTP/1.1\r\n"
+                f"Host: {server.host}:{server.port}\r\n"
+                "Content-Type: application/octet-stream\r\n"
+                "Content-Length: 1600\r\n"
+                "Connection: close\r\n"
+                "\r\n"
+            ).encode("latin-1")
+            writer.write(head + b"\x00" * 800)  # half the promised body
+            await writer.drain()
+            writer.close()
+            view = await client.wait(session_id, timeout=10)
+            queued = server.service.admission.queued_total
+            await server.stop(drain=True)
+            return view, queued
+
+        view, queued = asyncio.run(scenario())
+        assert view["state"] == "expired"
+        assert view["reason"] == "orphaned-ingest"
+        assert queued == 0
 
 
 # ---------------------------------------------------------------------- #
