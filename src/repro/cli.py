@@ -26,6 +26,7 @@ Commands (also shown by ``help``)::
     watch [every_transactions]                   live telemetry dashboard
     supervise <run_dir>                          supervised-run journal status
     service <service_root>                       service manifest status
+    timeline <run_dir>                           flight-recorder timeline
     help | quit
 
 Static verification also runs stand-alone, before any board exists::
@@ -72,6 +73,13 @@ docs/service.md)::
         [--wall-deadline S] [--cycle-deadline C] [--wait]
     python -m repro.cli service status <host:port> [session]
     python -m repro.cli service tail <host:port> <session> [--limit N]
+
+And post-hoc run forensics (see :mod:`repro.obs` and
+docs/observability.md)::
+
+    python -m repro.cli obs timeline <run_dir>
+        [--format text|json|trace-event] [--out FILE]
+    python -m repro.cli obs spans <run_dir>
 
 Exit codes are disciplined for unattended use: 0 success, 1 a check ran
 and failed, 2 validation error, 3 runtime fault, 4 run completed but
@@ -170,6 +178,7 @@ class ConsoleSession:
             "watch": self._cmd_watch,
             "supervise": self._cmd_supervise,
             "service": self._cmd_service,
+            "timeline": self._cmd_timeline,
             "miss-ratios": self._cmd_miss_ratios,
             "save-trace": self._cmd_save_trace,
             "save-machine": self._cmd_save_machine,
@@ -331,6 +340,10 @@ class ConsoleSession:
     def _cmd_service(self, args: List[str]) -> str:
         """Manifest status of a multi-session service root."""
         return self.console.execute(" ".join(["service", *args]))
+
+    def _cmd_timeline(self, args: List[str]) -> str:
+        """Flight-recorder timeline of a run directory."""
+        return self.console.execute(" ".join(["timeline", *args]))
 
     def _cmd_miss_ratios(self, args: List[str]) -> str:
         ratios = self.console.miss_ratios()
@@ -1281,6 +1294,79 @@ def bench_main(argv: List[str]) -> int:
     return EXIT_OK
 
 
+def obs_main(argv: List[str]) -> int:
+    """The ``obs`` subcommand: run forensics after the fact.
+
+    ``obs timeline <run_dir>`` merges the run's journal, supervisor span
+    log and (for service sessions) the service manifest and telemetry
+    into one causally-ordered flight-recorder timeline, with a
+    critical-path breakdown of where the wall time went.  The output is
+    byte-identical for the same run directory, in every format.  ``obs
+    spans <run_dir>`` validates the propagated span tree instead: one
+    trace ID, every parent resolved, fully connected.
+    """
+    import argparse
+    from pathlib import Path
+
+    from repro.obs import (
+        FORMATS,
+        build_timeline,
+        render_timeline,
+        session_records,
+        validate_session_trace,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cli obs",
+        description="flight-recorder timelines and span-tree validation",
+    )
+    sub = parser.add_subparsers(dest="action")
+    timeline_parser = sub.add_parser(
+        "timeline",
+        help="merge a run's logs into one causally-ordered timeline",
+    )
+    timeline_parser.add_argument("run_dir")
+    timeline_parser.add_argument(
+        "--format", choices=FORMATS, default="text",
+        help="text (default), canonical json, or Chrome trace-event json")
+    timeline_parser.add_argument(
+        "--out", default=None,
+        help="write the rendered timeline here instead of stdout")
+    spans_parser = sub.add_parser(
+        "spans", help="validate a run's propagated span tree"
+    )
+    spans_parser.add_argument("run_dir")
+    ns = parser.parse_args(argv)
+
+    if ns.action == "timeline":
+        page = render_timeline(build_timeline(ns.run_dir), ns.format)
+        if ns.out:
+            Path(ns.out).write_text(page)
+            print(f"wrote {ns.out}")
+        else:
+            sys.stdout.write(page)
+        return EXIT_OK
+    if ns.action == "spans":
+        tree = validate_session_trace(session_records(ns.run_dir))
+        summary = tree.summary()
+        print(f"trace: {summary['trace_ids'][0]}")
+        print(f"spans: {summary['spans']}, roots: {len(summary['roots'])}")
+        for root in summary["roots"]:
+            for depth, record in tree.walk(root):
+                attrs = record.get("attrs") or {}
+                extra = "".join(
+                    f" {key}={attrs[key]}" for key in sorted(attrs)
+                )
+                print(
+                    f"  {'  ' * depth}{record['name']} "
+                    f"[{record['span_id']}]{extra}"
+                )
+        print("span tree connected: every parent resolves")
+        return EXIT_OK
+    parser.print_usage()
+    return EXIT_VALIDATION
+
+
 #: Stand-alone subcommands dispatched before the console session starts.
 _SUBCOMMANDS: Dict[str, Callable[[List[str]], int]] = {
     "verify": verify_main,
@@ -1289,6 +1375,7 @@ _SUBCOMMANDS: Dict[str, Callable[[List[str]], int]] = {
     "supervise": supervise_main,
     "service": service_main,
     "bench": bench_main,
+    "obs": obs_main,
 }
 
 

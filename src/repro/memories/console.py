@@ -264,7 +264,7 @@ class MemoriesConsole:
         ``log``, ``self-test``, ``protocol <node>``, ``overflows``,
         ``verify``, ``engines [shards]``, ``faults``,
         ``watch [every_transactions]``, ``supervise <run_dir>``,
-        ``service <service_root>``.
+        ``service <service_root>``, ``timeline <run_dir>``.
         """
         command = command_line.strip().lower()
         if command == "self-test":
@@ -295,6 +295,15 @@ class MemoriesConsole:
 
             self._log.append(f"service: inspected {parts[1]}")
             return render_service_manifest(parts[1])
+        if command.startswith("timeline"):
+            # Needs no board: pure function of the run directory's files.
+            parts = command_line.strip().split()
+            if len(parts) < 2:
+                raise ConfigurationError("usage: timeline <run_dir>")
+            from repro.obs import build_timeline, timeline_text
+
+            self._log.append(f"timeline: inspected {parts[1]}")
+            return timeline_text(build_timeline(parts[1]))
         if command == "faults":
             return self.resilience_report()
         if command == "verify":

@@ -1,0 +1,53 @@
+"""Run forensics: cross-process traces and the flight-recorder timeline.
+
+The emulation stack already writes everything down — the service
+manifest and telemetry, the run journal, the supervisor's span log.
+This package is the *read side*: it stitches those artefacts back into
+one causally-linked story per session.
+
+* :mod:`repro.obs.trace` — rebuild and validate the span tree that
+  trace propagation (service → supervisor → workers) scatters across
+  processes.
+* :mod:`repro.obs.timeline` — the flight recorder: merge every log into
+  one deterministic, causally-ordered timeline with a critical-path
+  breakdown, rendered as text, canonical JSON, or Chrome trace-event
+  JSON (``python -m repro.cli obs timeline <run-dir>``).
+
+Everything here is a pure function of the files on disk: no clock, no
+entropy (enforced by determinism lint rule DT208), so the same run
+directory always renders byte-identical output.
+"""
+
+from repro.obs.timeline import (
+    FORMATS,
+    TIMELINE_VERSION,
+    build_timeline,
+    load_forensics,
+    render_timeline,
+    session_records,
+    timeline_json,
+    timeline_text,
+    timeline_trace_event,
+)
+from repro.obs.trace import (
+    SpanTree,
+    build_span_tree,
+    collect_spans,
+    validate_session_trace,
+)
+
+__all__ = [
+    "FORMATS",
+    "SpanTree",
+    "TIMELINE_VERSION",
+    "build_span_tree",
+    "build_timeline",
+    "collect_spans",
+    "load_forensics",
+    "render_timeline",
+    "session_records",
+    "timeline_json",
+    "timeline_text",
+    "timeline_trace_event",
+    "validate_session_trace",
+]

@@ -1,0 +1,519 @@
+"""The flight recorder: one causally-ordered timeline per run.
+
+A finished (or crashed, or suspended) run leaves its story scattered
+across append-only files: the service manifest and telemetry at the
+service root, the run journal, and the supervisor's span/event log in
+the run directory.  :func:`build_timeline` merges them into a single
+ordered record — *what happened, in order, and where the time went* —
+and the renderers turn that into text, canonical JSON, or Chrome
+``trace-event`` JSON (load it in ``chrome://tracing`` / Perfetto).
+
+Ordering is **causal and deterministic**, never wall-clock driven:
+
+* admission-phase entries (submit, ingest, staging) follow the service
+  telemetry file order — one writer, so append order is causal;
+* run-phase entries anchor to the run journal's sequence numbers — the
+  journal is the run's WAL, so its order *defines* run causality.  Spans
+  attach at the seq of the ``segment_commit`` they produced (replay
+  before checkpoint before commit, exactly the commit protocol's order);
+* terminal-phase entries again follow file order.
+
+Because every input is an on-disk file and every sort key is derived
+from record contents, rebuilding the timeline from the same run
+directory is byte-identical — the determinism lint (DT208) keeps clock
+and entropy reads out of this module.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.common.errors import ValidationError
+from repro.obs.trace import build_span_tree
+from repro.supervisor.journal import RunJournal
+from repro.telemetry.sink import load_jsonl
+
+#: Timeline schema revision (bumped when entry shapes change).
+TIMELINE_VERSION = 1
+
+#: Renderers accepted by :func:`render_timeline`.
+FORMATS = ("text", "json", "trace-event")
+
+_ADMISSION_EVENTS = ("queued", "trace-staged", "ingest-lost")
+_TERMINAL_EVENTS = ("completed", "failed", "expired", "suspended")
+
+_JOURNAL_NAME = "journal.jsonl"
+_EVENTS_NAME = "supervisor.jsonl"
+_SPEC_NAME = "spec.json"
+_MANIFEST_NAME = "service.jsonl"
+_TELEMETRY_NAME = "service-telemetry.jsonl"
+
+
+# ---------------------------------------------------------------------- #
+# Loading
+# ---------------------------------------------------------------------- #
+
+
+def _service_root(run_dir: Path) -> Optional[Path]:
+    """The service root owning this run dir, if it is a session run."""
+    parent = run_dir.parent
+    if parent.name == "runs" and (parent.parent / _MANIFEST_NAME).exists():
+        return parent.parent
+    return None
+
+
+def load_forensics(run_dir: Union[str, Path]) -> dict:
+    """Read every observability artefact of one run into memory.
+
+    Returns a dict with ``session`` (the run/session name), ``spec``,
+    ``journal`` (validated records), ``events`` (supervisor.jsonl),
+    ``manifest`` / ``service_events`` (session-filtered, empty lists for
+    a bare supervisor run), and ``service_root``.
+    """
+    run_dir = Path(run_dir)
+    journal_path = run_dir / _JOURNAL_NAME
+    if not journal_path.exists():
+        raise ValidationError(f"{run_dir} has no {_JOURNAL_NAME}")
+    session = run_dir.name
+    spec: dict = {}
+    spec_path = run_dir / _SPEC_NAME
+    if spec_path.exists():
+        spec = json.loads(spec_path.read_text())
+    events_path = run_dir / _EVENTS_NAME
+    events = load_jsonl(events_path) if events_path.exists() else []
+    root = _service_root(run_dir)
+    manifest: List[dict] = []
+    service_events: List[dict] = []
+    if root is not None:
+        manifest = [
+            record
+            for record in RunJournal(root / _MANIFEST_NAME).records
+            if record.get("session") == session
+        ]
+        telemetry_path = root / _TELEMETRY_NAME
+        if telemetry_path.exists():
+            service_events = [
+                record
+                for record in load_jsonl(telemetry_path)
+                if record.get("session") == session
+            ]
+    return {
+        "session": session,
+        "spec": spec,
+        "journal": RunJournal(journal_path).records,
+        "events": events,
+        "manifest": manifest,
+        "service_events": service_events,
+        "service_root": str(root) if root is not None else None,
+    }
+
+
+def session_records(run_dir: Union[str, Path]) -> List[dict]:
+    """Every span-bearing record of one run, service plane included.
+
+    This is the stream :func:`repro.obs.trace.validate_session_trace`
+    checks: the session root span lives in the service telemetry, the
+    supervisor and worker spans in the run dir's supervisor.jsonl.
+    """
+    data = load_forensics(run_dir)
+    return list(data["service_events"]) + list(data["events"])
+
+
+# ---------------------------------------------------------------------- #
+# Causal ordering
+# ---------------------------------------------------------------------- #
+
+
+class _RunAnchors:
+    """Journal-derived anchors that pin spans into run causality.
+
+    The journal is the run's WAL, so its seq order defines causality;
+    every span gets a ``(seq, rank)`` key relative to it:
+
+    * worker ``replay`` / ``checkpoint`` spans anchor to the
+      ``segment_commit`` that references their parent segment span
+      (ranks 0 / 1 — the commit protocol writes replay, checkpoint,
+      then journal line, which gets rank 5);
+    * supervisor ``segment`` spans close just after their commit
+      (rank 6); a segment span *no* commit references belongs to a
+      failed worker incarnation and is paired, in order, with the
+      ``restart`` record that followed it (rank 4 — just before it);
+    * ``restart_backoff`` spans anchor to their restart record by the
+      journaled restart count ``n`` (rank 6 — the sleep follows the
+      journal line);
+    * per-incarnation ``run`` spans close after their last journal
+      append and sort at the tail (rank 7).
+    """
+
+    def __init__(self, journal: List[dict]) -> None:
+        self.max_seq = -1
+        #: trace segment -> seq of the commit/quarantine closing it.
+        self.by_segment: Dict[int, int] = {}
+        #: supervisor segment-span ID -> seq of the commit naming it.
+        self.by_parent: Dict[str, int] = {}
+        #: journaled restart count n -> that restart record's seq.
+        self.restart_by_n: Dict[int, int] = {}
+        #: restart seqs in order, paired with unreferenced segment spans.
+        self.restart_seqs: List[int] = []
+        self._orphans = 0
+        for record in journal:
+            seq = int(record.get("seq", 0))
+            self.max_seq = max(self.max_seq, seq)
+            kind = record.get("type")
+            if kind in ("segment_commit", "quarantine"):
+                segment = int(record.get("segment", -1))
+                if segment >= 0 and segment not in self.by_segment:
+                    self.by_segment[segment] = seq
+            if kind == "segment_commit" and record.get("span"):
+                self.by_parent[str(record["span"])] = seq
+            if kind == "restart":
+                self.restart_by_n[int(record.get("n", 0))] = seq
+                self.restart_seqs.append(seq)
+
+    def span_key(self, record: dict) -> Tuple[int, int]:
+        name = record.get("name")
+        attrs = record.get("attrs") or {}
+        tail = self.max_seq + 1
+        if name in ("replay", "checkpoint"):
+            parent = str(record.get("parent_id") or "")
+            anchor = self.by_parent.get(parent)
+            if anchor is None:
+                segment = attrs.get("segment")
+                anchor = (
+                    self.by_segment.get(int(segment))
+                    if segment is not None else None
+                )
+            if anchor is None:
+                anchor = tail
+            return (anchor, 0 if name == "replay" else 1)
+        if name == "segment":
+            span_id = str(record.get("span_id") or "")
+            if span_id in self.by_parent:
+                return (self.by_parent[span_id], 6)
+            if self._orphans < len(self.restart_seqs):
+                anchor = self.restart_seqs[self._orphans]
+                self._orphans += 1
+                return (anchor, 4)
+            return (tail, 6)
+        if name == "restart_backoff":
+            anchor = self.restart_by_n.get(int(attrs.get("n", -1)), tail)
+            return (anchor, 6)
+        if name == "run":
+            return (tail, 7)
+        return (tail, 8)
+
+
+def _entry(phase: str, source: str, kind: str, record: dict) -> dict:
+    return {"phase": phase, "source": source, "kind": kind, "record": record}
+
+
+def build_timeline(run_dir: Union[str, Path]) -> dict:
+    """Merge one run's artefacts into the ordered flight-recorder view."""
+    data = load_forensics(run_dir)
+    journal: List[dict] = data["journal"]
+    anchors = _RunAnchors(journal)
+    tree = build_span_tree(data["events"] + data["service_events"])
+
+    entries: List[dict] = []
+    # -- admission phase: control-plane file order ---------------------- #
+    for record in data["manifest"]:
+        if record.get("type") == "session_queued":
+            entries.append(
+                _entry("admission", "manifest", "session_queued", record)
+            )
+    for record in data["service_events"]:
+        if record.get("event") in _ADMISSION_EVENTS:
+            entries.append(
+                _entry("admission", "service", str(record["event"]), record)
+            )
+
+    # -- run phase: journal-anchored merge ------------------------------ #
+    run_entries: List[Tuple[Tuple[int, int, int], dict]] = []
+    for record in data["service_events"]:
+        if record.get("event") == "started":
+            run_entries.append(
+                ((0, 9, 0), _entry("run", "service", "started", record))
+            )
+    for record in journal:
+        seq = int(record.get("seq", 0))
+        run_entries.append(
+            ((seq, 5, 0), _entry("run", "journal", str(record["type"]),
+                                 record))
+        )
+    for index, record in enumerate(data["events"]):
+        if record.get("type") == "span":
+            anchor, rank = anchors.span_key(record)
+            run_entries.append(
+                ((anchor, rank, index),
+                 _entry("run", "span", str(record.get("name", "span")),
+                        record))
+            )
+        elif record.get("type") == "supervisor":
+            # Supervisor events mirror journal records (restart,
+            # quarantine, …) with wall noise; the journal line is the
+            # authoritative entry, so these are not repeated.
+            continue
+    for index, record in enumerate(data["service_events"]):
+        if record.get("event") == "retry":
+            # The exact interleave of a control-plane retry with journal
+            # records is not recorded; it is causally after every journal
+            # record the failed attempt wrote, so it sorts at the tail of
+            # the journal available at reconstruction.
+            run_entries.append(
+                ((anchors.max_seq + 1, 6, index),
+                 _entry("run", "service", "retry", record))
+            )
+    run_entries.sort(key=lambda item: item[0])
+    entries.extend(item[1] for item in run_entries)
+
+    # -- terminal phase: control-plane file order ----------------------- #
+    for record in data["service_events"]:
+        if record.get("event") in _TERMINAL_EVENTS:
+            entries.append(
+                _entry("terminal", "service", str(record["event"]), record)
+            )
+        elif record.get("type") == "span":
+            entries.append(_entry("terminal", "span", "session", record))
+    for record in data["manifest"]:
+        if record.get("type", "").startswith("session_") and record[
+            "type"
+        ] != "session_queued":
+            entries.append(
+                _entry("terminal", "manifest", str(record["type"]), record)
+            )
+        elif record.get("type") == "tenant_usage":
+            entries.append(
+                _entry("terminal", "manifest", "tenant_usage", record)
+            )
+
+    heartbeats = sum(
+        1 for r in data["service_events"] if r.get("event") == "heartbeat"
+    )
+    summary = _critical_path(data, heartbeats)
+    return {
+        "version": TIMELINE_VERSION,
+        "run": data["session"],
+        "service_root": data["service_root"],
+        "trace_ids": tree.trace_ids,
+        "spans": len(tree.nodes),
+        "entries": entries,
+        "summary": summary,
+    }
+
+
+# ---------------------------------------------------------------------- #
+# Critical path
+# ---------------------------------------------------------------------- #
+
+
+def _span_wall(record: dict) -> float:
+    return float((record.get("wall") or {}).get("seconds", 0.0))
+
+
+def _critical_path(data: dict, heartbeats: int) -> dict:
+    """Where the session's wall time went, as seconds and shares.
+
+    All inputs are values *read from the run's files* (service-event
+    wall offsets, span wall durations, journaled backoff delays), so the
+    breakdown is reproducible from the directory alone.
+    """
+    spans = [r for r in data["events"] if r.get("type") == "span"]
+    replaying = sum(
+        _span_wall(r) for r in spans if r.get("name") == "replay"
+    )
+    checkpointing = sum(
+        _span_wall(r) for r in spans if r.get("name") == "checkpoint"
+    )
+    backoff = sum(
+        float(r.get("delay", 0.0))
+        for r in data["journal"]
+        if r.get("type") == "restart"
+    ) + sum(
+        float(r.get("delay", 0.0))
+        for r in data["service_events"]
+        if r.get("event") == "retry"
+    )
+    stalled = 0.0
+    started = 0.0
+    total = 0.0
+    for record in data["service_events"]:
+        wall = record.get("wall") or {}
+        elapsed = float(wall.get("elapsed", 0.0))
+        total = max(total, elapsed)
+        if record.get("event") == "trace-staged":
+            stalled += float(wall.get("stalled", 0.0))
+        elif record.get("event") == "started":
+            started = elapsed
+    if not data["service_events"]:
+        # Bare supervisor run: no control plane, so the run spans are
+        # the whole story.
+        total = sum(_span_wall(r) for r in spans if r.get("name") == "run")
+    queued = max(0.0, started - stalled)
+    phases = {
+        "queued": queued,
+        "ingest-stalled": stalled,
+        "replaying": replaying,
+        "checkpointing": checkpointing,
+        "backoff": backoff,
+    }
+    accounted = sum(phases.values())
+    phases["other"] = max(0.0, total - accounted)
+    if total <= 0.0:
+        total = accounted if accounted > 0.0 else 1.0
+    shares = {
+        name: round(100.0 * seconds / total, 1)
+        for name, seconds in phases.items()
+    }
+    restarts = sum(
+        1 for r in data["journal"] if r.get("type") == "restart"
+    )
+    retries = sum(
+        1 for r in data["service_events"] if r.get("event") == "retry"
+    )
+    return {
+        "total_wall": round(total, 6),
+        "phases": {
+            name: {"seconds": round(seconds, 6), "share": shares[name]}
+            for name, seconds in phases.items()
+        },
+        "heartbeats": heartbeats,
+        "restarts": restarts,
+        "retries": retries,
+    }
+
+
+# ---------------------------------------------------------------------- #
+# Renderers
+# ---------------------------------------------------------------------- #
+
+
+def _dumps(payload: object) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def _entry_line(entry: dict) -> str:
+    record = dict(entry["record"])
+    attrs = record.pop("attrs", None) or {}
+    wall = record.pop("wall", None) or {}
+    for noise in ("type", "seq", "v", "label", "path", "depth",
+                  "trace_id", "session", "event", "name"):
+        record.pop(noise, None)
+    fields = {**record, **attrs}
+    parts = []
+    for key in sorted(fields):
+        value = fields[key]
+        if isinstance(value, (dict, list)):
+            value = _dumps(value)
+        parts.append(f"{key}={value}")
+    for key in sorted(wall):
+        parts.append(f"wall.{key}={wall[key]}")
+    detail = " ".join(parts)
+    return f"  {entry['source']:<9} {entry['kind']:<16} {detail}".rstrip()
+
+
+def timeline_text(timeline: dict) -> str:
+    """The human-facing flight recorder page."""
+    lines = [
+        f"flight recorder: {timeline['run']}",
+        f"trace: {', '.join(timeline['trace_ids']) or '(untraced)'}",
+        f"spans: {timeline['spans']}",
+    ]
+    phase = None
+    for entry in timeline["entries"]:
+        if entry["phase"] != phase:
+            phase = entry["phase"]
+            lines.append(f"[{phase}]")
+        lines.append(_entry_line(entry))
+    summary = timeline["summary"]
+    shares = ", ".join(
+        f"{name} {summary['phases'][name]['share']}%"
+        for name in ("queued", "ingest-stalled", "replaying",
+                     "checkpointing", "backoff", "other")
+    )
+    lines.append(f"critical path: {shares}")
+    lines.append(
+        f"total wall: {summary['total_wall']}s; "
+        f"heartbeats: {summary['heartbeats']}; "
+        f"restarts: {summary['restarts']}; "
+        f"retries: {summary['retries']}"
+    )
+    return "\n".join(lines) + "\n"
+
+
+def timeline_json(timeline: dict) -> str:
+    """Canonical JSON (sorted keys, compact separators): byte-stable."""
+    return _dumps(timeline) + "\n"
+
+
+def timeline_trace_event(timeline: dict) -> str:
+    """Chrome ``trace-event`` JSON for ``chrome://tracing`` / Perfetto.
+
+    Span timestamps are **emulated cycles**, not microseconds — the
+    cycle domain is the deterministic one, and the viewer only needs a
+    monotone axis.  Journal records become instant events pinned to the
+    cycle of the last span sorted before them.
+    """
+    trace_events: List[dict] = []
+    last_cycle = 0.0
+    for entry in timeline["entries"]:
+        record = entry["record"]
+        if entry["source"] == "span" or (
+            record.get("type") == "span"
+        ):
+            begin = float(record.get("begin_cycle", 0.0))
+            end = float(record.get("end_cycle", begin))
+            last_cycle = max(last_cycle, end)
+            tid = str(record.get("span_id", record.get("label", "span")))
+            tid = tid.split(":", 1)[0]
+            event = {
+                "name": record.get("name", "span"),
+                "cat": entry["phase"],
+                "ph": "X",
+                "ts": begin,
+                "dur": max(0.0, end - begin),
+                "pid": timeline["run"],
+                "tid": tid,
+                "args": {
+                    "span_id": record.get("span_id"),
+                    "parent_id": record.get("parent_id"),
+                    **(record.get("attrs") or {}),
+                },
+            }
+            trace_events.append(event)
+        elif entry["source"] == "journal":
+            trace_events.append(
+                {
+                    "name": entry["kind"],
+                    "cat": "journal",
+                    "ph": "i",
+                    "s": "p",
+                    "ts": last_cycle,
+                    "pid": timeline["run"],
+                    "tid": "journal",
+                    "args": {"seq": entry["record"].get("seq")},
+                }
+            )
+    payload = {
+        "displayTimeUnit": "ns",
+        "otherData": {
+            "run": timeline["run"],
+            "trace_ids": timeline["trace_ids"],
+        },
+        "traceEvents": trace_events,
+    }
+    return _dumps(payload) + "\n"
+
+
+def render_timeline(timeline: dict, fmt: str = "text") -> str:
+    """Render one built timeline in the requested format."""
+    if fmt == "text":
+        return timeline_text(timeline)
+    if fmt == "json":
+        return timeline_json(timeline)
+    if fmt == "trace-event":
+        return timeline_trace_event(timeline)
+    raise ValidationError(
+        f"unknown timeline format {fmt!r} (choose from {FORMATS})"
+    )

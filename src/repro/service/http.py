@@ -16,6 +16,7 @@ GET       ``/status``                    full service status JSON
 POST      ``/sessions``                  submit a session (JSON request body)
 GET       ``/sessions``                  list session views
 GET       ``/sessions/{id}``             one session view
+GET       ``/sessions/{id}/metrics``     per-session Prometheus exposition
 GET       ``/sessions/{id}/result``      terminal result (409 while running)
 POST      ``/sessions/{id}/ingest``      stream a trace body (back-pressured)
 GET       ``/sessions/{id}/events``      WebSocket: live telemetry feed
@@ -228,7 +229,9 @@ class ServiceServer:
             return self._json(status, 200 if status["ready"] else 503)
         if method == "GET" and path == "/metrics":
             page = service_exposition(
-                service.status(), service.ingest_snapshot()
+                service.status(),
+                service.ingest_snapshot(),
+                histograms=list(service.histograms.values()),
             )
             return 200, page.encode("utf-8"), "text/plain; version=0.0.4"
         if method == "GET" and path == "/status":
@@ -267,6 +270,29 @@ class ServiceServer:
         parts = path.strip("/").split("/")
         session_id = parts[1]
         tail = parts[2] if len(parts) > 2 else ""
+        if method == "GET" and tail == "metrics":
+            if session_id in service.sessions:
+                page = service.session_metrics_page(session_id)
+                return 200, page.encode("utf-8"), "text/plain; version=0.0.4"
+            # A terminal session evicted from memory is a *different* 404
+            # from a name the service never saw: the scraper should stop
+            # polling the former and fix its config for the latter.
+            reason = (
+                "evicted" if session_id in service.history
+                else "unknown-session"
+            )
+            return self._json(
+                {
+                    "error": {
+                        "type": "metrics",
+                        "error": f"no metrics for session {session_id} "
+                                 f"({reason})",
+                        "reason": reason,
+                        "session": session_id,
+                    }
+                },
+                404,
+            )
         if session_id not in service.sessions:
             return self._json({"error": f"unknown session {session_id}"}, 404)
         session = service.get_session(session_id)

@@ -17,9 +17,10 @@ metrics so a capacity problem is visible as numbers, not as OOM kills.
 from __future__ import annotations
 
 import asyncio
+import time
 from collections import deque
 from pathlib import Path
-from typing import Optional, Union
+from typing import Callable, Optional, Union
 
 import numpy as np
 
@@ -59,6 +60,11 @@ class IngestBuffer:
         self.high_water = 0
         #: Times a producer had to wait: the back-pressure event counter.
         self.producer_waits = 0
+        #: Total wall seconds producers spent blocked on the bound.
+        self.wait_seconds = 0.0
+        #: Optional per-wait observer (the service points this at its
+        #: ingest-stall latency histogram).
+        self.on_wait: Optional[Callable[[float], None]] = None
         #: Total records accepted.
         self.records_in = 0
 
@@ -71,6 +77,7 @@ class IngestBuffer:
         count = int(chunk.shape[0])
         async with self._cond:
             waited = False
+            wait_began = 0.0
             while (
                 self._records > 0
                 and self._records + count > self.max_records
@@ -79,7 +86,13 @@ class IngestBuffer:
                 if not waited:
                     self.producer_waits += 1
                     waited = True
+                    wait_began = time.perf_counter()
                 await self._cond.wait()
+            if waited:
+                stalled = time.perf_counter() - wait_began
+                self.wait_seconds += stalled
+                if self.on_wait is not None:
+                    self.on_wait(stalled)
             if self._closed:
                 raise IngestClosedError("ingest buffer closed mid-stream")
             if self._ended:

@@ -2,14 +2,22 @@
 
 Board counters already export through :mod:`repro.telemetry.prom`; this
 module adds the *service* plane — queue depth, running workers, retry
-and rejection counters, ingest back-pressure — in the same minimal text
+and rejection counters, ingest back-pressure, per-tenant resource usage
+and the control-plane latency histograms — in the same minimal text
 exposition format, so :func:`repro.telemetry.prom.parse_exposition`
 round-trips it and the smoke job can assert on scraped values.
+
+Every family carries a ``# HELP`` line alongside its ``# TYPE``, and a
+family with no samples emits *nothing*: a scrape of an idle service must
+not contain dangling type headers.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import Dict, List, Optional, Sequence
+
+from repro.telemetry.histogram import Histogram
+from repro.telemetry.prom import histogram_exposition
 
 QUEUE_DEPTH_METRIC = "memories_service_queue_depth"
 RUNNING_METRIC = "memories_service_running"
@@ -18,41 +26,104 @@ SESSIONS_METRIC = "memories_service_sessions"
 EVENTS_METRIC = "memories_service_events_total"
 INGEST_HIGH_WATER_METRIC = "memories_service_ingest_high_water"
 INGEST_WAITS_METRIC = "memories_service_ingest_producer_waits"
+TENANT_USAGE_METRIC = "memories_service_tenant_usage_total"
+
+#: Resources a tenant is metered on (fixed order for stable output).
+TENANT_RESOURCES = ("cycles", "ingest_bytes", "records", "worker_seconds")
+
+_HELP = {
+    QUEUE_DEPTH_METRIC: "Sessions waiting for a run slot.",
+    RUNNING_METRIC: "Sessions currently replaying on a board.",
+    READY_METRIC: "1 while the service accepts new sessions.",
+    SESSIONS_METRIC: "Sessions by lifecycle state.",
+    EVENTS_METRIC: "Service lifecycle event counts.",
+    INGEST_HIGH_WATER_METRIC: "Peak records buffered by any ingest stream.",
+    INGEST_WAITS_METRIC: "Times an ingest producer hit the buffer bound.",
+    TENANT_USAGE_METRIC: "Resources consumed per tenant, by resource kind.",
+}
 
 
-def service_exposition(status: dict, ingest: dict) -> str:
+def _family(
+    lines: List[str], metric: str, kind: str, samples: Sequence[str]
+) -> None:
+    """Append one metric family — headers only when samples follow."""
+    if not samples:
+        return
+    lines.append(f"# HELP {metric} {_HELP[metric]}")
+    lines.append(f"# TYPE {metric} {kind}")
+    lines.extend(samples)
+
+
+def _usage_value(value: float) -> str:
+    """Render a usage number: integers bare, fractions to 6 places."""
+    if float(value) == int(value):
+        return str(int(value))
+    return format(float(value), ".6f")
+
+
+def service_exposition(
+    status: dict,
+    ingest: dict,
+    histograms: Optional[Sequence[Histogram]] = None,
+) -> str:
     """Render one scrape page from :meth:`EmulationService.status`.
 
     Args:
-        status: the service status snapshot (already sorted).
+        status: the service status snapshot (already sorted); its
+            optional ``tenants`` map becomes labelled usage counters.
         ingest: aggregate ingest stats ``{"high_water": .., "waits": ..}``.
+        histograms: the service's control-plane latency histograms,
+            rendered in standard ``_bucket``/``_sum``/``_count`` form.
     """
-    lines: List[str] = [
-        f"# TYPE {QUEUE_DEPTH_METRIC} gauge",
-        f"{QUEUE_DEPTH_METRIC} {int(status['queued'])}",
-        f"# TYPE {RUNNING_METRIC} gauge",
-        f"{RUNNING_METRIC} {int(status['running'])}",
-        f"# TYPE {READY_METRIC} gauge",
-        f"{READY_METRIC} {1 if status['ready'] else 0}",
-        f"# TYPE {SESSIONS_METRIC} gauge",
-    ]
-    for state in sorted(status["sessions"]):
-        lines.append(
+    lines: List[str] = []
+    _family(
+        lines, QUEUE_DEPTH_METRIC, "gauge",
+        [f"{QUEUE_DEPTH_METRIC} {int(status['queued'])}"],
+    )
+    _family(
+        lines, RUNNING_METRIC, "gauge",
+        [f"{RUNNING_METRIC} {int(status['running'])}"],
+    )
+    _family(
+        lines, READY_METRIC, "gauge",
+        [f"{READY_METRIC} {1 if status['ready'] else 0}"],
+    )
+    _family(
+        lines, SESSIONS_METRIC, "gauge",
+        [
             f'{SESSIONS_METRIC}{{state="{state}"}} '
             f"{int(status['sessions'][state])}"
-        )
-    lines.append(f"# TYPE {EVENTS_METRIC} counter")
-    for event in sorted(status["metrics"]):
-        lines.append(
+            for state in sorted(status["sessions"])
+        ],
+    )
+    _family(
+        lines, EVENTS_METRIC, "counter",
+        [
             f'{EVENTS_METRIC}{{event="{event}"}} '
             f"{int(status['metrics'][event])}"
-        )
-    lines.append(f"# TYPE {INGEST_HIGH_WATER_METRIC} gauge")
-    lines.append(
-        f"{INGEST_HIGH_WATER_METRIC} {int(ingest.get('high_water', 0))}"
+            for event in sorted(status["metrics"])
+        ],
     )
-    lines.append(f"# TYPE {INGEST_WAITS_METRIC} counter")
-    lines.append(
-        f"{INGEST_WAITS_METRIC} {int(ingest.get('producer_waits', 0))}"
+    _family(
+        lines, INGEST_HIGH_WATER_METRIC, "gauge",
+        [f"{INGEST_HIGH_WATER_METRIC} {int(ingest.get('high_water', 0))}"],
     )
-    return "\n".join(lines) + "\n"
+    _family(
+        lines, INGEST_WAITS_METRIC, "counter",
+        [f"{INGEST_WAITS_METRIC} {int(ingest.get('producer_waits', 0))}"],
+    )
+    tenants: Dict[str, Dict[str, float]] = status.get("tenants") or {}
+    _family(
+        lines, TENANT_USAGE_METRIC, "counter",
+        [
+            f'{TENANT_USAGE_METRIC}{{tenant="{tenant}",'
+            f'resource="{resource}"}} '
+            f"{_usage_value(tenants[tenant].get(resource, 0))}"
+            for tenant in sorted(tenants)
+            for resource in TENANT_RESOURCES
+        ],
+    )
+    page = "\n".join(lines) + "\n" if lines else ""
+    if histograms:
+        page += histogram_exposition(list(histograms), label="service")
+    return page

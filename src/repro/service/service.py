@@ -71,7 +71,10 @@ from repro.supervisor import (
     SupervisorError,
     backoff_delay,
 )
+from repro.telemetry.histogram import Histogram
+from repro.telemetry.prom import histogram_exposition, render_exposition
 from repro.telemetry.sink import JsonlSink
+from repro.telemetry.spans import SPAN_VERSION, derive_trace_id
 
 #: Scheduler/watchdog tick while idle, seconds.
 _TICK = 0.05
@@ -115,12 +118,55 @@ class Session:
         self.cycle = 0.0
         self.transactions = 0
         self.trace_staged = request.trace["kind"] != "stream"
+        #: Deterministic trace identity: the same derivation the
+        #: supervisor stamps into its journal (machine fingerprint, seed,
+        #: run-dir name), so every process of this session shares it.
+        self.trace_id = derive_trace_id(
+            request.run_spec.machine.fingerprint(),
+            request.run_spec.seed,
+            session_id,
+        )
+        #: When the session became runnable (trace staged); None while a
+        #: streamed trace is still arriving.
+        self.runnable_at: Optional[float] = (
+            self.admitted_at if self.trace_staged else None
+        )
+        self.started_at: Optional[float] = None
+        #: Latest wrap-corrected counter deltas per sampler seq.  Keyed
+        #: by seq so a worker restarted from a checkpoint (whose sampler
+        #: cursor rewinds) replaces the redone stretch instead of
+        #: double-counting it.
+        self.counter_samples: Dict[int, dict] = {}
+        self.window: dict = {}
+        self.ingest_bytes = 0
         self.ingest: Optional[IngestBuffer] = None
         self.stager: Optional[asyncio.Task] = None
         self.subscribers: List[asyncio.Queue] = []
         self._abort = threading.Event()
         self._abort_reason = ""
+        self._finalized = False
         self._supervisor: Optional[RunSupervisor] = None
+
+    @property
+    def root_span_id(self) -> str:
+        """Span ID of this session's root span (parent of the run span)."""
+        return f"service-{self.id}:0"
+
+    def counter_totals(self) -> Dict[str, int]:
+        """Accumulated board counters from the heartbeat delta stream."""
+        totals: Dict[str, int] = {}
+        for deltas in list(self.counter_samples.values()):
+            for name, delta in deltas.items():
+                totals[name] = totals.get(name, 0) + int(delta)
+        return totals
+
+    def note_heartbeat_deltas(self, seq: int, deltas: dict) -> None:
+        """Fold one heartbeat's deltas in, rewinding redone samples."""
+        if not deltas:
+            return
+        for stale in [s for s in self.counter_samples if s >= seq]:
+            self.counter_samples.pop(stale, None)
+        self.counter_samples[seq] = dict(deltas)
 
     @property
     def wall_deadline(self) -> Optional[float]:
@@ -209,6 +255,17 @@ class EmulationService:
             "high_water": 0,
             "producer_waits": 0,
         }
+        #: Service-plane latency histograms (wall domain): where control
+        #: time goes before and between supervisor attempts.
+        self.histograms: Dict[str, Histogram] = {
+            name: Histogram(name, domain="wall")
+            for name in (
+                "admission_wait", "queue_wait", "ingest_stall",
+                "retry_backoff",
+            )
+        }
+        #: Per-tenant resource accounting (see :meth:`_account_session`).
+        self.tenants: Dict[str, Dict[str, float]] = {}
         self._queue: List = []  # heap of (priority, seq, session_id)
         self._seq = 0
         self._manifest: Optional[RunJournal] = None
@@ -263,6 +320,10 @@ class EmulationService:
             for record in self._manifest.entries(kind):
                 terminal[str(record["session"])] = record
         self.history = terminal
+        for record in self._manifest.entries("tenant_usage"):
+            usage = self._tenant_usage(str(record.get("tenant", "default")))
+            for key in usage:
+                usage[key] += float(record.get(key, 0.0))
         for record in self._manifest.entries("session_queued"):
             session_id = str(record["session"])
             self._seq = max(self._seq, int(record["seq_no"]) + 1)
@@ -287,8 +348,10 @@ class EmulationService:
                     reason="orphaned-ingest",
                 )
                 self.metrics["expired"] += 1
+                self._finalize_session(session)
                 continue
             session.trace_staged = True
+            session.runnable_at = session.admitted_at
             self.admission.queued_total += 1
             self.admission.queued_by_tenant[request.tenant] = (
                 self.admission.queued_by_tenant.get(request.tenant, 0) + 1
@@ -382,6 +445,7 @@ class EmulationService:
         session = Session(session_id, request, run_dir)
         if request.trace["kind"] == "stream":
             buffer = IngestBuffer(self.config.ingest_buffer_records)
+            buffer.on_wait = self.histograms["ingest_stall"].observe
             session.ingest = buffer
             # The consumer half of the back-pressure pair runs for the
             # whole stream, so producers only ever wait on the *bound*,
@@ -432,6 +496,10 @@ class EmulationService:
             "running": self.admission.running_total,
             "sessions": {key: states[key] for key in sorted(states)},
             "metrics": {key: self.metrics[key] for key in sorted(self.metrics)},
+            "tenants": {
+                tenant: dict(usage)
+                for tenant, usage in sorted(self.tenants.items())
+            },
         }
 
     # ------------------------------------------------------------------ #
@@ -464,14 +532,18 @@ class EmulationService:
         assert session.stager is not None
         staged = await session.stager
         session.stager = None
-        self._absorb_ingest(buffer)
+        self._absorb_ingest(buffer, session)
         session.trace_staged = True
+        session.runnable_at = time.perf_counter()
         session.ingest = None
         if self._manifest is not None:
             self._manifest.append(
                 "trace_staged", session=session_id, records=staged
             )
-        self._emit(session, "trace-staged", records=staged)
+        self._emit(
+            session, "trace-staged", records=staged,
+            wall_fields={"stalled": round(buffer.wait_seconds, 6)},
+        )
         self._wake.set()
         return staged
 
@@ -531,10 +603,17 @@ class EmulationService:
                 raise
             # Only the stager was cancelled; nothing left to reap.
 
-    def _absorb_ingest(self, buffer: IngestBuffer) -> None:
+    def _absorb_ingest(
+        self, buffer: IngestBuffer, session: Optional[Session] = None
+    ) -> None:
         if buffer.high_water > self.ingest_stats["high_water"]:
             self.ingest_stats["high_water"] = buffer.high_water
         self.ingest_stats["producer_waits"] += buffer.producer_waits
+        if session is not None:
+            accepted = buffer.records_in * 8  # packed 8-byte bus words
+            session.ingest_bytes += accepted
+            usage = self._tenant_usage(session.request.tenant)
+            usage["ingest_bytes"] += accepted
 
     def ingest_snapshot(self) -> Dict[str, int]:
         """Aggregate back-pressure stats over finished and live buffers."""
@@ -563,7 +642,7 @@ class EmulationService:
         buffer = session.ingest
         await buffer.close()
         await self._collect_stager(session)
-        self._absorb_ingest(buffer)
+        self._absorb_ingest(buffer, session)
         session.ingest = None
         self._emit(session, "ingest-lost")
         if session.state == SessionState.QUEUED:
@@ -576,6 +655,7 @@ class EmulationService:
                 reason="orphaned-ingest",
             )
             self._emit(session, "expired", reason="orphaned-ingest")
+            self._finalize_session(session)
             self._close_subscribers(session)
             self._reconsider_state()
 
@@ -618,6 +698,15 @@ class EmulationService:
     def _launch(self, session: Session) -> None:
         self.admission.launch(session.request.tenant)
         session.state = SessionState.RUNNING
+        now = time.perf_counter()
+        session.started_at = now
+        runnable_at = session.runnable_at
+        if runnable_at is None:
+            runnable_at = now
+        self.histograms["admission_wait"].observe(
+            max(0.0, runnable_at - session.admitted_at)
+        )
+        self.histograms["queue_wait"].observe(max(0.0, now - runnable_at))
         assert self._manifest is not None
         self._manifest.append("session_started", session=session.id)
         self._emit(session, "started")
@@ -681,6 +770,10 @@ class EmulationService:
         finally:
             self.admission.release(session.request.tenant)
             self._runners.pop(session.id, None)
+            if session.state.terminal or (
+                session.state == SessionState.SUSPENDED
+            ):
+                self._finalize_session(session)
             self._close_subscribers(session)
             self._reconsider_state()
             self._wake.set()
@@ -721,6 +814,7 @@ class EmulationService:
                 delay = backoff_delay(
                     spec.seed, self.config.retry_backoff_base, attempt
                 )
+                self.histograms["retry_backoff"].observe(delay)
                 self._emit_threadsafe(
                     session, "retry",
                     attempt=attempt, delay=delay, error=str(failure),
@@ -731,6 +825,10 @@ class EmulationService:
     def _arm(self, session: Session, supervisor: RunSupervisor) -> None:
         """Wire service plumbing into one supervisor attempt."""
         session._supervisor = supervisor
+        # The supervisor derived the same trace ID from its journal; its
+        # run span hangs under this session's root span.
+        session.trace_id = supervisor.trace_id
+        supervisor.trace_parent = session.root_span_id
         supervisor.abort_event = session._abort
         if session._abort_reason:
             supervisor.abort_reason = session._abort_reason
@@ -769,6 +867,12 @@ class EmulationService:
     def _heartbeat(self, session: Session, payload: dict) -> None:
         session.cycle = float(payload.get("cycle", 0.0))
         session.transactions = int(payload.get("transactions", 0))
+        session.note_heartbeat_deltas(
+            int(payload.get("seq", 0)), payload.get("deltas") or {}
+        )
+        window = payload.get("window")
+        if window:
+            session.window = dict(window)
         deadline = session.request.cycle_deadline
         if deadline is not None and session.cycle > deadline:
             session.request_abort("cycle-deadline")
@@ -776,6 +880,115 @@ class EmulationService:
             session, "heartbeat",
             cycle=session.cycle, transactions=session.transactions,
         )
+
+    # ------------------------------------------------------------------ #
+    # Accounting, trace roots, per-session metrics
+    # ------------------------------------------------------------------ #
+
+    def _tenant_usage(self, tenant: str) -> Dict[str, float]:
+        usage = self.tenants.get(tenant)
+        if usage is None:
+            usage = {
+                "cycles": 0.0,
+                "records": 0.0,
+                "worker_seconds": 0.0,
+                "ingest_bytes": 0.0,
+            }
+            self.tenants[tenant] = usage
+        return usage
+
+    def _finalize_session(self, session: Session) -> None:
+        """Close a session out exactly once: accounting + the root span.
+
+        Called from every terminal transition (and suspension).  Emits
+        the session's root span record — the parent every supervisor and
+        worker span of this trace resolves to — and journals the
+        session's resource usage under its tenant.
+        """
+        if session._finalized:
+            return
+        session._finalized = True
+        self._account_session(session)
+        if self._sink is not None:
+            self._sink.emit(self._session_span(session))
+
+    def _account_session(self, session: Session) -> None:
+        """Aggregate one closing session's usage under its tenant.
+
+        An operational meter, not a billing ledger: a session resumed in
+        a later service incarnation reports its absolute totals again
+        (the per-incarnation ``worker_seconds`` stays accurate).
+        """
+        now = time.perf_counter()
+        worker_seconds = (
+            now - session.started_at if session.started_at is not None
+            else 0.0
+        )
+        tenant = session.request.tenant
+        usage = self._tenant_usage(tenant)
+        usage["cycles"] += session.cycle
+        usage["records"] += float(session.transactions)
+        usage["worker_seconds"] += worker_seconds
+        self._manifest_safe(
+            "tenant_usage",
+            session=session.id,
+            tenant=tenant,
+            cycles=session.cycle,
+            records=session.transactions,
+            worker_seconds=round(worker_seconds, 6),
+            ingest_bytes=session.ingest_bytes,
+        )
+
+    def _session_span(self, session: Session) -> dict:
+        """The session's root span record (service-plane lifetime)."""
+        return {
+            "type": "span",
+            "v": SPAN_VERSION,
+            "label": "service",
+            "seq": 0,
+            "name": "session",
+            "path": "session",
+            "depth": 0,
+            "begin_cycle": 0.0,
+            "end_cycle": session.cycle,
+            "trace_id": session.trace_id,
+            "span_id": session.root_span_id,
+            "parent_id": None,
+            "session": session.id,
+            "tenant": session.request.tenant,
+            "wall": {
+                "seconds": round(
+                    time.perf_counter() - session.admitted_at, 6
+                )
+            },
+        }
+
+    def session_metrics_page(self, session_id: str) -> str:
+        """Prometheus exposition for one session: counters + histograms.
+
+        Board counters come from the heartbeat delta stream (rewound on
+        worker restarts, so redone work is never double-counted); the
+        latency histograms are the supervisor's checkpoint-carried set.
+
+        Raises:
+            ValidationError: the session is unknown (evicted sessions
+                get a structured 404 from the HTTP layer).
+        """
+        session = self.get_session(session_id)
+        page = render_exposition(
+            session.counter_totals(),
+            label=session.id,
+            cycle=session.cycle,
+            transactions=session.transactions,
+            samples=len(session.counter_samples),
+            window=session.window or None,
+        )
+        supervisor = session._supervisor
+        if supervisor is not None:
+            page += histogram_exposition(
+                list(supervisor.histograms.values()), label=session.id
+            )
+        return page
 
     # ------------------------------------------------------------------ #
     # Watchdog (wall deadlines)
@@ -808,8 +1021,9 @@ class EmulationService:
                     if session.ingest is not None:
                         await session.ingest.close()
                         await self._collect_stager(session)
-                        self._absorb_ingest(session.ingest)
+                        self._absorb_ingest(session.ingest, session)
                         session.ingest = None
+                    self._finalize_session(session)
                     self._close_subscribers(session)
                     self._reconsider_state()
                 elif session.state == SessionState.RUNNING:
@@ -835,7 +1049,21 @@ class EmulationService:
         if session is not None and queue in session.subscribers:
             session.subscribers.remove(queue)
 
-    def _event_record(self, session: Session, event: str, **fields) -> dict:
+    def _event_record(
+        self,
+        session: Session,
+        event: str,
+        wall_fields: Optional[dict] = None,
+        **fields,
+    ) -> dict:
+        # Wall offset since admission, segregated under the reserved
+        # key: the flight recorder uses it to time the control-plane
+        # phases (queued, staging) that have no cycle clock.
+        wall = {
+            "elapsed": round(time.perf_counter() - session.admitted_at, 6)
+        }
+        if wall_fields:
+            wall.update(wall_fields)
         return {
             "type": "service",
             "event": event,
@@ -843,6 +1071,7 @@ class EmulationService:
             "tenant": session.request.tenant,
             "state": session.state.value,
             **fields,
+            "wall": wall,
         }
 
     def _emit(self, session: Session, event: str, **fields) -> None:

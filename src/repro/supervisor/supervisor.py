@@ -44,7 +44,7 @@ import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, List, Optional, Union
+from typing import Callable, Dict, List, Optional, Union
 
 import numpy as np
 
@@ -61,8 +61,9 @@ from repro.supervisor.spec import (
     statistics_digest,
 )
 from repro.supervisor.worker import worker_main
+from repro.telemetry.histogram import Histogram
 from repro.telemetry.sink import JsonlSink
-from repro.telemetry.spans import RunTrace
+from repro.telemetry.spans import RunTrace, derive_trace_id
 
 #: Watchdog slack: a segment may take this multiple of its expected wall
 #: time (from the cycle-throughput EMA) before the worker is declared hung.
@@ -215,6 +216,30 @@ class RunSupervisor:
             )
         self.n_segments = int(start["segments"])
         self.total_records = int(start["records"])
+        #: Deterministic trace identity: stamped into the journal's
+        #: run_start by :meth:`create`; older journals fall back to the
+        #: same derivation, so resumed runs rejoin their original trace.
+        self.trace_id: str = str(
+            start.get("trace")
+            or derive_trace_id(
+                start.get("machine", ""), self.spec.seed, self.run_dir.name
+            )
+        )
+        #: Span ID of the enclosing service-session span, when this run
+        #: belongs to a service (set by the service, never serialized).
+        self.trace_parent: Optional[str] = None
+        #: Latency histograms at the run's choke points.  Cycle-domain
+        #: entries ride worker checkpoints (sampler-cursor style) so they
+        #: stay bit-identical across kill/resume; restart backoff is
+        #: rebuilt from the journal's deterministic ``delay`` records.
+        self.histograms: Dict[str, Histogram] = {
+            "restart_backoff": Histogram("restart_backoff", domain="wall"),
+        }
+        for record in self.journal.entries("restart"):
+            self.histograms["restart_backoff"].observe(
+                float(record.get("delay", 0.0))
+            )
+        self._launches = 0
         self._bad_generations: set = set()
         self._cycle = 0.0
         self._cycles_per_sec: Optional[float] = None
@@ -272,12 +297,14 @@ class RunSupervisor:
         journal = RunJournal(run_dir / cls.JOURNAL_NAME)
         count = int(words.shape[0])
         segments = -(-count // spec.segment_records) if count else 0
+        fingerprint = spec.machine.fingerprint()
         journal.append(
             "run_start",
-            machine=spec.machine.fingerprint(),
+            machine=fingerprint,
             records=count,
             segments=segments,
             segment_records=spec.segment_records,
+            trace=derive_trace_id(fingerprint, spec.seed, run_dir.name),
         )
         journal.close()
         return cls(run_dir)
@@ -342,41 +369,52 @@ class RunSupervisor:
 
         events_handle = open(self.run_dir / self.EVENTS_NAME, "a")
         self._events = JsonlSink(events_handle)
+        # The journal seq at entry is a deterministic, strictly growing
+        # incarnation tag: span IDs from a resumed supervisor never
+        # collide with those an earlier (killed) incarnation emitted.
+        epoch = self.journal.next_seq
         self._trace = RunTrace(
-            sink=self._events, clock=lambda: self._cycle, label="supervisor"
+            sink=self._events,
+            clock=lambda: self._cycle,
+            label="supervisor",
+            trace_id=self.trace_id,
+            parent_id=self.trace_parent,
+            span_prefix=f"supervisor-e{epoch}",
         )
         chaos = chaos if chaos is not None else self.spec.chaos
         restarts = len(self.journal.entries("restart"))
         try:
-            while True:
-                try:
-                    result = self._drive(chaos)
-                    result.restarts = restarts
-                    self.journal.append(
-                        "run_complete", result=result.to_dict()
-                    )
-                    return result
-                except _WorkerFailure as failure:
-                    chaos = None
-                    restarts += 1
-                    delay = backoff_delay(
-                        self.spec.seed, self.spec.backoff_base, restarts
-                    )
-                    self._event(
-                        "restart", reason=str(failure), n=restarts,
-                        delay=delay,
-                    )
-                    self.journal.append(
-                        "restart", reason=str(failure), n=restarts,
-                        delay=delay,
-                    )
-                    if restarts > self.spec.max_restarts:
-                        raise SupervisorError(
-                            f"restart budget exhausted after {restarts - 1} "
-                            f"restarts: {failure}"
-                        ) from failure
-                    with self._trace.span("restart_backoff", n=restarts):
-                        self._sleep(delay)
+            with self._trace.span("run", epoch=epoch):
+                while True:
+                    try:
+                        result = self._drive(chaos)
+                        result.restarts = restarts
+                        self.journal.append(
+                            "run_complete", result=result.to_dict()
+                        )
+                        return result
+                    except _WorkerFailure as failure:
+                        chaos = None
+                        restarts += 1
+                        delay = backoff_delay(
+                            self.spec.seed, self.spec.backoff_base, restarts
+                        )
+                        self._event(
+                            "restart", reason=str(failure), n=restarts,
+                            delay=delay,
+                        )
+                        self.journal.append(
+                            "restart", reason=str(failure), n=restarts,
+                            delay=delay,
+                        )
+                        self.histograms["restart_backoff"].observe(delay)
+                        if restarts > self.spec.max_restarts:
+                            raise SupervisorError(
+                                f"restart budget exhausted after "
+                                f"{restarts - 1} restarts: {failure}"
+                            ) from failure
+                        with self._trace.span("restart_backoff", n=restarts):
+                            self._sleep(delay)
         finally:
             self._events.close()
             events_handle.close()
@@ -476,7 +514,8 @@ class RunSupervisor:
 
     def _run_segment(self, conn, proc, segment: int) -> None:
         """Drive one segment to its journaled commit (degrading as needed)."""
-        self._send(conn, ("segment", segment, False))
+        parent_span = self._current_span_id()
+        self._send(conn, ("segment", segment, False, parent_span))
         while True:
             message = self._await(conn, proc, ("commit", "error"))
             if message[0] == "commit":
@@ -488,14 +527,16 @@ class RunSupervisor:
                     digest=digest,
                     records=int(info.get("records", 0)),
                     quarantined=bool(info.get("quarantined", False)),
+                    span=parent_span,
                 )
+                self._absorb_histograms(info.get("histograms"))
                 return
             _, index, kind, detail = message
             if kind == "trace":
                 self._quarantine(conn, int(index), str(detail))
             elif kind == "node":
                 self._offline(conn, proc, int(index), detail)
-                self._send(conn, ("segment", segment, False))
+                self._send(conn, ("segment", segment, False, parent_span))
             else:
                 raise SupervisorError(
                     f"worker reported unknown error kind {kind!r}"
@@ -510,7 +551,7 @@ class RunSupervisor:
         if not already:
             self.journal.append("quarantine", segment=segment, reason=detail)
         self._event("quarantine", segment=segment, reason=detail)
-        self._send(conn, ("segment", segment, True))
+        self._send(conn, ("segment", segment, True, self._current_span_id()))
 
     def _offline(self, conn, proc, segment: int, nodes) -> None:
         """Degradation rung 3: take ECC-failing nodes out of service."""
@@ -535,9 +576,24 @@ class RunSupervisor:
 
     # -- plumbing ------------------------------------------------------- #
 
+    def _current_span_id(self) -> Optional[str]:
+        return self._trace.current_span_id if self._trace else None
+
+    def _absorb_histograms(self, states: Optional[dict]) -> None:
+        """Adopt the worker's checkpoint-carried histogram snapshots."""
+        if not states:
+            return
+        for domain in ("cycle", "wall"):
+            for name, state in (states.get(domain) or {}).items():
+                self.histograms[str(name)] = Histogram.from_state(state)
+
     def _spawn(self, chaos, start_segment: int, checkpoint):
         ctx = _mp_context()
         parent_conn, child_conn = ctx.Pipe()
+        # Unique per worker lifetime (epoch x launch): a restarted
+        # worker's span IDs never collide with its predecessor's.
+        self._launches += 1
+        prefix = f"worker-e{self.journal.next_seq}-{self._launches}"
         proc = ctx.Process(
             target=worker_main,
             args=(
@@ -547,6 +603,8 @@ class RunSupervisor:
                 chaos.to_dict() if chaos else None,
                 start_segment,
                 str(checkpoint) if checkpoint else None,
+                self.trace_id,
+                prefix,
             ),
             daemon=True,
         )
@@ -587,6 +645,13 @@ class RunSupervisor:
             tag = message[0]
             if tag == "heartbeat":
                 self._note_heartbeat(message[1])
+                continue
+            if tag == "span":
+                # A worker child span closed: persist it alongside the
+                # supervisor's own spans so the run's whole tree lives in
+                # one events file.
+                if self._events is not None:
+                    self._events.emit(message[1])
                 continue
             if tag == "fatal":
                 raise SupervisorError(

@@ -5,9 +5,11 @@
 restores the checkpoint it was handed, and then executes directives from
 the supervisor over a duplex pipe:
 
-``("segment", i, quarantine)``
+``("segment", i, quarantine[, parent_span])``
     Replay trace segment ``i`` (or, with ``quarantine`` set, account it as
     skipped instead), checkpoint into the rotation, and report a commit.
+    ``parent_span`` is the supervisor's open segment span ID: the
+    worker's ``replay``/``checkpoint`` child spans attach under it.
 ``("offline", node)``
     Take one emulated node out of service (degradation rung 2).
 ``("finish",)``
@@ -22,13 +24,18 @@ the emulation is deterministic, so the redo is invisible in the counters.
 
 Heartbeats ride the telemetry sampler: a pipe-backed sink receives every
 sample record, so watchdog liveness comes from the same cadence machinery
-(and the same checkpointed cursor) as the run's time series.
+(and the same checkpointed cursor) as the run's time series.  The same
+pipe sink carries the worker's closed trace spans back to the supervisor
+(tee-style: one channel, two record kinds), which persists them next to
+its own spans — so a session's span tree spans processes without any
+extra plumbing.
 """
 
 from __future__ import annotations
 
 import os
 import signal
+import time
 from pathlib import Path
 from typing import Optional
 
@@ -40,20 +47,33 @@ from repro.supervisor.spec import (
     SupervisedRunSpec,
     statistics_digest,
 )
+from repro.telemetry.histogram import Histogram, split_histogram_states
 from repro.telemetry.sampler import CounterSampler
+from repro.telemetry.spans import RunTrace
 
 #: Records replayed per chunk when a chaos kill must land mid-segment.
 _CHAOS_CHUNK = 256
 
 
 class _HeartbeatSink:
-    """Forwards every sampler record to the supervisor as a heartbeat."""
+    """Forwards sampler records (as heartbeats) and spans to the supervisor.
+
+    The worker's single back-channel: sample/final records become
+    ``("heartbeat", …)`` liveness messages carrying the wrap-corrected
+    deltas (so the service can render per-session counters without
+    touching the run directory), and closed span records become
+    ``("span", …)`` messages the supervisor persists into its events
+    file.
+    """
 
     def __init__(self, conn) -> None:
         self.conn = conn
 
     def emit(self, record: dict) -> None:
         try:
+            if record.get("type") == "span":
+                self.conn.send(("span", record))
+                return
             self.conn.send(
                 (
                     "heartbeat",
@@ -61,6 +81,8 @@ class _HeartbeatSink:
                         "seq": record.get("seq", 0),
                         "cycle": record.get("cycle", 0.0),
                         "transactions": record.get("transactions", 0),
+                        "deltas": dict(record.get("deltas", {})),
+                        "window": dict(record.get("window", {})),
                     },
                 )
             )
@@ -199,6 +221,8 @@ def worker_main(
     chaos_data: Optional[dict],
     start_segment: int,
     checkpoint_path: Optional[str],
+    trace_id: Optional[str] = None,
+    span_prefix: str = "worker",
 ) -> None:
     """Run the worker shard loop; exits when told to finish.
 
@@ -210,11 +234,14 @@ def worker_main(
         start_segment: first segment this worker will be asked to run.
         checkpoint_path: checkpoint to restore before reporting ready, or
             None for a fresh board (segment 0).
+        trace_id: the run's deterministic trace identity; worker spans
+            carry it so they join the supervisor's span tree.
+        span_prefix: unique span-ID prefix for this worker lifetime.
     """
     try:
         _worker_loop(
             conn, Path(run_dir), spec_data, chaos_data, start_segment,
-            checkpoint_path,
+            checkpoint_path, trace_id, span_prefix,
         )
     except ReproError as exc:
         try:
@@ -232,6 +259,8 @@ def _worker_loop(
     chaos_data: Optional[dict],
     start_segment: int,
     checkpoint_path: Optional[str],
+    trace_id: Optional[str] = None,
+    span_prefix: str = "worker",
 ) -> None:
     spec = SupervisedRunSpec.from_dict(spec_data)
     chaos = ChaosPlan.from_dict(chaos_data) if chaos_data else None
@@ -239,12 +268,31 @@ def _worker_loop(
     segment_records, n_segments, total_records = reader.segment_info()
 
     board = spec.build_board()
+    backchannel = _HeartbeatSink(conn)
     sampler = CounterSampler(
-        sink=_HeartbeatSink(conn),
+        sink=backchannel,
         every_transactions=spec.heartbeat_every,
         label="supervised",
     )
     board.attach_telemetry(sampler=sampler)
+    trace = RunTrace(
+        sink=backchannel,
+        clock=lambda: board.now_cycle,
+        label="worker",
+        trace_id=trace_id,
+        span_prefix=span_prefix,
+    )
+    # Choke-point histograms.  The cycle-domain one is a pure function of
+    # the replayed trace; riding the checkpoint (like the sampler cursor)
+    # keeps it bit-identical across kill/resume — work redone after a
+    # crash is never observed twice.
+    histograms = {
+        "segment_replay_cycles": Histogram(
+            "segment_replay_cycles", domain="cycle"
+        ),
+        "segment_replay": Histogram("segment_replay", domain="wall"),
+        "checkpoint_write": Histogram("checkpoint_write", domain="wall"),
+    }
     injector = spec.build_injector(board)
     rotation = CheckpointRotation(
         run_dir / "checkpoints", keep=spec.keep_checkpoints
@@ -254,6 +302,11 @@ def _worker_loop(
         extra = restore_checkpoint(board, checkpoint_path)
         if injector is not None and extra and "injector" in extra:
             injector.load_state_dict(extra["injector"])
+        for domain in ("cycle", "wall"):
+            states = (extra or {}).get("histograms", {}).get(domain, {})
+            for name, state in states.items():
+                if name in histograms:
+                    histograms[name].load_state_dict(state)
 
     conn.send(("ready", start_segment, statistics_digest(board.statistics())))
 
@@ -294,6 +347,7 @@ def _worker_loop(
 
         index = int(directive[1])
         quarantine = bool(directive[2])
+        trace.parent_id = directive[3] if len(directive) > 3 else None
         records = min(segment_records, total_records - index * segment_records)
 
         if quarantine:
@@ -301,6 +355,7 @@ def _worker_loop(
             _commit(
                 conn, board, rotation, injector, index,
                 {"quarantined": True, "records": records},
+                trace, histograms,
             )
             continue
 
@@ -331,27 +386,70 @@ def _worker_loop(
             continue
 
         replay = injector.replay_words if injector else board.replay_words
-        if kill_after is not None and kill_after < records:
-            # Replay up to the scheduled crash point, then die abruptly.
-            done = 0
-            while done < kill_after:
-                step = min(_CHAOS_CHUNK, kill_after - done)
-                replay(words[done : done + step])
-                done += step
-            _die_now()
-        replay(words)
+        begin_cycle = board.now_cycle
+        begin_wall = time.perf_counter()
+        with trace.span("replay", segment=index, records=records):
+            if kill_after is not None and kill_after < records:
+                # Replay up to the scheduled crash point, then die abruptly.
+                done = 0
+                while done < kill_after:
+                    step = min(_CHAOS_CHUNK, kill_after - done)
+                    replay(words[done : done + step])
+                    done += step
+                _die_now()
+            replay(words)
         if kill_after is not None:
             kill_after -= records
+        histograms["segment_replay_cycles"].observe(
+            board.now_cycle - begin_cycle
+        )
+        histograms["segment_replay"].observe(
+            time.perf_counter() - begin_wall
+        )
 
-        _commit(conn, board, rotation, injector, index, {"records": records})
+        _commit(
+            conn, board, rotation, injector, index, {"records": records},
+            trace, histograms,
+        )
         if chaos and chaos.kill_at_commit == index:
             _die_now()
 
 
-def _commit(conn, board, rotation, injector, index: int, info: dict) -> None:
+def _commit(
+    conn,
+    board,
+    rotation,
+    injector,
+    index: int,
+    info: dict,
+    trace: Optional[RunTrace] = None,
+    histograms: Optional[dict] = None,
+) -> None:
     """Make segment ``index`` durable, then report it to the supervisor."""
-    extra = {"injector": injector.state_dict()} if injector else None
-    path = rotation.save(board, index, extra=extra)
+    extra = {"injector": injector.state_dict()} if injector else {}
+    if histograms:
+        cycle_states, wall_states = split_histogram_states(
+            histograms.values()
+        )
+        # The cycle dict is the checkpointed cursor that keeps histogram
+        # counts bit-identical across kill/resume; wall states ride along
+        # for continuity but are inherently irreproducible.
+        extra["histograms"] = {"cycle": cycle_states, "wall": wall_states}
+    begin_wall = time.perf_counter()
+    if trace is not None:
+        with trace.span("checkpoint", segment=index):
+            path = rotation.save(board, index, extra=extra or None)
+    else:
+        path = rotation.save(board, index, extra=extra or None)
+    if histograms and "checkpoint_write" in histograms:
+        histograms["checkpoint_write"].observe(
+            time.perf_counter() - begin_wall
+        )
+        cycle_states, wall_states = split_histogram_states(
+            histograms.values()
+        )
+        info = dict(info)
+        info["histograms"] = {"cycle": cycle_states, "wall": wall_states}
     conn.send(
         (
             "commit",

@@ -23,7 +23,14 @@ Attach a sampler with :meth:`repro.memories.board.MemoriesBoard.attach_telemetry
 nothing attached the emulation pays a single pointer test per tenure.
 """
 
+from repro.telemetry.histogram import (
+    DEFAULT_CYCLE_BOUNDS,
+    DEFAULT_WALL_BOUNDS,
+    Histogram,
+    split_histogram_states,
+)
 from repro.telemetry.prom import (
+    histogram_exposition,
     parse_exposition,
     render_exposition,
     series_exposition,
@@ -45,11 +52,14 @@ from repro.telemetry.sink import (
     load_jsonl,
     strip_wall,
 )
-from repro.telemetry.spans import RunTrace
+from repro.telemetry.spans import RunTrace, derive_trace_id
 
 __all__ = [
     "CounterSampler",
+    "DEFAULT_CYCLE_BOUNDS",
     "DEFAULT_EVERY_TRANSACTIONS",
+    "DEFAULT_WALL_BOUNDS",
+    "Histogram",
     "JsonlSink",
     "MemorySink",
     "NULL_SINK",
@@ -58,11 +68,14 @@ __all__ = [
     "TeeSink",
     "TelemetrySeries",
     "TelemetrySink",
+    "derive_trace_id",
     "encode_record",
+    "histogram_exposition",
     "load_jsonl",
     "parse_exposition",
     "render_exposition",
     "series_exposition",
+    "split_histogram_states",
     "strip_wall",
     "wrap_aware_delta",
 ]

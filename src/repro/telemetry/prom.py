@@ -26,6 +26,23 @@ SAMPLES_METRIC = "memories_samples_total"
 WINDOW_METRIC = "memories_window"
 WRAPPED_METRIC = "memories_wrapped_counters"
 
+#: Histogram metric families, one per measurement domain (the cycle /
+#: wall segregation of :mod:`repro.telemetry.histogram`).
+LATENCY_WALL_METRIC = "memories_latency_seconds"
+LATENCY_CYCLE_METRIC = "memories_latency_cycles"
+
+_LATENCY_METRICS = {
+    "wall": (
+        LATENCY_WALL_METRIC,
+        "Host wall-clock latency at run choke points (seconds).",
+    ),
+    "cycle": (
+        LATENCY_CYCLE_METRIC,
+        "Emulated cycle-domain latency at run choke points "
+        "(deterministic).",
+    ),
+}
+
 #: A parsed sample: (metric name, sorted label pairs) -> value.
 MetricKey = Tuple[str, Tuple[Tuple[str, str], ...]]
 
@@ -100,6 +117,43 @@ def render_exposition(
         names = sorted(wrapped)
         lines.append(f"# TYPE {WRAPPED_METRIC} gauge")
         lines.append(_sample_line(WRAPPED_METRIC, {"label": label}, len(names)))
+    return "\n".join(lines) + "\n"
+
+
+def histogram_exposition(histograms: Iterable, label: str = "board") -> str:
+    """Render histograms as Prometheus ``_bucket``/``_sum``/``_count``.
+
+    Histograms are grouped by domain into the two latency families and
+    sorted by name, so the page is byte-identical for identical
+    histogram states.  An empty iterable renders an empty page — no
+    dangling headers.
+
+    Args:
+        histograms: :class:`repro.telemetry.histogram.Histogram` objects.
+        label: attached to every sample, like the sampler label.
+    """
+    by_domain: Dict[str, list] = {}
+    for hist in histograms:
+        by_domain.setdefault(hist.domain, []).append(hist)
+    lines: List[str] = []
+    for domain in sorted(by_domain):
+        metric, help_text = _LATENCY_METRICS[domain]
+        lines.append(f"# HELP {metric} {help_text}")
+        lines.append(f"# TYPE {metric} histogram")
+        for hist in sorted(by_domain[domain], key=lambda h: h.name):
+            base = {"label": label, "stage": hist.name}
+            cumulative = hist.cumulative()
+            for bound, count in zip(hist.bounds, cumulative):
+                labels = dict(base)
+                labels["le"] = _format_value(bound)
+                lines.append(_sample_line(f"{metric}_bucket", labels, count))
+            labels = dict(base)
+            labels["le"] = "+Inf"
+            lines.append(_sample_line(f"{metric}_bucket", labels, hist.count))
+            lines.append(_sample_line(f"{metric}_sum", base, hist.sum))
+            lines.append(_sample_line(f"{metric}_count", base, hist.count))
+    if not lines:
+        return ""
     return "\n".join(lines) + "\n"
 
 

@@ -12,10 +12,21 @@ reserved ``"wall"`` record key and are stripped by determinism checks
 Span records are emitted when a span *closes*, so children precede their
 parents in the stream; ``path`` ("replay/dispatch") and ``depth`` make
 the hierarchy trivial to rebuild.
+
+Traces can also *propagate across processes*: construct the ``RunTrace``
+with a ``trace_id`` (see :func:`derive_trace_id`) and every record gains
+``trace_id`` / ``span_id`` / ``parent_id`` fields.  Span IDs are assigned
+deterministically at *open* time (``<prefix>:<n>``), so a parent process
+can read :attr:`RunTrace.current_span_id` and hand it to a child process,
+which sets it as its own ``parent_id`` — stitching one causally-linked
+span tree across the service, the supervisor, and its workers.  IDs are
+derived by counting, never by reading entropy or the clock, so the tree
+is reproducible from the run inputs.
 """
 
 from __future__ import annotations
 
+import hashlib
 import time
 from contextlib import contextmanager
 from typing import Callable, Iterator, List, Optional
@@ -24,6 +35,18 @@ from repro.telemetry.sink import NULL_SINK, TelemetrySink
 
 #: Current span-record schema revision.
 SPAN_VERSION = 1
+
+
+def derive_trace_id(*parts: object) -> str:
+    """Deterministic 128-bit trace ID from stable identifying parts.
+
+    The same parts always produce the same ID — a resumed run, or a
+    service session retried after a crash, rejoins its original trace.
+    Callers pass whatever uniquely names the run: the machine
+    fingerprint, the seed, and the run-directory name.
+    """
+    joined = "\x1f".join(str(part) for part in parts)
+    return hashlib.sha256(joined.encode("utf-8")).hexdigest()[:32]
 
 
 class RunTrace:
@@ -36,6 +59,15 @@ class RunTrace:
             without one, cycle fields are 0.0 and only wall durations are
             meaningful.
         label: tags every record, like the sampler's label.
+        trace_id: optional deterministic trace identity (see
+            :func:`derive_trace_id`).  When set, records carry
+            ``trace_id`` / ``span_id`` / ``parent_id``.
+        parent_id: span ID of the enclosing span in *another* process;
+            becomes the ``parent_id`` of this trace's top-level spans.
+        span_prefix: prefix for generated span IDs (defaults to
+            ``label``).  Must be unique per trace participant — e.g.
+            ``worker-e3-1`` for the second worker of journal epoch 3 —
+            so IDs never collide across restarts.
     """
 
     def __init__(
@@ -43,16 +75,35 @@ class RunTrace:
         sink: TelemetrySink = NULL_SINK,
         clock: Optional[Callable[[], float]] = None,
         label: str = "run",
+        trace_id: Optional[str] = None,
+        parent_id: Optional[str] = None,
+        span_prefix: Optional[str] = None,
     ) -> None:
         self.sink = sink
         self.label = label
+        self.trace_id = trace_id
+        self.parent_id = parent_id
         self._clock = clock
+        self._span_prefix = span_prefix if span_prefix is not None else label
         self._stack: List[str] = []
+        self._id_stack: List[str] = []
         self._seq = 0
+        self._opened = 0
 
     def bind_clock(self, clock: Optional[Callable[[], float]]) -> None:
         """Attach (or detach) the cycle-domain clock after construction."""
         self._clock = clock
+
+    @property
+    def current_span_id(self) -> Optional[str]:
+        """ID of the innermost open span (or the external parent).
+
+        This is what a parent hands to a child process so the child's
+        spans link into the tree.
+        """
+        if self._id_stack:
+            return self._id_stack[-1]
+        return self.parent_id
 
     def _now_cycle(self) -> float:
         return float(self._clock()) if self._clock is not None else 0.0
@@ -68,6 +119,10 @@ class RunTrace:
         self._stack.append(name)
         path = "/".join(self._stack)
         depth = len(self._stack) - 1
+        span_id = f"{self._span_prefix}:{self._opened}"
+        self._opened += 1
+        parent_id = self._id_stack[-1] if self._id_stack else self.parent_id
+        self._id_stack.append(span_id)
         begin_cycle = self._now_cycle()
         begin_wall = time.perf_counter()
         try:
@@ -76,6 +131,7 @@ class RunTrace:
             elapsed = time.perf_counter() - begin_wall
             end_cycle = self._now_cycle()
             self._stack.pop()
+            self._id_stack.pop()
             record = {
                 "type": "span",
                 "v": SPAN_VERSION,
@@ -88,6 +144,10 @@ class RunTrace:
                 "end_cycle": end_cycle,
                 "wall": {"seconds": elapsed},
             }
+            if self.trace_id is not None:
+                record["trace_id"] = self.trace_id
+                record["span_id"] = span_id
+                record["parent_id"] = parent_id
             if attrs:
                 record["attrs"] = dict(attrs)
             self._seq += 1

@@ -50,6 +50,15 @@ shapes that silently break that contract:
     from ``SeedSequence([seed, tag, attempt])``), or a drained run's
     timeline can never be reproduced from its journal.  Scoped by path,
     not by function name, so no helper rename can smuggle entropy in.
+``wallclock-in-recorder`` (DT208)
+    Any host-clock read — *including* ``time.perf_counter``, exempt
+    everywhere else — inside the flight-recorder tree (``obs/``) or the
+    histogram type (``telemetry/histogram.py``).  These paths promise
+    byte-identical reconstruction from a run directory: every number
+    they emit must be a pure function of recorded inputs.  Wall time is
+    measured where it happens (spans, the service plane) and stored
+    under the segregated ``"wall"`` key; the recorder only *reads* it
+    back.
 
 All rules report through the :class:`repro.verify.lint.FileLint` context,
 so profiles and ``# repro: ignore[rule]`` suppressions apply uniformly.
@@ -109,6 +118,17 @@ _WORKER_DISPATCH_ATTRS = frozenset(
 #: trees whose retry/backoff timing is journaled and replayed on resume.
 BACKOFF_SCOPE = ("supervisor/", "service/")
 
+#: Where DT208 applies: code that must be a pure function of recorded
+#: inputs so reconstruction from a run directory is byte-identical.
+RECORDER_SCOPE = ("obs/",)
+RECORDER_FILES = frozenset({"telemetry/histogram.py"})
+
+#: Clock reads DT208 forbids beyond the DT202 set: in recorder scope
+#: even the benchmarking clock (and RP102's ``time.time``) is banned.
+_RECORDER_EXTRA_TIME_ATTRS = frozenset(
+    {"perf_counter", "perf_counter_ns", "time"}
+)
+
 #: Draw functions of the legacy module-level numpy RNG (seeded only via
 #: hidden global state, which a resumed process does not share).
 _NP_GLOBAL_DRAWS = frozenset(
@@ -148,6 +168,7 @@ def lint_tree(tree: ast.AST, ctx) -> None:
             _lint_float_reduction(node, ctx)
             _lint_worker_dispatch(node, ctx)
             _lint_backoff_entropy(node, ctx)
+            _lint_recorder_wallclock(node, ctx)
         elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
             _lint_serialization_order(node, ctx)
             _lint_nested_workers(node, ctx)
@@ -386,6 +407,47 @@ def _lint_backoff_entropy(node: ast.Call, ctx) -> None:
             f"module-level numpy RNG; backoff jitter in supervisor/service "
             f"code must replay from the run seed — use "
             f"repro.supervisor.backoff_delay",
+            node.lineno,
+        )
+
+
+# ---------------------------------------------------------------------- #
+# DT208 wallclock-in-recorder
+# ---------------------------------------------------------------------- #
+
+def _lint_recorder_wallclock(node: ast.Call, ctx) -> None:
+    """Flag any host-clock read inside the recorder scope.
+
+    The flight recorder (``obs/``) and the histogram type promise that
+    re-running them over the same files yields the same bytes; a single
+    ``perf_counter()`` call breaks that silently.  Wall durations enter
+    the system where they are *measured* — spans and the service plane
+    store them under the ``"wall"`` key — and the recorder only reads
+    them back, so there is never a legitimate clock call here.
+    """
+    in_scope = ctx.relative.startswith(RECORDER_SCOPE) or (
+        ctx.relative in RECORDER_FILES
+    )
+    if not in_scope:
+        return
+    func = node.func
+    if not isinstance(func, ast.Attribute):
+        return
+    owner = func.value
+    if (
+        isinstance(owner, ast.Name)
+        and owner.id == "time"
+        and (
+            func.attr in _WALLCLOCK_TIME_ATTRS
+            or func.attr in _RECORDER_EXTRA_TIME_ATTRS
+        )
+    ):
+        ctx.error(
+            "wallclock-in-recorder",
+            f"time.{func.attr}() inside recorder scope: flight-recorder "
+            f"and histogram output must be a pure function of recorded "
+            f"inputs — take wall durations from span/service records, "
+            f"never from the live clock",
             node.lineno,
         )
 

@@ -121,6 +121,7 @@ ALL_CHECKS: Tuple[str, ...] = (
     "unordered-float-reduction",
     "worker-closure-capture",
     "unseeded-backoff",
+    "wallclock-in-recorder",
 )
 
 #: Named rule sets.  ``library`` is the full set (``src/repro``);

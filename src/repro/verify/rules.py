@@ -72,6 +72,11 @@ RULES: Dict[str, RuleInfo] = {
                  "supervisor/service code draws process-global entropy "
                  "(stdlib random, legacy numpy.random) — retry backoff "
                  "jitter must replay from the run seed"),
+        RuleInfo("DT208", "wallclock-in-recorder",
+                 "flight-recorder / histogram code reads the host clock "
+                 "(even perf_counter) — these paths must be pure "
+                 "functions of recorded inputs so reconstruction is "
+                 "byte-identical"),
         # -------------------------------------------------------------- #
         # Engine capability prover (repro.engines)
         # -------------------------------------------------------------- #

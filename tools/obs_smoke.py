@@ -1,0 +1,215 @@
+#!/usr/bin/env python
+"""CI smoke for the run-forensics layer (repro.obs).
+
+Boots a real service on a loopback port, runs two concurrent sessions —
+one chaos-killed mid-run — and asserts the observability contract the
+flight recorder promises:
+
+* the killed, retried, multi-worker session leaves a *single connected
+  span tree*: one trace ID shared by the service, supervisor and every
+  worker incarnation, every ``parent_id`` resolved;
+* ``obs timeline`` reconstruction is byte-identical across invocations
+  on the same run directory, in every format;
+* the ``/metrics`` scrape carries the latency histogram families and
+  per-tenant usage counters, and the per-session
+  ``/sessions/<id>/metrics`` page parses;
+* the Chrome trace-event rendering is valid JSON (uploaded as a CI
+  artifact for chrome://tracing / Perfetto).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+from _smoke import SmokeChecks
+
+from repro.faults import ServiceChaosPlan
+from repro.memories.config import CacheNodeConfig
+from repro.obs import (
+    FORMATS,
+    build_timeline,
+    render_timeline,
+    session_records,
+    validate_session_trace,
+)
+from repro.service import (
+    EmulationService,
+    ServiceClient,
+    ServiceConfig,
+    ServiceServer,
+)
+from repro.supervisor import SupervisedRunSpec
+from repro.target.configs import single_node_machine
+from repro.telemetry.prom import parse_exposition
+
+RECORDS = 3000
+CFG = CacheNodeConfig(size=64 * 1024, assoc=4, line_size=128)
+ARTIFACT = Path("OBS_timeline.json")
+
+
+def spec(seed: int) -> SupervisedRunSpec:
+    return SupervisedRunSpec(
+        machine=single_node_machine(CFG, n_cpus=4),
+        seed=seed,
+        segment_records=500,
+        heartbeat_every=500,
+    )
+
+
+def submission(seed: int, label: str, tenant: str) -> dict:
+    return {
+        "run_spec": spec(seed).to_dict(),
+        "trace": {
+            "kind": "synthetic", "records": RECORDS, "seed": seed,
+            "n_lines": 512,
+        },
+        "label": label,
+        "tenant": tenant,
+    }
+
+
+async def drive(root: Path) -> dict:
+    """Run the two sessions; scrape everything the checks need."""
+    service = EmulationService(
+        root,
+        ServiceConfig(max_workers=2),
+        chaos=ServiceChaosPlan(kill_worker={"victim": 900}),
+    )
+    server = ServiceServer(service)
+    await server.start()
+    client = ServiceClient(server.host, server.port)
+
+    victim = await client.submit(submission(101, "victim", "acme"))
+    steady = await client.submit(submission(202, "steady", "globex"))
+    views = {
+        victim: await client.wait(victim, timeout=120),
+        steady: await client.wait(steady, timeout=120),
+    }
+    metrics_page = await client.metrics()
+    session_status, session_page = await client.request(
+        "GET", f"/sessions/{victim}/metrics"
+    )
+    missing_status, missing_page = await client.request(
+        "GET", "/sessions/no-such/metrics"
+    )
+    await server.stop(drain=True)
+    return {
+        "victim": victim,
+        "steady": steady,
+        "views": views,
+        "metrics_page": metrics_page,
+        "session_status": session_status,
+        "session_page": session_page.decode("utf-8"),
+        "missing_status": missing_status,
+        "missing_page": missing_page.decode("utf-8"),
+    }
+
+
+def main() -> int:
+    smoke = SmokeChecks("obs")
+    with tempfile.TemporaryDirectory(prefix="obs-smoke-") as tmp:
+        root = Path(tmp) / "svc"
+        seen = asyncio.run(drive(root))
+        victim, steady = seen["victim"], seen["steady"]
+
+        for session_id, label in ((victim, "victim"), (steady, "steady")):
+            smoke.check(
+                f"{label} session completed",
+                seen["views"][session_id].get("state") == "completed",
+                str(seen["views"][session_id]),
+            )
+        smoke.check(
+            "chaos victim restarted exactly once",
+            seen["views"][victim].get("restarts") == 1,
+            str(seen["views"][victim]),
+        )
+
+        # -- the span-tree contract on the killed session --------------- #
+        run_dir = root / "runs" / victim
+        try:
+            tree = validate_session_trace(
+                session_records(run_dir),
+                trace_id=seen["views"][victim].get("trace_id"),
+            )
+            summary = tree.summary()
+        except Exception as error:  # noqa: BLE001 - smoke reports, not raises
+            smoke.check("span tree validates", False, repr(error))
+            summary = {"connected": False, "roots": [], "spans": 0}
+        smoke.check(
+            "killed session leaves one connected span tree",
+            summary["connected"] and len(summary["roots"]) == 1,
+            str(summary),
+        )
+        prefixes = {
+            span_id.split(":", 1)[0].split("-")[0]
+            for span_id in getattr(tree, "nodes", {})
+        }
+        smoke.check(
+            "trace spans service, supervisor and workers",
+            {"service", "supervisor", "worker"} <= prefixes,
+            str(sorted(prefixes)),
+        )
+
+        # -- byte-identical reconstruction ------------------------------ #
+        for session_id, label in ((victim, "victim"), (steady, "steady")):
+            session_dir = root / "runs" / session_id
+            stable = all(
+                render_timeline(build_timeline(session_dir), fmt)
+                == render_timeline(build_timeline(session_dir), fmt)
+                for fmt in FORMATS
+            )
+            smoke.check(
+                f"{label} timeline byte-identical in all formats", stable
+            )
+
+        # -- scrape pages ----------------------------------------------- #
+        metrics = parse_exposition(seen["metrics_page"])
+        smoke.check(
+            "service scrape carries latency histogram families",
+            any(
+                name == "memories_latency_seconds_bucket"
+                for name, _ in metrics
+            ),
+            str(sorted({name for name, _ in metrics})[:10]),
+        )
+        smoke.check(
+            "service scrape meters both tenants",
+            {
+                dict(labels).get("tenant")
+                for name, labels in metrics
+                if name == "memories_service_tenant_usage_total"
+            } >= {"acme", "globex"},
+        )
+        session_metrics = parse_exposition(seen["session_page"])
+        smoke.check(
+            "per-session metrics page parses",
+            seen["session_status"] == 200 and len(session_metrics) > 0,
+            seen["session_page"][:200],
+        )
+        missing = json.loads(seen["missing_page"])
+        smoke.check(
+            "unknown session gets a structured 404",
+            seen["missing_status"] == 404
+            and missing.get("error", {}).get("reason") == "unknown-session",
+            seen["missing_page"],
+        )
+
+        # -- viewer artifact -------------------------------------------- #
+        page = render_timeline(build_timeline(run_dir), "trace-event")
+        events = json.loads(page)["traceEvents"]
+        ARTIFACT.write_text(page)
+        smoke.check(
+            "trace-event artifact is valid and non-empty",
+            bool(events) and all(e["ph"] in ("X", "i") for e in events),
+            f"{len(events)} event(s)",
+        )
+        print(f"wrote {ARTIFACT}")
+    return smoke.finish()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

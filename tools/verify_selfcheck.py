@@ -216,6 +216,15 @@ LINT_CORPUS: List[Tuple[str, ...]] = [
         "DT207",
         "service",
     ),
+    (
+        "perf_counter timestamping inside the flight recorder",
+        "import time\n\n"
+        "def stamp_entry(entry):\n"
+        "    entry['seen'] = time.perf_counter()\n"
+        "    return entry\n",
+        "DT208",
+        "obs",
+    ),
 ]
 
 #: (description, source snippet[, subdir]) pairs the lint must pass
@@ -270,6 +279,13 @@ CLEAN_CORPUS: List[Tuple[str, ...]] = [
         "        np.random.SeedSequence([seed, attempt]))\n"
         "    return base * 2 ** attempt * (1.0 + 0.25 * rng.random())\n",
         "supervisor",
+    ),
+    (
+        "recorder consumes durations recorded as data",
+        "def stamp_entry(entry, span):\n"
+        "    entry['seen'] = span['wall']['seconds']\n"
+        "    return entry\n",
+        "obs",
     ),
 ]
 
