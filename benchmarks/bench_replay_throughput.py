@@ -1,10 +1,12 @@
-"""Benchmark: replay throughput — scalar vs batched vs sharded engines.
+"""Benchmark: replay throughput — scalar vs batched vs compiled vs sharded.
 
 The batched replay engine's acceptance bar is a >= 3x records/sec speedup
-over the scalar reference path on the standard benchmark workload, with
-all three engines landing on bit-identical board statistics.  The full
-report (the same shape ``tools/bench_smoke.py`` writes to
-``BENCH_replay.json``) goes into ``benchmark.extra_info``.
+over the scalar reference path on the standard benchmark workload; the
+compiled engine must reach >= 10x when numba backs its kernels and at
+least match batched on the pure-Python fallback.  All four engines must
+land on bit-identical board statistics.  The full report (the same shape
+``tools/bench_smoke.py`` writes to ``BENCH_replay.json``) goes into
+``benchmark.extra_info``.
 """
 
 import json
@@ -17,21 +19,26 @@ from repro.experiments.replay_bench import run_replay_benchmark
 RECORDS = 150_000
 SEED = 2000
 SHARDS = 4
+REPEATS = 3
 
 
 def test_bench_replay_throughput(benchmark):
     report = run_once(
         benchmark,
-        lambda: run_replay_benchmark(RECORDS, seed=SEED, shards=SHARDS),
+        lambda: run_replay_benchmark(
+            RECORDS, seed=SEED, shards=SHARDS, repeats=REPEATS
+        ),
     )
     print()
     for name, entry in report["engines"].items():
         print(
             f"{name:8s}: {entry['records_per_second']:12,.0f} records/s "
-            f"({entry['seconds'] * 1e3:8.1f} ms)"
+            f"({entry['seconds'] * 1e3:8.1f} ms, best of {report['repeats']})"
         )
     print(
         f"batched speedup over scalar: {report['batched_speedup']:.2f}x; "
+        f"compiled: {report['compiled_speedup']:.2f}x "
+        f"({'numba' if report['numba'] else 'pure-python fallback'}); "
         f"statistics identical: {report['identical']}"
     )
     out = Path(__file__).resolve().parent.parent / "BENCH_replay.json"
@@ -41,7 +48,9 @@ def test_bench_replay_throughput(benchmark):
         {
             "records": report["records"],
             "identical": report["identical"],
+            "numba": report["numba"],
             "batched_speedup": report["batched_speedup"],
+            "compiled_speedup": report["compiled_speedup"],
             **{
                 f"{name}_records_per_second": entry["records_per_second"]
                 for name, entry in report["engines"].items()
@@ -52,3 +61,13 @@ def test_bench_replay_throughput(benchmark):
     assert report["batched_speedup"] >= 3.0, (
         f"batched replay only {report['batched_speedup']:.2f}x over scalar"
     )
+    if report["numba"]:
+        assert report["compiled_speedup"] >= 10.0, (
+            f"compiled kernels only {report['compiled_speedup']:.2f}x over "
+            f"scalar with numba present"
+        )
+    else:
+        assert report["compiled_speedup"] >= report["batched_speedup"], (
+            f"compiled fallback ({report['compiled_speedup']:.2f}x) slower "
+            f"than batched ({report['batched_speedup']:.2f}x)"
+        )

@@ -1233,12 +1233,12 @@ def bench_main(argv: List[str]) -> int:
     """The ``bench`` subcommand: replay-engine throughput A/B.
 
     Replays one deterministic synthetic trace through the scalar
-    reference loop, the batched engine and the sharded worker pool (see
-    :mod:`repro.experiments.replay_bench`), prints records/sec for each,
-    and optionally writes the JSON report CI archives as
-    ``BENCH_replay.json``.  The digests are the point: a non-zero exit
-    means the engines' statistics diverged, which is a correctness
-    failure, not a slow run.
+    reference loop, the batched engine, the compiled kernels and the
+    sharded worker pool (see :mod:`repro.experiments.replay_bench`),
+    prints records/sec for each (best of ``--repeats``), and optionally
+    writes the JSON report CI archives as ``BENCH_replay.json``.  The
+    digests are the point: a non-zero exit means the engines' statistics
+    diverged, which is a correctness failure, not a slow run.
     """
     import argparse
     import json
@@ -1251,7 +1251,9 @@ def bench_main(argv: List[str]) -> int:
 
     parser = argparse.ArgumentParser(
         prog="python -m repro.cli bench",
-        description="replay throughput: scalar vs batched vs sharded engines",
+        description=(
+            "replay throughput: scalar vs batched vs compiled vs sharded"
+        ),
     )
     parser.add_argument(
         "--records", type=int, default=DEFAULT_RECORDS,
@@ -1266,13 +1268,16 @@ def bench_main(argv: List[str]) -> int:
         "--inline-shards", action="store_true",
         help="replay the shards inline instead of in worker processes")
     parser.add_argument(
+        "--repeats", type=int, default=1,
+        help="timing repeats per engine; best-of-N is reported (default 1)")
+    parser.add_argument(
         "--out", default=None,
         help="write the JSON report here (e.g. BENCH_replay.json)")
     ns = parser.parse_args(argv)
 
     report = run_replay_benchmark(
         ns.records, seed=ns.seed, shards=ns.shards,
-        sharded_processes=not ns.inline_shards,
+        sharded_processes=not ns.inline_shards, repeats=ns.repeats,
     )
     for name, entry in report["engines"].items():
         print(
@@ -1280,6 +1285,10 @@ def bench_main(argv: List[str]) -> int:
             f"digest {entry['statistics_digest'][:16]}…"
         )
     print(f"batched speedup over scalar: {report['batched_speedup']:.2f}x")
+    print(
+        f"compiled speedup over scalar: {report['compiled_speedup']:.2f}x"
+        f" ({'numba' if report['numba'] else 'pure-python fallback'})"
+    )
     if ns.out:
         Path(ns.out).write_text(
             json.dumps(report, indent=2, sort_keys=True) + "\n"

@@ -11,7 +11,8 @@ Engine scopes:
 
 ``board``
     In-process engines replaying packed words on one board (scalar,
-    batched).  :func:`select_board_engine` is the single selection point
+    batched, compiled).  :func:`select_board_engine` is the single
+    selection point
     — :meth:`MemoriesBoard._replay_words
     <repro.memories.board.MemoriesBoard._replay_words>` and the
     supervisor's shard workers route through it, so no replay path
@@ -223,6 +224,12 @@ def _replay_batched(board, words) -> int:
     return batch.replay_words_batched(board, words)
 
 
+def _replay_compiled(board, words) -> int:
+    from repro.memories import compiled
+
+    return compiled.replay_words_compiled(board, words)
+
+
 register_engine(
     EngineSpec(
         name="scalar",
@@ -247,6 +254,27 @@ register_engine(
         rank=10,
         scope="board",
         replay=_replay_batched,
+    )
+)
+
+register_engine(
+    EngineSpec(
+        name="compiled",
+        description=(
+            "block protocol kernels over flat state arrays "
+            "(repro.memories.compiled; numba-accelerated when present)"
+        ),
+        requires=frozenset(
+            {
+                Capability.EXACT_FLOAT_CLOCK,
+                Capability.INERT_BACKGROUND_TICK,
+                Capability.DETERMINISTIC_REPLACEMENT,
+                Capability.DENSE_PROTOCOL_STATE,
+            }
+        ),
+        rank=15,
+        scope="board",
+        replay=_replay_compiled,
     )
 )
 

@@ -276,7 +276,12 @@ def _fused_runner(firmware):
     sat_hit = _SAT_HIT
     sat_miss = _SAT_MISS
 
-    def run(cpu_list, cmd_list, addr_list, resp_list, now_list) -> int:
+    def run(cpus, cmds, addrs, resps, nows) -> int:
+        cpu_list = cpus.tolist()
+        cmd_list = cmds.tolist()
+        addr_list = addrs.tolist()
+        resp_list = resps.tolist()
+        now_list = nows.tolist()
         for fused in all_fused:
             fused.load()
         retries = 0
@@ -429,10 +434,11 @@ def _generic_runner(firmware):
     commands = _COMMANDS
     responses = _RESPONSES
 
-    def run(cpu_list, cmd_list, addr_list, resp_list, now_list) -> int:
+    def run(cpus, cmds, addrs, resps, nows) -> int:
         retries = 0
         for cpu, cmd, addr, resp, now in zip(
-            cpu_list, cmd_list, addr_list, resp_list, now_list
+            cpus.tolist(), cmds.tolist(), addrs.tolist(),
+            resps.tolist(), nows.tolist(),
         ):
             if not process(cpu, commands[cmd], addr, responses[resp], now):
                 retries += 1
@@ -451,12 +457,29 @@ def replay_words_batched(board, words: np.ndarray) -> int:
     board here after the capability prover establishes that, so this
     function carries no refusal logic of its own.
     """
-    count = int(words.shape[0])
-    if count == 0:
+    if int(words.shape[0]) == 0:
         return 0
     runner = _fused_runner(board.firmware)
     if runner is None:
         runner = _generic_runner(board.firmware)
+    return replay_with_runner(board, words, runner)
+
+
+def replay_with_runner(board, words: np.ndarray, runner, flush=None) -> int:
+    """Drive ``runner`` over ``words`` in telemetry-aligned chunks.
+
+    The shared chunking loop behind the batched and compiled engines:
+    vectorised admit-mask pre-pass, bulk filter/global/clock updates per
+    chunk, chunk boundaries aligned with the sampler countdown.  ``runner``
+    receives the admitted tenures of one chunk as numpy arrays
+    ``(cpus, cmds, addrs, resps, nows)`` and returns the retry count;
+    ``flush``, when given, is called before every ``on_countdown`` so an
+    engine that accumulates state outside the board objects (the compiled
+    kernel's flat arrays) can make ``board.statistics()`` current first.
+    """
+    count = int(words.shape[0])
+    if count == 0:
+        return 0
 
     cpu_ids, commands, addresses, responses = decode_arrays(words)
     is_io = (commands == _IO_READ) | (commands == _IO_WRITE)
@@ -474,7 +497,13 @@ def replay_words_batched(board, words: np.ndarray) -> int:
         # transaction index as the scalar per-tenure decrement.
         remaining = count - start
         if telemetry is not None and telemetry._countdown < remaining:
-            take = telemetry._countdown
+            # A countdown at (or below) zero on entry — a detach/reattach
+            # landing exactly on a cadence boundary — still replays one
+            # tenure before the boundary check: the scalar loop decrements
+            # first and fires after the tenure commits, so the chunk must
+            # never be empty.
+            countdown = telemetry._countdown
+            take = countdown if countdown > 0 else 1
         else:
             take = remaining
         stop = start + take
@@ -494,6 +523,8 @@ def replay_words_batched(board, words: np.ndarray) -> int:
         if telemetry is not None:
             telemetry._countdown -= take
             if telemetry._countdown <= 0:
+                if flush is not None:
+                    flush()
                 telemetry.on_countdown(board)
         start = stop
     return count
@@ -540,10 +571,10 @@ def _run_chunk(
             cpu_ids[admitted], commands[admitted], cycles_per_tenure
         )
         board.retries_posted += runner(
-            cpu_ids[admitted].tolist(),
-            commands[admitted].tolist(),
-            addresses[admitted].tolist(),
-            responses[admitted].tolist(),
-            admitted_nows.tolist(),
+            cpu_ids[admitted],
+            commands[admitted],
+            addresses[admitted],
+            responses[admitted],
+            admitted_nows,
         )
     board.now_cycle = float(nows[-1])

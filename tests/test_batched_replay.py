@@ -1,12 +1,14 @@
-"""Bit-identity of the batched replay engine against the scalar path.
+"""Bit-identity of the batched and compiled replay engines against scalar.
 
-The batched engine (:mod:`repro.memories.batch`) is only allowed to be
-fast — never different.  These tests replay identical traces through both
-paths and require the full board checkpoint (directories, buffers,
-counters, clock, sampler cursor) to come out equal, across firmware
-shapes, replacement policies, telemetry cadences and degraded starting
-states; a property-based sweep drives randomized mixes through the same
-comparison.
+The fast engines (:mod:`repro.memories.batch`,
+:mod:`repro.memories.compiled`) are only allowed to be fast — never
+different.  These tests replay identical traces through each path and
+require the full board checkpoint (directories, buffers, counters,
+clock, sampler cursor) to come out equal, across firmware shapes,
+replacement policies, telemetry cadences and degraded starting states;
+a property-based sweep drives randomized mixes through the same
+comparison, and a saturated-buffer sweep pins the rejected-tenure
+accounting parity of the fused admission pre-check.
 """
 
 from __future__ import annotations
@@ -17,9 +19,12 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.bus.trace import BusTrace, encode_arrays
+from repro.engines import ENGINES
 from repro.memories.batch import replay_words_batched
 from repro.memories.board import MemoriesBoard, board_for_machine
 from repro.memories.config import CacheNodeConfig
+from repro.memories.counters import COUNTER_MASK
+from repro.memories.tx_buffer import TransactionBuffer
 from repro.target.configs import (
     multi_config_machine,
     single_node_machine,
@@ -28,6 +33,18 @@ from repro.target.configs import (
 from repro.telemetry import CounterSampler, MemorySink
 
 N_CPUS = 8
+
+
+@pytest.fixture
+def force_flat_kernel():
+    """Run the compiled engine's flat kernel interpreted (no numba)."""
+    import repro.memories.compiled as compiled
+
+    compiled._FORCE_FLAT_KERNEL = True
+    try:
+        yield
+    finally:
+        compiled._FORCE_FLAT_KERNEL = False
 
 
 def full_mix_words(
@@ -72,21 +89,31 @@ def machine_for(kind: str, replacement: str = "lru"):
     return multi_config_machine([config, other], N_CPUS)
 
 
-def assert_paths_identical(make_board, words, chunks=None):
-    """Replay scalar and batched; require identical full board checkpoints."""
+def assert_paths_identical(make_board, words, chunks=None, engine=None):
+    """Replay scalar and a fast engine; require identical checkpoints.
+
+    ``engine`` names a registered engine to drive explicitly; None uses
+    the board's own routing (``select_board_engine``), which picks the
+    highest-rank eligible engine.
+    """
     scalar = make_board()
     scalar.batched_replay = False
-    batched = make_board()
-    assert batched.batched_replay
+    other = make_board()
+    assert other.batched_replay
+    replay = (
+        other.replay_words
+        if engine is None
+        else (lambda part: ENGINES[engine].replay(other, part))
+    )
     parts = np.array_split(words, chunks) if chunks else [words]
     for part in parts:
         scalar.replay_words(part)
-        batched.replay_words(part)
-    assert scalar.statistics() == batched.statistics()
-    assert scalar.now_cycle == batched.now_cycle
-    assert scalar.retries_posted == batched.retries_posted
-    assert scalar.checkpoint() == batched.checkpoint()
-    return scalar, batched
+        replay(part)
+    assert scalar.statistics() == other.statistics()
+    assert scalar.now_cycle == other.now_cycle
+    assert scalar.retries_posted == other.retries_posted
+    assert scalar.checkpoint() == other.checkpoint()
+    return scalar, other
 
 
 class TestBatchedBitIdentity:
@@ -96,14 +123,16 @@ class TestBatchedBitIdentity:
         words = full_mix_words(4000, seed=7)
         machine = machine_for(kind, replacement)
         assert_paths_identical(
-            lambda: board_for_machine(machine, seed=3), words
+            lambda: board_for_machine(machine, seed=3), words,
+            engine="batched",
         )
 
     def test_chunked_replay_matches(self):
         words = full_mix_words(3000, seed=11)
         machine = machine_for("split")
         assert_paths_identical(
-            lambda: board_for_machine(machine, seed=1), words, chunks=7
+            lambda: board_for_machine(machine, seed=1), words, chunks=7,
+            engine="batched",
         )
 
     def test_empty_and_all_filtered_traces(self):
@@ -136,9 +165,97 @@ class TestBatchedBitIdentity:
         assert_paths_identical(make_board, words)
 
 
+class TestCompiledBitIdentity:
+    """The compiled engine (python fallback and flat kernel) vs scalar."""
+
+    @pytest.mark.parametrize("kind", ["single", "split", "multi"])
+    @pytest.mark.parametrize("replacement", ["lru", "fifo", "plru"])
+    def test_every_machine_and_policy(self, kind, replacement):
+        words = full_mix_words(4000, seed=7)
+        machine = machine_for(kind, replacement)
+        assert_paths_identical(
+            lambda: board_for_machine(machine, seed=3), words,
+            engine="compiled",
+        )
+
+    @pytest.mark.parametrize("kind", ["single", "split", "multi"])
+    @pytest.mark.parametrize("replacement", ["lru", "fifo", "plru"])
+    def test_flat_kernel_every_machine_and_policy(
+        self, kind, replacement, force_flat_kernel
+    ):
+        # Interpreted run of the numba-compatible kernel: proves the flat
+        # lowering itself (arrays, ring buffers, transcribed policies),
+        # not just the object-path fallback.
+        words = full_mix_words(1200, seed=7)
+        machine = machine_for(kind, replacement)
+        assert_paths_identical(
+            lambda: board_for_machine(machine, seed=3), words,
+            engine="compiled",
+        )
+
+    def test_flat_kernel_chunked_with_telemetry(self, force_flat_kernel):
+        # Telemetry boundaries force mid-call counter/buffer-stat flushes
+        # out of the flat arrays; sampler records must match scalar.
+        words = full_mix_words(900, seed=41)
+        machine = machine_for("split")
+        sinks = []
+
+        def make_board():
+            sink = MemorySink()
+            sinks.append(sink)
+            board = board_for_machine(machine, seed=2)
+            board.attach_telemetry(
+                CounterSampler(sink, every_transactions=37)
+            )
+            return board
+
+        assert_paths_identical(make_board, words, chunks=4, engine="compiled")
+        scalar_sink, compiled_sink = sinks
+        assert scalar_sink.records == compiled_sink.records
+        assert len(compiled_sink.records) > 0
+
+    def test_degraded_state_round_trips_flat_arrays(self, force_flat_kernel):
+        # Partially-filled sets, an offline node and pre-seeded buffers
+        # must survive the load -> kernel -> store round trip.
+        words = full_mix_words(1000, seed=13)
+        machine = machine_for("split")
+
+        def make_board():
+            board = board_for_machine(machine, seed=9)
+            board.batched_replay = False
+            board.replay_words(full_mix_words(800, seed=21))
+            board.firmware.offline_node(1)
+            board.batched_replay = True
+            return board
+
+        assert_paths_identical(make_board, words, engine="compiled")
+
+    def test_random_policy_falls_back_identically(self):
+        # Direct calls with an ineligible board must route to the batched
+        # engine rather than corrupt state (the registry would never
+        # select compiled here — DETERMINISTIC_REPLACEMENT is denied).
+        words = full_mix_words(1500, seed=43)
+        machine = machine_for("split", "random")
+        assert_paths_identical(
+            lambda: board_for_machine(machine, seed=3), words,
+            engine="compiled",
+        )
+
+    def test_default_routing_selects_compiled(self):
+        from repro.engines import select_board_engine
+
+        board = board_for_machine(machine_for("split"))
+        assert select_board_engine(board).name == "compiled"
+        words = full_mix_words(2000, seed=47)
+        assert_paths_identical(
+            lambda: board_for_machine(machine_for("split"), seed=3), words
+        )
+
+
 class TestTelemetryChunking:
+    @pytest.mark.parametrize("engine", ["batched", "compiled"])
     @pytest.mark.parametrize("cadence", [1, 7, 64, 1024])
-    def test_transaction_cadence_identical(self, cadence):
+    def test_transaction_cadence_identical(self, cadence, engine):
         words = full_mix_words(2000, seed=17)
         machine = machine_for("split")
 
@@ -149,18 +266,18 @@ class TestTelemetryChunking:
             )
             return board
 
-        scalar_sink, batched_sink = MemorySink(), MemorySink()
+        scalar_sink, fast_sink = MemorySink(), MemorySink()
         scalar = make_board(scalar_sink)
         scalar.batched_replay = False
-        batched = make_board(batched_sink)
+        fast = make_board(fast_sink)
         scalar.replay_words(words)
-        batched.replay_words(words)
+        ENGINES[engine].replay(fast, words)
         scalar.telemetry.finish(scalar)
-        batched.telemetry.finish(batched)
-        assert scalar_sink.records == batched_sink.records
-        assert len(batched_sink.records) > 0
-        assert scalar.statistics() == batched.statistics()
-        assert scalar.checkpoint() == batched.checkpoint()
+        fast.telemetry.finish(fast)
+        assert scalar_sink.records == fast_sink.records
+        assert len(fast_sink.records) > 0
+        assert scalar.statistics() == fast.statistics()
+        assert scalar.checkpoint() == fast.checkpoint()
 
     def test_cycle_cadence_identical(self):
         words = full_mix_words(1500, seed=19)
@@ -245,6 +362,206 @@ class TestEngineSelection:
         )
 
 
+class TestZeroCountdownRegression:
+    """A sampler countdown at (or below) zero on entry must not produce
+    an empty chunk (this used to crash ``_run_chunk`` on ``steps[0]``)."""
+
+    @pytest.mark.parametrize("engine", ["batched", "compiled"])
+    @pytest.mark.parametrize("countdown", [0, -3])
+    def test_zero_countdown_entry_matches_scalar(self, engine, countdown):
+        words = full_mix_words(300, seed=53)
+        machine = machine_for("split")
+
+        def make_board(sink):
+            board = board_for_machine(machine, seed=2)
+            board.attach_telemetry(
+                CounterSampler(sink, every_transactions=50)
+            )
+            # Force the degenerate entry state a detach/reattach landing
+            # exactly on a cadence boundary produces.
+            board.telemetry._countdown = countdown
+            return board
+
+        scalar_sink, fast_sink = MemorySink(), MemorySink()
+        scalar = make_board(scalar_sink)
+        scalar.batched_replay = False
+        fast = make_board(fast_sink)
+        scalar.replay_words(words)
+        ENGINES[engine].replay(fast, words)
+        assert scalar_sink.records == fast_sink.records
+        assert scalar.statistics() == fast.statistics()
+        assert scalar.checkpoint() == fast.checkpoint()
+
+    def test_zero_countdown_no_longer_crashes(self):
+        board = board_for_machine(machine_for("single"))
+        board.attach_telemetry(
+            CounterSampler(MemorySink(), every_transactions=10)
+        )
+        board.telemetry._countdown = 0
+        assert replay_words_batched(board, full_mix_words(25, seed=1)) == 25
+
+
+class TestRejectedParity:
+    """Rejected-tenure accounting parity under saturated buffers.
+
+    The fused admission pre-check drains every group's local queue and
+    increments ``rejected`` only on the full ones; scalar
+    ``CacheEmulationFirmware.process`` must account identically, proven
+    here with deliberately tiny capacities and service times far above
+    the tenure spacing so refusals actually occur.
+    """
+
+    def saturate(self, board, capacity, service):
+        for node in board.firmware.nodes:
+            stats = node.buffer.stats
+            node.buffer = TransactionBuffer(
+                capacity=capacity, service_cycles=service
+            )
+            node.buffer.stats = stats
+        return board
+
+    @pytest.mark.parametrize("engine", ["batched", "compiled"])
+    @pytest.mark.parametrize("kind", ["split", "multi"])
+    def test_saturated_buffers_identical(self, engine, kind):
+        words = full_mix_words(2000, seed=59)
+        machine = machine_for(kind)
+
+        def make_board():
+            return self.saturate(
+                board_for_machine(machine, seed=2), capacity=1, service=5e4
+            )
+
+        scalar, fast = assert_paths_identical(
+            make_board, words, engine=engine
+        )
+        stats = scalar.statistics()
+        rejected = sum(
+            value for key, value in stats.items()
+            if key.endswith("buffer.rejected")
+        )
+        assert rejected > 0, "saturation did not produce refusals"
+        assert scalar.retries_posted > 0
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        seed=st.integers(0, 2**16),
+        capacity=st.integers(1, 3),
+        service=st.sampled_from([100.0, 3e3, 5e4]),
+        engine=st.sampled_from(["batched", "compiled"]),
+    )
+    def test_rejected_accounting_property(
+        self, seed, capacity, service, engine
+    ):
+        words = full_mix_words(700, seed=seed)
+        machine = machine_for("multi")
+
+        def make_board():
+            return self.saturate(
+                board_for_machine(machine, seed=seed % 13),
+                capacity=capacity,
+                service=service,
+            )
+
+        assert_paths_identical(make_board, words, engine=engine)
+
+    def test_saturated_flat_kernel(self, force_flat_kernel):
+        words = full_mix_words(800, seed=61)
+        machine = machine_for("multi")
+
+        def make_board():
+            return self.saturate(
+                board_for_machine(machine, seed=2), capacity=1, service=5e4
+            )
+
+        assert_paths_identical(make_board, words, engine="compiled")
+
+
+class TestEdgeChunks:
+    """Chunk-shape edges: all-filtered chunks, chunk size 1, boundaries
+    landing exactly on the countdown, wrap-adjacent 40-bit counters."""
+
+    @pytest.mark.parametrize("engine", ["batched", "compiled"])
+    def test_all_filtered_chunks_with_telemetry(self, engine):
+        # Every record is filtered (IO/interrupt/sync): chunks contain
+        # zero admitted tenures but must still advance clock, filter
+        # stats and the sampler cursor exactly.
+        rng = np.random.default_rng(5)
+        n = 200
+        words = encode_arrays(
+            rng.integers(0, N_CPUS, n).astype(np.uint64),
+            rng.integers(4, 8, n).astype(np.uint64),
+            rng.integers(0, 1 << 20, n).astype(np.uint64),
+        )
+        machine = machine_for("single")
+
+        def make_board():
+            board = board_for_machine(machine)
+            board.attach_telemetry(
+                CounterSampler(MemorySink(), every_transactions=3)
+            )
+            return board
+
+        assert_paths_identical(make_board, words, engine=engine)
+
+    @pytest.mark.parametrize("engine", ["batched", "compiled"])
+    def test_single_record_chunks(self, engine):
+        # Cadence 1 makes every chunk exactly one record long.
+        words = full_mix_words(120, seed=67)
+        machine = machine_for("split")
+
+        def make_board():
+            board = board_for_machine(machine, seed=2)
+            board.attach_telemetry(
+                CounterSampler(MemorySink(), every_transactions=1)
+            )
+            return board
+
+        assert_paths_identical(make_board, words, engine=engine)
+
+    @pytest.mark.parametrize("engine", ["batched", "compiled"])
+    def test_boundary_exactly_on_countdown(self, engine):
+        # Trace length an exact multiple of the cadence: the final chunk
+        # ends on the countdown and on_countdown fires at the last record.
+        cadence = 64
+        words = full_mix_words(cadence * 5, seed=71)
+        machine = machine_for("split")
+        sinks = []
+
+        def make_board():
+            sink = MemorySink()
+            sinks.append(sink)
+            board = board_for_machine(machine, seed=2)
+            board.attach_telemetry(
+                CounterSampler(sink, every_transactions=cadence)
+            )
+            return board
+
+        assert_paths_identical(make_board, words, engine=engine)
+        scalar_sink, fast_sink = sinks
+        assert scalar_sink.records == fast_sink.records
+        assert len(fast_sink.records) == 5
+
+    @pytest.mark.parametrize("engine", ["batched", "compiled"])
+    def test_wrap_adjacent_global_counters(self, engine):
+        # Seed the global bank just below the 40-bit mask so
+        # record_batch wraps mid-replay; masked readouts and the
+        # wrapped-counter report must match scalar exactly.
+        words = full_mix_words(1500, seed=73)
+        machine = machine_for("split")
+
+        def make_board():
+            board = board_for_machine(machine, seed=2)
+            bank = board.global_counter.counters
+            bank.increment("bus.cycles", COUNTER_MASK - 500)
+            bank.increment("bus.tenures", COUNTER_MASK - 3)
+            return board
+
+        scalar, fast = assert_paths_identical(make_board, words, engine=engine)
+        bank = fast.global_counter.counters
+        assert bank.wrapped("bus.cycles") and bank.wrapped("bus.tenures")
+        assert bank.read("bus.tenures") == bank.read_raw("bus.tenures") & COUNTER_MASK
+
+
 class TestBatchedProperty:
     @settings(max_examples=20, deadline=None)
     @given(
@@ -253,8 +570,11 @@ class TestBatchedProperty:
         kind=st.sampled_from(["single", "split", "multi"]),
         replacement=st.sampled_from(["lru", "fifo", "random", "plru"]),
         cadence=st.sampled_from([None, 1, 13, 256]),
+        engine=st.sampled_from([None, "batched", "compiled"]),
     )
-    def test_randomized_mix_identical(self, seed, n, kind, replacement, cadence):
+    def test_randomized_mix_identical(
+        self, seed, n, kind, replacement, cadence, engine
+    ):
         words = full_mix_words(n, seed=seed)
         machine = machine_for(kind, replacement)
 
@@ -266,4 +586,6 @@ class TestBatchedProperty:
                 )
             return board
 
-        assert_paths_identical(make_board, words, chunks=min(3, n))
+        assert_paths_identical(
+            make_board, words, chunks=min(3, n), engine=engine
+        )

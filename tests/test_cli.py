@@ -160,6 +160,8 @@ class TestBenchSubcommand:
 
         report = json.loads(out.read_text())
         assert report["identical"] is True
-        assert set(report["engines"]) == {"scalar", "batched", "sharded"}
+        assert set(report["engines"]) == {
+            "scalar", "batched", "compiled", "sharded"
+        }
         for entry in report["engines"].values():
             assert entry["records_per_second"] > 0

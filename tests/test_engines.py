@@ -103,7 +103,38 @@ class TestCapabilityProver:
             "per_set_independence",
             "no_global_order_coupling",
             "shard_decomposable_sets",
+            "deterministic_replacement",
+            "dense_protocol_state",
         }
+
+    def test_random_replacement_denies_deterministic_replacement(self):
+        board = board_for_machine(machine_for("split", "random"))
+        proof = prove_capabilities(board)
+        reasons = proof.reasons(Capability.DETERMINISTIC_REPLACEMENT)
+        assert any("random" in reason for reason in reasons)
+
+    def test_unknown_policy_denies_deterministic_replacement(self):
+        board = default_board()
+
+        class WeirdPolicy:
+            pass
+
+        board.firmware.nodes[0].directory.policy = WeirdPolicy()
+        proof = prove_capabilities(board)
+        reasons = proof.reasons(Capability.DETERMINISTIC_REPLACEMENT)
+        assert any("WeirdPolicy" in reason for reason in reasons)
+
+    def test_ecc_denies_dense_protocol_state(self):
+        proof = prove_capabilities(default_board(ecc=True))
+        reasons = proof.reasons(Capability.DENSE_PROTOCOL_STATE)
+        assert any("ECC" in reason for reason in reasons)
+
+    def test_sdram_denies_dense_protocol_state(self):
+        board = default_board()
+        board.firmware.nodes[0].sdram = SdramModel()
+        proof = prove_capabilities(board)
+        reasons = proof.reasons(Capability.DENSE_PROTOCOL_STATE)
+        assert any("SDRAM" in reason for reason in reasons)
 
 
 # ---------------------------------------------------------------------- #
@@ -130,8 +161,9 @@ class TestShardSpec:
 
 class TestRegistry:
     def test_builtin_engines_registered_in_rank_order(self):
-        assert list(ENGINES) == ["scalar", "batched", "sharded"]
+        assert list(ENGINES) == ["scalar", "batched", "compiled", "sharded"]
         assert ENGINES["scalar"].rank < ENGINES["batched"].rank
+        assert ENGINES["batched"].rank < ENGINES["compiled"].rank
         assert ENGINES["scalar"].requires == frozenset()
 
     def test_duplicate_registration_rejected(self):
@@ -188,6 +220,21 @@ class TestDecisions:
         assert any(f.rule == "EN302" for f in decision.report.errors)
         assert "power of two" in decision.reason()
 
+    def test_compiled_rejection_names_dense_state(self):
+        board = default_board()
+        board.firmware.nodes[0].sdram = SdramModel()
+        decision = decide("compiled", board=board)
+        assert not decision.eligible
+        assert Capability.DENSE_PROTOCOL_STATE in decision.missing
+        assert any("SDRAM" in f.message for f in decision.report.errors)
+
+    def test_compiled_rejection_names_replacement(self):
+        decision = decide(
+            "compiled", machine=machine_for("split", "random")
+        )
+        assert not decision.eligible
+        assert Capability.DETERMINISTIC_REPLACEMENT in decision.missing
+
     def test_decide_all_covers_every_engine(self):
         decisions = decide_all(board=default_board(), shards=2)
         assert [d.spec.name for d in decisions] == list(ENGINES)
@@ -205,8 +252,17 @@ class TestDecisions:
 # ---------------------------------------------------------------------- #
 
 class TestSelectBoardEngine:
-    def test_prefers_batched_when_eligible(self):
-        assert select_board_engine(default_board()).name == "batched"
+    def test_prefers_compiled_when_eligible(self):
+        assert select_board_engine(default_board()).name == "compiled"
+
+    def test_random_replacement_demotes_to_batched(self):
+        board = board_for_machine(machine_for("split", "random"))
+        assert select_board_engine(board).name == "batched"
+
+    def test_sdram_node_demotes_to_batched(self):
+        board = default_board()
+        board.firmware.nodes[0].sdram = SdramModel()
+        assert select_board_engine(board).name == "batched"
 
     def test_falls_back_to_scalar_on_denial(self):
         assert select_board_engine(default_board(ecc=True)).name == "scalar"

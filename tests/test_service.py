@@ -705,7 +705,13 @@ class TestDrainReAdopt:
             ))
             while session.state == SessionState.QUEUED:
                 await asyncio.sleep(0.01)
-            await asyncio.sleep(1.0)  # let it commit a few segments
+            # Wait for the first heartbeat, not a fixed wall-clock sleep:
+            # the replay engines keep getting faster, and a fixed sleep
+            # would let a quick run complete before the drain lands.
+            while (
+                session.state == SessionState.RUNNING and session.cycle == 0
+            ):
+                await asyncio.sleep(0.005)
             await service.stop(drain=True)
             return session
 

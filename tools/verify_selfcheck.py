@@ -13,6 +13,11 @@ ERROR findings.  Two corpora are exercised:
   lint + determinism analyzer: each defective snippet must fire exactly
   its rule, and each clean (or suppressed) snippet must stay quiet, so
   the rules neither miss nor cry wolf.
+* ``ENGINE_CORPUS`` — board configurations against the engine
+  registry's capability prover: each feature that breaks an engine's
+  bit-identity argument (random replacement, SDRAM pricing, ECC
+  directories) must deny exactly the expected capability, and the stock
+  configuration must stay eligible.
 
 Exit status is non-zero on any miss.
 """
@@ -290,6 +295,77 @@ CLEAN_CORPUS: List[Tuple[str, ...]] = [
 ]
 
 
+#: (description, board feature, engine, capability expected missing —
+#: None means the engine must be eligible).
+ENGINE_CORPUS: List[Tuple[str, str, str, object]] = [
+    ("stock split board runs the compiled kernels",
+     "stock", "compiled", None),
+    ("random replacement has no compiled lowering",
+     "random", "compiled", "deterministic_replacement"),
+    ("SDRAM-priced buffers cannot be flattened",
+     "sdram", "compiled", "dense_protocol_state"),
+    ("ECC-protected directories cannot be flattened",
+     "ecc", "compiled", "dense_protocol_state"),
+    ("ECC patrol scrubber still blocks batching",
+     "ecc", "batched", "inert_background_tick"),
+]
+
+
+def _engine_board(feature: str):
+    from repro.memories.board import board_for_machine
+    from repro.memories.config import CacheNodeConfig
+    from repro.target.configs import split_smp_machine
+
+    config = CacheNodeConfig(
+        size=128 * 1024, assoc=4, line_size=128,
+        replacement="random" if feature == "random" else "lru",
+    )
+    machine = split_smp_machine(config, n_cpus=8, procs_per_node=2)
+    if feature == "ecc":
+        return board_for_machine(machine, ecc=True, scrub_interval=500.0)
+    board = board_for_machine(machine)
+    if feature == "sdram":
+        from repro.memories.sdram import SdramModel
+
+        board.firmware.nodes[0].sdram = SdramModel()
+    return board
+
+
+def _check_engine_corpus() -> int:
+    """Prove each engine-denial case fires, and the eligible case doesn't."""
+    from repro.engines import decide
+
+    failures = 0
+    for description, feature, engine, expected in ENGINE_CORPUS:
+        decision = decide(engine, board=_engine_board(feature))
+        if expected is None:
+            if decision.eligible:
+                print(f"eligible: {description} [{engine}]")
+            else:
+                print(
+                    f"WRONG DENIAL: {description} "
+                    f"({engine}: {decision.reason()})"
+                )
+                failures += 1
+            continue
+        missing = {str(capability) for capability in decision.missing}
+        if decision.eligible:
+            print(
+                f"MISSED: {description} "
+                f"(expected {expected} missing, got eligible)"
+            )
+            failures += 1
+        elif expected not in missing:
+            print(
+                f"WRONG CAPABILITY: {description} "
+                f"(expected {expected}, got {sorted(missing)})"
+            )
+            failures += 1
+        else:
+            print(f"denied: {description} [{engine} missing {expected}]")
+    return failures
+
+
 def _check_lint_corpus() -> int:
     """Run the defect + clean snippets through ``check_repo``; count misses."""
     failures = 0
@@ -383,6 +459,7 @@ def main() -> int:
             print(f"rejected: {description} [{expected}]")
 
     failures += _check_lint_corpus()
+    failures += _check_engine_corpus()
 
     if failures:
         print(f"\nself-check FAILED: {failures} case(s)")
@@ -390,7 +467,8 @@ def main() -> int:
     print(f"\nself-check passed: {len(BUILTIN_PROTOCOLS)} shipped tables "
           f"certified, {len(CORPUS)} broken tables rejected, "
           f"{len(LINT_CORPUS)} lint defects flagged, "
-          f"{len(CLEAN_CORPUS)} clean snippets quiet")
+          f"{len(CLEAN_CORPUS)} clean snippets quiet, "
+          f"{len(ENGINE_CORPUS)} engine capability verdicts checked")
     return 0
 
 
